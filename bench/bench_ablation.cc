@@ -1,0 +1,108 @@
+// Ablation microbenchmarks over the design choices DESIGN.md calls out:
+// dataflow, scratchpad banking, DMA in-flight depth, system-bus width,
+// ROB depth, and the TLB filter registers. google-benchmark measures the
+// *simulated cycle count* of a fixed kernel under each knob (reported as
+// the "cycles" counter; wall time of the simulator itself is incidental).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/gemmini.h"
+
+using namespace gemmini;
+
+namespace {
+
+/// Runs a 256^3 tiled matmul (timing mode) on a fresh SoC built from `cfg`
+/// and reports simulated cycles.
+void run_matmul(benchmark::State& state, SocConfig cfg,
+                Dataflow df = Dataflow::kWeightStationary) {
+  Cycle cycles = 0;
+  for (auto _ : state) {
+    Soc soc(cfg);
+    auto& as = soc.address_space(0);
+    MatmulParams p;
+    p.a = as.alloc(1 << 19);
+    p.b = as.alloc(1 << 19);
+    p.c = as.alloc(1 << 19);
+    p.m = p.k = p.n = 256;
+    p.dataflow = df;
+    const Program prog = emit_tiled_matmul(cfg.accel, p);
+    soc.accelerator(0).set_functional(false);
+    cycles = soc.accelerator(0).run(prog, as);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+
+void BM_Dataflow(benchmark::State& state) {
+  SocConfig cfg;
+  run_matmul(state, cfg,
+             state.range(0) == 0 ? Dataflow::kWeightStationary
+                                 : Dataflow::kOutputStationary);
+}
+BENCHMARK(BM_Dataflow)->Arg(0)->Arg(1)->ArgName("os");
+
+void BM_ScratchpadBanks(benchmark::State& state) {
+  SocConfig cfg;
+  cfg.accel.sp_banks = static_cast<unsigned>(state.range(0));
+  run_matmul(state, cfg);
+}
+BENCHMARK(BM_ScratchpadBanks)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->ArgName("banks");
+
+void BM_DmaInflight(benchmark::State& state) {
+  SocConfig cfg;
+  cfg.accel.dma_max_inflight = static_cast<unsigned>(state.range(0));
+  run_matmul(state, cfg);
+}
+BENCHMARK(BM_DmaInflight)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->ArgName("reqs");
+
+void BM_BusWidth(benchmark::State& state) {
+  SocConfig cfg;
+  cfg.mem.system_bus.width_bytes = static_cast<unsigned>(state.range(0));
+  cfg.mem.memory_bus.width_bytes = static_cast<unsigned>(state.range(0));
+  cfg.mem.dram.channel_width_bytes = static_cast<unsigned>(state.range(0));
+  run_matmul(state, cfg);
+}
+BENCHMARK(BM_BusWidth)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->ArgName("bytes");
+
+void BM_RobEntries(benchmark::State& state) {
+  SocConfig cfg;
+  cfg.accel.rob_entries = static_cast<unsigned>(state.range(0));
+  run_matmul(state, cfg);
+}
+BENCHMARK(BM_RobEntries)->Arg(2)->Arg(8)->Arg(16)->Arg(64)->ArgName("rob");
+
+void BM_FilterRegisters(benchmark::State& state) {
+  SocConfig cfg;
+  cfg.accel.translation.private_tlb.entries = 4;
+  cfg.accel.translation.l2_tlb_present = false;
+  cfg.accel.translation.filter_registers = state.range(0) != 0;
+  run_matmul(state, cfg);
+}
+BENCHMARK(BM_FilterRegisters)->Arg(0)->Arg(1)->ArgName("filters");
+
+void BM_TileShapeManualVsAuto(benchmark::State& state) {
+  // Manual tiny tiles vs the auto heuristic: quantifies what the paper's
+  // data-staging heuristic buys.
+  SocConfig cfg;
+  Cycle cycles = 0;
+  for (auto _ : state) {
+    Soc soc(cfg);
+    auto& as = soc.address_space(0);
+    MatmulParams p;
+    p.a = as.alloc(1 << 19);
+    p.b = as.alloc(1 << 19);
+    p.c = as.alloc(1 << 19);
+    p.m = p.k = p.n = 256;
+    if (state.range(0) == 0) p.tile = TileShape{1, 1, 1};
+    const Program prog = emit_tiled_matmul(cfg.accel, p);
+    soc.accelerator(0).set_functional(false);
+    cycles = soc.accelerator(0).run(prog, as);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_TileShapeManualVsAuto)->Arg(0)->Arg(1)->ArgName("auto");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Fig. 6: area breakdown of the paper's default accelerator (16x16 array,
+// 256 KB scratchpad, 64 KB accumulator) with its Rocket host CPU, from the
+// calibrated analytic area model (synthesis-flow substitute).
+
+#include <cstdio>
+
+#include "src/core/gemmini.h"
+
+using namespace gemmini;
+
+int main() {
+  std::printf("=== Fig. 6: area breakdown (Intel 22FFL-calibrated model) ===\n\n");
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_im2col = false;
+  cfg.has_pooling = false;
+  cfg.has_transposer = false;  // Fig. 6 config is the bare accelerator
+  const AreaModel am;
+  const AreaBreakdown b = am.breakdown(cfg, /*host_is_boom=*/false);
+
+  struct Row {
+    const char* name;
+    double paper_um2;
+    double paper_pct;
+    double ours_um2;
+  };
+  const Row rows[] = {
+      {"Spatial Array (16x16)", 116000, 11.3, b.spatial_array_um2},
+      {"Scratchpad (256 KB)", 544000, 52.9, b.scratchpad_um2},
+      {"Accumulator (64 KB)", 146000, 14.2, b.accumulator_um2},
+      {"CPU (Rocket, 1 core)", 171000, 16.6, b.host_cpu_um2},
+      {"Uncore (ctrl/DMA/TLB)", 52000, 5.0, b.uncore_um2},
+  };
+  std::printf("%-24s %14s %14s %8s %8s\n", "Component", "paper um2",
+              "ours um2", "paper%", "ours%");
+  for (const Row& r : rows) {
+    std::printf("%-24s %14.0f %14.0f %7.1f%% %7.1f%%\n", r.name, r.paper_um2,
+                r.ours_um2, r.paper_pct, 100.0 * b.fraction(r.ours_um2));
+  }
+  std::printf("%-24s %14.0f %14.0f\n", "Total", 1029000.0, b.total_um2);
+  std::printf("\nSRAM share (paper: 67.1%%): %.1f%%\n",
+              100.0 * b.fraction(b.scratchpad_um2 + b.accumulator_um2));
+
+  // The breakdown moves the right way across the template.
+  std::printf("\nsweep: scratchpad capacity vs SRAM share of total area\n");
+  for (unsigned kb : {64u, 128u, 256u, 512u, 1024u}) {
+    GemminiConfig c = cfg;
+    c.sp_capacity_bytes = kb * 1024ull;
+    const AreaBreakdown bb = am.breakdown(c, false);
+    std::printf("  %4u KB sp -> total %.2f mm^2, SRAM %.1f%%\n", kb,
+                bb.total_um2 / 1e6,
+                100.0 * bb.fraction(bb.scratchpad_um2 + bb.accumulator_um2));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 7: end-to-end speedup of Gemmini-generated accelerators over an
+// in-order (Rocket) CPU baseline, across five DNNs, two host CPUs, and
+// with/without the on-the-fly im2col unit.
+//
+// Paper numbers to reproduce in *shape*:
+//  * ResNet-50: 2,670x over Rocket (22.8 FPS @1GHz) with the im2col unit;
+//    1,130x over BOOM.
+//  * Without the im2col unit, a BOOM host doubles CNN performance over a
+//    Rocket host (2.0x); with it, the host barely matters.
+//  * AlexNet 79.3 FPS; SqueezeNet 1,760x; MobileNetV2 127x (18.7 FPS,
+//    depthwise convs map poorly); BERT 144x (Amdahl: CPU-resident softmax/
+//    layernorm/GELU dominate once matmuls are accelerated).
+//
+// GEMMINI_BENCH_FAST=1 shrinks inputs for smoke runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/gemmini.h"
+
+using namespace gemmini;
+
+int main() {
+  std::printf("=== Fig. 7: speedup vs in-order CPU baseline ===\n\n");
+  const bool fast = std::getenv("GEMMINI_BENCH_FAST") != nullptr;
+  const unsigned hw = fast ? 96 : 224;
+
+  struct Workload {
+    Model model;
+    double paper_speedup_rocket_im2col;  // 0 = not reported
+    double paper_fps;                    // 0 = not reported
+    bool cnn;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({zoo::resnet50(hw), 2670, 22.8, true});
+  workloads.push_back({zoo::alexnet(fast ? 99 : 227), 0, 79.3, true});
+  workloads.push_back({zoo::squeezenet_v11(hw), 1760, 0, true});
+  workloads.push_back({zoo::mobilenet_v2(hw), 127, 18.7, true});
+  workloads.push_back({zoo::bert_base(fast ? 32 : 128, fast ? 4 : 12),
+                       144, 0, false});
+
+  std::printf("%-16s %-9s %-8s %12s %10s %10s %s\n", "dnn", "host",
+              "im2col", "cycles", "fps@1GHz", "speedup", "paper");
+  for (const auto& w : workloads) {
+    const Cycle rocket_baseline =
+        cpu_baseline_cycles(w.model, CpuCostModel::rocket());
+    double boom_over_rocket[2] = {0, 0};
+    for (const bool unit : {false, true}) {
+      if (!w.cnn && !unit) continue;  // im2col is a CNN question
+      double totals[2];
+      for (const CpuClass host : {CpuClass::kRocket, CpuClass::kBoom}) {
+        SocConfig cfg = SocConfig::base_1mb_l2();
+        cfg.accel.has_im2col = unit;
+        cfg.cpu = host == CpuClass::kRocket ? CpuCostModel::rocket()
+                                            : CpuCostModel::boom();
+        Generator gen(cfg);
+        const RunReport r = gen.run_model(w.model);
+        totals[host == CpuClass::kBoom] = static_cast<double>(r.cycles);
+        const double speedup =
+            static_cast<double>(rocket_baseline) / static_cast<double>(r.cycles);
+        std::string paper = "-";
+        if (host == CpuClass::kRocket && unit &&
+            w.paper_speedup_rocket_im2col > 0) {
+          paper = std::to_string(
+                      static_cast<int>(w.paper_speedup_rocket_im2col)) +
+                  "x";
+          if (w.paper_fps > 0) {
+            paper += " / " + std::to_string(w.paper_fps).substr(0, 4) + "fps";
+          }
+        }
+        std::printf("%-16s %-9s %-8s %12lu %10.1f %9.0fx %s\n",
+                    w.model.name().c_str(), cpu_class_name(host),
+                    w.cnn ? (unit ? "accel" : "cpu") : "n/a",
+                    static_cast<unsigned long>(r.cycles), r.fps, speedup,
+                    paper.c_str());
+      }
+      boom_over_rocket[unit] = totals[0] / totals[1];
+    }
+    if (w.cnn) {
+      std::printf("  -> BOOM/Rocket end-to-end gain: %.2fx without im2col "
+                  "unit (paper ~2.0x), %.2fx with it (paper ~1.0x)\n",
+                  boom_over_rocket[0], boom_over_rocket[1]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table I: DNN accelerator generator feature comparison.
+// The Gemmini column is derived from this library's actual capabilities
+// (see src/core/feature_matrix.cc); the competitor columns reproduce the
+// published qualitative data.
+
+#include <cstdio>
+
+#include "src/core/feature_matrix.h"
+
+int main() {
+  std::printf("=== Table I: Comparison of DNN accelerator generators ===\n\n");
+  std::printf("%s\n", gemmini::render_feature_matrix().c_str());
+  std::printf("Gemmini row derived from the generator's config/template "
+              "system; all claims are exercised by the test suite.\n");
+  return 0;
+}

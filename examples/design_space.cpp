@@ -1,0 +1,82 @@
+// Design-space exploration across the architectural template (paper §III-A,
+// Fig. 3): sweep spatial-array geometries from fully-pipelined systolic to
+// fully-combinational vector engines, and scratchpad sizes, reporting the
+// area / frequency / power / performance trade-offs the generator exposes.
+//
+//   $ ./example_design_space
+
+#include <cstdio>
+
+#include "src/core/gemmini.h"
+
+using namespace gemmini;
+
+int main() {
+  const Model workload = zoo::squeezenet_v11(96);
+
+  std::printf("Two-level spatial array sweep (256 PEs each, int8):\n");
+  std::printf("%-22s %-10s %-12s %-10s %-12s\n", "geometry", "fmax(GHz)",
+              "area(Kum2)", "power(mW)", "cycles");
+  struct Geo {
+    const char* name;
+    SpatialArrayGeometry g;
+  };
+  const Geo geos[] = {
+      {"16x16 of 1x1 (TPU)", {16, 16, 1, 1}},
+      {"8x8 of 2x2", {8, 8, 2, 2}},
+      {"4x4 of 4x4", {4, 4, 4, 4}},
+      {"2x2 of 8x8", {2, 2, 8, 8}},
+      {"1x16 of 16x1 (NVDLA)", {1, 16, 16, 1}},
+  };
+  const AreaModel area_model;
+  const TimingModel timing_model;
+  const PowerModel power_model;
+  for (const Geo& geo : geos) {
+    SocConfig cfg;
+    cfg.accel.array = geo.g;
+    cfg.accel.name = geo.name;
+    cfg.accel.has_im2col = true;
+    // Run the workload at the geometry's own achievable frequency.
+    const double fmax = timing_model.fmax_ghz(geo.g, DType::kInt8);
+    Generator gen(cfg);
+    const RunReport r = gen.run_model(workload);
+    std::printf("%-22s %-10.2f %-12.1f %-10.1f %-12lu\n", geo.name, fmax,
+                area_model.spatial_array_um2(geo.g, DType::kInt8) / 1000.0,
+                power_model.spatial_array_mw(geo.g, DType::kInt8, 0.5),
+                static_cast<unsigned long>(r.cycles));
+  }
+
+  std::printf("\nScratchpad capacity sweep (16x16 systolic):\n");
+  std::printf("%-12s %-12s %-12s\n", "sp(KB)", "area(Kum2)", "cycles");
+  for (const unsigned kb : {64u, 128u, 256u, 512u}) {
+    SocConfig cfg;
+    cfg.accel.sp_capacity_bytes = kb * 1024ull;
+    cfg.accel.has_im2col = true;
+    Generator gen(cfg);
+    const RunReport r = gen.run_model(workload);
+    std::printf("%-12u %-12.1f %-12lu\n", kb,
+                gen.area().total_um2 / 1000.0,
+                static_cast<unsigned long>(r.cycles));
+  }
+
+  std::printf("\nDataflow comparison (weight- vs output-stationary):\n");
+  for (const Dataflow df :
+       {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
+    SocConfig cfg;
+    cfg.accel.has_im2col = true;
+    Soc soc(cfg);
+    auto& as = soc.address_space(0);
+    MatmulParams p;
+    p.a = as.alloc(1 << 20);
+    p.b = as.alloc(1 << 20);
+    p.c = as.alloc(1 << 20);
+    p.m = p.k = p.n = 512;
+    p.dataflow = df;
+    const Program prog = emit_tiled_matmul(cfg.accel, p);
+    soc.accelerator(0).set_functional(false);
+    const Cycle cycles = soc.accelerator(0).run(prog, as);
+    std::printf("  %s: 512^3 matmul in %lu cycles\n", dataflow_name(df),
+                static_cast<unsigned long>(cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Virtual-address-translation co-design (paper §V-A, Fig. 8): sweep private
+// and shared TLB sizes for a low-power edge SoC running ResNet-50, with and
+// without the filter-register optimization, and find the cheapest
+// translation system within 2% of peak performance.
+//
+//   $ ./example_tlb_codesign [--fast]   (--fast uses a 96x96 input)
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/core/gemmini.h"
+
+using namespace gemmini;
+
+int main(int argc, char** argv) {
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  const Model model = zoo::resnet50(fast ? 96 : 224);
+
+  struct Point {
+    unsigned priv, shared;
+    bool filters;
+    Cycle cycles;
+    double hit_rate;
+  };
+  std::vector<Point> points;
+  Cycle best = kCycleMax;
+
+  for (const bool filters : {false, true}) {
+    for (const unsigned priv : {4u, 16u}) {
+      for (const unsigned shared : {0u, 512u}) {
+        SocConfig cfg = SocConfig::base_1mb_l2();
+        cfg.accel.has_im2col = true;
+        cfg.accel.translation.private_tlb.entries = priv;
+        cfg.accel.translation.l2_tlb_present = shared > 0;
+        cfg.accel.translation.l2_tlb.entries = shared > 0 ? shared : 1;
+        cfg.accel.translation.filter_registers = filters;
+        Generator gen(cfg);
+        const RunReport r = gen.run_model(model);
+        const auto& ts = gen.soc().accelerator(0).translation();
+        points.push_back(
+            {priv, shared, filters, r.cycles, ts.effective_private_hit_rate()});
+        if (r.cycles < best) best = r.cycles;
+      }
+    }
+  }
+
+  std::printf("%-8s %-8s %-8s %-14s %-10s %s\n", "private", "L2-TLB",
+              "filters", "cycles", "hit-rate", "vs-best");
+  for (const auto& p : points) {
+    std::printf("%-8u %-8u %-8s %-14lu %-10.1f %+.1f%%\n", p.priv, p.shared,
+                p.filters ? "yes" : "no",
+                static_cast<unsigned long>(p.cycles), 100.0 * p.hit_rate,
+                100.0 * (static_cast<double>(p.cycles) /
+                             static_cast<double>(best) -
+                         1.0));
+  }
+
+  // The paper's conclusion: a 4-entry private TLB + filter registers and NO
+  // shared L2 TLB lands within ~2% of the best configuration.
+  for (const auto& p : points) {
+    if (p.priv == 4 && p.shared == 0 && p.filters) {
+      const double loss = static_cast<double>(p.cycles) /
+                              static_cast<double>(best) -
+                          1.0;
+      std::printf("\n4-entry private TLB + filter registers, no L2 TLB: "
+                  "%.1f%% from peak (paper: ~2%%)\n",
+                  100.0 * loss);
+    }
+  }
+  return 0;
+}

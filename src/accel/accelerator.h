@@ -1,0 +1,134 @@
+#pragma once
+// The generated accelerator (Fig. 1), cycle-level.
+//
+// A three-pipeline controller (load / execute / store) walks the RoCC
+// program in order, issuing each instruction as soon as (a) its pipeline is
+// free, (b) its operand rows clear RAW/WAR/WAW hazards, and (c) a ROB slot
+// is available. Independent loads, computes and stores therefore overlap —
+// the double-buffering emitted by the runtime turns into real latency
+// hiding, exactly as in the RTL's dependency-managed queues.
+//
+// The accelerator supports incremental stepping so multiple accelerators can
+// co-simulate against one shared memory system (multi-core SoCs, Fig. 9).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/accel/accumulator.h"
+#include "src/accel/dma.h"
+#include "src/accel/exec_unit.h"
+#include "src/accel/hazards.h"
+#include "src/accel/scratchpad.h"
+#include "src/arch/config.h"
+#include "src/base/stats.h"
+#include "src/isa/isa.h"
+#include "src/mem/memsys.h"
+#include "src/vm/ptw.h"
+#include "src/vm/translation.h"
+
+namespace gemmini {
+
+/// Aggregate performance report for a program (or accumulated across many).
+struct AccelReport {
+  Cycle finish = 0;            ///< completion of everything issued
+  std::uint64_t instructions = 0;
+  std::uint64_t macs = 0;
+  Cycle load_busy = 0;
+  Cycle exec_busy = 0;
+  Cycle store_busy = 0;
+
+  double utilization(const GemminiConfig& cfg, Cycle span) const {
+    const double peak = static_cast<double>(cfg.array.num_pes()) *
+                        static_cast<double>(span);
+    return peak == 0 ? 0.0 : static_cast<double>(macs) / peak;
+  }
+};
+
+class Accelerator {
+ public:
+  /// `ptw` is shared SoC-wide (single walker, as in the paper's edge SoC).
+  Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
+              PageTableWalker& ptw, RequestorId requestor);
+
+  /// Functional mode moves real data through PhysMem; timing mode moves only
+  /// time (used for full-DNN benchmark sweeps).
+  void set_functional(bool functional) { functional_ = functional; }
+  bool functional() const { return functional_; }
+
+  // ---- Stepping interface (multi-core co-simulation) ----------------------
+  /// Begin executing `prog` against `as`, no earlier than cycle `t`.
+  /// The program and address space must outlive the run.
+  void start(const Program* prog, const AddressSpace* as, Cycle t);
+  bool done() const { return prog_ == nullptr || pc_ >= prog_size_; }
+  /// Executes exactly one instruction; no-op when done.
+  void step();
+  /// Earliest time the *next* instruction could issue (scheduling hint).
+  Cycle next_issue_hint() const;
+  /// Completion frontier of everything issued so far.
+  Cycle frontier() const { return frontier_; }
+
+  // ---- Convenience ---------------------------------------------------------
+  /// Runs a whole program; returns its completion cycle.
+  Cycle run(const Program& prog, const AddressSpace& as, Cycle start_at = 0);
+
+  // ---- Introspection --------------------------------------------------------
+  const GemminiConfig& config() const { return cfg_; }
+  Scratchpad& scratchpad() { return sp_; }
+  Accumulator& accumulator() { return acc_; }
+  DmaEngine& dma() { return dma_; }
+  TranslationSystem& translation() { return translation_; }
+  const TranslationSystem& translation() const { return translation_; }
+  const AccelReport& report() const { return report_; }
+  void reset_report() { report_ = AccelReport{}; }
+
+  /// Reset all *timing* state between independent experiments (keeps
+  /// functional memories).
+  void reset_time();
+
+ private:
+  void exec_one(const Instruction& inst);
+  Cycle rob_gate(Cycle start);
+  void retire(Cycle start, Cycle end);
+
+  GemminiConfig cfg_;
+  MemorySystem& mem_;
+  bool functional_ = true;
+
+  Scratchpad sp_;
+  Accumulator acc_;
+  TranslationSystem translation_;
+  DmaEngine dma_;
+  ExecUnit exec_;
+  HazardTracker hazards_;
+
+  // CONFIG state (program order).
+  struct LdChannel {
+    std::uint64_t stride = 0;
+    float scale = 1.0f;
+  };
+  std::array<LdChannel, 3> ld_{};
+  std::uint64_t st_stride_ = 0;
+  std::uint16_t pool_window_ = 0, pool_stride_ = 0;
+  ExConfigState ex_state_{};
+
+  // Pipeline timelines.
+  Cycle ld_free_ = 0, ex_free_ = 0, st_free_ = 0;
+  Cycle frontier_ = 0;
+
+  // ROB occupancy: completion times of in-flight instructions (ring).
+  std::vector<Cycle> rob_;
+  std::size_t rob_head_ = 0;
+
+  // Current program.
+  const Program* prog_ = nullptr;
+  const AddressSpace* as_ = nullptr;
+  std::size_t pc_ = 0;
+  std::size_t prog_size_ = 0;
+  Cycle start_at_ = 0;
+
+  AccelReport report_;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

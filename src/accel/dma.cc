@@ -1,0 +1,206 @@
+#include "src/accel/dma.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/fixed.h"
+
+namespace gemmini {
+
+DmaEngine::StreamResult DmaEngine::stream(const AddressSpace& as, VAddr va,
+                                          std::uint64_t bytes, bool write,
+                                          Cycle issue) {
+  StreamResult r{issue, issue};
+  std::deque<Cycle>& inflight_ = write ? write_inflight_ : read_inflight_;
+  std::uint64_t remaining = bytes;
+  VAddr cur = va;
+  while (remaining > 0) {
+    // Chunks never cross a page (re-translate at page boundaries) and are at
+    // most one DMA request (= one L2 line) long.
+    const std::uint64_t to_page_end = kPageBytes - page_offset(cur);
+    const std::uint64_t chunk =
+        std::min({remaining, to_page_end,
+                  static_cast<std::uint64_t>(cfg_.dma_req_bytes)});
+
+    // One request enters the pipe per cycle; a full in-flight window stalls
+    // the issue stage until the oldest request retires.
+    Cycle slot = r.next_issue;
+    if (inflight_.size() >= cfg_.dma_max_inflight) {
+      slot = std::max(slot, inflight_.front());
+      inflight_.pop_front();
+    }
+    // Private-TLB (and filter-register) hits are pipelined with issue: they
+    // add latency to *this* request without blocking the next from entering
+    // the pipe. Misses are blocking, as in the RTL's TLB: the DMA stalls
+    // until the shared-TLB lookup or page walk resolves — this is why TLB
+    // sizing matters so much in the paper's Fig. 8.
+    const Translation tr = translation_.translate(as, cur, write, slot);
+    const Cycle req_t = std::max(tr.done, slot);
+    const Cycle done = mem_.access(tr.paddr, chunk, write, req_t, requestor_);
+    inflight_.push_back(done);
+    r.done = std::max(r.done, done);
+    const bool blocking_miss = tr.level == TranslationLevel::kSharedTlb ||
+                               tr.level == TranslationLevel::kPageWalk;
+    r.next_issue = blocking_miss ? tr.done + 1 : slot + 1;
+    cur += chunk;
+    remaining -= chunk;
+    stats_.counter(write ? "bytes_out" : "bytes_in").add(chunk);
+    stats_.counter("requests").add();
+  }
+  return r;
+}
+
+DmaEngine::XferResult DmaEngine::mvin(const AddressSpace& as, VAddr dram,
+                                      std::uint64_t stride_bytes, float scale,
+                                      LocalAddr dst, unsigned rows,
+                                      unsigned cols, Cycle start,
+                                      bool functional) {
+  GEMMINI_CHECK_MSG(!dst.is_garbage(), "mvin needs a destination");
+  GEMMINI_CHECK_MSG(cols <= cfg_.dim(), "mvin cols " << cols << " > dim");
+  const std::size_t elem = cfg_.input_bytes();
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(cols) * elem;
+
+  stats_.counter("mvins").add();
+  Cycle issue = start;
+  Cycle done = start;
+  // Consecutive rows that are contiguous in DRAM (stride == row width)
+  // coalesce into one burst, so the memory system sees line-sized requests
+  // instead of row-sized ones — matching the RTL DMA's request coalescing.
+  const bool contiguous = stride_bytes == row_bytes && rows > 1;
+  if (contiguous) {
+    const StreamResult sr = stream(
+        as, dram, row_bytes * rows, /*write=*/false, issue);
+    issue = sr.next_issue;
+    Cycle local_done;
+    if (dst.is_acc()) {
+      local_done = acc_.reserve(dst.row(), rows, sr.done, 1);
+    } else {
+      local_done = sp_.reserve(dst.row(), rows, sr.done, 1);
+    }
+    done = std::max(done, local_done);
+  }
+  std::vector<std::uint8_t> buf;
+  for (unsigned r = 0; r < rows; ++r) {
+    const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
+    if (!contiguous) {
+      const StreamResult sr =
+          stream(as, va, row_bytes, /*write=*/false, issue);
+      issue = sr.next_issue;
+
+      // Local write happens when the data lands.
+      Cycle row_done;
+      if (dst.is_acc()) {
+        row_done = acc_.reserve(dst.row() + r, 1, sr.done, 1);
+      } else {
+        row_done = sp_.reserve(dst.row() + r, 1, sr.done, 1);
+      }
+      done = std::max(done, row_done);
+    }
+
+    if (functional) {
+      buf.resize(row_bytes);
+      as.read_virt(va, buf.data(), row_bytes);
+      if (dst.is_acc()) {
+        // Input-typed payload widened into the accumulator, honoring the
+        // accumulate bit (this is how residual additions run on Gemmini).
+        if (cfg_.dtype == DType::kInt8) {
+          std::vector<std::int32_t> wide(cols);
+          for (unsigned c = 0; c < cols; ++c) {
+            wide[c] = static_cast<std::int32_t>(
+                scale_i8(static_cast<std::int8_t>(buf[c]), scale));
+          }
+          acc_.write_row_i32(dst.row() + r, wide.data(), cols,
+                             dst.accumulate());
+        } else {
+          std::vector<float> wide(cols);
+          const float* f = reinterpret_cast<const float*>(buf.data());
+          for (unsigned c = 0; c < cols; ++c) wide[c] = f[c] * scale;
+          acc_.write_row_f32(dst.row() + r, wide.data(), cols,
+                             dst.accumulate());
+        }
+      } else {
+        std::uint8_t* row = sp_.row_ptr(dst.row() + r);
+        if (cfg_.dtype == DType::kInt8 && scale != 1.0f) {
+          for (unsigned c = 0; c < cols; ++c) {
+            row[c] = static_cast<std::uint8_t>(
+                scale_i8(static_cast<std::int8_t>(buf[c]), scale));
+          }
+        } else {
+          std::copy(buf.begin(), buf.end(), row);
+        }
+        // Zero-pad the rest of the row so partial tiles compute correctly.
+        std::fill(row + row_bytes, row + sp_.row_bytes(), 0);
+      }
+    }
+  }
+  return XferResult{issue, done};
+}
+
+DmaEngine::XferResult DmaEngine::mvout(const AddressSpace& as, VAddr dram,
+                                       std::uint64_t stride_bytes,
+                                       LocalAddr src, unsigned rows,
+                                       unsigned cols, unsigned out_shift,
+                                       Activation act, Cycle start,
+                                       bool functional) {
+  GEMMINI_CHECK_MSG(!src.is_garbage(), "mvout needs a source");
+  GEMMINI_CHECK_MSG(cols <= cfg_.dim(), "mvout cols " << cols << " > dim");
+  const std::size_t elem = cfg_.input_bytes();
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(cols) * elem;
+
+  stats_.counter("mvouts").add();
+  Cycle issue = start;
+  Cycle done = start;
+  // Contiguous output rows coalesce into one burst (see mvin).
+  const bool contiguous = stride_bytes == row_bytes && rows > 1;
+  if (contiguous) {
+    Cycle read_done;
+    if (src.is_acc()) {
+      read_done = acc_.reserve(src.row(), rows, issue, rows);
+    } else {
+      read_done = sp_.reserve(src.row(), rows, issue, rows);
+    }
+    const StreamResult sr =
+        stream(as, dram, row_bytes * rows, /*write=*/true,
+               read_done - rows + 1);
+    issue = std::max(issue + rows, sr.next_issue);
+    done = std::max(done, sr.done);
+  }
+  std::vector<std::uint8_t> buf(row_bytes);
+  for (unsigned r = 0; r < rows; ++r) {
+    const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
+
+    if (!contiguous) {
+      // Local read first (1 cycle through the read-out pipeline)...
+      Cycle read_done;
+      if (src.is_acc()) {
+        read_done = acc_.reserve(src.row() + r, 1, issue, 1);
+      } else {
+        read_done = sp_.reserve(src.row() + r, 1, issue, 1);
+      }
+      // ...then the write stream to memory.
+      const StreamResult sr =
+          stream(as, va, row_bytes, /*write=*/true, read_done);
+      issue = std::max(issue + 1, sr.next_issue);
+      done = std::max(done, sr.done);
+    }
+
+    if (functional) {
+      if (src.is_acc()) {
+        if (cfg_.dtype == DType::kInt8) {
+          acc_.readout_i8(src.row() + r, cols, out_shift, act,
+                          reinterpret_cast<std::int8_t*>(buf.data()));
+        } else {
+          acc_.readout_f32(src.row() + r, cols, act,
+                           reinterpret_cast<float*>(buf.data()));
+        }
+      } else {
+        const std::uint8_t* row = sp_.row_ptr(src.row() + r);
+        std::copy(row, row + row_bytes, buf.begin());
+      }
+      as.write_virt(va, buf.data(), row_bytes);
+    }
+  }
+  return XferResult{issue, done};
+}
+
+}  // namespace gemmini

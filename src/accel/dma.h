@@ -1,0 +1,94 @@
+#pragma once
+// DMA engine (Fig. 1): moves data between main memory (virtual addresses)
+// and the local scratchpad/accumulator.
+//
+// Every DRAM-side row of an MVIN/MVOUT is translated through the
+// TranslationSystem (private TLB -> optional shared TLB -> PTW), then split
+// into line-sized requests into the shared MemorySystem. Requests pipeline
+// through a bounded in-flight window (dma_max_inflight), so DMA throughput
+// is limited by min(bus bandwidth, inflight * latency product) exactly as in
+// the RTL. Functional mode moves real bytes; timing mode moves only time.
+
+#include <deque>
+
+#include "src/accel/accumulator.h"
+#include "src/accel/scratchpad.h"
+#include "src/arch/config.h"
+#include "src/base/stats.h"
+#include "src/base/types.h"
+#include "src/isa/isa.h"
+#include "src/mem/memsys.h"
+#include "src/vm/translation.h"
+
+namespace gemmini {
+
+class DmaEngine {
+ public:
+  DmaEngine(const GemminiConfig& cfg, MemorySystem& mem,
+            TranslationSystem& translation, Scratchpad& sp, Accumulator& acc,
+            RequestorId requestor)
+      : cfg_(cfg),
+        mem_(mem),
+        translation_(translation),
+        sp_(sp),
+        acc_(acc),
+        requestor_(requestor) {}
+
+  /// Timing result of a data-movement instruction: `issue_done` is when the
+  /// DMA front-end finishes injecting requests (the next MVIN/MVOUT can
+  /// start then — the engine is pipelined); `data_done` is when the last
+  /// byte lands (dependent computes must wait for this).
+  struct XferResult {
+    Cycle issue_done;
+    Cycle data_done;
+  };
+
+  /// Executes an MVIN: rows x cols elements from DRAM (row stride
+  /// `stride_bytes`, scaled by `scale`) into consecutive local rows starting
+  /// at `dst`.
+  XferResult mvin(const AddressSpace& as, VAddr dram,
+                  std::uint64_t stride_bytes, float scale, LocalAddr dst,
+                  unsigned rows, unsigned cols, Cycle start, bool functional);
+
+  /// Executes an MVOUT: rows x cols elements from local rows starting at
+  /// `src` to DRAM. Accumulator sources pass through the read-out pipeline
+  /// (shift + activation for int8 configs).
+  XferResult mvout(const AddressSpace& as, VAddr dram,
+                   std::uint64_t stride_bytes, LocalAddr src, unsigned rows,
+                   unsigned cols, unsigned out_shift, Activation act,
+                   Cycle start, bool functional);
+
+  const StatSet& stats() const { return stats_; }
+  TranslationSystem& translation() { return translation_; }
+
+  /// Drops in-flight state (absolute times) between independent runs.
+  void reset_time() {
+    read_inflight_.clear();
+    write_inflight_.clear();
+  }
+
+ private:
+  /// Streams `bytes` at virtual address `va` through the memory system with
+  /// the bounded in-flight window. Returns {last completion, next issue}.
+  struct StreamResult {
+    Cycle done;
+    Cycle next_issue;
+  };
+  StreamResult stream(const AddressSpace& as, VAddr va, std::uint64_t bytes,
+                      bool write, Cycle issue);
+
+  const GemminiConfig& cfg_;
+  MemorySystem& mem_;
+  TranslationSystem& translation_;
+  Scratchpad& sp_;
+  Accumulator& acc_;
+  RequestorId requestor_;
+  // Reads and writes have independent in-flight windows, mirroring the
+  // RTL's separate load/store reservation stations: a backlog of store
+  // completions must not stall load issue.
+  std::deque<Cycle> read_inflight_;
+  std::deque<Cycle> write_inflight_;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,166 @@
+#include "src/accel/exec_unit.h"
+
+#include <algorithm>
+
+#include "src/base/fixed.h"
+
+namespace gemmini {
+
+void ExecUnit::latch_b(LocalAddr b, unsigned rows, unsigned cols) {
+  // PRELOAD with a garbage B address *keeps* the currently latched tile —
+  // the idiom the software stack uses to reuse one weight tile across many
+  // A tiles (preload(GARBAGE, C') + compute.accumulated).
+  if (b.is_garbage()) return;
+  const unsigned dim = cfg_.dim();
+  GEMMINI_CHECK(rows <= dim && cols <= dim);
+  std::fill(b_i32_.begin(), b_i32_.end(), 0);
+  std::fill(b_f32_.begin(), b_f32_.end(), 0.0f);
+  GEMMINI_CHECK_MSG(!b.is_acc(), "PRELOAD reads B from the scratchpad");
+  for (unsigned r = 0; r < rows; ++r) {
+    const std::uint8_t* row = sp_.row_ptr(b.row() + r);
+    if (cfg_.dtype == DType::kInt8) {
+      for (unsigned c = 0; c < cols; ++c) {
+        b_i32_[r * dim + c] =
+            static_cast<std::int8_t>(row[c]);
+      }
+    } else {
+      const float* f = reinterpret_cast<const float*>(row);
+      for (unsigned c = 0; c < cols; ++c) b_f32_[r * dim + c] = f[c];
+    }
+  }
+}
+
+Cycle ExecUnit::preload(const Instruction& inst, Cycle start,
+                        bool functional) {
+  stats_.counter("preloads").add();
+  const Cycle cycles = model_.preload_cycles(inst.rows);
+  Cycle t;
+  if (!inst.local.is_garbage()) {
+    // Stream B rows out of the scratchpad (waits for the banks).
+    t = sp_.reserve(inst.local.row(), inst.rows, start, cycles);
+  } else {
+    t = start + cycles;
+  }
+  if (functional) latch_b(inst.local, inst.rows, inst.cols);
+  c_dest_ = inst.local2;
+  c_rows_ = inst.rows2;
+  c_cols_ = inst.cols2;
+  return t;
+}
+
+Cycle ExecUnit::compute(const Instruction& inst, const ExConfigState& ex,
+                        Cycle start, bool functional,
+                        std::uint64_t& macs_out) {
+  const unsigned dim = cfg_.dim();
+  const unsigned m = inst.rows;       // A rows
+  const unsigned k = inst.cols;       // A cols == B rows
+  const unsigned n = c_cols_ == 0 ? dim : c_cols_;
+  GEMMINI_CHECK(m <= dim && k <= dim && n <= dim);
+  stats_.counter("computes").add();
+  macs_out += static_cast<std::uint64_t>(m) * k * n;
+
+  // Timing: stream A out of the scratchpad, flow through the array, land in
+  // the destination memory.
+  Cycle t = start;
+  if (!inst.local.is_garbage()) {
+    t = sp_.reserve(inst.local.row(), m, t, 1);
+  }
+  const bool pipelined = inst.op == Opcode::kComputeAccumulated;
+  Cycle lat = model_.compute_cycles(ex.dataflow, m, k, pipelined);
+  if (ex.a_transpose) {
+    GEMMINI_CHECK_MSG(cfg_.has_transposer,
+                      "a_transpose requires the transposer block");
+    lat += dim;  // extra pass through the transposer pipeline
+    stats_.counter("transposes").add();
+  }
+  t += lat;
+  if (!c_dest_.is_garbage()) {
+    if (c_dest_.is_acc()) {
+      t = acc_.reserve(c_dest_.row(), c_rows_ ? c_rows_ : m, t - 1, 1);
+    } else {
+      t = sp_.reserve(c_dest_.row(), c_rows_ ? c_rows_ : m, t - 1, 1);
+    }
+  }
+
+  if (!functional || c_dest_.is_garbage()) return t;
+
+  // ---- Functional matmul: C = op(A) x B + D --------------------------------
+  auto a_elem_i8 = [&](unsigned r, unsigned c) -> std::int32_t {
+    if (inst.local.is_garbage()) return 0;
+    const unsigned rr = ex.a_transpose ? c : r;
+    const unsigned cc = ex.a_transpose ? r : c;
+    if (rr >= m || cc >= k) return 0;
+    return static_cast<std::int8_t>(sp_.row_ptr(inst.local.row() + rr)[cc]);
+  };
+  auto a_elem_f32 = [&](unsigned r, unsigned c) -> float {
+    if (inst.local.is_garbage()) return 0.0f;
+    const unsigned rr = ex.a_transpose ? c : r;
+    const unsigned cc = ex.a_transpose ? r : c;
+    if (rr >= m || cc >= k) return 0.0f;
+    return reinterpret_cast<const float*>(
+        sp_.row_ptr(inst.local.row() + rr))[cc];
+  };
+
+  const unsigned out_rows = c_rows_ ? c_rows_ : m;
+  const LocalAddr d = inst.local2;
+  for (unsigned r = 0; r < out_rows; ++r) {
+    if (cfg_.dtype == DType::kInt8) {
+      std::vector<std::int32_t> out(n, 0);
+      for (unsigned c = 0; c < n; ++c) {
+        std::int64_t sum = 0;
+        for (unsigned kk = 0; kk < k; ++kk) {
+          sum += static_cast<std::int64_t>(a_elem_i8(r, kk)) *
+                 b_i32_[kk * dim + c];
+        }
+        if (!d.is_garbage() && r < inst.rows2 && c < inst.cols2) {
+          if (d.is_acc()) {
+            sum += acc_.row_i32(d.row() + r)[c];
+          } else {
+            sum += static_cast<std::int8_t>(sp_.row_ptr(d.row() + r)[c]);
+          }
+        }
+        out[c] = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+            sum, INT32_MIN, INT32_MAX));
+      }
+      if (c_dest_.is_acc()) {
+        acc_.write_row_i32(c_dest_.row() + r, out.data(), n,
+                           c_dest_.accumulate());
+      } else {
+        std::uint8_t* row = sp_.row_ptr(c_dest_.row() + r);
+        for (unsigned c = 0; c < n; ++c) {
+          row[c] = static_cast<std::uint8_t>(
+              quantize_i32_to_i8(out[c], ex.out_shift, ex.activation));
+        }
+      }
+    } else {
+      std::vector<float> out(n, 0.0f);
+      for (unsigned c = 0; c < n; ++c) {
+        float sum = 0.0f;
+        for (unsigned kk = 0; kk < k; ++kk) {
+          sum += a_elem_f32(r, kk) * b_f32_[kk * dim + c];
+        }
+        if (!d.is_garbage() && r < inst.rows2 && c < inst.cols2) {
+          if (d.is_acc()) {
+            sum += acc_.row_f32(d.row() + r)[c];
+          } else {
+            sum += reinterpret_cast<const float*>(
+                sp_.row_ptr(d.row() + r))[c];
+          }
+        }
+        out[c] = sum;
+      }
+      if (c_dest_.is_acc()) {
+        acc_.write_row_f32(c_dest_.row() + r, out.data(), n,
+                           c_dest_.accumulate());
+      } else {
+        float* row = reinterpret_cast<float*>(sp_.row_ptr(c_dest_.row() + r));
+        for (unsigned c = 0; c < n; ++c) {
+          row[c] = apply_activation_f32(out[c], ex.activation);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace gemmini

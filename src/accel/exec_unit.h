@@ -1,0 +1,71 @@
+#pragma once
+// Spatial-array execute unit: PRELOAD latches a weight tile into the array,
+// COMPUTE streams an activation tile through it and deposits results at the
+// destination named by the preceding PRELOAD. Functional semantics are
+// identical for both dataflows (C = A x B + D); timing comes from
+// arch::SpatialArrayModel, and the transposer adds a dim-cycle pass when
+// A must be transposed (required for OS-dataflow matmuls).
+
+#include <cstdint>
+#include <vector>
+
+#include "src/accel/accumulator.h"
+#include "src/accel/scratchpad.h"
+#include "src/arch/config.h"
+#include "src/arch/spatial_array.h"
+#include "src/base/stats.h"
+#include "src/isa/isa.h"
+
+namespace gemmini {
+
+/// CONFIG_EX state, owned by the controller.
+struct ExConfigState {
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  Activation activation = Activation::kNone;
+  unsigned out_shift = 0;
+  bool a_transpose = false;
+};
+
+class ExecUnit {
+ public:
+  ExecUnit(const GemminiConfig& cfg, Scratchpad& sp, Accumulator& acc)
+      : cfg_(cfg), model_(cfg_), sp_(sp), acc_(acc),
+        b_i32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0),
+        b_f32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0.0f) {}
+
+  /// PRELOAD: latch B (rows x cols from scratchpad; garbage = zero tile) and
+  /// remember the C destination for subsequent COMPUTEs.
+  Cycle preload(const Instruction& inst, Cycle start, bool functional);
+
+  /// COMPUTE (preloaded or accumulated): returns completion time.
+  /// `macs_out` accumulates useful MACs for utilization statistics.
+  Cycle compute(const Instruction& inst, const ExConfigState& ex, Cycle start,
+                bool functional, std::uint64_t& macs_out);
+
+  /// The C destination currently latched (for hazard tracking).
+  LocalAddr c_dest() const { return c_dest_; }
+  unsigned c_rows() const { return c_rows_; }
+  unsigned c_cols() const { return c_cols_; }
+
+  const SpatialArrayModel& model() const { return model_; }
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  void latch_b(LocalAddr b, unsigned rows, unsigned cols);
+
+  const GemminiConfig& cfg_;
+  SpatialArrayModel model_;
+  Scratchpad& sp_;
+  Accumulator& acc_;
+
+  // Latched weight tile (both domains; only the config's dtype is used).
+  std::vector<std::int32_t> b_i32_;
+  std::vector<float> b_f32_;
+  LocalAddr c_dest_ = LocalAddr::garbage();
+  unsigned c_rows_ = 0;
+  unsigned c_cols_ = 0;
+
+  StatSet stats_;
+};
+
+}  // namespace gemmini

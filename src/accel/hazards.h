@@ -1,0 +1,92 @@
+#pragma once
+// Dependency management (Fig. 1 "Dependency Mgmt").
+//
+// The real controller tracks RAW/WAR/WAW hazards between the load, execute
+// and store pipelines on scratchpad/accumulator rows. We track, per local
+// row, three times:
+//   * write_issue: when the writer finished *issuing* its stream,
+//   * write_data:  when the written data actually landed,
+//   * read_end:    when the last reader finished.
+//
+// A new *writer* only waits for the previous writer's issue-completion (the
+// DMA and the local write ports preserve per-row ordering, so back-to-back
+// writes pipeline — this is what makes MVIN/MVIN-accumulate residual
+// additions stream in the RTL) plus any outstanding readers. A *reader*
+// must wait for the data itself.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+class HazardTracker {
+ public:
+  HazardTracker(std::uint64_t sp_rows, std::uint64_t acc_rows)
+      : sp_(sp_rows), acc_(acc_rows) {}
+
+  /// Earliest time a *read* of the range may begin (after data landed).
+  Cycle read_ready(bool acc, std::uint64_t row, std::uint64_t nrows) const {
+    const Space& s = acc ? acc_ : sp_;
+    Cycle t = 0;
+    for (std::uint64_t r = row; r < row + nrows; ++r) {
+      if (s.write_data[r] > t) t = s.write_data[r];
+    }
+    return t;
+  }
+
+  /// Earliest time a *write* may begin (after the previous writer's stream
+  /// was fully issued AND all readers finished).
+  Cycle write_ready(bool acc, std::uint64_t row, std::uint64_t nrows) const {
+    const Space& s = acc ? acc_ : sp_;
+    Cycle t = 0;
+    for (std::uint64_t r = row; r < row + nrows; ++r) {
+      if (s.write_issue[r] > t) t = s.write_issue[r];
+      if (s.read_end[r] > t) t = s.read_end[r];
+    }
+    return t;
+  }
+
+  void record_read(bool acc, std::uint64_t row, std::uint64_t nrows,
+                   Cycle done) {
+    Space& s = acc ? acc_ : sp_;
+    GEMMINI_CHECK(row + nrows <= s.read_end.size());
+    for (std::uint64_t r = row; r < row + nrows; ++r) {
+      if (done > s.read_end[r]) s.read_end[r] = done;
+    }
+  }
+
+  /// `issue_done` = stream fully issued; `data_done` = data landed.
+  /// Single-timestamp writers (the execute pipe) pass the same value twice.
+  void record_write(bool acc, std::uint64_t row, std::uint64_t nrows,
+                    Cycle issue_done, Cycle data_done) {
+    Space& s = acc ? acc_ : sp_;
+    GEMMINI_CHECK(row + nrows <= s.write_issue.size());
+    for (std::uint64_t r = row; r < row + nrows; ++r) {
+      if (issue_done > s.write_issue[r]) s.write_issue[r] = issue_done;
+      if (data_done > s.write_data[r]) s.write_data[r] = data_done;
+    }
+  }
+
+  void reset() {
+    sp_.reset();
+    acc_.reset();
+  }
+
+ private:
+  struct Space {
+    explicit Space(std::uint64_t rows)
+        : write_issue(rows, 0), write_data(rows, 0), read_end(rows, 0) {}
+    std::vector<Cycle> write_issue, write_data, read_end;
+    void reset() {
+      std::fill(write_issue.begin(), write_issue.end(), 0);
+      std::fill(write_data.begin(), write_data.end(), 0);
+      std::fill(read_end.begin(), read_end.end(), 0);
+    }
+  };
+  Space sp_, acc_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,27 @@
+#include "src/accel/scratchpad.h"
+
+#include <algorithm>
+
+namespace gemmini {
+
+Cycle Scratchpad::reserve(std::uint64_t row, std::uint64_t nrows, Cycle t,
+                          Cycle cycles) {
+  GEMMINI_CHECK_MSG(row + nrows <= rows_,
+                    "scratchpad range [" << row << ", " << row + nrows
+                                         << ") exceeds " << rows_ << " rows");
+  const unsigned first = bank_of(row);
+  const unsigned last = nrows == 0 ? first : bank_of(row + nrows - 1);
+  Cycle start = t;
+  for (unsigned b = first; b <= last; ++b) {
+    start = std::max(start, bank_busy_[b]);
+  }
+  if (start > t) stats_.counter("bank_conflict_cycles").add(start - t);
+  const Cycle done = start + cycles;
+  for (unsigned b = first; b <= last; ++b) {
+    bank_busy_[b] = done;
+  }
+  stats_.counter("accesses").add();
+  return done;
+}
+
+}  // namespace gemmini

@@ -1,0 +1,78 @@
+#pragma once
+// Saturating fixed-point arithmetic used by Gemmini's output pipeline.
+//
+// The accumulator holds 32-bit values. On MVOUT (or accumulator read-out),
+// results are scaled — for int8 configurations by a rounding right-shift
+// (the "Bitshift" block in Fig. 1) or a fixed-point multiplier (the "Matrix
+// Scalar Multiplier") — passed through the activation unit (ReLU / ReLU6)
+// and saturated down to the input element type.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace gemmini {
+
+/// Rounding arithmetic right shift (round-half-up, matching Gemmini's RTL
+/// rounding mode for the bitshift unit).
+inline std::int32_t rounding_shift(std::int64_t x, unsigned shift) {
+  if (shift == 0) return static_cast<std::int32_t>(x);
+  const std::int64_t round = 1ll << (shift - 1);
+  return static_cast<std::int32_t>((x + round) >> shift);
+}
+
+/// Saturate a 32-bit accumulator value into int8.
+inline std::int8_t saturate_i8(std::int32_t x) {
+  return static_cast<std::int8_t>(std::clamp<std::int32_t>(x, -128, 127));
+}
+
+/// Saturating add in the accumulator domain (int32).
+inline std::int32_t saturating_add_i32(std::int32_t a, std::int32_t b) {
+  const std::int64_t s =
+      static_cast<std::int64_t>(a) + static_cast<std::int64_t>(b);
+  constexpr std::int64_t lo = INT32_MIN, hi = INT32_MAX;
+  return static_cast<std::int32_t>(std::clamp(s, lo, hi));
+}
+
+/// Activation in the accumulator (pre-scaling) domain.
+inline std::int32_t apply_activation_i32(std::int32_t x, Activation act,
+                                         std::int32_t six = 6) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return x < 0 ? 0 : x;
+    case Activation::kRelu6: return std::clamp<std::int32_t>(x, 0, six);
+  }
+  return x;
+}
+
+inline float apply_activation_f32(float x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return x < 0.f ? 0.f : x;
+    case Activation::kRelu6: return std::clamp(x, 0.f, 6.f);
+  }
+  return x;
+}
+
+/// Full int8 read-out pipeline: activation, then rounding shift, then
+/// saturation. `relu6_shift` follows the ISA: the "six" threshold is scaled
+/// by the output shift so that ReLU6 clips in the *output* domain.
+inline std::int8_t quantize_i32_to_i8(std::int32_t acc, unsigned shift,
+                                      Activation act) {
+  std::int32_t six = 6 << shift;
+  std::int32_t activated = apply_activation_i32(acc, act, six);
+  std::int32_t scaled = rounding_shift(activated, shift);
+  return saturate_i8(scaled);
+}
+
+/// MVIN scaling (CONFIG_LD scale factor): Gemmini can multiply loaded data by
+/// a fixed-point constant on the way into the scratchpad/accumulator.
+inline std::int8_t scale_i8(std::int8_t x, float scale) {
+  const float v = std::nearbyint(static_cast<float>(x) * scale);
+  return saturate_i8(static_cast<std::int32_t>(
+      std::clamp(v, -128.0f, 127.0f)));
+}
+
+}  // namespace gemmini

@@ -1,0 +1,36 @@
+#pragma once
+// Minimal leveled logger. The simulator is library-first: logging defaults to
+// warnings only so benches/tests stay quiet; examples raise the level.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace gemmini {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+#define GEMMINI_LOG(level, msg)                                       \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::gemmini::log_level())) {                   \
+      std::ostringstream oss__;                                       \
+      oss__ << msg;                                                   \
+      ::gemmini::detail::log_emit(level, oss__.str());                \
+    }                                                                 \
+  } while (0)
+
+#define GEMMINI_DEBUG(msg) GEMMINI_LOG(::gemmini::LogLevel::kDebug, msg)
+#define GEMMINI_INFO(msg) GEMMINI_LOG(::gemmini::LogLevel::kInfo, msg)
+#define GEMMINI_WARN(msg) GEMMINI_LOG(::gemmini::LogLevel::kWarn, msg)
+#define GEMMINI_ERROR(msg) GEMMINI_LOG(::gemmini::LogLevel::kError, msg)
+
+}  // namespace gemmini

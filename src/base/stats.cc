@@ -1,0 +1,19 @@
+#include "src/base/stats.h"
+
+#include <sstream>
+
+namespace gemmini {
+
+void StatSet::reset() {
+  for (auto& [name, c] : counters_) c.reset();
+}
+
+std::string StatSet::report(const std::string& prefix) const {
+  std::ostringstream oss;
+  for (const auto& [name, c] : counters_) {
+    oss << prefix << name << ": " << c.value() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gemmini

@@ -1,0 +1,15 @@
+#include "src/base/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gemmini::detail {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::fprintf(stderr, "GEMMINI_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace gemmini::detail

@@ -1,0 +1,61 @@
+#pragma once
+// Lightweight error handling for the public API.
+//
+// The simulator is configured up-front; configuration errors are programmer
+// errors and throw gemmini::ConfigError with a descriptive message. Hot-path
+// code (per-instruction simulation) uses GEMMINI_CHECK, which is compiled in
+// all build types: a failed check indicates a simulator invariant violation
+// and aborts with context.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gemmini {
+
+/// Thrown when a GemminiConfig / SocConfig / model description is invalid.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a runtime request cannot be honoured (e.g. a kernel that does
+/// not fit the instantiated hardware, or a malformed ONNX-lite file).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& msg);
+}  // namespace detail
+
+#define GEMMINI_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::gemmini::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                    \
+  } while (0)
+
+#define GEMMINI_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream oss__;                                          \
+      oss__ << msg;                                                      \
+      ::gemmini::detail::check_failed(__FILE__, __LINE__, #expr,         \
+                                      oss__.str());                      \
+    }                                                                    \
+  } while (0)
+
+/// Throws ConfigError with a streamed message.
+#define GEMMINI_CONFIG_REQUIRE(expr, msg)                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream oss__;                                          \
+      oss__ << msg;                                                      \
+      throw ::gemmini::ConfigError(oss__.str());                         \
+    }                                                                    \
+  } while (0)
+
+}  // namespace gemmini

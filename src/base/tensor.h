@@ -1,0 +1,100 @@
+#pragma once
+// Minimal row-major tensor used by the software stack and the reference
+// kernels. Shapes are small (<=4 dims); storage is owned and contiguous.
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+
+namespace gemmini {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)) {
+    std::size_t n = 1;
+    for (std::size_t d : shape_) n *= d;
+    data_.assign(n, T{});
+  }
+
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t size() const { return data_.size(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  // 2-D access (matrices are the lingua franca of the runtime).
+  T& at(std::size_t r, std::size_t c) {
+    GEMMINI_CHECK(rank() == 2);
+    return data_[r * shape_[1] + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    GEMMINI_CHECK(rank() == 2);
+    return data_[r * shape_[1] + c];
+  }
+
+  // 3-D access (e.g. depthwise weights [KH, KW, C]).
+  T& at(std::size_t a, std::size_t b, std::size_t c) {
+    GEMMINI_CHECK(rank() == 3);
+    return data_[(a * shape_[1] + b) * shape_[2] + c];
+  }
+  const T& at(std::size_t a, std::size_t b, std::size_t c) const {
+    GEMMINI_CHECK(rank() == 3);
+    return data_[(a * shape_[1] + b) * shape_[2] + c];
+  }
+
+  // 4-D NHWC access, the layout used by the convolution kernels.
+  T& at(std::size_t n, std::size_t h, std::size_t w, std::size_t c) {
+    GEMMINI_CHECK(rank() == 4);
+    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+  }
+  const T& at(std::size_t n, std::size_t h, std::size_t w,
+              std::size_t c) const {
+    GEMMINI_CHECK(rank() == 4);
+    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Deterministic random fill for tests and examples.
+  void randomize(Rng& rng) {
+    for (auto& v : data_) {
+      if constexpr (std::is_same_v<T, float>) {
+        v = rng.next_float_pm1();
+      } else if constexpr (std::is_same_v<T, std::int8_t>) {
+        v = rng.next_int8();
+      } else {
+        v = static_cast<T>(rng.next_range(-64, 63));
+      }
+    }
+  }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<T> data_;
+};
+
+using TensorI8 = Tensor<std::int8_t>;
+using TensorI32 = Tensor<std::int32_t>;
+using TensorF32 = Tensor<float>;
+
+}  // namespace gemmini

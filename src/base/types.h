@@ -1,0 +1,109 @@
+#pragma once
+// Fundamental scalar types shared across the Gemmini simulator.
+//
+// Everything in the timing model is expressed in *cycles* of the SoC clock
+// (the paper evaluates at 1 GHz, so 1 cycle == 1 ns unless stated otherwise).
+// Addresses are 64-bit; virtual addresses follow an Sv39-like layout
+// (39 significant bits, 4 KiB pages, 3-level page tables).
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace gemmini {
+
+/// Simulation time, measured in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "never" / unbounded time.
+inline constexpr Cycle kCycleMax = std::numeric_limits<Cycle>::max();
+
+/// Physical address in the simulated SoC address space.
+using PAddr = std::uint64_t;
+
+/// Virtual address in a simulated process address space.
+using VAddr = std::uint64_t;
+
+/// Scratchpad-local address: a *row* index into the banked scratchpad, where
+/// each row holds `dim` elements of the input type. The accumulator address
+/// space is disjoint and selected with the MSB, as in the real ISA; see
+/// isa/isa.h.
+using SpAddr = std::uint32_t;
+
+/// 4 KiB pages everywhere (host CPU, accelerator TLBs, page tables).
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageBytes = 1ull << kPageShift;
+inline constexpr std::uint64_t kPageOffsetMask = kPageBytes - 1;
+
+/// Virtual/physical page numbers.
+inline constexpr VAddr page_number(VAddr a) { return a >> kPageShift; }
+inline constexpr VAddr page_base(VAddr a) { return a & ~kPageOffsetMask; }
+inline constexpr std::uint64_t page_offset(VAddr a) {
+  return a & kPageOffsetMask;
+}
+
+/// Element types supported by the architectural template (Table I: Gemmini
+/// supports both integer and floating-point datatypes).
+enum class DType : std::uint8_t {
+  kInt8,   ///< 8-bit signed inputs, 32-bit signed accumulation (inference)
+  kFp32,   ///< 32-bit float inputs and accumulation (training)
+};
+
+inline constexpr std::size_t dtype_bytes(DType t) {
+  return t == DType::kInt8 ? 1 : 4;
+}
+
+/// Accumulator element width for a given input type.
+inline constexpr std::size_t acc_dtype_bytes(DType t) {
+  return t == DType::kInt8 ? 4 : 4;
+}
+
+inline const char* dtype_name(DType t) {
+  return t == DType::kInt8 ? "int8" : "fp32";
+}
+
+/// Dataflows supported by the spatial array. `kBoth` means the dataflow is
+/// selected at runtime via CONFIG_EX (the paper's "configured at design time
+/// and run time").
+enum class Dataflow : std::uint8_t {
+  kWeightStationary,
+  kOutputStationary,
+  kBoth,
+};
+
+inline const char* dataflow_name(Dataflow d) {
+  switch (d) {
+    case Dataflow::kWeightStationary: return "WS";
+    case Dataflow::kOutputStationary: return "OS";
+    case Dataflow::kBoth: return "WS+OS";
+  }
+  return "?";
+}
+
+/// Activation functions implemented by the peripheral circuitry.
+enum class Activation : std::uint8_t {
+  kNone,
+  kRelu,
+  kRelu6,
+};
+
+inline const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kNone: return "none";
+    case Activation::kRelu: return "relu";
+    case Activation::kRelu6: return "relu6";
+  }
+  return "?";
+}
+
+/// Identifies which agent issued a memory-system request; used for bus
+/// arbitration accounting and per-requestor statistics.
+struct RequestorId {
+  int value = 0;
+  friend bool operator==(RequestorId a, RequestorId b) {
+    return a.value == b.value;
+  }
+};
+
+}  // namespace gemmini

@@ -1,0 +1,20 @@
+#pragma once
+// Per-instantiation C header generation (paper §III-B: "every time a new
+// accelerator is produced, Gemmini also generates an accompanying header
+// file containing various parameters, e.g. the dimensions of the spatial
+// array, the dataflows supported, and the compute blocks that are
+// included"). This mirrors the real generator's gemmini_params.h.
+
+#include <string>
+
+#include "src/arch/config.h"
+
+namespace gemmini {
+
+/// Renders the gemmini_params.h-style header for a configuration.
+std::string generate_params_header(const GemminiConfig& cfg);
+
+/// Writes it to a file; throws RuntimeError on I/O failure.
+void write_params_header(const GemminiConfig& cfg, const std::string& path);
+
+}  // namespace gemmini

@@ -1,0 +1,77 @@
+#include "src/core/feature_matrix.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/arch/config.h"
+#include "src/estimate/timing_model.h"
+
+namespace gemmini {
+
+std::vector<GeneratorFeatures> feature_matrix() {
+  std::vector<GeneratorFeatures> rows = {
+      {"NVDLA", "Int/Float", false, "vector", true, "Compiler", false, false,
+       false},
+      {"VTA", "Int", false, "vector", false, "TVM", false, false, false},
+      {"PolySA", "Int", false, "systolic", true, "SDAccel", false, false,
+       false},
+      {"DNNBuilder", "Int", false, "systolic", true, "Caffe", false, false,
+       false},
+      {"MAGNet", "Int", true, "vector", true, "C", false, false, false},
+      {"DNNWeaver", "Int", false, "vector", false, "Caffe", false, false,
+       false},
+      {"MAERI", "Int", true, "vector", false, "Custom", false, false, false},
+  };
+
+  // The Gemmini row is derived from what this library can actually
+  // instantiate and run.
+  GeneratorFeatures g;
+  g.name = "Gemmini";
+  // Both element types are constructible and validated.
+  GemminiConfig int8_cfg = GemminiConfig::paper_default();
+  GemminiConfig fp_cfg = GemminiConfig::paper_default();
+  fp_cfg.dtype = DType::kFp32;
+  fp_cfg.validate();
+  g.datatypes = "Int/Float";
+  // Run-time selectable dataflows.
+  g.multiple_dataflows = int8_cfg.dataflow == Dataflow::kBoth;
+  // Both array styles exist as presets and both close timing.
+  TimingModel tm;
+  const bool systolic_ok =
+      tm.fmax_ghz(GemminiConfig::systolic_16x16().array, DType::kInt8) > 0.5;
+  const bool vector_ok =
+      tm.fmax_ghz(GemminiConfig::vector_16x16().array, DType::kInt8) > 0.5;
+  g.spatial_array = (systolic_ok && vector_ok) ? "vector/systolic"
+                    : systolic_ok              ? "systolic"
+                                               : "vector";
+  g.direct_convolution = true;  // runtime/conv.h lowers convs natively
+  g.software = "ONNX/C";
+  g.virtual_memory = int8_cfg.translation.private_tlb.entries > 0;
+  g.full_soc = true;  // src/soc integrates cores+accels+L2+DRAM
+  g.os_support = true;  // OS noise model + TLB flush plumbing
+  rows.push_back(g);
+  return rows;
+}
+
+std::string render_feature_matrix() {
+  const auto rows = feature_matrix();
+  std::ostringstream oss;
+  auto yn = [](bool b) { return b ? "yes" : "no"; };
+  oss << std::left << std::setw(12) << "Generator" << std::setw(11)
+      << "Datatypes" << std::setw(10) << "Dataflows" << std::setw(17)
+      << "SpatialArray" << std::setw(9) << "DirConv" << std::setw(10)
+      << "Software" << std::setw(8) << "VirtMem" << std::setw(8) << "FullSoC"
+      << "OS\n";
+  oss << std::string(92, '-') << "\n";
+  for (const auto& r : rows) {
+    oss << std::left << std::setw(12) << r.name << std::setw(11)
+        << r.datatypes << std::setw(10)
+        << (r.multiple_dataflows ? "multiple" : "single") << std::setw(17)
+        << r.spatial_array << std::setw(9) << yn(r.direct_convolution)
+        << std::setw(10) << r.software << std::setw(8) << yn(r.virtual_memory)
+        << std::setw(8) << yn(r.full_soc) << yn(r.os_support) << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gemmini

@@ -1,0 +1,32 @@
+#pragma once
+// Table I of the paper: the feature comparison between DNN accelerator
+// generators. The Gemmini column is *derived from this library's actual
+// capabilities* (checked against the config/template system at runtime);
+// the other columns are the published qualitative data.
+
+#include <string>
+#include <vector>
+
+namespace gemmini {
+
+struct GeneratorFeatures {
+  std::string name;
+  std::string datatypes;       // "Int", "Int/Float"
+  bool multiple_dataflows;
+  std::string spatial_array;   // "vector", "systolic", "vector/systolic"
+  bool direct_convolution;
+  std::string software;        // ecosystem
+  bool virtual_memory;
+  bool full_soc;
+  bool os_support;
+};
+
+/// All rows of Table I. The Gemmini row is computed, not hardcoded: it
+/// inspects the architectural template (dataflow support, dtype support,
+/// both array styles instantiable, VM system present, SoC integration).
+std::vector<GeneratorFeatures> feature_matrix();
+
+/// Renders the table in the paper's layout.
+std::string render_feature_matrix();
+
+}  // namespace gemmini

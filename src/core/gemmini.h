@@ -1,0 +1,31 @@
+#pragma once
+// Umbrella header: the full public API of the Gemmini C++ reproduction.
+//
+// Layered exactly like the paper's stack:
+//   * push-button:  zoo / onnx_lite  ->  Generator::run_model
+//   * tuned C API:  runtime/matmul.h, runtime/conv.h, runtime/kernels_accel.h
+//   * raw ISA:      isa/isa.h + accel/accelerator.h
+//   * SoC/system:   soc/soc.h (multi-core, shared L2, OS noise)
+//   * estimates:    estimate/{area,timing,power}_model.h
+
+#include "src/arch/config.h"
+#include "src/arch/spatial_array.h"
+#include "src/accel/accelerator.h"
+#include "src/codegen/header_gen.h"
+#include "src/core/feature_matrix.h"
+#include "src/core/generator.h"
+#include "src/cpu/cost_model.h"
+#include "src/cpu/kernels.h"
+#include "src/dnn/zoo.h"
+#include "src/estimate/area_model.h"
+#include "src/estimate/power_model.h"
+#include "src/estimate/timing_model.h"
+#include "src/isa/isa.h"
+#include "src/model/graph.h"
+#include "src/model/onnx_lite.h"
+#include "src/model/runner.h"
+#include "src/runtime/conv.h"
+#include "src/runtime/kernels_accel.h"
+#include "src/runtime/matmul.h"
+#include "src/runtime/tiling.h"
+#include "src/soc/soc.h"

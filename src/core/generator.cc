@@ -1,0 +1,70 @@
+#include "src/core/generator.h"
+
+namespace gemmini {
+
+Generator::Generator(const SocConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  soc_ = std::make_unique<Soc>(cfg_);
+}
+
+RunReport Generator::make_report(const CoreResult& r,
+                                 const Model& model) const {
+  RunReport rep;
+  rep.cycles = r.finish;
+  rep.seconds =
+      static_cast<double>(r.finish) / (cfg_.accel.clock_ghz * 1e9);
+  rep.fps = rep.seconds > 0 ? 1.0 / rep.seconds : 0.0;
+  rep.cpu_baseline = cpu_baseline_cycles(model, cfg_.cpu);
+  rep.speedup = r.finish == 0
+                    ? 0.0
+                    : static_cast<double>(rep.cpu_baseline) /
+                          static_cast<double>(r.finish);
+  rep.cycles_by_tag = r.cycles_by_tag;
+  rep.accel = r.accel;
+  rep.array_utilization = r.accel.utilization(cfg_.accel, r.finish);
+  return rep;
+}
+
+RunReport Generator::run_model(const Model& model) {
+  soc_->reset_all();
+  const LoweredModel lowered =
+      lower_model(model, cfg_.accel, cfg_.cpu, soc_->address_space(0));
+  const CoreResult r = soc_->run(lowered.stream);
+  return make_report(r, model);
+}
+
+std::vector<RunReport> Generator::run_model_multicore(const Model& model) {
+  soc_->reset_all();
+  std::vector<LoweredModel> lowered;
+  std::vector<const WorkStream*> streams;
+  lowered.reserve(cfg_.cores);
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    lowered.push_back(lower_model(model, cfg_.accel, cfg_.cpu,
+                                  soc_->address_space(c)));
+  }
+  for (const auto& l : lowered) streams.push_back(&l.stream);
+  const auto results = soc_->run_parallel(streams);
+  std::vector<RunReport> reports;
+  reports.reserve(results.size());
+  for (const auto& r : results) reports.push_back(make_report(r, model));
+  return reports;
+}
+
+AreaBreakdown Generator::area() const {
+  return area_model_.breakdown(cfg_.accel,
+                               cfg_.cpu.cpu_class == CpuClass::kBoom);
+}
+
+double Generator::fmax_ghz() const {
+  return timing_model_.fmax_ghz(cfg_.accel.array, cfg_.accel.dtype);
+}
+
+double Generator::power_mw() const {
+  return power_model_.accelerator_mw(cfg_.accel);
+}
+
+std::string Generator::params_header() const {
+  return generate_params_header(cfg_.accel);
+}
+
+}  // namespace gemmini

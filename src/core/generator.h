@@ -1,0 +1,76 @@
+#pragma once
+// The generator facade — the library's primary public entry point.
+//
+// `Generator` mirrors the role of the Chisel generator: it takes an
+// architectural configuration plus SoC-level parameters and "elaborates" a
+// runnable system: the accelerator model, the host-CPU model, the SoC
+// memory system, the tuned software stack, and the generated C header.
+//
+//   GemminiConfig cfg = GemminiConfig::paper_default();
+//   SocConfig soc = SocConfig::base_1mb_l2();
+//   soc.accel = cfg;
+//   gemmini::Generator gen(soc);
+//   auto report = gen.run_model(zoo::resnet50());
+//
+// It also exposes the estimate models (area / fmax / power) so design-space
+// sweeps read like the paper's methodology.
+
+#include <memory>
+#include <string>
+
+#include "src/codegen/header_gen.h"
+#include "src/cpu/cost_model.h"
+#include "src/estimate/area_model.h"
+#include "src/estimate/power_model.h"
+#include "src/estimate/timing_model.h"
+#include "src/model/graph.h"
+#include "src/model/runner.h"
+#include "src/soc/soc.h"
+
+namespace gemmini {
+
+/// End-to-end result of running a model on a generated system.
+struct RunReport {
+  Cycle cycles = 0;
+  double seconds = 0;          ///< at the configured clock
+  double fps = 0;              ///< inferences per second
+  Cycle cpu_baseline = 0;      ///< same model, host CPU only
+  double speedup = 0;          ///< baseline / accelerated
+  std::map<std::string, Cycle> cycles_by_tag;
+  AccelReport accel;
+  double array_utilization = 0;
+};
+
+class Generator {
+ public:
+  explicit Generator(const SocConfig& cfg);
+
+  const SocConfig& config() const { return cfg_; }
+  Soc& soc() { return *soc_; }
+
+  /// Lowers and runs one model on core 0 (timing mode). Repeatable;
+  /// timing state is reset between runs.
+  RunReport run_model(const Model& model);
+
+  /// Lowers and runs the same model on every core concurrently.
+  std::vector<RunReport> run_model_multicore(const Model& model);
+
+  // ---- Estimates (the synthesis-flow substitutes) -------------------------
+  AreaBreakdown area() const;
+  double fmax_ghz() const;
+  double power_mw() const;
+
+  /// The generated gemmini_params.h contents for this instantiation.
+  std::string params_header() const;
+
+ private:
+  RunReport make_report(const CoreResult& r, const Model& model) const;
+
+  SocConfig cfg_;
+  std::unique_ptr<Soc> soc_;
+  AreaModel area_model_;
+  TimingModel timing_model_;
+  PowerModel power_model_;
+};
+
+}  // namespace gemmini

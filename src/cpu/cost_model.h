@@ -1,0 +1,96 @@
+#pragma once
+// Host-CPU cost models (substitute for FireSim-simulated Rocket and BOOM
+// cores; see DESIGN.md §1).
+//
+// The paper's host CPUs matter in three ways: (1) as the *baseline* running
+// whole DNNs in software (Fig. 7 speedups are relative to the in-order
+// Rocket), (2) as the worker for software stages that stay on the CPU
+// (im2col when the accelerator lacks the on-the-fly unit; softmax, layernorm
+// and GELU for BERT; data-marshalling between layers), and (3) as the source
+// of per-kernel dispatch overhead (RoCC command issue, driver bookkeeping).
+//
+// Calibration targets, from the paper:
+//  * ResNet50 on Rocket runs ~2,670x slower than the accelerator at 22.8 FPS
+//    => ~28.5 cycles per int8 MAC on Rocket (scalar loads + MAC + loop
+//    overhead on an in-order single-issue core).
+//  * BOOM is ~2.36x faster on dense kernels (2670/1130).
+//  * Without the im2col unit, a BOOM host doubles end-to-end CNN
+//    performance over a Rocket host (Fig. 7) => scalar im2col costs ~16
+//    cycles/byte on Rocket (address arithmetic + bounds checks + byte
+//    load/store per element) and ~6 on BOOM.
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/types.h"
+
+namespace gemmini {
+
+enum class CpuClass : std::uint8_t {
+  kRocket,  ///< in-order, single-issue, low-power
+  kBoom,    ///< out-of-order, wide-issue, server-class
+};
+
+inline const char* cpu_class_name(CpuClass c) {
+  return c == CpuClass::kRocket ? "rocket" : "boom";
+}
+
+struct CpuCostModel {
+  std::string name = "rocket";
+  CpuClass cpu_class = CpuClass::kRocket;
+
+  double cycles_per_mac_i8 = 28.5;   ///< dense conv/GEMM inner loop
+  double cycles_per_mac_f32 = 34.0;  ///< scalar FPU MAC
+  double im2col_cycles_per_byte = 16.0;
+  double move_cycles_per_byte = 4.0;      ///< memcpy/layout marshalling
+  double pool_cycles_per_cmp = 3.0;       ///< per window comparison
+  double special_cycles_per_elem = 45.0;  ///< softmax/layernorm/GELU
+  double resadd_cycles_per_byte = 6.0;
+  double kernel_dispatch_cycles = 150.0;  ///< per accelerator kernel launch
+
+  static CpuCostModel rocket();
+  static CpuCostModel boom();
+
+  // ---- Whole-kernel estimates (all return cycles) -------------------------
+  Cycle gemm_cycles(std::uint64_t macs, bool fp32 = false) const {
+    return static_cast<Cycle>(
+        static_cast<double>(macs) *
+        (fp32 ? cycles_per_mac_f32 : cycles_per_mac_i8));
+  }
+  Cycle im2col_cycles(std::uint64_t bytes) const {
+    return static_cast<Cycle>(static_cast<double>(bytes) *
+                              im2col_cycles_per_byte);
+  }
+  Cycle move_cycles(std::uint64_t bytes) const {
+    return static_cast<Cycle>(static_cast<double>(bytes) *
+                              move_cycles_per_byte);
+  }
+  Cycle pool_cycles(std::uint64_t output_elems, unsigned window) const {
+    return static_cast<Cycle>(static_cast<double>(output_elems) * window *
+                              window * pool_cycles_per_cmp);
+  }
+  Cycle special_cycles(std::uint64_t elems) const {
+    return static_cast<Cycle>(static_cast<double>(elems) *
+                              special_cycles_per_elem);
+  }
+  Cycle resadd_cycles(std::uint64_t bytes) const {
+    return static_cast<Cycle>(static_cast<double>(bytes) *
+                              resadd_cycles_per_byte);
+  }
+  Cycle dispatch_cycles() const {
+    return static_cast<Cycle>(kernel_dispatch_cycles);
+  }
+};
+
+/// OS noise model (paper §III-C: context switches, page-table evictions and
+/// other "unexpected events" only a full-stack environment exhibits). When
+/// enabled, the runtime injects a context switch every `period_cycles`:
+/// the CPU is preempted for `switch_cost_cycles` and the accelerator's TLBs
+/// are flushed (ASID change).
+struct OsNoiseModel {
+  bool enabled = false;
+  Cycle period_cycles = 1'000'000;  ///< ~1 ms at 1 GHz (Linux tick-ish)
+  Cycle switch_cost_cycles = 8'000;
+};
+
+}  // namespace gemmini

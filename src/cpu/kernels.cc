@@ -1,0 +1,284 @@
+#include "src/cpu/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/fixed.h"
+#include "src/base/status.h"
+
+namespace gemmini::ref {
+
+void gemm_i8(const TensorI8& a, const TensorI8& b, const std::int32_t* bias,
+             TensorI8& c, unsigned out_shift, Activation act) {
+  GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t sum = bias ? bias[j] : 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += static_cast<std::int64_t>(a.at(i, kk)) *
+               static_cast<std::int64_t>(b.at(kk, j));
+      }
+      const std::int32_t acc = static_cast<std::int32_t>(
+          std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+      c.at(i, j) = quantize_i32_to_i8(acc, out_shift, act);
+    }
+  }
+}
+
+void gemm_f32(const TensorF32& a, const TensorF32& b, const float* bias,
+              TensorF32& c, Activation act) {
+  GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float sum = bias ? bias[j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += a.at(i, kk) * b.at(kk, j);
+      }
+      c.at(i, j) = apply_activation_f32(sum, act);
+    }
+  }
+}
+
+void gemm_i8_acc_i32(const TensorI8& a, const TensorI8& b, TensorI32& c) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t sum = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        sum += static_cast<std::int64_t>(a.at(i, kk)) *
+               static_cast<std::int64_t>(b.at(kk, j));
+      }
+      c.at(i, j) = static_cast<std::int32_t>(
+          std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+    }
+  }
+}
+
+void conv2d_i8(const TensorI8& in, const TensorI8& w, const std::int32_t* bias,
+               TensorI8& out, const ConvParams& p) {
+  GEMMINI_CHECK(in.rank() == 4 && w.rank() == 4 && out.rank() == 4);
+  const std::size_t n = in.dim(0), ih = in.dim(1), iw = in.dim(2),
+                    ic = in.dim(3);
+  const std::size_t kh = w.dim(0), kw = w.dim(1), oc = w.dim(3);
+  GEMMINI_CHECK(w.dim(2) == ic);
+  const std::size_t oh = out.dim(1), ow = out.dim(2);
+  GEMMINI_CHECK(out.dim(0) == n && out.dim(3) == oc);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t o = 0; o < oc; ++o) {
+          std::int64_t sum = bias ? bias[o] : 0;
+          for (std::size_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t sy = static_cast<std::int64_t>(y) * p.stride +
+                                    ky - p.padding;
+            if (sy < 0 || sy >= static_cast<std::int64_t>(ih)) continue;
+            for (std::size_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t sx = static_cast<std::int64_t>(x) * p.stride +
+                                      kx - p.padding;
+              if (sx < 0 || sx >= static_cast<std::int64_t>(iw)) continue;
+              for (std::size_t cc = 0; cc < ic; ++cc) {
+                sum += static_cast<std::int64_t>(
+                           in.at(b, static_cast<std::size_t>(sy),
+                                 static_cast<std::size_t>(sx), cc)) *
+                       static_cast<std::int64_t>(w.at(ky, kx, cc, o));
+              }
+            }
+          }
+          const std::int32_t acc = static_cast<std::int32_t>(
+              std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+          out.at(b, y, x, o) = quantize_i32_to_i8(acc, p.out_shift, p.act);
+        }
+      }
+    }
+  }
+}
+
+void depthwise_conv2d_i8(const TensorI8& in, const TensorI8& w,
+                         const std::int32_t* bias, TensorI8& out,
+                         const ConvParams& p) {
+  GEMMINI_CHECK(in.rank() == 4 && w.rank() == 3 && out.rank() == 4);
+  const std::size_t n = in.dim(0), ih = in.dim(1), iw = in.dim(2),
+                    c = in.dim(3);
+  const std::size_t kh = w.dim(0), kw = w.dim(1);
+  GEMMINI_CHECK(w.dim(2) == c && out.dim(3) == c);
+  const std::size_t oh = out.dim(1), ow = out.dim(2);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t cc = 0; cc < c; ++cc) {
+          std::int64_t sum = bias ? bias[cc] : 0;
+          for (std::size_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t sy = static_cast<std::int64_t>(y) * p.stride +
+                                    ky - p.padding;
+            if (sy < 0 || sy >= static_cast<std::int64_t>(ih)) continue;
+            for (std::size_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t sx = static_cast<std::int64_t>(x) * p.stride +
+                                      kx - p.padding;
+              if (sx < 0 || sx >= static_cast<std::int64_t>(iw)) continue;
+              sum += static_cast<std::int64_t>(
+                         in.at(b, static_cast<std::size_t>(sy),
+                               static_cast<std::size_t>(sx), cc)) *
+                     static_cast<std::int64_t>(w.at(ky, kx, cc));
+            }
+          }
+          const std::int32_t acc = static_cast<std::int32_t>(
+              std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+          out.at(b, y, x, cc) = quantize_i32_to_i8(acc, p.out_shift, p.act);
+        }
+      }
+    }
+  }
+}
+
+void im2col_i8(const TensorI8& in, unsigned kh, unsigned kw, unsigned stride,
+               unsigned padding, TensorI8& out) {
+  GEMMINI_CHECK(in.rank() == 4 && out.rank() == 2);
+  const std::size_t n = in.dim(0), ih = in.dim(1), iw = in.dim(2),
+                    ic = in.dim(3);
+  const std::size_t oh = conv_out_dim(ih, kh, stride, padding);
+  const std::size_t ow = conv_out_dim(iw, kw, stride, padding);
+  GEMMINI_CHECK(out.dim(0) == n * oh * ow && out.dim(1) == kh * kw * ic);
+
+  std::size_t row = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x, ++row) {
+        std::size_t col = 0;
+        for (std::size_t ky = 0; ky < kh; ++ky) {
+          for (std::size_t kx = 0; kx < kw; ++kx) {
+            for (std::size_t cc = 0; cc < ic; ++cc, ++col) {
+              const std::int64_t sy =
+                  static_cast<std::int64_t>(y) * stride + ky - padding;
+              const std::int64_t sx =
+                  static_cast<std::int64_t>(x) * stride + kx - padding;
+              const bool in_bounds = sy >= 0 &&
+                                     sy < static_cast<std::int64_t>(ih) &&
+                                     sx >= 0 &&
+                                     sx < static_cast<std::int64_t>(iw);
+              out.at(row, col) =
+                  in_bounds ? in.at(b, static_cast<std::size_t>(sy),
+                                    static_cast<std::size_t>(sx), cc)
+                            : std::int8_t{0};
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void maxpool_i8(const TensorI8& in, unsigned window, unsigned stride,
+                unsigned padding, TensorI8& out) {
+  GEMMINI_CHECK(in.rank() == 4 && out.rank() == 4);
+  const std::size_t n = in.dim(0), ih = in.dim(1), iw = in.dim(2),
+                    c = in.dim(3);
+  const std::size_t oh = out.dim(1), ow = out.dim(2);
+  GEMMINI_CHECK(out.dim(0) == n && out.dim(3) == c);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        for (std::size_t cc = 0; cc < c; ++cc) {
+          std::int8_t best = -128;
+          for (unsigned ky = 0; ky < window; ++ky) {
+            const std::int64_t sy =
+                static_cast<std::int64_t>(y) * stride + ky - padding;
+            if (sy < 0 || sy >= static_cast<std::int64_t>(ih)) continue;
+            for (unsigned kx = 0; kx < window; ++kx) {
+              const std::int64_t sx =
+                  static_cast<std::int64_t>(x) * stride + kx - padding;
+              if (sx < 0 || sx >= static_cast<std::int64_t>(iw)) continue;
+              best = std::max(best, in.at(b, static_cast<std::size_t>(sy),
+                                          static_cast<std::size_t>(sx), cc));
+            }
+          }
+          out.at(b, y, x, cc) = best;
+        }
+      }
+    }
+  }
+}
+
+void global_avgpool_i8(const TensorI8& in, TensorI8& out) {
+  GEMMINI_CHECK(in.rank() == 4 && out.rank() == 2);
+  const std::size_t n = in.dim(0), h = in.dim(1), w = in.dim(2),
+                    c = in.dim(3);
+  GEMMINI_CHECK(out.dim(0) == n && out.dim(1) == c);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t cc = 0; cc < c; ++cc) {
+      std::int64_t sum = 0;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) sum += in.at(b, y, x, cc);
+      }
+      const std::int64_t count = static_cast<std::int64_t>(h) * w;
+      const std::int64_t avg =
+          (sum + (sum >= 0 ? count / 2 : -static_cast<std::int64_t>(count / 2))) /
+          count;
+      out.at(b, cc) = saturate_i8(static_cast<std::int32_t>(avg));
+    }
+  }
+}
+
+void resadd_i8(const TensorI8& a, const TensorI8& b, TensorI8& out,
+               Activation act) {
+  GEMMINI_CHECK(a.shape() == b.shape() && a.shape() == out.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int32_t sum =
+        static_cast<std::int32_t>(a[i]) + static_cast<std::int32_t>(b[i]);
+    sum = apply_activation_i32(sum, act, 127);
+    out[i] = saturate_i8(sum);
+  }
+}
+
+void softmax_f32(const TensorF32& in, TensorF32& out) {
+  GEMMINI_CHECK(in.rank() == 2 && out.shape() == in.shape());
+  const std::size_t rows = in.dim(0), cols = in.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float mx = in.at(r, 0);
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, in.at(r, c));
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      denom += std::exp(in.at(r, c) - mx);
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.at(r, c) = std::exp(in.at(r, c) - mx) / denom;
+    }
+  }
+}
+
+void layernorm_f32(const TensorF32& in, TensorF32& out) {
+  GEMMINI_CHECK(in.rank() == 2 && out.shape() == in.shape());
+  const std::size_t rows = in.dim(0), cols = in.dim(1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float mean = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) mean += in.at(r, c);
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float d = in.at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv = 1.0f / std::sqrt(var + 1e-5f);
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.at(r, c) = (in.at(r, c) - mean) * inv;
+    }
+  }
+}
+
+void gelu_f32(const TensorF32& in, TensorF32& out) {
+  GEMMINI_CHECK(out.shape() == in.shape());
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const float x = in[i];
+    out[i] = 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  }
+}
+
+}  // namespace gemmini::ref

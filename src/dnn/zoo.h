@@ -1,0 +1,34 @@
+#pragma once
+// The five DNNs of the paper's evaluation (Fig. 7): ResNet-50, AlexNet,
+// SqueezeNet v1.1, MobileNetV2, and BERT-base. Full layer tables, built with
+// the graph-IR builder. Each returns a validated Model; `scaled` variants
+// with reduced input resolution exist for functional end-to-end tests.
+
+#include "src/model/graph.h"
+
+namespace gemmini::zoo {
+
+/// ResNet-50 (He et al.): 53 convolutions + FC, with bottleneck residual
+/// blocks. ~4.1 GMACs at 224x224.
+Model resnet50(unsigned input_hw = 224);
+
+/// AlexNet: 5 convolutions + 3 FC layers. ~0.72 GMACs at 227x227.
+Model alexnet(unsigned input_hw = 227);
+
+/// SqueezeNet v1.1: fire modules (squeeze 1x1 -> expand 1x1 + 3x3).
+/// ~0.36 GMACs at 224x224.
+Model squeezenet_v11(unsigned input_hw = 224);
+
+/// MobileNetV2: inverted residual bottlenecks with depthwise convolutions.
+/// ~0.31 GMACs at 224x224.
+Model mobilenet_v2(unsigned input_hw = 224);
+
+/// BERT-base encoder stack: 12 layers of multi-head attention (fused per-
+/// head score/context matmuls) + FFN, seq length configurable. ~11.2 GMACs
+/// at seq 128.
+Model bert_base(unsigned seq_len = 128, unsigned num_layers = 12);
+
+/// All five, in the order the paper plots them.
+std::vector<Model> all_paper_models();
+
+}  // namespace gemmini::zoo

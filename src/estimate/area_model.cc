@@ -1,0 +1,47 @@
+#include "src/estimate/area_model.h"
+
+namespace gemmini {
+
+std::uint64_t boundary_register_bits(const SpatialArrayGeometry& g,
+                                     DType dtype) {
+  const std::uint64_t input_bits = dtype_bytes(dtype) * 8;
+  const std::uint64_t psum_bits = acc_dtype_bytes(dtype) * 8;
+  const std::uint64_t per_tile =
+      g.tile_rows * input_bits + g.tile_cols * psum_bits;
+  return per_tile * g.num_tiles();
+}
+
+double AreaModel::spatial_array_um2(const SpatialArrayGeometry& g,
+                                    DType dtype) const {
+  const double mac =
+      dtype == DType::kInt8 ? c_.int8_mac_um2 : c_.fp32_mac_um2;
+  return g.num_pes() * mac +
+         static_cast<double>(boundary_register_bits(g, dtype)) *
+             c_.reg_bit_um2;
+}
+
+double AreaModel::scratchpad_um2(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * c_.sp_um2_per_byte;
+}
+
+double AreaModel::accumulator_um2(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * c_.acc_um2_per_byte;
+}
+
+AreaBreakdown AreaModel::breakdown(const GemminiConfig& cfg,
+                                   bool host_is_boom) const {
+  AreaBreakdown b;
+  b.spatial_array_um2 = spatial_array_um2(cfg.array, cfg.dtype);
+  b.scratchpad_um2 = scratchpad_um2(cfg.sp_capacity_bytes);
+  b.accumulator_um2 = accumulator_um2(cfg.acc_capacity_bytes);
+  b.peripherals_um2 = (cfg.has_im2col ? c_.im2col_um2 : 0.0) +
+                      (cfg.has_pooling ? c_.pooling_um2 : 0.0) +
+                      (cfg.has_transposer ? c_.transposer_um2 : 0.0);
+  b.uncore_um2 = c_.uncore_um2;
+  b.host_cpu_um2 = host_is_boom ? c_.boom_um2 : c_.rocket_um2;
+  b.total_um2 = b.spatial_array_um2 + b.scratchpad_um2 + b.accumulator_um2 +
+                b.peripherals_um2 + b.uncore_um2 + b.host_cpu_um2;
+  return b;
+}
+
+}  // namespace gemmini

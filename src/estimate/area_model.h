@@ -1,0 +1,90 @@
+#pragma once
+// Analytic area model (substitute for the paper's Cadence Genus synthesis in
+// Intel 22FFL; see DESIGN.md §1).
+//
+// Calibration: the model's constants are fitted to the four published
+// synthesis results —
+//   Fig. 3: 256-PE systolic array 120K um^2, 256-PE vector array 67K um^2
+//           (both at 500 MHz),
+//   Fig. 6: 16x16 array 116K, 256 KB scratchpad 544K, 64 KB accumulator
+//           146K, Rocket core 171K um^2.
+//
+// Mechanism: MAC datapath area scales with PE count; pipeline-register area
+// scales with the number of *tile boundary* bits (A operands cross vertical
+// boundaries, partial sums cross horizontal ones), which is what makes the
+// fully-pipelined systolic design 1.8x larger than the combinational vector
+// design at equal PE count. SRAM area scales with capacity.
+
+#include <cstdint>
+
+#include "src/arch/config.h"
+
+namespace gemmini {
+
+struct AreaBreakdown {
+  double spatial_array_um2 = 0;
+  double scratchpad_um2 = 0;
+  double accumulator_um2 = 0;
+  double peripherals_um2 = 0;  // im2col / pooling / transposer blocks
+  double uncore_um2 = 0;       // controller, DMA, ROB, local TLB
+  double host_cpu_um2 = 0;
+  double total_um2 = 0;
+
+  double fraction(double part) const {
+    return total_um2 == 0 ? 0.0 : part / total_um2;
+  }
+};
+
+struct AreaModelConstants {
+  // Fitted to Fig. 3 (see header comment): with 7 um^2 per register bit,
+  // the vector design's 2,560 boundary bits cost ~18K um^2, leaving
+  // ~191.7 um^2 per int8 MAC; the systolic design's 10,240 boundary bits
+  // then land it at ~120K um^2.
+  double int8_mac_um2 = 191.7;
+  double fp32_mac_um2 = 766.8;   ///< 4x int8 (extrapolated)
+  double reg_bit_um2 = 7.0;
+  // SRAM: Fig. 6 gives 544K um^2 / 256 KiB = 2.075 um^2/B for single-port
+  // scratchpad and 146K / 64 KiB = 2.228 um^2/B for the wider accumulator
+  // macros.
+  double sp_um2_per_byte = 2.0752;
+  double acc_um2_per_byte = 2.2278;
+  // Peripheral blocks (not separately reported in the paper; sized at a few
+  // percent of the array, consistent with the Fig. 6 layout's "other" area).
+  double im2col_um2 = 9000;
+  double pooling_um2 = 6000;
+  double transposer_um2 = 8000;
+  // Controller + DMA + ROB + local TLB: Fig. 6's total (1,029K) exceeds the
+  // sum of its four listed components (~977K) by ~52K um^2 of uncore.
+  double uncore_um2 = 52000;
+  // Host CPUs (Fig. 6 reports Rocket; BOOM extrapolated ~8x).
+  double rocket_um2 = 171000;
+  double boom_um2 = 1368000;
+};
+
+/// Pipeline-register bits on tile boundaries for a geometry: each tile
+/// latches its incoming A operands (input-width bits x tile_rows) and its
+/// outgoing partial sums (accumulator-width bits x tile_cols).
+std::uint64_t boundary_register_bits(const SpatialArrayGeometry& g,
+                                     DType dtype);
+
+class AreaModel {
+ public:
+  explicit AreaModel(AreaModelConstants constants = {})
+      : c_(constants) {}
+
+  double spatial_array_um2(const SpatialArrayGeometry& g, DType dtype) const;
+  double scratchpad_um2(std::uint64_t bytes) const;
+  double accumulator_um2(std::uint64_t bytes) const;
+
+  /// Full accelerator + host breakdown (Fig. 6). `host_is_boom` selects the
+  /// CPU constant.
+  AreaBreakdown breakdown(const GemminiConfig& cfg,
+                          bool host_is_boom = false) const;
+
+  const AreaModelConstants& constants() const { return c_; }
+
+ private:
+  AreaModelConstants c_;
+};
+
+}  // namespace gemmini

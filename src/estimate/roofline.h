@@ -1,0 +1,74 @@
+#pragma once
+// Roofline analysis for generated accelerators.
+//
+// The paper's §V-B argument — convolutions are compute-bound (high
+// arithmetic intensity), matmuls less so, residual additions purely
+// memory-bound — is the classic roofline story. This module computes, for a
+// given instantiation, the peak compute rate, the memory-bandwidth roof,
+// the ridge point, and per-kernel attainable performance, so design-space
+// sweeps can explain *why* a configuration wins.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/arch/config.h"
+#include "src/mem/memsys.h"
+
+namespace gemmini {
+
+struct RooflinePoint {
+  double arithmetic_intensity = 0;  ///< MACs per byte of DRAM traffic
+  double attainable_macs_per_cycle = 0;
+  bool memory_bound = false;
+};
+
+class RooflineModel {
+ public:
+  RooflineModel(const GemminiConfig& accel, const MemSysConfig& mem)
+      : peak_macs_per_cycle_(accel.array.num_pes()),
+        bytes_per_cycle_(std::min(mem.system_bus.width_bytes,
+                                  mem.dram.channel_width_bytes)) {}
+
+  double peak_macs_per_cycle() const {
+    return static_cast<double>(peak_macs_per_cycle_);
+  }
+  double memory_bytes_per_cycle() const {
+    return static_cast<double>(bytes_per_cycle_);
+  }
+
+  /// Arithmetic intensity at which compute and memory roofs intersect.
+  double ridge_intensity() const {
+    return peak_macs_per_cycle() / memory_bytes_per_cycle();
+  }
+
+  RooflinePoint evaluate(std::uint64_t macs, std::uint64_t bytes) const {
+    RooflinePoint p;
+    if (bytes == 0) bytes = 1;
+    p.arithmetic_intensity =
+        static_cast<double>(macs) / static_cast<double>(bytes);
+    const double mem_roof = p.arithmetic_intensity * memory_bytes_per_cycle();
+    p.attainable_macs_per_cycle = std::min(peak_macs_per_cycle(), mem_roof);
+    p.memory_bound = mem_roof < peak_macs_per_cycle();
+    return p;
+  }
+
+  /// Intensity of a [m x k] * [k x n] matmul with ideal reuse (each operand
+  /// and the result touched once).
+  static double matmul_intensity(std::uint64_t m, std::uint64_t k,
+                                 std::uint64_t n, std::size_t elem_bytes) {
+    const double macs = static_cast<double>(m) * k * n;
+    const double bytes =
+        static_cast<double>(elem_bytes) * (m * k + k * n + m * n);
+    return macs / bytes;
+  }
+
+  /// Residual addition moves 3 bytes per (non-MAC) add — intensity ~0,
+  /// always memory-bound. Exposed for symmetry in reports.
+  static double resadd_intensity() { return 0.0; }
+
+ private:
+  std::uint64_t peak_macs_per_cycle_;
+  unsigned bytes_per_cycle_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,51 @@
+#pragma once
+// Analytic critical-path (fmax) model — substitute for synthesis timing.
+//
+// The register-to-register critical path of the spatial array runs through
+// one MAC plus the combinational accumulation chain inside a tile:
+//
+//   t_crit = t_mac + (chain_length - 1) * t_chain_add
+//
+// Calibrated to Fig. 3: the fully-pipelined systolic design (chain 1)
+// closes at 1.89 GHz => t_mac = 0.529 ns; the vector design (chain 16)
+// closes at 0.69 GHz => t_chain_add = 0.0613 ns.
+
+#include "src/arch/config.h"
+
+namespace gemmini {
+
+struct TimingModelConstants {
+  double int8_mac_ns = 0.529;       ///< 1 / 1.89 GHz
+  double int8_chain_add_ns = 0.0613;
+  double fp32_mac_ns = 1.058;       ///< 2x int8 (extrapolated)
+  double fp32_chain_add_ns = 0.2;
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(TimingModelConstants constants = {})
+      : c_(constants) {}
+
+  double critical_path_ns(const SpatialArrayGeometry& g, DType dtype) const {
+    const double mac = dtype == DType::kInt8 ? c_.int8_mac_ns : c_.fp32_mac_ns;
+    const double add =
+        dtype == DType::kInt8 ? c_.int8_chain_add_ns : c_.fp32_chain_add_ns;
+    return mac + (g.chain_length() - 1) * add;
+  }
+
+  double fmax_ghz(const SpatialArrayGeometry& g, DType dtype) const {
+    return 1.0 / critical_path_ns(g, dtype);
+  }
+
+  /// True when the geometry closes timing at the configured clock.
+  bool meets_timing(const GemminiConfig& cfg) const {
+    return fmax_ghz(cfg.array, cfg.dtype) >= cfg.clock_ghz;
+  }
+
+  const TimingModelConstants& constants() const { return c_; }
+
+ private:
+  TimingModelConstants c_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,68 @@
+#pragma once
+// Shared bus with bandwidth-limited, FIFO-arbitrated occupancy.
+//
+// The SoC has two buses, as in the Chipyard SoCs the paper instantiates:
+// a system bus connecting host CPUs and accelerator DMAs to the shared L2,
+// and a memory bus connecting the L2 to DRAM. Each transfer occupies the bus
+// for ceil(bytes / width) cycles; a request arriving while the bus is busy
+// waits, which is the mechanism behind multi-core contention in Fig. 9.
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+struct BusConfig {
+  unsigned width_bytes = 16;  ///< bytes transferred per cycle (128-bit TL-C)
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(width_bytes > 0, "bus width must be positive");
+  }
+};
+
+class Bus {
+ public:
+  explicit Bus(const BusConfig& cfg, std::string name = "bus")
+      : cfg_(cfg), name_(std::move(name)) {
+    cfg_.validate();
+  }
+
+  /// Requests the bus at time `t` for a `bytes`-byte transfer. Returns the
+  /// cycle at which the transfer completes; the bus is busy until then.
+  Cycle transfer(Cycle t, std::uint64_t bytes, RequestorId requestor) {
+    (void)requestor;
+    const Cycle occupancy =
+        (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
+    const Cycle start = t > busy_until_ ? t : busy_until_;
+    if (start > t) stats_.counter("wait_cycles").add(start - t);
+    busy_until_ = start + occupancy;
+    stats_.counter("busy_cycles").add(occupancy);
+    stats_.counter("transfers").add();
+    stats_.counter("bytes").add(bytes);
+    return busy_until_;
+  }
+
+  Cycle busy_until() const { return busy_until_; }
+  void reset_time() { busy_until_ = 0; }
+
+  const BusConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+
+  /// Fraction of cycles busy in [0, horizon).
+  double utilization(Cycle horizon) const {
+    if (horizon == 0) return 0.0;
+    return static_cast<double>(stats_.value("busy_cycles")) /
+           static_cast<double>(horizon);
+  }
+
+ private:
+  BusConfig cfg_;
+  std::string name_;
+  Cycle busy_until_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

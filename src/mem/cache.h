@@ -1,0 +1,89 @@
+#pragma once
+// Set-associative, write-back, write-allocate cache timing model with true
+// LRU. Used for the SoC's shared L2 (and, in CPU cost models, to estimate L1
+// behaviour). Purely a tag store: data payloads live in PhysMem.
+//
+// The cache is shared by all requestors on the SoC (host CPUs, accelerator
+// DMAs, the page-table walker), which is what produces the paper's Fig. 9
+// contention effects and its observation that accelerator PTE walks can hit
+// in L2.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 1ull << 20;  ///< total capacity (default 1 MiB)
+  unsigned ways = 8;
+  unsigned line_bytes = 64;
+  Cycle hit_latency = 20;  ///< L2 hit latency seen by the accelerator
+
+  unsigned num_sets() const {
+    GEMMINI_CHECK(ways > 0 && line_bytes > 0);
+    return static_cast<unsigned>(size_bytes / (ways * line_bytes));
+  }
+  void validate() const;
+};
+
+/// Result of a single line access.
+struct CacheAccess {
+  bool hit = false;
+  bool writeback = false;   ///< a dirty victim must be written to DRAM
+  PAddr victim_line = 0;    ///< line address of the victim (if writeback)
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg, std::string name = "l2");
+
+  /// Access one cache line containing `addr`. Allocates on miss and reports
+  /// whether a dirty victim was evicted. `requestor` is used only for stats.
+  CacheAccess access_line(PAddr addr, bool write, RequestorId requestor);
+
+  /// True if the line containing `addr` is currently resident (no state
+  /// change) — used by tests and by the CPU cost model's reuse estimator.
+  bool probe(PAddr addr) const;
+
+  /// Invalidate everything (e.g. across benchmark repetitions).
+  void flush();
+
+  const CacheConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+  std::uint64_t hits() const { return stats_.value("hits"); }
+  std::uint64_t misses() const { return stats_.value("misses"); }
+  double miss_rate() const {
+    const double total = static_cast<double>(hits() + misses());
+    return total == 0 ? 0.0 : static_cast<double>(misses()) / total;
+  }
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< larger == more recently used
+  };
+
+  std::uint64_t line_addr(PAddr a) const { return a / cfg_.line_bytes; }
+  std::uint64_t set_index(std::uint64_t line) const {
+    return line % num_sets_;
+  }
+  std::uint64_t tag_of(std::uint64_t line) const { return line / num_sets_; }
+
+  CacheConfig cfg_;
+  std::string name_;
+  unsigned num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, set-major
+  std::uint64_t lru_clock_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,109 @@
+#pragma once
+// DRAM timing model: multiple banks, open-row policy, per-channel bandwidth.
+//
+// Deliberately simple — the paper's results do not depend on DDR protocol
+// minutiae, only on (a) DRAM being far slower than SRAM, (b) row-buffer
+// locality rewarding streaming access, and (c) bounded bandwidth shared by
+// all requestors.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+struct DramConfig {
+  unsigned banks = 8;
+  std::uint64_t row_bytes = 2048;       ///< open-row granularity
+  Cycle row_hit_latency = 30;           ///< CAS only
+  Cycle row_miss_latency = 80;          ///< precharge + activate + CAS
+  unsigned channel_width_bytes = 16;    ///< data bus bytes per cycle
+
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(banks > 0, "DRAM needs at least one bank");
+    GEMMINI_CONFIG_REQUIRE(row_bytes > 0 && (row_bytes & (row_bytes - 1)) == 0,
+                           "row_bytes must be a power of two");
+    GEMMINI_CONFIG_REQUIRE(channel_width_bytes > 0, "channel width > 0");
+  }
+};
+
+class Dram {
+ public:
+  /// tCCD: cycles between column commands to the same open bank.
+  static constexpr Cycle kColumnCommandOccupancy = 4;
+
+  explicit Dram(const DramConfig& cfg) : cfg_(cfg) {
+    cfg_.validate();
+    banks_.assign(cfg_.banks, Bank{});
+  }
+
+  /// XOR-folded bank hash (as in real memory controllers): large-stride
+  /// streams (e.g. three tensors 1 MB apart) spread across banks instead of
+  /// ping-ponging one bank's row buffer.
+  unsigned bank_of(PAddr addr) const {
+    const std::uint64_t row = addr / cfg_.row_bytes;
+    // Fold every row bit down into the bank index so power-of-two strides
+    // at any scale spread across banks.
+    std::uint64_t h = row;
+    for (unsigned s = 3; s < 36; s += 3) h ^= row >> s;
+    return static_cast<unsigned>(h % cfg_.banks);
+  }
+
+  /// One line-sized access issued at time `t`. Returns completion time.
+  Cycle access(PAddr addr, std::uint64_t bytes, Cycle t,
+               RequestorId requestor) {
+    (void)requestor;
+    const std::uint64_t row = addr / cfg_.row_bytes;
+    Bank& bank = banks_[bank_of(addr)];
+
+    const bool row_hit = bank.open_valid && bank.open_row == row;
+    const Cycle access_lat =
+        row_hit ? cfg_.row_hit_latency : cfg_.row_miss_latency;
+    stats_.counter(row_hit ? "row_hits" : "row_misses").add();
+
+    // The bank is busy until its previous access finishes; the shared data
+    // channel serializes only the data *bursts*, so accesses to different
+    // banks overlap their activate/CAS latencies.
+    const Cycle start = t > bank.busy_until ? t : bank.busy_until;
+    const Cycle data_ready = start + access_lat;
+    const Cycle burst_start =
+        data_ready > channel_busy_until_ ? data_ready : channel_busy_until_;
+    const Cycle burst =
+        (bytes + cfg_.channel_width_bytes - 1) / cfg_.channel_width_bytes;
+    const Cycle done = burst_start + burst;
+    // Column commands pipeline on an open row (tCCD), so streaming reads
+    // from the same row proceed at burst rate; only a row miss occupies the
+    // bank for the full precharge+activate window.
+    bank.busy_until = row_hit ? start + kColumnCommandOccupancy
+                              : start + access_lat;
+    bank.open_valid = true;
+    bank.open_row = row;
+    channel_busy_until_ = done;
+    stats_.counter("accesses").add();
+    stats_.counter("bytes").add(bytes);
+    return done;
+  }
+
+  const StatSet& stats() const { return stats_; }
+  void reset_time() {
+    for (auto& b : banks_) b = Bank{};
+    channel_busy_until_ = 0;
+  }
+
+ private:
+  struct Bank {
+    bool open_valid = false;
+    std::uint64_t open_row = 0;
+    Cycle busy_until = 0;
+  };
+
+  DramConfig cfg_;
+  std::vector<Bank> banks_;
+  Cycle channel_busy_until_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

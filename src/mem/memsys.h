@@ -1,0 +1,84 @@
+#pragma once
+// MemorySystem: the SoC's shared memory hierarchy.
+//
+//   requestor --(system bus)--> shared L2 --(memory bus)--> DRAM
+//
+// Timestamped, event-style timing: each access carries its issue cycle and
+// the model returns its completion cycle, mutating bus/bank/cache state along
+// the way. Multiple requestors (host CPUs, per-core accelerator DMAs, the
+// shared PTW) interleave by issuing in global time order; arbitration falls
+// out of the busy-until bookkeeping. Functional payloads live in PhysMem.
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/stats.h"
+#include "src/base/types.h"
+#include "src/mem/bus.h"
+#include "src/mem/cache.h"
+#include "src/mem/dram.h"
+#include "src/mem/phys_mem.h"
+
+namespace gemmini {
+
+struct MemSysConfig {
+  BusConfig system_bus{};         // requestors <-> L2
+  CacheConfig l2{};               // shared last-level cache
+  BusConfig memory_bus{.width_bytes = 16};  // L2 <-> DRAM
+  DramConfig dram{};
+
+  void validate() const {
+    system_bus.validate();
+    l2.validate();
+    memory_bus.validate();
+    dram.validate();
+  }
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemSysConfig& cfg);
+
+  /// Timing access: `bytes` at physical address `addr`, issued at cycle `t`.
+  /// Returns the completion cycle. Splits across cache lines; state (cache
+  /// contents, row buffers, bus occupancy) mutates in call order, so callers
+  /// must issue in approximately nondecreasing global time.
+  Cycle access(PAddr addr, std::uint64_t bytes, bool write, Cycle t,
+               RequestorId requestor);
+
+  /// An access that bypasses the L2 (uncached), e.g. MMIO. Unused by the
+  /// main flows but part of the SoC substrate.
+  Cycle access_uncached(PAddr addr, std::uint64_t bytes, bool write, Cycle t,
+                        RequestorId requestor);
+
+  PhysMem& phys() { return phys_; }
+  const PhysMem& phys() const { return phys_; }
+
+  Cache& l2() { return *l2_; }
+  const Cache& l2() const { return *l2_; }
+  Bus& system_bus() { return sysbus_; }
+  Dram& dram() { return dram_; }
+
+  const MemSysConfig& config() const { return cfg_; }
+
+  /// Resets *timing* state (bus/bank busy-until) without touching cache
+  /// contents or data; used between benchmark repetitions that share warmed
+  /// state.
+  void reset_time();
+
+  /// Full reset: timing + cache tags. Data in PhysMem persists.
+  void reset_all();
+
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  MemSysConfig cfg_;
+  PhysMem phys_;
+  Bus sysbus_;
+  std::unique_ptr<Cache> l2_;
+  Bus membus_;
+  Dram dram_;
+  StatSet stats_;
+};
+
+}  // namespace gemmini

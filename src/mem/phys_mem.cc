@@ -1,0 +1,51 @@
+#include "src/mem/phys_mem.h"
+
+#include <algorithm>
+
+namespace gemmini {
+
+std::uint8_t* PhysMem::page_for(PAddr addr) {
+  const std::uint64_t pfn = page_number(addr);
+  auto it = pages_.find(pfn);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<std::uint8_t[]>(kPageBytes);
+    std::memset(page.get(), 0, kPageBytes);
+    it = pages_.emplace(pfn, std::move(page)).first;
+  }
+  return it->second.get();
+}
+
+const std::uint8_t* PhysMem::page_if_present(PAddr addr) const {
+  auto it = pages_.find(page_number(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void PhysMem::write(PAddr addr, const void* src, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  while (bytes > 0) {
+    const std::size_t off = page_offset(addr);
+    const std::size_t chunk = std::min(bytes, kPageBytes - off);
+    std::memcpy(page_for(addr) + off, p, chunk);
+    addr += chunk;
+    p += chunk;
+    bytes -= chunk;
+  }
+}
+
+void PhysMem::read(PAddr addr, void* dst, std::size_t bytes) const {
+  auto* p = static_cast<std::uint8_t*>(dst);
+  while (bytes > 0) {
+    const std::size_t off = page_offset(addr);
+    const std::size_t chunk = std::min(bytes, kPageBytes - off);
+    if (const std::uint8_t* page = page_if_present(addr)) {
+      std::memcpy(p, page + off, chunk);
+    } else {
+      std::memset(p, 0, chunk);  // untouched memory reads as zero
+    }
+    addr += chunk;
+    p += chunk;
+    bytes -= chunk;
+  }
+}
+
+}  // namespace gemmini

@@ -1,0 +1,78 @@
+#pragma once
+// Sparse simulated physical memory.
+//
+// Functional storage only — timing lives in MemorySystem. Backed by a page
+// map so multi-GB address spaces cost only what is touched. Page-table pages
+// (vm/page_table.h) live here too, so PTW walks read real simulated memory.
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+class PhysMem {
+ public:
+  PhysMem() = default;
+
+  void write(PAddr addr, const void* src, std::size_t bytes);
+  void read(PAddr addr, void* dst, std::size_t bytes) const;
+
+  template <typename T>
+  void write_scalar(PAddr addr, T v) {
+    write(addr, &v, sizeof(T));
+  }
+
+  template <typename T>
+  T read_scalar(PAddr addr) const {
+    T v{};
+    read(addr, &v, sizeof(T));
+    return v;
+  }
+
+  /// Number of distinct 4 KiB pages ever touched.
+  std::size_t resident_pages() const { return pages_.size(); }
+
+  /// Zero-fills and forgets all pages.
+  void clear() { pages_.clear(); }
+
+ private:
+  std::uint8_t* page_for(PAddr addr);
+  const std::uint8_t* page_if_present(PAddr addr) const;
+
+  // Page frame number -> page payload.
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+/// Simple bump allocator over physical frames. The SoC uses it to place page
+/// tables and to back virtual mappings.
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(PAddr base = 0x8000'0000ull) : next_(base) {}
+
+  PAddr alloc_frame() {
+    PAddr f = next_;
+    next_ += kPageBytes;
+    return f;
+  }
+
+  /// Allocates `bytes` rounded up to whole pages; returns the base address.
+  PAddr alloc_bytes(std::uint64_t bytes) {
+    const std::uint64_t pages = (bytes + kPageBytes - 1) / kPageBytes;
+    PAddr base = next_;
+    next_ += pages * kPageBytes;
+    return base;
+  }
+
+  PAddr watermark() const { return next_; }
+
+ private:
+  PAddr next_;
+};
+
+}  // namespace gemmini

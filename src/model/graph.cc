@@ -1,0 +1,292 @@
+#include "src/model/graph.h"
+
+#include <sstream>
+
+namespace gemmini {
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDepthwiseConv: return "dwconv";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kGlobalAvgPool: return "gavgpool";
+    case LayerKind::kResAdd: return "resadd";
+    case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kLayerNorm: return "layernorm";
+    case LayerKind::kGelu: return "gelu";
+  }
+  return "?";
+}
+
+Model::Model(std::string name, std::vector<LayerSpec> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  GEMMINI_CONFIG_REQUIRE(!layers_.empty() &&
+                             layers_.front().kind == LayerKind::kInput,
+                         "model must start with an input layer");
+  infer_shapes();
+}
+
+std::size_t Model::producer(std::size_t layer) const {
+  GEMMINI_CHECK(layer > 0 && layer < layers_.size());
+  const int in = layers_[layer].input;
+  if (in < 0) return layer - 1;
+  GEMMINI_CHECK(static_cast<std::size_t>(in) < layer);
+  return static_cast<std::size_t>(in);
+}
+
+std::size_t Model::producer2(std::size_t layer) const {
+  GEMMINI_CHECK(layers_[layer].kind == LayerKind::kResAdd);
+  const int in = layers_[layer].input2;
+  GEMMINI_CHECK(in >= 0 && static_cast<std::size_t>(in) < layer);
+  return static_cast<std::size_t>(in);
+}
+
+void Model::infer_shapes() {
+  shapes_.clear();
+  shapes_.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& l = layers_[i];
+    if (l.kind == LayerKind::kInput) {
+      GEMMINI_CONFIG_REQUIRE(i == 0, "input must be the first layer");
+      shapes_.push_back(l.input_shape);
+      continue;
+    }
+    const TensorShape& in = shapes_[producer(i)];
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        GEMMINI_CONFIG_REQUIRE(!in.is_matrix, l.name << ": conv needs NHWC");
+        const unsigned oh = (in.h + 2 * l.padding - l.kh) / l.stride + 1;
+        const unsigned ow = (in.w + 2 * l.padding - l.kw) / l.stride + 1;
+        shapes_.push_back(TensorShape::spatial(oh, ow, l.oc));
+        break;
+      }
+      case LayerKind::kDepthwiseConv: {
+        GEMMINI_CONFIG_REQUIRE(!in.is_matrix, l.name << ": dwconv needs NHWC");
+        const unsigned oh = (in.h + 2 * l.padding - l.kh) / l.stride + 1;
+        const unsigned ow = (in.w + 2 * l.padding - l.kw) / l.stride + 1;
+        shapes_.push_back(TensorShape::spatial(oh, ow, in.c));
+        break;
+      }
+      case LayerKind::kDense: {
+        // Spatial inputs are flattened to one [1 x h*w*c] row (AlexNet's
+        // first FC); matrix inputs keep their row count (BERT sequences).
+        const std::uint64_t in_features =
+            in.is_matrix ? in.cols
+                         : static_cast<std::uint64_t>(in.h) * in.w * in.c;
+        GEMMINI_CONFIG_REQUIRE(in_features > 0, l.name << ": no in features");
+        shapes_.push_back(TensorShape::matrix(
+            in.is_matrix ? in.rows : 1, l.out_features));
+        break;
+      }
+      case LayerKind::kMaxPool: {
+        GEMMINI_CONFIG_REQUIRE(!in.is_matrix, l.name << ": pool needs NHWC");
+        const unsigned oh =
+            (in.h + 2 * l.pool_padding - l.window) / l.pool_stride + 1;
+        const unsigned ow =
+            (in.w + 2 * l.pool_padding - l.window) / l.pool_stride + 1;
+        shapes_.push_back(TensorShape::spatial(oh, ow, in.c));
+        break;
+      }
+      case LayerKind::kGlobalAvgPool: {
+        GEMMINI_CONFIG_REQUIRE(!in.is_matrix, l.name << ": pool needs NHWC");
+        shapes_.push_back(TensorShape::matrix(1, in.c));
+        break;
+      }
+      case LayerKind::kResAdd: {
+        const TensorShape& in2 = shapes_[producer2(i)];
+        GEMMINI_CONFIG_REQUIRE(in == in2,
+                               l.name << ": resadd operand shape mismatch");
+        shapes_.push_back(in);
+        break;
+      }
+      case LayerKind::kSoftmax:
+      case LayerKind::kLayerNorm:
+      case LayerKind::kGelu: {
+        shapes_.push_back(in);
+        break;
+      }
+      case LayerKind::kInput: break;  // unreachable
+    }
+  }
+}
+
+std::uint64_t Model::layer_macs(std::size_t i) const {
+  const LayerSpec& l = layers_[i];
+  switch (l.kind) {
+    case LayerKind::kConv: {
+      const TensorShape& in = shapes_[producer(i)];
+      const TensorShape& out = shapes_[i];
+      return static_cast<std::uint64_t>(out.h) * out.w * out.c * l.kh * l.kw *
+             in.c;
+    }
+    case LayerKind::kDepthwiseConv: {
+      const TensorShape& out = shapes_[i];
+      return static_cast<std::uint64_t>(out.h) * out.w * out.c * l.kh * l.kw;
+    }
+    case LayerKind::kDense: {
+      const TensorShape& in = shapes_[producer(i)];
+      const std::uint64_t in_features =
+          in.is_matrix ? in.cols
+                       : static_cast<std::uint64_t>(in.h) * in.w * in.c;
+      const std::uint64_t rows = in.is_matrix ? in.rows : 1;
+      return rows * in_features * l.out_features;
+    }
+    default: return 0;
+  }
+}
+
+std::uint64_t Model::total_macs() const {
+  std::uint64_t macs = 0;
+  for (std::size_t i = 1; i < layers_.size(); ++i) macs += layer_macs(i);
+  return macs;
+}
+
+std::uint64_t Model::total_special_elems() const {
+  std::uint64_t elems = 0;
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    const LayerKind k = layers_[i].kind;
+    if (k == LayerKind::kSoftmax || k == LayerKind::kLayerNorm ||
+        k == LayerKind::kGelu) {
+      elems += shapes_[i].elems();
+    }
+  }
+  return elems;
+}
+
+std::string Model::summary() const {
+  std::ostringstream oss;
+  oss << name_ << ": " << layers_.size() - 1 << " layers, "
+      << total_macs() / 1000000 << "M MACs\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const TensorShape& s = shapes_[i];
+    oss << "  [" << i << "] " << layer_kind_name(layers_[i].kind) << " "
+        << layers_[i].name << " -> ";
+    if (s.is_matrix) {
+      oss << s.rows << "x" << s.cols;
+    } else {
+      oss << s.h << "x" << s.w << "x" << s.c;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+int ModelBuilder::push(LayerSpec spec) {
+  layers_.push_back(std::move(spec));
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+ModelBuilder& ModelBuilder::input(unsigned h, unsigned w, unsigned c) {
+  LayerSpec s;
+  s.kind = LayerKind::kInput;
+  s.name = "input";
+  s.input_shape = TensorShape::spatial(h, w, c);
+  push(std::move(s));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::input_matrix(std::uint64_t rows,
+                                         std::uint64_t cols) {
+  LayerSpec s;
+  s.kind = LayerKind::kInput;
+  s.name = "input";
+  s.input_shape = TensorShape::matrix(rows, cols);
+  push(std::move(s));
+  return *this;
+}
+
+int ModelBuilder::conv(unsigned oc, unsigned k, unsigned stride,
+                       unsigned padding, Activation act, int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.name = "conv" + std::to_string(layers_.size());
+  s.oc = oc;
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.padding = padding;
+  s.act = act;
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::dwconv(unsigned k, unsigned stride, unsigned padding,
+                         Activation act, int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kDepthwiseConv;
+  s.name = "dwconv" + std::to_string(layers_.size());
+  s.kh = s.kw = k;
+  s.stride = stride;
+  s.padding = padding;
+  s.act = act;
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::dense(std::uint64_t out_features, Activation act,
+                        int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kDense;
+  s.name = "dense" + std::to_string(layers_.size());
+  s.out_features = out_features;
+  s.act = act;
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::maxpool(unsigned window, unsigned stride, unsigned padding,
+                          int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kMaxPool;
+  s.name = "maxpool" + std::to_string(layers_.size());
+  s.window = window;
+  s.pool_stride = stride;
+  s.pool_padding = padding;
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::global_avgpool(int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kGlobalAvgPool;
+  s.name = "gavgpool" + std::to_string(layers_.size());
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::resadd(int a, int b, Activation act) {
+  LayerSpec s;
+  s.kind = LayerKind::kResAdd;
+  s.name = "resadd" + std::to_string(layers_.size());
+  s.input = a;
+  s.input2 = b;
+  s.act = act;
+  return push(std::move(s));
+}
+
+int ModelBuilder::softmax(int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kSoftmax;
+  s.name = "softmax" + std::to_string(layers_.size());
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::layernorm(int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kLayerNorm;
+  s.name = "layernorm" + std::to_string(layers_.size());
+  s.input = from;
+  return push(std::move(s));
+}
+
+int ModelBuilder::gelu(int from) {
+  LayerSpec s;
+  s.kind = LayerKind::kGelu;
+  s.name = "gelu" + std::to_string(layers_.size());
+  s.input = from;
+  return push(std::move(s));
+}
+
+}  // namespace gemmini

@@ -1,0 +1,141 @@
+#pragma once
+// High-level graph IR — the top layer of the multi-level programming stack
+// (paper §III-B). Models are linear layer lists with explicit producer
+// references (which is enough to express the residual topologies of the
+// paper's five benchmark DNNs). The push-button flow builds these from
+// ONNX-lite text files (model/onnx_lite.h); the C++ builder API constructs
+// them programmatically (src/dnn zoo).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+enum class LayerKind : std::uint8_t {
+  kInput,
+  kConv,           ///< standard convolution (maps to the spatial array)
+  kDepthwiseConv,  ///< per-channel convolution (maps poorly — MobileNet)
+  kDense,          ///< fully connected / matmul
+  kMaxPool,
+  kGlobalAvgPool,
+  kResAdd,         ///< elementwise residual addition of two producers
+  kSoftmax,        ///< CPU-resident (BERT)
+  kLayerNorm,      ///< CPU-resident (BERT)
+  kGelu,           ///< CPU-resident (BERT)
+};
+
+const char* layer_kind_name(LayerKind k);
+
+/// Shape of a layer's output: either a spatial NHWC tensor (batch folded
+/// out; `h x w x c`) or a 2-D matrix (`rows x cols`).
+struct TensorShape {
+  bool is_matrix = false;
+  unsigned h = 0, w = 0, c = 0;   // spatial form
+  std::uint64_t rows = 0, cols = 0;  // matrix form
+
+  std::uint64_t elems() const {
+    return is_matrix ? rows * cols
+                     : static_cast<std::uint64_t>(h) * w * c;
+  }
+  static TensorShape spatial(unsigned h, unsigned w, unsigned c) {
+    TensorShape s;
+    s.h = h; s.w = w; s.c = c;
+    return s;
+  }
+  static TensorShape matrix(std::uint64_t rows, std::uint64_t cols) {
+    TensorShape s;
+    s.is_matrix = true;
+    s.rows = rows; s.cols = cols;
+    return s;
+  }
+  friend bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+
+  int input = -1;   ///< producer layer index; -1 = previous layer
+  int input2 = -1;  ///< second producer (kResAdd only)
+
+  // Conv / DepthwiseConv.
+  unsigned kh = 1, kw = 1, oc = 0, stride = 1, padding = 0;
+  // Dense: output features (input features inferred).
+  std::uint64_t out_features = 0;
+  // Pool.
+  unsigned window = 2, pool_stride = 2, pool_padding = 0;
+
+  Activation act = Activation::kNone;
+  bool has_bias = true;
+
+  // kInput only: the model's input shape.
+  TensorShape input_shape;
+};
+
+/// A validated model: layers plus inferred output shapes and per-layer
+/// operation counts.
+class Model {
+ public:
+  Model(std::string name, std::vector<LayerSpec> layers);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  const TensorShape& shape(std::size_t layer) const {
+    return shapes_.at(layer);
+  }
+  /// Resolved producer index for layer i's primary input.
+  std::size_t producer(std::size_t layer) const;
+  std::size_t producer2(std::size_t layer) const;
+
+  /// Useful multiply-accumulates in the whole model (conv+dense+dwconv).
+  std::uint64_t total_macs() const;
+  std::uint64_t layer_macs(std::size_t layer) const;
+  /// Elements processed by CPU-resident special layers.
+  std::uint64_t total_special_elems() const;
+
+  std::string summary() const;
+
+ private:
+  void infer_shapes();
+
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+  std::vector<TensorShape> shapes_;
+};
+
+/// Fluent builder used by the zoo and the examples.
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name) : name_(std::move(name)) {}
+
+  ModelBuilder& input(unsigned h, unsigned w, unsigned c);
+  ModelBuilder& input_matrix(std::uint64_t rows, std::uint64_t cols);
+  /// Returns the index of the added layer so residual skips can name it.
+  int conv(unsigned oc, unsigned k, unsigned stride, unsigned padding,
+           Activation act = Activation::kRelu, int from = -1);
+  int dwconv(unsigned k, unsigned stride, unsigned padding,
+             Activation act = Activation::kRelu, int from = -1);
+  int dense(std::uint64_t out_features, Activation act = Activation::kNone,
+            int from = -1);
+  int maxpool(unsigned window, unsigned stride, unsigned padding = 0,
+              int from = -1);
+  int global_avgpool(int from = -1);
+  int resadd(int a, int b, Activation act = Activation::kRelu);
+  int softmax(int from = -1);
+  int layernorm(int from = -1);
+  int gelu(int from = -1);
+  int last() const { return static_cast<int>(layers_.size()) - 1; }
+
+  Model build() { return Model(name_, std::move(layers_)); }
+
+ private:
+  int push(LayerSpec spec);
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,272 @@
+#include "src/model/onnx_lite.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace gemmini {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "onnx-lite parse error at line " << line << ": " << msg;
+  throw RuntimeError(oss.str());
+}
+
+/// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+Activation parse_act(const std::string& s, std::size_t line) {
+  if (s == "relu") return Activation::kRelu;
+  if (s == "relu6") return Activation::kRelu6;
+  if (s == "none") return Activation::kNone;
+  fail(line, "unknown activation '" + s + "'");
+}
+
+/// Parses trailing optional tokens: an activation and/or '@N' references.
+struct Tail {
+  Activation act = Activation::kNone;
+  bool act_set = false;
+  std::vector<int> refs;
+};
+
+Tail parse_tail(const std::vector<std::string>& toks, std::size_t from,
+                std::size_t line) {
+  Tail t;
+  for (std::size_t i = from; i < toks.size(); ++i) {
+    if (toks[i][0] == '@') {
+      t.refs.push_back(std::stoi(toks[i].substr(1)));
+    } else {
+      t.act = parse_act(toks[i], line);
+      t.act_set = true;
+    }
+  }
+  return t;
+}
+
+unsigned to_u(const std::string& s, std::size_t line) {
+  try {
+    return static_cast<unsigned>(std::stoul(s));
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + s + "'");
+  }
+}
+
+}  // namespace
+
+Model parse_onnx_lite(std::istream& in) {
+  std::string name = "onnx-lite-model";
+  std::vector<LayerSpec> layers;
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_input = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& op = toks[0];
+
+    auto need = [&](std::size_t n) {
+      if (toks.size() < n + 1) fail(lineno, op + " needs " +
+                                                std::to_string(n) +
+                                                " arguments");
+    };
+    auto from_ref = [&](const Tail& t) {
+      return t.refs.empty() ? -1 : t.refs[0];
+    };
+
+    if (op == "model") {
+      need(1);
+      name = toks[1];
+    } else if (op == "input") {
+      need(3);
+      LayerSpec s;
+      s.kind = LayerKind::kInput;
+      s.name = "input";
+      s.input_shape = TensorShape::spatial(to_u(toks[1], lineno),
+                                           to_u(toks[2], lineno),
+                                           to_u(toks[3], lineno));
+      layers.push_back(std::move(s));
+      have_input = true;
+    } else if (op == "input_matrix") {
+      need(2);
+      LayerSpec s;
+      s.kind = LayerKind::kInput;
+      s.name = "input";
+      s.input_shape =
+          TensorShape::matrix(to_u(toks[1], lineno), to_u(toks[2], lineno));
+      layers.push_back(std::move(s));
+      have_input = true;
+    } else if (op == "conv" || op == "dwconv") {
+      const bool dw = op == "dwconv";
+      need(dw ? 3 : 4);
+      LayerSpec s;
+      s.kind = dw ? LayerKind::kDepthwiseConv : LayerKind::kConv;
+      s.name = op + std::to_string(layers.size());
+      std::size_t idx = 1;
+      if (!dw) s.oc = to_u(toks[idx++], lineno);
+      s.kh = s.kw = to_u(toks[idx++], lineno);
+      s.stride = to_u(toks[idx++], lineno);
+      s.padding = to_u(toks[idx++], lineno);
+      const Tail t = parse_tail(toks, idx, lineno);
+      s.act = t.act_set ? t.act : Activation::kRelu;
+      s.input = from_ref(t);
+      layers.push_back(std::move(s));
+    } else if (op == "dense") {
+      need(1);
+      LayerSpec s;
+      s.kind = LayerKind::kDense;
+      s.name = "dense" + std::to_string(layers.size());
+      s.out_features = to_u(toks[1], lineno);
+      const Tail t = parse_tail(toks, 2, lineno);
+      s.act = t.act;
+      s.input = from_ref(t);
+      layers.push_back(std::move(s));
+    } else if (op == "maxpool") {
+      need(2);
+      LayerSpec s;
+      s.kind = LayerKind::kMaxPool;
+      s.name = "maxpool" + std::to_string(layers.size());
+      s.window = to_u(toks[1], lineno);
+      s.pool_stride = to_u(toks[2], lineno);
+      std::size_t idx = 3;
+      if (toks.size() > 3 && toks[3][0] != '@') {
+        s.pool_padding = to_u(toks[3], lineno);
+        idx = 4;
+      }
+      const Tail t = parse_tail(toks, idx, lineno);
+      s.input = from_ref(t);
+      layers.push_back(std::move(s));
+    } else if (op == "gavgpool") {
+      LayerSpec s;
+      s.kind = LayerKind::kGlobalAvgPool;
+      s.name = "gavgpool" + std::to_string(layers.size());
+      const Tail t = parse_tail(toks, 1, lineno);
+      s.input = from_ref(t);
+      layers.push_back(std::move(s));
+    } else if (op == "resadd") {
+      need(2);
+      const Tail t = parse_tail(toks, 1, lineno);
+      if (t.refs.size() != 2) fail(lineno, "resadd needs @a @b");
+      LayerSpec s;
+      s.kind = LayerKind::kResAdd;
+      s.name = "resadd" + std::to_string(layers.size());
+      s.input = t.refs[0];
+      s.input2 = t.refs[1];
+      s.act = t.act_set ? t.act : Activation::kRelu;
+      layers.push_back(std::move(s));
+    } else if (op == "softmax" || op == "layernorm" || op == "gelu") {
+      LayerSpec s;
+      s.kind = op == "softmax"     ? LayerKind::kSoftmax
+               : op == "layernorm" ? LayerKind::kLayerNorm
+                                   : LayerKind::kGelu;
+      s.name = op + std::to_string(layers.size());
+      const Tail t = parse_tail(toks, 1, lineno);
+      s.input = from_ref(t);
+      layers.push_back(std::move(s));
+    } else {
+      fail(lineno, "unknown directive '" + op + "'");
+    }
+  }
+  if (!have_input) {
+    throw RuntimeError("onnx-lite: model has no input directive");
+  }
+  try {
+    return Model(name, std::move(layers));
+  } catch (const ConfigError& e) {
+    throw RuntimeError(std::string("onnx-lite: invalid model: ") + e.what());
+  }
+}
+
+Model parse_onnx_lite_string(const std::string& text) {
+  std::istringstream iss(text);
+  return parse_onnx_lite(iss);
+}
+
+Model load_onnx_lite_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw RuntimeError("cannot open onnx-lite file: " + path);
+  return parse_onnx_lite(f);
+}
+
+std::string to_onnx_lite(const Model& model) {
+  std::ostringstream oss;
+  oss << "model " << model.name() << "\n";
+  const auto& layers = model.layers();
+  auto act_str = [](Activation a) {
+    return a == Activation::kRelu    ? "relu"
+           : a == Activation::kRelu6 ? "relu6"
+                                     : "none";
+  };
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerSpec& l = layers[i];
+    switch (l.kind) {
+      case LayerKind::kInput:
+        if (l.input_shape.is_matrix) {
+          oss << "input_matrix " << l.input_shape.rows << " "
+              << l.input_shape.cols << "\n";
+        } else {
+          oss << "input " << l.input_shape.h << " " << l.input_shape.w << " "
+              << l.input_shape.c << "\n";
+        }
+        break;
+      case LayerKind::kConv:
+        oss << "conv " << l.oc << " " << l.kh << " " << l.stride << " "
+            << l.padding << " " << act_str(l.act);
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+      case LayerKind::kDepthwiseConv:
+        oss << "dwconv " << l.kh << " " << l.stride << " " << l.padding << " "
+            << act_str(l.act);
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+      case LayerKind::kDense:
+        oss << "dense " << l.out_features << " " << act_str(l.act);
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+      case LayerKind::kMaxPool:
+        oss << "maxpool " << l.window << " " << l.pool_stride << " "
+            << l.pool_padding;
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+      case LayerKind::kGlobalAvgPool:
+        oss << "gavgpool";
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+      case LayerKind::kResAdd:
+        oss << "resadd @" << l.input << " @" << l.input2 << " "
+            << act_str(l.act) << "\n";
+        break;
+      case LayerKind::kSoftmax:
+      case LayerKind::kLayerNorm:
+      case LayerKind::kGelu:
+        oss << (l.kind == LayerKind::kSoftmax     ? "softmax"
+                : l.kind == LayerKind::kLayerNorm ? "layernorm"
+                                                  : "gelu");
+        if (l.input >= 0) oss << " @" << l.input;
+        oss << "\n";
+        break;
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace gemmini

@@ -1,0 +1,37 @@
+#pragma once
+// ONNX-lite: the push-button entry point of the software stack.
+//
+// The real Gemmini flow reads ONNX protobufs through onnxruntime; we ship a
+// small line-oriented text format with the same role — describe a network,
+// get a runnable WorkStream. Grammar (one directive per line, '#' comments):
+//
+//   model <name>
+//   input <h> <w> <c>           | input_matrix <rows> <cols>
+//   conv <oc> <k> <stride> <pad> [relu|relu6|none] [@<layer>]
+//   dwconv <k> <stride> <pad> [relu|relu6|none] [@<layer>]
+//   dense <out_features> [relu|relu6|none] [@<layer>]
+//   maxpool <window> <stride> [<pad>] [@<layer>]
+//   gavgpool [@<layer>]
+//   resadd @<layer_a> @<layer_b> [relu|none]
+//   softmax | layernorm | gelu [@<layer>]
+//
+// `@<layer>` references a previous layer's index (as printed by summary());
+// without it a layer consumes its predecessor.
+
+#include <istream>
+#include <string>
+
+#include "src/model/graph.h"
+
+namespace gemmini {
+
+/// Parses a model description. Throws RuntimeError with a line number on
+/// malformed input.
+Model parse_onnx_lite(std::istream& in);
+Model parse_onnx_lite_string(const std::string& text);
+Model load_onnx_lite_file(const std::string& path);
+
+/// Serializes a model back to the text format (round-trip tested).
+std::string to_onnx_lite(const Model& model);
+
+}  // namespace gemmini

@@ -1,0 +1,64 @@
+#pragma once
+// Model lowering: maps a graph-IR model onto one core's accelerator +
+// host CPU, producing a WorkStream. This is the "push-button" layer of the
+// software stack: it allocates every buffer in the process address space,
+// picks per-layer quantization shifts, decides accelerator-vs-CPU placement
+// per layer kind, and (in functional mode) initializes weights and wires up
+// the data-materialization hooks.
+//
+// CPU-baseline estimation (the Fig. 7 denominator) lives here too, since it
+// consumes the same per-layer op counts.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/config.h"
+#include "src/base/rng.h"
+#include "src/cpu/cost_model.h"
+#include "src/model/graph.h"
+#include "src/runtime/workstream.h"
+#include "src/vm/page_table.h"
+
+namespace gemmini {
+
+struct LoweringOptions {
+  /// Initialize weights/input with deterministic random data and attach the
+  /// functional materialization hooks (tests/examples). Timing-only sweeps
+  /// leave this off: buffers are mapped but never written.
+  bool functional = false;
+  std::uint64_t seed = 1;
+};
+
+struct LoweredModel {
+  WorkStream stream;
+  /// Layer index -> output buffer VA (padded to whole DIM rows).
+  std::vector<VAddr> layer_output;
+  std::vector<std::uint64_t> layer_bytes;
+  VAddr input = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t weight_bytes = 0;
+};
+
+/// Lowers `model` for the given accelerator instantiation into `as`.
+LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
+                         const CpuCostModel& cpu, const AddressSpace& as_const,
+                         AddressSpace& as, const LoweringOptions& opts = {});
+
+/// Convenience overload (single AddressSpace reference).
+inline LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
+                                const CpuCostModel& cpu, AddressSpace& as,
+                                const LoweringOptions& opts = {}) {
+  return lower_model(model, cfg, cpu, as, as, opts);
+}
+
+/// Cycles for running the whole model in software on `cpu` (no accelerator):
+/// the Fig. 7 baseline.
+Cycle cpu_baseline_cycles(const Model& model, const CpuCostModel& cpu);
+
+/// Per-layer quantization shift heuristic: keeps int8 outputs in range for
+/// K-deep random-data accumulations.
+unsigned default_out_shift(std::uint64_t k_depth);
+
+}  // namespace gemmini

@@ -1,0 +1,81 @@
+#pragma once
+// Convolution lowering.
+//
+// Convolutions execute on the spatial array as matrix multiplications over
+// the im2col-expanded input:
+//
+//   A = im2col(input)  [N*OH*OW x KH*KW*IC]
+//   B = weights        [KH*KW*IC x OC]
+//   C = output         [N*OH*OW x OC]   (NHWC output is exactly this shape)
+//
+// Who performs the im2col expansion is the Fig. 7 design question:
+//  * `has_im2col == false`: the *host CPU* expands patches into a scratch
+//    buffer before every conv (cycles from the CPU cost model), then the
+//    accelerator runs a plain tiled matmul over it.
+//  * `has_im2col == true`: the accelerator's im2col block gathers patches
+//    on the fly during MVIN; no CPU work, tiny per-row overhead.
+//
+// 1x1 stride-1 convolutions skip im2col entirely (the NHWC input already is
+// the A matrix). Depthwise convolutions lower to one skinny matmul per
+// channel (K = KH*KW, N = 1) — their low reuse and sub-DIM operand shapes
+// make them map poorly to the array, which is the paper's MobileNetV2
+// observation.
+
+#include <cstdint>
+
+#include "src/arch/config.h"
+#include "src/base/types.h"
+#include "src/isa/isa.h"
+#include "src/runtime/matmul.h"
+
+namespace gemmini {
+
+struct ConvShape {
+  unsigned batch = 1;
+  unsigned ih = 0, iw = 0, ic = 0;
+  unsigned kh = 1, kw = 1, oc = 0;
+  unsigned stride = 1, padding = 0;
+
+  unsigned oh() const { return (ih + 2 * padding - kh) / stride + 1; }
+  unsigned ow() const { return (iw + 2 * padding - kw) / stride + 1; }
+  std::uint64_t out_rows() const {
+    return static_cast<std::uint64_t>(batch) * oh() * ow();
+  }
+  std::uint64_t patch_cols() const {
+    return static_cast<std::uint64_t>(kh) * kw * ic;
+  }
+  std::uint64_t macs() const { return out_rows() * patch_cols() * oc; }
+  std::uint64_t im2col_bytes(std::size_t elem) const {
+    return out_rows() * patch_cols() * elem;
+  }
+  bool is_direct() const { return kh == 1 && kw == 1 && stride == 1 && padding == 0; }
+};
+
+struct ConvBuffers {
+  VAddr input = 0;    ///< NHWC input tensor
+  VAddr weights = 0;  ///< [patch_cols x OC] row-major (pre-flattened)
+  VAddr bias = 0;     ///< OC elements, 0 = none
+  VAddr output = 0;   ///< [out_rows x OC] == NHWC output
+  VAddr im2col_scratch = 0;  ///< required unless is_direct()
+};
+
+struct ConvPlan {
+  Program program;
+  /// CPU im2col work that must complete before the program runs
+  /// (0 when the accelerator has the on-the-fly unit or none is needed).
+  std::uint64_t cpu_im2col_bytes = 0;
+  std::uint64_t macs = 0;
+};
+
+/// Lowers a standard convolution. Throws RuntimeError if `im2col_scratch`
+/// is missing when required.
+ConvPlan emit_conv(const GemminiConfig& cfg, const ConvShape& shape,
+                   const ConvBuffers& buf, unsigned out_shift, Activation act);
+
+/// Lowers a depthwise convolution (weights [KH*KW x C] column-per-channel;
+/// scratch holds the per-channel im2col expansion, laid out channel-major).
+ConvPlan emit_depthwise_conv(const GemminiConfig& cfg, const ConvShape& shape,
+                             const ConvBuffers& buf, unsigned out_shift,
+                             Activation act);
+
+}  // namespace gemmini

@@ -1,0 +1,142 @@
+#include "src/runtime/kernels_accel.h"
+
+#include <algorithm>
+
+#include "src/base/status.h"
+
+namespace gemmini {
+
+namespace {
+/// Iterates a contiguous element buffer as DIM-wide rows, calling
+/// `fn(chunk_row_index, local_row_base, rows, last_cols)` for chunks of at
+/// most `dim` rows that rotate through `total_local_rows` of local storage.
+template <typename Fn>
+void for_row_chunks(std::uint64_t elems, unsigned dim,
+                    std::uint64_t total_local_rows, Fn&& fn) {
+  const std::uint64_t full_rows = elems / dim;
+  const unsigned tail = static_cast<unsigned>(elems % dim);
+  const std::uint64_t rows = full_rows + (tail ? 1 : 0);
+  const std::uint64_t buffers = std::max<std::uint64_t>(1, total_local_rows / dim);
+  std::uint64_t chunk_idx = 0;
+  for (std::uint64_t r = 0; r < rows; r += dim, ++chunk_idx) {
+    const unsigned nrows =
+        static_cast<unsigned>(std::min<std::uint64_t>(dim, rows - r));
+    const std::uint32_t local =
+        static_cast<std::uint32_t>((chunk_idx % buffers) * dim);
+    const bool has_tail = tail != 0 && (r + nrows == rows);
+    fn(r, local, nrows, has_tail ? tail : dim);
+  }
+}
+}  // namespace
+
+Program emit_resadd(const GemminiConfig& cfg, VAddr a, VAddr b, VAddr out,
+                    std::uint64_t elems, Activation act) {
+  const unsigned dim = cfg.dim();
+  const std::size_t elem = cfg.input_bytes();
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(dim) * elem;
+
+  Program prog;
+  prog.push_back(make_config_ex(Dataflow::kWeightStationary, act, 0));
+  prog.push_back(make_config_ld(row_bytes, 1.0f, 0));
+  prog.push_back(make_config_ld(row_bytes, 1.0f, 1));
+  prog.push_back(make_config_st(row_bytes));
+
+  for_row_chunks(elems, dim, cfg.acc_rows(),
+                 [&](std::uint64_t r, std::uint32_t local, unsigned nrows,
+                     unsigned last_cols) {
+                   (void)last_cols;
+                   const VAddr a_va = a + r * row_bytes;
+                   const VAddr b_va = b + r * row_bytes;
+                   const VAddr o_va = out + r * row_bytes;
+                   // Full dim cols except possibly the very last row; we use
+                   // dim cols for all rows and rely on the caller to size
+                   // buffers to whole rows (the model runner pads).
+                   prog.push_back(make_mvin(
+                       a_va, LocalAddr::acc_row(local, false), nrows, dim, 0));
+                   prog.push_back(make_mvin(
+                       b_va, LocalAddr::acc_row(local, true), nrows, dim, 1));
+                   prog.push_back(make_mvout(
+                       o_va, LocalAddr::acc_row(local, false), nrows, dim));
+                 });
+  prog.push_back(make_fence());
+  return prog;
+}
+
+Program emit_pool(const GemminiConfig& cfg, VAddr in, VAddr out,
+                  std::uint64_t in_elems, std::uint64_t out_elems,
+                  unsigned window, unsigned stride) {
+  if (!cfg.has_pooling) {
+    throw RuntimeError("this instantiation has no pooling engine");
+  }
+  const unsigned dim = cfg.dim();
+  const std::size_t elem = cfg.input_bytes();
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(dim) * elem;
+
+  Program prog;
+  prog.push_back(make_config_ld(row_bytes, 1.0f, 0));
+  prog.push_back(make_config_st(row_bytes, window, stride));
+
+  // Stream the input through the scratchpad; pooled results stream out.
+  // The output stream reads the scratchpad rows the input landed in (the
+  // pooling engine reduces on the fly), so traffic is in_bytes + out_bytes.
+  const std::uint64_t sp_rows = cfg.sp_rows();
+  std::uint64_t out_row_cursor = 0;
+  const std::uint64_t out_rows = (out_elems + dim - 1) / dim;
+  const std::uint64_t in_rows = (in_elems + dim - 1) / dim;
+  for_row_chunks(in_elems, dim, sp_rows,
+                 [&](std::uint64_t r, std::uint32_t local, unsigned nrows,
+                     unsigned) {
+                   prog.push_back(make_mvin(in + r * row_bytes,
+                                            LocalAddr::sp_row(local), nrows,
+                                            dim, 0));
+                   // Emit the proportional share of pooled output rows.
+                   const std::uint64_t want =
+                       (r + nrows) * out_rows / std::max<std::uint64_t>(1, in_rows);
+                   while (out_row_cursor < want) {
+                     const unsigned orows = static_cast<unsigned>(
+                         std::min<std::uint64_t>(dim, want - out_row_cursor));
+                     prog.push_back(make_mvout(out + out_row_cursor * row_bytes,
+                                               LocalAddr::sp_row(local), orows,
+                                               dim));
+                     out_row_cursor += orows;
+                   }
+                 });
+  // Any residue of the output stream.
+  while (out_row_cursor < out_rows) {
+    const unsigned orows = static_cast<unsigned>(
+        std::min<std::uint64_t>(dim, out_rows - out_row_cursor));
+    prog.push_back(
+        make_mvout(out + out_row_cursor * row_bytes, LocalAddr::sp_row(0),
+                   orows, dim));
+    out_row_cursor += orows;
+  }
+  prog.push_back(make_fence());
+  return prog;
+}
+
+Program emit_scalar_mul(const GemminiConfig& cfg, VAddr in, VAddr out,
+                        std::uint64_t elems, float scale) {
+  const unsigned dim = cfg.dim();
+  const std::size_t elem = cfg.input_bytes();
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(dim) * elem;
+
+  Program prog;
+  prog.push_back(make_config_ex(Dataflow::kWeightStationary,
+                                Activation::kNone, 0));
+  prog.push_back(make_config_ld(row_bytes, scale, 0));
+  prog.push_back(make_config_st(row_bytes));
+  for_row_chunks(elems, dim, cfg.sp_rows(),
+                 [&](std::uint64_t r, std::uint32_t local, unsigned nrows,
+                     unsigned) {
+                   prog.push_back(make_mvin(in + r * row_bytes,
+                                            LocalAddr::sp_row(local), nrows,
+                                            dim, 0));
+                   prog.push_back(make_mvout(out + r * row_bytes,
+                                             LocalAddr::sp_row(local), nrows,
+                                             dim));
+                 });
+  prog.push_back(make_fence());
+  return prog;
+}
+
+}  // namespace gemmini

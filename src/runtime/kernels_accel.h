@@ -1,0 +1,36 @@
+#pragma once
+// Non-matmul accelerator kernels: residual addition (through the
+// accumulator's accumulate-on-write port) and pooling (through the pooling
+// engine on the MVOUT path). Both are memory-bound streaming kernels — they
+// exist so the paper's Fig. 9 layer-type study (conv vs matmul vs resadd)
+// has real traffic to measure.
+
+#include <cstdint>
+
+#include "src/arch/config.h"
+#include "src/base/types.h"
+#include "src/isa/isa.h"
+
+namespace gemmini {
+
+/// out = act(a + b), all three contiguous element buffers of `elems`
+/// elements. Lowered as: MVIN a -> accumulator (overwrite), MVIN b -> same
+/// rows (accumulate), MVOUT with activation. Returns the program.
+Program emit_resadd(const GemminiConfig& cfg, VAddr a, VAddr b, VAddr out,
+                    std::uint64_t elems, Activation act);
+
+/// Max pooling over an NHWC tensor using the pooling engine: the input
+/// streams into the scratchpad and pooled outputs stream out. Timing-
+/// faithful traffic (input bytes in, output bytes out); the numeric pooling
+/// itself is applied by the model runner's reference kernel. Throws
+/// RuntimeError when the instantiation lacks the pooling engine.
+Program emit_pool(const GemminiConfig& cfg, VAddr in, VAddr out,
+                  std::uint64_t in_elems, std::uint64_t out_elems,
+                  unsigned window, unsigned stride);
+
+/// Matrix-scalar multiply peripheral: out = in * scale (int8 path uses the
+/// MVIN scaler; the stream passes through the scratchpad).
+Program emit_scalar_mul(const GemminiConfig& cfg, VAddr in, VAddr out,
+                        std::uint64_t elems, float scale);
+
+}  // namespace gemmini

@@ -1,0 +1,187 @@
+#include "src/runtime/matmul.h"
+
+#include <algorithm>
+
+#include "src/base/status.h"
+
+namespace gemmini {
+
+Program emit_tiled_matmul(const GemminiConfig& cfg, const MatmulParams& p) {
+  if (cfg.dataflow != Dataflow::kBoth && cfg.dataflow != p.dataflow) {
+    throw RuntimeError("requested dataflow is not supported by this "
+                       "instantiation");
+  }
+  GEMMINI_CHECK_MSG(p.m > 0 && p.k > 0 && p.n > 0, "empty matmul");
+
+  const unsigned dim = cfg.dim();
+  const std::size_t elem = cfg.input_bytes();
+  const std::uint64_t a_stride =
+      p.a_row_stride_bytes ? p.a_row_stride_bytes : p.k * elem;
+  const std::uint64_t b_stride =
+      p.b_row_stride_bytes ? p.b_row_stride_bytes : p.n * elem;
+  const std::uint64_t c_stride =
+      p.c_row_stride_bytes ? p.c_row_stride_bytes : p.n * elem;
+
+  const auto blocks = [dim](std::uint64_t x) {
+    return static_cast<std::uint64_t>((x + dim - 1) / dim);
+  };
+  const std::uint64_t mb = blocks(p.m), kb = blocks(p.k), nb = blocks(p.n);
+
+  TileShape tile;
+  if (p.tile) {
+    validate_tiles(cfg, *p.tile);
+    tile = *p.tile;
+  } else {
+    tile = choose_tiles(cfg, {p.m, p.k, p.n});
+  }
+
+  // Scratchpad layout: A in the lower half, B in the upper half, each half
+  // split into two buffers for double buffering. C double-buffered in the
+  // accumulator.
+  const std::uint32_t a_base[2] = {
+      0, static_cast<std::uint32_t>(cfg.sp_rows() / 4)};
+  const std::uint32_t b_base[2] = {
+      static_cast<std::uint32_t>(cfg.sp_rows() / 2),
+      static_cast<std::uint32_t>(cfg.sp_rows() / 2 + cfg.sp_rows() / 4)};
+  const std::uint32_t c_base[2] = {
+      0, static_cast<std::uint32_t>(cfg.acc_rows() / 2)};
+
+  Program prog;
+  prog.reserve(64);
+  prog.push_back(make_config_ex(p.dataflow, p.act, p.out_shift));
+  prog.push_back(make_config_ld(a_stride, 1.0f, 0));
+  prog.push_back(make_config_ld(b_stride, 1.0f, 1));
+  if (p.bias) prog.push_back(make_config_ld(0, 1.0f, 2));  // broadcast row
+  prog.push_back(make_config_st(c_stride));
+
+  std::uint64_t ab_phase = 0;  // double-buffer selector for A/B tiles
+  std::uint64_t c_phase = 0;
+
+  for (std::uint64_t i0 = 0; i0 < mb; i0 += tile.i) {
+    const std::uint64_t ti = std::min<std::uint64_t>(tile.i, mb - i0);
+    for (std::uint64_t j0 = 0; j0 < nb; j0 += tile.j) {
+      const std::uint64_t tj = std::min<std::uint64_t>(tile.j, nb - j0);
+      const std::uint32_t cbuf = c_base[c_phase & 1];
+      ++c_phase;
+
+      // Bias: initialize the C tile by broadcasting the bias row.
+      if (p.bias) {
+        for (std::uint64_t ib = 0; ib < ti; ++ib) {
+          const unsigned prows = static_cast<unsigned>(
+              std::min<std::uint64_t>(dim, p.m - (i0 + ib) * dim));
+          for (std::uint64_t jb = 0; jb < tj; ++jb) {
+            const unsigned pcols = static_cast<unsigned>(
+                std::min<std::uint64_t>(dim, p.n - (j0 + jb) * dim));
+            const VAddr bias_va = p.bias + (j0 + jb) * dim * elem;
+            prog.push_back(make_mvin(
+                bias_va,
+                LocalAddr::acc_row(
+                    cbuf + static_cast<std::uint32_t>((ib * tile.j + jb) * dim),
+                    /*accumulate=*/false),
+                prows, pcols, /*channel=*/2));
+          }
+        }
+      }
+
+      for (std::uint64_t k0 = 0; k0 < kb; k0 += tile.k) {
+        const std::uint64_t tk = std::min<std::uint64_t>(tile.k, kb - k0);
+        const std::uint32_t abuf = a_base[ab_phase & 1];
+        const std::uint32_t bbuf = b_base[ab_phase & 1];
+        ++ab_phase;
+
+        // Stage the A tile.
+        for (std::uint64_t ib = 0; ib < ti; ++ib) {
+          const unsigned prows = static_cast<unsigned>(
+              std::min<std::uint64_t>(dim, p.m - (i0 + ib) * dim));
+          for (std::uint64_t kk = 0; kk < tk; ++kk) {
+            const unsigned pcols = static_cast<unsigned>(
+                std::min<std::uint64_t>(dim, p.k - (k0 + kk) * dim));
+            const VAddr va = p.a + (i0 + ib) * dim * a_stride +
+                             (k0 + kk) * dim * elem;
+            prog.push_back(make_mvin(
+                va,
+                LocalAddr::sp_row(
+                    abuf +
+                    static_cast<std::uint32_t>((ib * tile.k + kk) * dim)),
+                prows, pcols, /*channel=*/0));
+          }
+        }
+        // Stage the B tile.
+        for (std::uint64_t kk = 0; kk < tk; ++kk) {
+          const unsigned prows = static_cast<unsigned>(
+              std::min<std::uint64_t>(dim, p.k - (k0 + kk) * dim));
+          for (std::uint64_t jb = 0; jb < tj; ++jb) {
+            const unsigned pcols = static_cast<unsigned>(
+                std::min<std::uint64_t>(dim, p.n - (j0 + jb) * dim));
+            const VAddr va = p.b + (k0 + kk) * dim * b_stride +
+                             (j0 + jb) * dim * elem;
+            prog.push_back(make_mvin(
+                va,
+                LocalAddr::sp_row(
+                    bbuf +
+                    static_cast<std::uint32_t>((kk * tile.j + jb) * dim)),
+                prows, pcols, /*channel=*/1));
+          }
+        }
+
+        // Compute: for each (j, k) weight block, preload once and stream all
+        // A blocks through it.
+        for (std::uint64_t jb = 0; jb < tj; ++jb) {
+          const unsigned pn = static_cast<unsigned>(
+              std::min<std::uint64_t>(dim, p.n - (j0 + jb) * dim));
+          for (std::uint64_t kk = 0; kk < tk; ++kk) {
+            const unsigned pk = static_cast<unsigned>(
+                std::min<std::uint64_t>(dim, p.k - (k0 + kk) * dim));
+            const bool first_k = (k0 + kk) == 0;
+            for (std::uint64_t ib = 0; ib < ti; ++ib) {
+              const unsigned pm = static_cast<unsigned>(
+                  std::min<std::uint64_t>(dim, p.m - (i0 + ib) * dim));
+              // Accumulate into C unless this is the first K contribution
+              // and there is no bias already there.
+              const bool acc_write = p.bias != 0 || !first_k;
+              const LocalAddr c_addr = LocalAddr::acc_row(
+                  cbuf + static_cast<std::uint32_t>((ib * tile.j + jb) * dim),
+                  acc_write);
+              const LocalAddr b_addr =
+                  ib == 0 ? LocalAddr::sp_row(
+                                bbuf + static_cast<std::uint32_t>(
+                                           (kk * tile.j + jb) * dim))
+                          : LocalAddr::garbage();
+              prog.push_back(make_preload(b_addr, c_addr,
+                                          ib == 0 ? pk : 0,
+                                          ib == 0 ? pn : 0, pm, pn));
+              prog.push_back(make_compute(
+                  LocalAddr::sp_row(
+                      abuf +
+                      static_cast<std::uint32_t>((ib * tile.k + kk) * dim)),
+                  LocalAddr::garbage(), pm, pk, 0, 0,
+                  /*preloaded=*/ib == 0));
+            }
+          }
+        }
+      }
+
+      // Drain the finished C tile.
+      for (std::uint64_t ib = 0; ib < ti; ++ib) {
+        const unsigned pm = static_cast<unsigned>(
+            std::min<std::uint64_t>(dim, p.m - (i0 + ib) * dim));
+        for (std::uint64_t jb = 0; jb < tj; ++jb) {
+          const unsigned pn = static_cast<unsigned>(
+              std::min<std::uint64_t>(dim, p.n - (j0 + jb) * dim));
+          const VAddr va = p.c + (i0 + ib) * dim * c_stride +
+                           (j0 + jb) * dim * elem;
+          prog.push_back(make_mvout(
+              va,
+              LocalAddr::acc_row(
+                  cbuf + static_cast<std::uint32_t>((ib * tile.j + jb) * dim),
+                  false),
+              pm, pn));
+        }
+      }
+    }
+  }
+  prog.push_back(make_fence());
+  return prog;
+}
+
+}  // namespace gemmini

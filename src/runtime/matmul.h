@@ -1,0 +1,48 @@
+#pragma once
+// Tiled matrix multiplication — the workhorse of the low-level software
+// stack (the C API's `tiled_matmul_auto`). Emits a RoCC program that stages
+// DIM-block tiles through the scratchpad/accumulator with double buffering,
+// reuses preloaded weight tiles across A tiles, and applies the output
+// scale/activation on MVOUT.
+//
+//   C[M x N] = act((A[M x K] * B[K x N] + bias) >> out_shift)
+//
+// All matrices are row-major in virtual memory with configurable row
+// strides. `bias`, when present, is a single row of N input-typed elements
+// broadcast across rows (loaded through MVIN channel 2 with stride 0).
+
+#include <optional>
+
+#include "src/arch/config.h"
+#include "src/base/types.h"
+#include "src/isa/isa.h"
+#include "src/runtime/tiling.h"
+
+namespace gemmini {
+
+struct MatmulParams {
+  VAddr a = 0;
+  VAddr b = 0;
+  VAddr c = 0;
+  VAddr bias = 0;  ///< 0 = no bias
+  std::uint64_t m = 0, k = 0, n = 0;
+  std::uint64_t a_row_stride_bytes = 0;  ///< 0 = dense (k * elem)
+  std::uint64_t b_row_stride_bytes = 0;  ///< 0 = dense (n * elem)
+  std::uint64_t c_row_stride_bytes = 0;  ///< 0 = dense (n * elem)
+  unsigned out_shift = 0;
+  Activation act = Activation::kNone;
+  Dataflow dataflow = Dataflow::kWeightStationary;
+  /// Manual tile override (validated against the budget); nullopt = auto.
+  std::optional<TileShape> tile;
+};
+
+/// Emits the full program. Throws RuntimeError on infeasible requests
+/// (e.g. unsupported dataflow for this instantiation).
+Program emit_tiled_matmul(const GemminiConfig& cfg, const MatmulParams& p);
+
+/// Useful MAC count of the operation.
+inline std::uint64_t matmul_macs(const MatmulParams& p) {
+  return p.m * p.k * p.n;
+}
+
+}  // namespace gemmini

@@ -1,0 +1,71 @@
+#include "src/runtime/tiling.h"
+
+#include <algorithm>
+
+#include "src/base/status.h"
+
+namespace gemmini {
+
+TileBudget tile_budget(const GemminiConfig& cfg) {
+  const std::uint64_t dim = cfg.dim();
+  TileBudget b;
+  // A and B each own half the scratchpad, double-buffered.
+  b.max_a_blocks = cfg.sp_rows() / 2 / 2 / dim;
+  b.max_b_blocks = cfg.sp_rows() / 2 / 2 / dim;
+  // C is double-buffered in the accumulator.
+  b.max_c_blocks = cfg.acc_rows() / 2 / dim;
+  return b;
+}
+
+namespace {
+bool fits(const TileShape& t, const TileBudget& b) {
+  return static_cast<std::uint64_t>(t.i) * t.k <= b.max_a_blocks &&
+         static_cast<std::uint64_t>(t.k) * t.j <= b.max_b_blocks &&
+         static_cast<std::uint64_t>(t.i) * t.j <= b.max_c_blocks;
+}
+}  // namespace
+
+TileShape choose_tiles(const GemminiConfig& cfg, const MatmulDims& dims) {
+  const std::uint64_t dim = cfg.dim();
+  const TileBudget budget = tile_budget(cfg);
+  const auto blocks = [dim](std::uint64_t x) {
+    return static_cast<unsigned>((x + dim - 1) / dim);
+  };
+  const unsigned need_i = std::max(1u, blocks(dims.m));
+  const unsigned need_k = std::max(1u, blocks(dims.k));
+  const unsigned need_j = std::max(1u, blocks(dims.n));
+
+  TileShape t{1, 1, 1};
+  GEMMINI_CHECK_MSG(fits(t, budget), "scratchpad cannot stage even one tile");
+
+  // Round-robin growth, I and J before K: a wide output tile is what buys
+  // operand reuse (each A tile is reloaded once per J step and each B tile
+  // once per I step, so DRAM traffic scales with 1/tj and 1/ti). K depth
+  // only amortizes accumulator read-modify-write, which is cheap.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (int which = 0; which < 3; ++which) {
+      TileShape cand = t;
+      if (which == 0 && cand.i < need_i) ++cand.i;
+      else if (which == 1 && cand.j < need_j) ++cand.j;
+      else if (which == 2 && cand.k < need_k) ++cand.k;
+      else continue;
+      if (fits(cand, budget)) {
+        t = cand;
+        grew = true;
+      }
+    }
+  }
+  return t;
+}
+
+void validate_tiles(const GemminiConfig& cfg, const TileShape& tile) {
+  const TileBudget budget = tile_budget(cfg);
+  if (tile.i == 0 || tile.k == 0 || tile.j == 0 || !fits(tile, budget)) {
+    throw RuntimeError("manual tile shape does not fit the scratchpad/"
+                       "accumulator budget of this instantiation");
+  }
+}
+
+}  // namespace gemmini

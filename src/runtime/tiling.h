@@ -1,0 +1,54 @@
+#pragma once
+// Runtime data staging / tile-size selection (paper §III-B).
+//
+// "At runtime, based on the dimensions of a layer's inputs, and the hardware
+// parameters of the accelerator instantiation, Gemmini uses heuristics to
+// maximize the amount of data moved into the scratchpad per iteration."
+//
+// Tiles are measured in DIM x DIM blocks. The A and B operands each get half
+// of the scratchpad and are double-buffered (so the DMA can fill the next
+// tile while the array consumes the current one); the C tile is double-
+// buffered in the accumulator. The heuristic greedily grows the tile's
+// I/K/J extents, round-robin, until a constraint binds — which maximizes
+// staged data while keeping the tile roughly square (good reuse).
+
+#include <cstdint>
+#include <optional>
+
+#include "src/arch/config.h"
+
+namespace gemmini {
+
+struct MatmulDims {
+  std::uint64_t m = 0;  ///< rows of A and C
+  std::uint64_t k = 0;  ///< cols of A == rows of B
+  std::uint64_t n = 0;  ///< cols of B and C
+};
+
+/// Tile extents in DIM-blocks.
+struct TileShape {
+  unsigned i = 1;  ///< M direction
+  unsigned k = 1;  ///< K direction
+  unsigned j = 1;  ///< N direction
+};
+
+/// Scratchpad/accumulator budget (in DIM-blocks) for the standard staging
+/// scheme described above.
+struct TileBudget {
+  std::uint64_t max_a_blocks;  ///< i*k must not exceed
+  std::uint64_t max_b_blocks;  ///< k*j must not exceed
+  std::uint64_t max_c_blocks;  ///< i*j must not exceed
+};
+
+TileBudget tile_budget(const GemminiConfig& cfg);
+
+/// The paper's heuristic. Never returns a tile that violates the budget;
+/// GEMMINI_CHECKs that at least a 1x1x1 tile fits.
+TileShape choose_tiles(const GemminiConfig& cfg, const MatmulDims& dims);
+
+/// Validates a manually chosen tile against the budget ("the low-level API
+/// also allows them to manually set tile-sizes for each kernel"). Throws
+/// RuntimeError if it does not fit.
+void validate_tiles(const GemminiConfig& cfg, const TileShape& tile);
+
+}  // namespace gemmini

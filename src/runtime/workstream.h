@@ -1,0 +1,60 @@
+#pragma once
+// A WorkStream is the lowered form of a DNN on one core: an ordered list of
+// CPU steps (im2col, softmax, dispatch overhead, marshalling) and
+// accelerator steps (RoCC programs). The SoC simulator executes streams,
+// interleaving multiple cores against the shared memory system.
+//
+// `pre_fixup` / `post_fixup` are functional-mode hooks: they materialize
+// data the modeled hardware produces outside the ISA-level simulation
+// (im2col expansions, pooling numerics, CPU-resident float ops). They carry
+// no timing — time comes from the steps themselves.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/isa/isa.h"
+#include "src/vm/page_table.h"
+
+namespace gemmini {
+
+struct WorkStep {
+  enum class Kind { kCpu, kAccel };
+  Kind kind = Kind::kCpu;
+  /// Layer-type tag for the Fig. 9 accounting: "conv", "matmul", "resadd",
+  /// "pool", "im2col", "special", "other".
+  std::string tag = "other";
+  Cycle cpu_cycles = 0;  ///< kCpu only
+  Program program;       ///< kAccel only
+  std::function<void(const AddressSpace&)> pre_fixup;
+  std::function<void(const AddressSpace&)> post_fixup;
+};
+
+struct WorkStream {
+  std::string name;
+  std::vector<WorkStep> steps;
+
+  void add_cpu(std::string tag, Cycle cycles) {
+    WorkStep s;
+    s.kind = WorkStep::Kind::kCpu;
+    s.tag = std::move(tag);
+    s.cpu_cycles = cycles;
+    steps.push_back(std::move(s));
+  }
+  void add_accel(std::string tag, Program prog) {
+    WorkStep s;
+    s.kind = WorkStep::Kind::kAccel;
+    s.tag = std::move(tag);
+    s.program = std::move(prog);
+    steps.push_back(std::move(s));
+  }
+
+  std::uint64_t total_instructions() const {
+    std::uint64_t n = 0;
+    for (const auto& s : steps) n += s.program.size();
+    return n;
+  }
+};
+
+}  // namespace gemmini

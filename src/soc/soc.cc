@@ -1,0 +1,154 @@
+#include "src/soc/soc.h"
+
+#include <algorithm>
+
+namespace gemmini {
+
+SocConfig SocConfig::base_1mb_l2() {
+  SocConfig cfg;
+  cfg.name = "Base";
+  cfg.accel.sp_capacity_bytes = 256 * 1024;
+  cfg.accel.acc_capacity_bytes = 256 * 1024;
+  cfg.mem.l2.size_bytes = 1ull << 20;
+  return cfg;
+}
+
+SocConfig SocConfig::big_sp() {
+  SocConfig cfg = base_1mb_l2();
+  cfg.name = "BigSP";
+  cfg.accel.sp_capacity_bytes = 512 * 1024;
+  cfg.accel.acc_capacity_bytes = 512 * 1024;
+  return cfg;
+}
+
+SocConfig SocConfig::big_l2() {
+  SocConfig cfg = base_1mb_l2();
+  cfg.name = "BigL2";
+  cfg.mem.l2.size_bytes = 2ull << 20;
+  return cfg;
+}
+
+Soc::Soc(const SocConfig& cfg)
+    : cfg_(cfg),
+      mem_(cfg.mem),
+      frames_(0x8000'0000ull),
+      ptw_(cfg.accel.translation.ptw, mem_, RequestorId{100}) {
+  cfg_.validate();
+  for (unsigned c = 0; c < cfg_.cores; ++c) {
+    spaces_.push_back(std::make_unique<AddressSpace>(
+        mem_.phys(), frames_,
+        /*va_base=*/0x1'0000'0000ull + c * 0x10'0000'0000ull));
+    accels_.push_back(std::make_unique<Accelerator>(
+        cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}));
+  }
+}
+
+void Soc::set_functional(bool functional) {
+  functional_ = functional;
+  for (auto& a : accels_) a->set_functional(functional);
+}
+
+void Soc::maybe_os_switch(CoreExec& ce, unsigned core) {
+  if (!cfg_.os.enabled) return;
+  while (ce.t >= ce.next_os_switch) {
+    // The process is preempted: charge the switch cost and flush the
+    // accelerator's address-translation state (ASID change).
+    ce.t += cfg_.os.switch_cost_cycles;
+    ce.result.cycles_by_tag["os"] += cfg_.os.switch_cost_cycles;
+    accels_[core]->translation().flush();
+    ce.next_os_switch += cfg_.os.period_cycles;
+  }
+}
+
+Cycle Soc::advance(CoreExec& ce, unsigned core) {
+  if (ce.done()) return kCycleMax;
+  Accelerator& accel = *accels_[core];
+  const WorkStep& step = ce.stream->steps[ce.step];
+
+  if (step.kind == WorkStep::Kind::kCpu) {
+    ce.t += step.cpu_cycles;
+    ce.result.cpu_cycles += step.cpu_cycles;
+    ce.result.cycles_by_tag[step.tag] += step.cpu_cycles;
+    if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
+    maybe_os_switch(ce, core);
+    ++ce.step;
+    return ce.done() ? kCycleMax : ce.t;
+  }
+
+  // Accelerator step.
+  if (!ce.accel_started) {
+    if (functional_ && step.pre_fixup) step.pre_fixup(*spaces_[core]);
+    accel.start(&step.program, spaces_[core].get(), ce.t);
+    ce.accel_started = true;
+  }
+  if (!accel.done()) {
+    accel.step();
+  }
+  if (accel.done()) {
+    const Cycle start_t = ce.t;
+    ce.t = std::max(ce.t, accel.frontier());
+    ce.result.cycles_by_tag[step.tag] += ce.t - start_t;
+    if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
+    maybe_os_switch(ce, core);
+    ce.accel_started = false;
+    ++ce.step;
+    return ce.done() ? kCycleMax : ce.t;
+  }
+  return accel.next_issue_hint();
+}
+
+CoreResult Soc::run(const WorkStream& stream) {
+  auto results = run_parallel({&stream});
+  return results.front();
+}
+
+std::vector<CoreResult> Soc::run_parallel(
+    const std::vector<const WorkStream*>& streams) {
+  GEMMINI_CHECK_MSG(streams.size() <= cfg_.cores,
+                    "more streams than cores");
+  std::vector<CoreExec> execs(streams.size());
+  std::vector<Cycle> next_event(streams.size(), 0);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    execs[i].stream = streams[i];
+    execs[i].next_os_switch = cfg_.os.period_cycles;
+    accels_[i]->reset_report();
+  }
+
+  // Event-merge loop: always advance the core with the earliest next event.
+  while (true) {
+    std::size_t best = streams.size();
+    Cycle best_t = kCycleMax;
+    for (std::size_t i = 0; i < execs.size(); ++i) {
+      if (execs[i].done()) continue;
+      if (next_event[i] <= best_t) {
+        best_t = next_event[i];
+        best = i;
+      }
+    }
+    if (best == streams.size()) break;
+    next_event[best] = advance(execs[best], static_cast<unsigned>(best));
+  }
+
+  std::vector<CoreResult> results;
+  results.reserve(execs.size());
+  for (std::size_t i = 0; i < execs.size(); ++i) {
+    execs[i].result.finish =
+        std::max(execs[i].t, accels_[i]->frontier());
+    execs[i].result.accel = accels_[i]->report();
+    results.push_back(std::move(execs[i].result));
+  }
+  return results;
+}
+
+void Soc::reset_time() {
+  mem_.reset_time();
+  ptw_.reset_time();
+  for (auto& a : accels_) a->reset_time();
+}
+
+void Soc::reset_all() {
+  reset_time();
+  mem_.reset_all();
+}
+
+}  // namespace gemmini

@@ -1,0 +1,112 @@
+#pragma once
+// Full-SoC integration (paper §III-C, Fig. 5): N cores, each a host CPU with
+// its own Gemmini-generated accelerator, sharing the L2 cache, system bus,
+// DRAM and a single page-table walker. Runs lowered WorkStreams and reports
+// end-to-end cycles with per-layer-type breakdowns (Fig. 9) plus all the
+// substrate statistics (TLB, cache, bus).
+//
+// Multi-core co-simulation merges the cores' instruction streams in global
+// time order: at every scheduling decision, the core whose next event is
+// earliest advances by one instruction, so the accelerators contend for the
+// shared L2/bus/DRAM with cycle-level interleaving.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/accel/accelerator.h"
+#include "src/arch/config.h"
+#include "src/cpu/cost_model.h"
+#include "src/mem/memsys.h"
+#include "src/runtime/workstream.h"
+#include "src/vm/page_table.h"
+#include "src/vm/ptw.h"
+
+namespace gemmini {
+
+struct SocConfig {
+  std::string name = "soc";
+  unsigned cores = 1;
+  GemminiConfig accel = GemminiConfig::paper_default();
+  CpuCostModel cpu = CpuCostModel::rocket();
+  MemSysConfig mem{};
+  OsNoiseModel os{};
+
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(cores >= 1 && cores <= 16,
+                           "1..16 cores supported");
+    accel.validate();
+    mem.validate();
+  }
+
+  /// The Fig. 9 configurations.
+  static SocConfig base_1mb_l2();
+  static SocConfig big_sp();
+  static SocConfig big_l2();
+};
+
+/// Result of running one stream on one core.
+struct CoreResult {
+  Cycle finish = 0;
+  Cycle cpu_cycles = 0;
+  std::map<std::string, Cycle> cycles_by_tag;
+  AccelReport accel;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& cfg);
+
+  /// Per-core process address space (create one per stream you lower).
+  AddressSpace& address_space(unsigned core) { return *spaces_[core]; }
+  Accelerator& accelerator(unsigned core) { return *accels_[core]; }
+  MemorySystem& memory() { return mem_; }
+  PageTableWalker& ptw() { return ptw_; }
+  const SocConfig& config() const { return cfg_; }
+
+  void set_functional(bool functional);
+
+  /// Runs one stream on core 0 (convenience).
+  CoreResult run(const WorkStream& stream);
+
+  /// Runs one stream per core concurrently; streams.size() must be <=
+  /// cores. Returns one result per stream.
+  std::vector<CoreResult> run_parallel(
+      const std::vector<const WorkStream*>& streams);
+
+  /// Resets timing state (buses, banks, accelerator timelines) but keeps
+  /// cache contents and data; call between repetitions.
+  void reset_time();
+  /// Full reset including cache tags and TLBs.
+  void reset_all();
+
+ private:
+  // Per-core stream execution state machine.
+  struct CoreExec {
+    const WorkStream* stream = nullptr;
+    std::size_t step = 0;
+    Cycle t = 0;                 // core-local time
+    bool accel_started = false;
+    Cycle next_os_switch = 0;
+    CoreResult result;
+    bool done() const {
+      return stream == nullptr || step >= stream->steps.size();
+    }
+  };
+
+  /// Advances `core` by one unit of work (a CPU step, or one accelerator
+  /// instruction). Returns the core's next event time.
+  Cycle advance(CoreExec& ce, unsigned core);
+  void maybe_os_switch(CoreExec& ce, unsigned core);
+
+  SocConfig cfg_;
+  MemorySystem mem_;
+  FrameAllocator frames_;
+  PageTableWalker ptw_;
+  std::vector<std::unique_ptr<AddressSpace>> spaces_;
+  std::vector<std::unique_ptr<Accelerator>> accels_;
+  bool functional_ = false;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,64 @@
+#include "src/vm/ptw.h"
+
+#include <algorithm>
+
+namespace gemmini {
+
+bool PageTableWalker::pte_cache_lookup(PAddr pte_addr) {
+  ++pte_cache_clock_;
+  for (auto& e : pte_cache_) {
+    if (e.valid && e.addr == pte_addr) {
+      e.lru = pte_cache_clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PageTableWalker::pte_cache_fill(PAddr pte_addr) {
+  if (pte_cache_.empty()) return;
+  PteCacheEntry* victim = &pte_cache_[0];
+  for (auto& e : pte_cache_) {
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  victim->valid = true;
+  victim->addr = pte_addr;
+  victim->lru = pte_cache_clock_;
+}
+
+PageTableWalker::WalkResult PageTableWalker::walk(const AddressSpace& as,
+                                                  VAddr va, Cycle t) {
+  if (pte_cache_.size() != cfg_.pte_cache_entries) {
+    pte_cache_.assign(cfg_.pte_cache_entries, PteCacheEntry{});
+  }
+  stats_.counter("walks").add();
+  Cycle now = (t > busy_until_ ? t : busy_until_) + cfg_.setup_latency;
+  if (busy_until_ > t) stats_.counter("queue_cycles").add(busy_until_ - t);
+
+  for (unsigned level = 0; level < kPtLevels; ++level) {
+    const PAddr pte = as.pte_addr(va, level);
+    // Non-leaf PTEs hit the walker's PTE cache after the first walk in the
+    // region (1-cycle lookup); leaf PTEs always load from memory.
+    if (level + 1 < kPtLevels && pte_cache_lookup(pte)) {
+      now += 1;
+      stats_.counter("pte_cache_hits").add();
+      continue;
+    }
+    now = mem_.access(pte, sizeof(std::uint64_t), /*write=*/false, now,
+                      requestor_);
+    stats_.counter("pte_loads").add();
+    if (level + 1 < kPtLevels) pte_cache_fill(pte);
+  }
+  busy_until_ = now;
+
+  WalkResult r;
+  r.ppn_base = page_base(as.translate(va));
+  r.done = now;
+  return r;
+}
+
+}  // namespace gemmini

@@ -1,0 +1,62 @@
+#pragma once
+// Page-table walker.
+//
+// The paper's case-study SoC has exactly one PTW shared by the host CPU and
+// the accelerator ("Our design includes only one PTW, shared by both the CPU
+// and the accelerator, which is suitable for low-power devices"), so walks
+// serialize. Each walk performs kPtLevels dependent 8-byte loads through the
+// *shared memory system*, which means hot PTEs naturally get cached in L2 —
+// the same effect the RTL exhibits.
+
+#include "src/base/stats.h"
+#include "src/base/types.h"
+#include "src/mem/memsys.h"
+#include "src/vm/page_table.h"
+
+namespace gemmini {
+
+struct PtwConfig {
+  Cycle setup_latency = 2;  ///< request hand-off into the walker
+  /// Rocket's PTW caches non-leaf PTEs, so walks within a warm 2 MB region
+  /// load only the leaf level from memory. 0 disables the cache.
+  unsigned pte_cache_entries = 8;
+};
+
+class PageTableWalker {
+ public:
+  PageTableWalker(const PtwConfig& cfg, MemorySystem& mem,
+                  RequestorId requestor)
+      : cfg_(cfg), mem_(mem), requestor_(requestor) {}
+
+  struct WalkResult {
+    PAddr ppn_base = 0;  ///< physical page base of the leaf
+    Cycle done = 0;
+  };
+
+  /// Walks `va` in address space `as`, starting no earlier than `t`.
+  /// A single walker port: concurrent walks queue behind each other.
+  WalkResult walk(const AddressSpace& as, VAddr va, Cycle t);
+
+  const StatSet& stats() const { return stats_; }
+  void reset_time() { busy_until_ = 0; }
+
+ private:
+  bool pte_cache_lookup(PAddr pte_addr);
+  void pte_cache_fill(PAddr pte_addr);
+
+  PtwConfig cfg_;
+  MemorySystem& mem_;
+  RequestorId requestor_;
+  Cycle busy_until_ = 0;
+  StatSet stats_;
+
+  struct PteCacheEntry {
+    bool valid = false;
+    PAddr addr = 0;
+    std::uint64_t lru = 0;
+  };
+  std::vector<PteCacheEntry> pte_cache_;
+  std::uint64_t pte_cache_clock_ = 0;
+};
+
+}  // namespace gemmini

@@ -1,0 +1,93 @@
+#include "src/vm/tlb.h"
+
+#include <limits>
+
+namespace gemmini {
+
+Tlb::Tlb(const TlbConfig& cfg, std::string name, Cycle profile_window)
+    : cfg_(cfg), name_(std::move(name)), series_(profile_window) {
+  cfg_.validate();
+  entries_.assign(cfg_.entries, Entry{});
+}
+
+std::optional<std::uint64_t> Tlb::lookup(std::uint64_t vpn, bool is_write,
+                                         Cycle t) {
+  // Consecutive same-page profiling (pre-lookup, per request stream).
+  if (is_write) {
+    stats_.counter("write_requests").add();
+    if (have_last_write_ && last_write_vpn_ == vpn) {
+      stats_.counter("write_same_page").add();
+    }
+    have_last_write_ = true;
+    last_write_vpn_ = vpn;
+  } else {
+    stats_.counter("read_requests").add();
+    if (have_last_read_ && last_read_vpn_ == vpn) {
+      stats_.counter("read_same_page").add();
+    }
+    have_last_read_ = true;
+    last_read_vpn_ = vpn;
+  }
+
+  const unsigned set = set_of(vpn);
+  Entry* base = &entries_[static_cast<std::size_t>(set) * set_ways()];
+  ++lru_clock_;
+  for (unsigned w = 0; w < set_ways(); ++w) {
+    Entry& e = base[w];
+    if (e.valid && e.vpn == vpn) {
+      e.lru = lru_clock_;
+      stats_.counter("hits").add();
+      series_.record(t, /*event=*/false);
+      return e.ppn;
+    }
+  }
+  stats_.counter("misses").add();
+  series_.record(t, /*event=*/true);
+  return std::nullopt;
+}
+
+void Tlb::fill(std::uint64_t vpn, std::uint64_t ppn) {
+  const unsigned set = set_of(vpn);
+  Entry* base = &entries_[static_cast<std::size_t>(set) * set_ways()];
+  ++lru_clock_;
+  Entry* victim = nullptr;
+  for (unsigned w = 0; w < set_ways(); ++w) {
+    if (base[w].valid && base[w].vpn == vpn) {
+      victim = &base[w];  // refresh in place
+      break;
+    }
+    if (!base[w].valid && victim == nullptr) victim = &base[w];
+  }
+  if (victim == nullptr) {
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (unsigned w = 0; w < set_ways(); ++w) {
+      if (base[w].lru < oldest) {
+        oldest = base[w].lru;
+        victim = &base[w];
+      }
+    }
+    stats_.counter("evictions").add();
+  }
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->ppn = ppn;
+  victim->lru = lru_clock_;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e = Entry{};
+  have_last_read_ = have_last_write_ = false;
+  stats_.counter("flushes").add();
+}
+
+double Tlb::consecutive_same_page_rate(bool writes) const {
+  const std::uint64_t total =
+      stats_.value(writes ? "write_requests" : "read_requests");
+  const std::uint64_t same =
+      stats_.value(writes ? "write_same_page" : "read_same_page");
+  return total <= 1 ? 0.0
+                    : static_cast<double>(same) /
+                          static_cast<double>(total - 1);
+}
+
+}  // namespace gemmini

@@ -1,0 +1,92 @@
+#pragma once
+// TLB model: fully-associative with true LRU (private accelerator TLBs are
+// small, 4..64 entries) or set-associative for the larger shared L2 TLB.
+//
+// Tracks hit/miss counters, a windowed miss-rate time series (paper Fig. 4),
+// and same-page-as-last-request statistics split by read/write (the paper
+// reports 87% of consecutive reads and 83% of consecutive writes touch the
+// same page, motivating the filter registers of Fig. 8b).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+
+struct TlbConfig {
+  unsigned entries = 16;
+  unsigned ways = 0;  ///< 0 => fully associative
+  Cycle hit_latency = 4;
+
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(entries > 0, "TLB needs at least one entry");
+    if (ways != 0) {
+      GEMMINI_CONFIG_REQUIRE(entries % ways == 0,
+                             "TLB entries must divide evenly into ways");
+    }
+  }
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& cfg, std::string name = "tlb",
+               Cycle profile_window = 100000);
+
+  /// Looks up `vpn` at time `t`. Returns the mapped PPN on hit. Records the
+  /// access in the profiling series either way.
+  std::optional<std::uint64_t> lookup(std::uint64_t vpn, bool is_write,
+                                      Cycle t);
+
+  /// Installs vpn -> ppn, evicting LRU within the set if full.
+  void fill(std::uint64_t vpn, std::uint64_t ppn);
+
+  /// Invalidates everything (context switch / OS noise model).
+  void flush();
+
+  const TlbConfig& config() const { return cfg_; }
+  const StatSet& stats() const { return stats_; }
+  const TimeSeries& miss_series() const { return series_; }
+
+  std::uint64_t hits() const { return stats_.value("hits"); }
+  std::uint64_t misses() const { return stats_.value("misses"); }
+  double hit_rate() const {
+    const double total = static_cast<double>(hits() + misses());
+    return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
+  }
+
+  /// Fraction of consecutive read (write) requests to the same page.
+  double consecutive_same_page_rate(bool writes) const;
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t vpn = 0;
+    std::uint64_t ppn = 0;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned num_sets() const {
+    return cfg_.ways == 0 ? 1 : cfg_.entries / cfg_.ways;
+  }
+  unsigned set_of(std::uint64_t vpn) const { return vpn % num_sets(); }
+  unsigned set_ways() const {
+    return cfg_.ways == 0 ? cfg_.entries : cfg_.ways;
+  }
+
+  TlbConfig cfg_;
+  std::string name_;
+  std::vector<Entry> entries_;
+  std::uint64_t lru_clock_ = 0;
+  StatSet stats_;
+  TimeSeries series_;
+
+  bool have_last_read_ = false, have_last_write_ = false;
+  std::uint64_t last_read_vpn_ = 0, last_write_vpn_ = 0;
+};
+
+}  // namespace gemmini

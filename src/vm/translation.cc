@@ -1,0 +1,93 @@
+#include "src/vm/translation.h"
+
+namespace gemmini {
+
+TranslationSystem::TranslationSystem(const TranslationConfig& cfg,
+                                     PageTableWalker& ptw)
+    : cfg_(cfg),
+      private_(cfg.private_tlb, "private_tlb", cfg.profile_window),
+      ptw_(ptw) {
+  if (cfg_.l2_tlb_present && cfg_.l2_tlb.entries > 0) {
+    l2_.emplace(cfg_.l2_tlb, "l2_tlb", cfg_.profile_window);
+  }
+}
+
+Translation TranslationSystem::translate(const AddressSpace& as, VAddr va,
+                                         bool is_write, Cycle t) {
+  const std::uint64_t vpn = page_number(va);
+  Translation out;
+  stats_.counter("requests").add();
+
+  // Filter registers: zero-latency bypass when the same page repeats within
+  // the read (or write) stream. Crucially this also *skips* the TLB lookup,
+  // so reads and writes stop evicting each other's LRU state.
+  if (cfg_.filter_registers) {
+    FilterReg& f = is_write ? write_filter_ : read_filter_;
+    if (f.valid && f.vpn == vpn) {
+      stats_.counter("filter_hits").add();
+      out.paddr = f.ppn_base | page_offset(va);
+      out.done = t;  // 0-cycle hit
+      out.level = TranslationLevel::kFilterRegister;
+      return out;
+    }
+  }
+
+  Cycle now = t;
+  PAddr ppn_base = 0;
+  if (auto ppn = private_.lookup(vpn, is_write, t)) {
+    now += cfg_.private_tlb.hit_latency;
+    ppn_base = *ppn;
+    out.level = TranslationLevel::kPrivateTlb;
+  } else {
+    now += cfg_.private_tlb.hit_latency;  // discover the miss first
+    bool filled = false;
+    if (l2_) {
+      if (auto ppn = l2_->lookup(vpn, is_write, now)) {
+        now += cfg_.l2_tlb.hit_latency;
+        ppn_base = *ppn;
+        out.level = TranslationLevel::kSharedTlb;
+        filled = true;
+      } else {
+        now += cfg_.l2_tlb.hit_latency;  // L2 TLB lookup also took time
+      }
+    }
+    if (!filled) {
+      const auto walk = ptw_.walk(as, va, now);
+      now = walk.done;
+      ppn_base = walk.ppn_base;
+      out.level = TranslationLevel::kPageWalk;
+      if (l2_) l2_->fill(vpn, walk.ppn_base);
+    }
+    private_.fill(vpn, ppn_base);
+  }
+
+  if (cfg_.filter_registers) {
+    FilterReg& f = is_write ? write_filter_ : read_filter_;
+    f.valid = true;
+    f.vpn = vpn;
+    f.ppn_base = ppn_base;
+  }
+
+  out.paddr = ppn_base | page_offset(va);
+  out.done = now;
+  return out;
+}
+
+void TranslationSystem::flush() {
+  private_.flush();
+  if (l2_) l2_->flush();
+  read_filter_ = FilterReg{};
+  write_filter_ = FilterReg{};
+  stats_.counter("flushes").add();
+}
+
+double TranslationSystem::effective_private_hit_rate() const {
+  const double filter_hits =
+      static_cast<double>(stats_.value("filter_hits"));
+  const double tlb_hits = static_cast<double>(private_.hits());
+  const double tlb_misses = static_cast<double>(private_.misses());
+  const double total = filter_hits + tlb_hits + tlb_misses;
+  return total == 0 ? 0.0 : (filter_hits + tlb_hits) / total;
+}
+
+}  // namespace gemmini

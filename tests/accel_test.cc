@@ -1,0 +1,278 @@
+// Accelerator component tests: DMA data movement, accumulator semantics,
+// hazard-driven overlap, scratchpad banking, peripherals, reporting.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cpu/kernels.h"
+#include "src/runtime/kernels_accel.h"
+#include "tests/test_util.h"
+
+namespace gemmini {
+namespace {
+
+using test::AccelHarness;
+
+TEST(Dma, MvinMvoutRoundTrip) {
+  AccelHarness h;
+  Rng rng(1);
+  TensorI8 t({16, 16});
+  t.randomize(rng);
+  const VAddr src = h.upload(t);
+  const VAddr dst = h.as.alloc(16 * 16 + 4096);
+
+  Program prog{make_config_ld(16, 1.0f, 0), make_config_st(16),
+               make_mvin(src, LocalAddr::sp_row(0), 16, 16),
+               make_mvout(dst, LocalAddr::sp_row(0), 16, 16), make_fence()};
+  h.accel.run(prog, h.as);
+  EXPECT_EQ((h.download<std::int8_t>(dst, {16, 16})), t);
+}
+
+TEST(Dma, MvinScaleAppliesOnLoad) {
+  AccelHarness h;
+  TensorI8 t({1, 4});
+  t[0] = 100; t[1] = -50; t[2] = 3; t[3] = -128;
+  const VAddr src = h.upload(t);
+  const VAddr dst = h.as.alloc(4096);
+  Program prog{make_config_ld(4, 0.5f, 0), make_config_st(4),
+               make_mvin(src, LocalAddr::sp_row(0), 1, 4),
+               make_mvout(dst, LocalAddr::sp_row(0), 1, 4), make_fence()};
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(dst, {1, 4});
+  EXPECT_EQ(got[0], 50);
+  EXPECT_EQ(got[1], -25);
+  EXPECT_EQ(got[2], 2);    // 1.5 rounds to even? nearbyint(1.5) = 2
+  EXPECT_EQ(got[3], -64);
+}
+
+TEST(Dma, StridedMvinGathersRows) {
+  AccelHarness h;
+  // A 4x8 matrix; load a 4x4 sub-block with row stride 8.
+  TensorI8 t({4, 8});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<std::int8_t>(i);
+  const VAddr src = h.upload(t);
+  const VAddr dst = h.as.alloc(4096);
+  Program prog{make_config_ld(8, 1.0f, 0), make_config_st(4),
+               make_mvin(src + 2, LocalAddr::sp_row(0), 4, 4),
+               make_mvout(dst, LocalAddr::sp_row(0), 4, 4), make_fence()};
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(dst, {4, 4});
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      EXPECT_EQ(got.at(r, c), t.at(r, c + 2));
+    }
+  }
+}
+
+TEST(Accumulator, AccumulateBitAddsMvins) {
+  AccelHarness h;
+  TensorI8 a({1, 16}), b({1, 16});
+  Rng rng(3);
+  a.randomize(rng);
+  b.randomize(rng);
+  const VAddr va = h.upload(a), vb = h.upload(b);
+  const VAddr out = h.as.alloc(4096);
+  Program prog{make_config_ex(Dataflow::kWeightStationary, Activation::kNone,
+                              0),
+               make_config_ld(16, 1.0f, 0), make_config_st(16),
+               make_mvin(va, LocalAddr::acc_row(0, false), 1, 16),
+               make_mvin(vb, LocalAddr::acc_row(0, true), 1, 16),
+               make_mvout(out, LocalAddr::acc_row(0, false), 1, 16),
+               make_fence()};
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(out, {1, 16});
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(got[i], saturate_i8(static_cast<std::int32_t>(a[i]) + b[i]));
+  }
+}
+
+TEST(Accumulator, ReadoutShiftAndRelu) {
+  AccelHarness h;
+  TensorI8 a({1, 4});
+  a[0] = 100; a[1] = -100; a[2] = 31; a[3] = -31;
+  const VAddr va = h.upload(a);
+  const VAddr out = h.as.alloc(4096);
+  Program prog{make_config_ex(Dataflow::kWeightStationary, Activation::kRelu,
+                              2),
+               make_config_ld(4, 1.0f, 0), make_config_st(4),
+               make_mvin(va, LocalAddr::acc_row(0, false), 1, 4),
+               make_mvout(out, LocalAddr::acc_row(0, false), 1, 4),
+               make_fence()};
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(out, {1, 4});
+  EXPECT_EQ(got[0], 25);
+  EXPECT_EQ(got[1], 0);   // ReLU before shift
+  EXPECT_EQ(got[2], 8);   // 7.75 -> 8
+  EXPECT_EQ(got[3], 0);
+}
+
+TEST(Resadd, MatchesReferenceIncludingSaturation) {
+  AccelHarness h;
+  Rng rng(4);
+  const std::uint64_t elems = 1000;
+  TensorI8 a({elems}), b({elems}), expect({elems});
+  a.randomize(rng);
+  b.randomize(rng);
+  ref::resadd_i8(a, b, expect, Activation::kRelu);
+  const VAddr va = h.upload(a), vb = h.upload(b);
+  const VAddr out = h.as.alloc(elems + 4096);
+  const Program prog =
+      emit_resadd(h.config, va, vb, out, elems, Activation::kRelu);
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(out, {elems});
+  for (std::uint64_t i = 0; i < elems; ++i) {
+    ASSERT_EQ(got[i], expect[i]) << "i=" << i;
+  }
+}
+
+TEST(Controller, LoadComputeStoreOverlap) {
+  // Two independent (mvin, compute, mvout) chains on disjoint rows must
+  // overlap: total time well under 2x one chain.
+  AccelHarness h;
+  h.accel.set_functional(false);
+  const VAddr a = h.as.alloc(1 << 20);
+  auto chain = [&](std::uint32_t sp_base, std::uint32_t acc_base,
+                   VAddr va) -> Program {
+    return {make_mvin(va, LocalAddr::sp_row(sp_base), 16, 16),
+            make_preload(LocalAddr::sp_row(sp_base),
+                         LocalAddr::acc_row(acc_base, false), 16, 16, 16, 16),
+            make_compute(LocalAddr::sp_row(sp_base), LocalAddr::garbage(), 16,
+                         16, 0, 0, true),
+            make_mvout(va + (1 << 18), LocalAddr::acc_row(acc_base, false), 16,
+                       16)};
+  };
+  Program one = chain(0, 0, a);
+  one.insert(one.begin(), make_config_ld(16, 1.0f, 0));
+  one.insert(one.begin() + 1, make_config_st(16));
+  const Cycle t_one = h.accel.run(one, h.as);
+
+  AccelHarness h2;
+  h2.accel.set_functional(false);
+  const VAddr a2 = h2.as.alloc(1 << 20);
+  Program two{make_config_ld(16, 1.0f, 0), make_config_st(16)};
+  // Use a *different* bank for the second chain so DMA and EX don't fight.
+  const std::uint32_t other_bank =
+      static_cast<std::uint32_t>(h2.config.sp_bank_rows());
+  Program c1 = chain(0, 0, a2);
+  Program c2 = chain(other_bank, 16, a2 + (1 << 16));
+  two.insert(two.end(), c1.begin(), c1.end());
+  two.insert(two.end(), c2.begin(), c2.end());
+  const Cycle t_two = h2.accel.run(two, h2.as);
+  EXPECT_LT(t_two, 2 * t_one);
+}
+
+TEST(Controller, HazardsSerializeDependentOps) {
+  // compute reading rows written by mvin must start after the mvin ends.
+  AccelHarness h;
+  h.accel.set_functional(false);
+  const VAddr a = h.as.alloc(1 << 16);
+  Program prog{make_config_ld(16, 1.0f, 0),
+               make_mvin(a, LocalAddr::sp_row(0), 16, 16),
+               make_preload(LocalAddr::sp_row(0), LocalAddr::acc_row(0, false),
+                            16, 16, 16, 16)};
+  h.accel.run(prog, h.as);
+  const auto& rep = h.accel.report();
+  // The preload could not have started before the mvin finished; the
+  // frontier reflects the serialized chain.
+  EXPECT_GE(rep.finish, rep.load_busy);
+}
+
+TEST(Controller, FenceDrainsAllPipes) {
+  AccelHarness h;
+  h.accel.set_functional(false);
+  const VAddr a = h.as.alloc(1 << 16);
+  Program prog{make_config_ld(16, 1.0f, 0),
+               make_mvin(a, LocalAddr::sp_row(0), 16, 16), make_fence(),
+               make_mvin(a + 4096, LocalAddr::sp_row(256), 16, 16)};
+  const Cycle end = h.accel.run(prog, h.as);
+  EXPECT_GT(end, 0u);
+}
+
+TEST(Controller, FlushClearsTlbState) {
+  AccelHarness h;
+  h.accel.set_functional(false);
+  const VAddr a = h.as.alloc(1 << 16);
+  Program prog{make_config_ld(16, 1.0f, 0),
+               make_mvin(a, LocalAddr::sp_row(0), 16, 16)};
+  h.accel.run(prog, h.as);
+  const std::uint64_t misses1 = h.accel.translation().private_tlb().misses();
+  Program prog2{make_flush(),
+                make_mvin(a, LocalAddr::sp_row(16), 16, 16)};
+  h.accel.run(prog2, h.as);
+  EXPECT_GT(h.accel.translation().private_tlb().misses(), misses1);
+}
+
+TEST(Report, MacsAndUtilizationTracked) {
+  AccelHarness h;
+  h.accel.set_functional(false);
+  const VAddr a = h.as.alloc(1 << 16);
+  Program prog{make_config_ld(16, 1.0f, 0),
+               make_mvin(a, LocalAddr::sp_row(0), 16, 16),
+               make_preload(LocalAddr::sp_row(0), LocalAddr::acc_row(0, false),
+                            16, 16, 16, 16),
+               make_compute(LocalAddr::sp_row(0), LocalAddr::garbage(), 16, 16,
+                            0, 0, true),
+               make_fence()};
+  h.accel.run(prog, h.as);
+  EXPECT_EQ(h.accel.report().macs, 16u * 16 * 16);
+  EXPECT_GT(h.accel.report().exec_busy, 0u);
+  EXPECT_GT(h.accel.report().utilization(h.config, h.accel.frontier()), 0.0);
+}
+
+TEST(Scratchpad, BankConflictsDelaySecondAccess) {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  Scratchpad sp(cfg);
+  const Cycle t1 = sp.reserve(0, 16, 0, 16);
+  EXPECT_EQ(t1, 16u);
+  // Same bank: serialized.
+  const Cycle t2 = sp.reserve(0, 16, 0, 16);
+  EXPECT_EQ(t2, 32u);
+  // Different bank: parallel.
+  const Cycle t3 = sp.reserve(cfg.sp_bank_rows(), 16, 0, 16);
+  EXPECT_EQ(t3, 16u);
+  EXPECT_GT(sp.stats().value("bank_conflict_cycles"), 0u);
+}
+
+TEST(Scratchpad, OutOfRangeAborts) {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  Scratchpad sp(cfg);
+  EXPECT_DEATH(sp.reserve(cfg.sp_rows(), 1, 0, 1), "");
+}
+
+TEST(Peripherals, ScalarMulStreamsAndScales) {
+  AccelHarness h;
+  TensorI8 t({64});
+  for (std::size_t i = 0; i < 64; ++i) t[i] = static_cast<std::int8_t>(i - 32);
+  const VAddr in = h.upload(t);
+  const VAddr out = h.as.alloc(4096);
+  const Program prog = emit_scalar_mul(h.config, in, out, 64, 2.0f);
+  h.accel.run(prog, h.as);
+  const TensorI8 got = h.download<std::int8_t>(out, {64});
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(got[i], saturate_i8(2 * static_cast<std::int32_t>(t[i])));
+  }
+}
+
+TEST(Peripherals, PoolingRequiresEngine) {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_pooling = false;
+  EXPECT_THROW(emit_pool(cfg, 0x1000, 0x2000, 1024, 256, 2, 2), RuntimeError);
+}
+
+TEST(Peripherals, TransposeRequiresTransposer) {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_transposer = false;
+  test::AccelHarness h(cfg);
+  h.accel.set_functional(false);
+  Program prog{
+      make_config_ex(Dataflow::kWeightStationary, Activation::kNone, 0,
+                     /*a_transpose=*/true),
+      make_preload(LocalAddr::garbage(), LocalAddr::acc_row(0, false), 0, 0,
+                   16, 16),
+      make_compute(LocalAddr::sp_row(0), LocalAddr::garbage(), 16, 16, 0, 0,
+                   true)};
+  EXPECT_DEATH(h.accel.run(prog, h.as), "transposer");
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,148 @@
+// Foundation tests: fixed-point pipeline, RNG determinism, tensors, stats.
+
+#include <gtest/gtest.h>
+
+#include "src/base/fixed.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/tensor.h"
+#include "src/base/types.h"
+
+namespace gemmini {
+namespace {
+
+TEST(Fixed, RoundingShiftRoundsHalfUp) {
+  EXPECT_EQ(rounding_shift(7, 0), 7);
+  EXPECT_EQ(rounding_shift(4, 2), 1);   // 1.0 exactly
+  EXPECT_EQ(rounding_shift(5, 2), 1);   // 1.25 -> 1
+  EXPECT_EQ(rounding_shift(6, 2), 2);   // 1.5 -> 2 (half up)
+  EXPECT_EQ(rounding_shift(-6, 2), -1); // -1.5 -> -1 (arithmetic shift)
+  EXPECT_EQ(rounding_shift(1024, 10), 1);
+}
+
+TEST(Fixed, SaturationClamps) {
+  EXPECT_EQ(saturate_i8(127), 127);
+  EXPECT_EQ(saturate_i8(128), 127);
+  EXPECT_EQ(saturate_i8(-128), -128);
+  EXPECT_EQ(saturate_i8(-129), -128);
+  EXPECT_EQ(saturate_i8(100000), 127);
+  EXPECT_EQ(saturate_i8(-100000), -128);
+}
+
+TEST(Fixed, SaturatingAddI32) {
+  EXPECT_EQ(saturating_add_i32(INT32_MAX, 1), INT32_MAX);
+  EXPECT_EQ(saturating_add_i32(INT32_MIN, -1), INT32_MIN);
+  EXPECT_EQ(saturating_add_i32(5, 7), 12);
+  EXPECT_EQ(saturating_add_i32(-5, 3), -2);
+}
+
+TEST(Fixed, ActivationRelu) {
+  EXPECT_EQ(apply_activation_i32(-7, Activation::kRelu), 0);
+  EXPECT_EQ(apply_activation_i32(7, Activation::kRelu), 7);
+  EXPECT_EQ(apply_activation_i32(-7, Activation::kNone), -7);
+}
+
+TEST(Fixed, Relu6ClipsInOutputDomain) {
+  // With shift 2, the "6" threshold is 6<<2 = 24 in accumulator domain.
+  EXPECT_EQ(quantize_i32_to_i8(100, 2, Activation::kRelu6), 6);
+  EXPECT_EQ(quantize_i32_to_i8(20, 2, Activation::kRelu6), 5);
+  EXPECT_EQ(quantize_i32_to_i8(-20, 2, Activation::kRelu6), 0);
+}
+
+TEST(Fixed, QuantizePipelineOrder) {
+  // Activation happens before the shift: a negative accumulator value is
+  // zeroed by ReLU even if the shifted value would round to zero anyway.
+  EXPECT_EQ(quantize_i32_to_i8(-1000, 4, Activation::kRelu), 0);
+  EXPECT_EQ(quantize_i32_to_i8(1000, 4, Activation::kNone), 63);  // 62.5 -> 63
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.next_range(-3, 9);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 9);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  TensorI8 t({3, 4});
+  EXPECT_EQ(t.size(), 12u);
+  t.at(2, 3) = 42;
+  EXPECT_EQ(t[2 * 4 + 3], 42);
+  TensorI8 n({2, 3, 4, 5});
+  n.at(1, 2, 3, 4) = 7;
+  EXPECT_EQ(n[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7);
+}
+
+TEST(Tensor, RandomizeDeterministic) {
+  Rng r1(5), r2(5);
+  TensorI8 a({16, 16}), b({16, 16});
+  a.randomize(r1);
+  b.randomize(r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Stats, CountersAccumulate) {
+  StatSet s;
+  s.counter("x").add();
+  s.counter("x").add(41);
+  EXPECT_EQ(s.value("x"), 42u);
+  EXPECT_EQ(s.value("missing"), 0u);
+  s.reset();
+  EXPECT_EQ(s.value("x"), 0u);
+}
+
+TEST(Stats, TimeSeriesWindows) {
+  TimeSeries ts(100);
+  for (Cycle t = 0; t < 100; ++t) ts.record(t, t < 20);   // 20% in window 0
+  for (Cycle t = 100; t < 200; ++t) ts.record(t, false);  // 0% in window 1
+  ASSERT_EQ(ts.num_windows(), 2u);
+  EXPECT_DOUBLE_EQ(ts.rate(0), 0.2);
+  EXPECT_DOUBLE_EQ(ts.rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_rate(), 0.2);
+}
+
+TEST(Stats, TimeSeriesEmptyWindowsRateZero) {
+  TimeSeries ts(10);
+  ts.record(95, true);  // only window 9 populated
+  EXPECT_EQ(ts.num_windows(), 10u);
+  EXPECT_DOUBLE_EQ(ts.rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.rate(9), 1.0);
+}
+
+TEST(Types, PageArithmetic) {
+  EXPECT_EQ(page_number(0x12345), 0x12ull);
+  EXPECT_EQ(page_offset(0x12345), 0x345ull);
+  EXPECT_EQ(page_base(0x12345), 0x12000ull);
+}
+
+TEST(Types, DtypeSizes) {
+  EXPECT_EQ(dtype_bytes(DType::kInt8), 1u);
+  EXPECT_EQ(dtype_bytes(DType::kFp32), 4u);
+  EXPECT_EQ(acc_dtype_bytes(DType::kInt8), 4u);
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,251 @@
+// Convolution lowering correctness: conv-as-matmul over im2col (and the
+// direct 1x1 path, and depthwise per-channel lowering) must match the
+// golden NHWC convolution kernels exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cpu/kernels.h"
+#include "src/model/runner.h"
+#include "src/runtime/conv.h"
+#include "tests/test_util.h"
+
+namespace gemmini {
+namespace {
+
+using test::AccelHarness;
+
+struct ConvCase {
+  unsigned ih, iw, ic, k, oc, stride, padding;
+  Activation act;
+};
+
+void run_conv_case(AccelHarness& h, const ConvCase& cc, std::uint64_t seed) {
+  Rng rng(seed);
+  ConvShape shape;
+  shape.ih = cc.ih;
+  shape.iw = cc.iw;
+  shape.ic = cc.ic;
+  shape.kh = shape.kw = cc.k;
+  shape.oc = cc.oc;
+  shape.stride = cc.stride;
+  shape.padding = cc.padding;
+  const unsigned shift = default_out_shift(shape.patch_cols());
+
+  TensorI8 in({1, cc.ih, cc.iw, cc.ic});
+  TensorI8 w4({cc.k, cc.k, cc.ic, cc.oc});
+  in.randomize(rng);
+  w4.randomize(rng);
+  std::vector<std::int8_t> bias(cc.oc);
+  std::vector<std::int32_t> bias32(cc.oc);
+  for (unsigned i = 0; i < cc.oc; ++i) {
+    bias[i] = rng.next_int8();
+    bias32[i] = bias[i];
+  }
+
+  // Expected result from the NHWC reference conv.
+  TensorI8 expect({1, shape.oh(), shape.ow(), cc.oc});
+  ref::conv2d_i8(in, w4, bias32.data(), expect,
+                 {cc.stride, cc.padding, shift, cc.act});
+
+  // Weights as the [patch_cols x OC] matrix the accelerator multiplies —
+  // the NHWC weight tensor is already in exactly this layout when
+  // flattened.
+  ConvBuffers buf;
+  buf.input = h.upload(in);
+  buf.weights = h.upload(w4);
+  buf.bias = h.as.alloc(cc.oc + 4096);
+  h.as.write_virt(buf.bias, bias.data(), bias.size());
+  buf.output = h.as.alloc(shape.out_rows() * cc.oc + 8192);
+  if (!shape.is_direct()) {
+    buf.im2col_scratch =
+        h.as.alloc(shape.out_rows() * shape.patch_cols() + 8192);
+    // Host-side expansion (what the CPU or the im2col unit produces).
+    TensorI8 col({shape.out_rows(), shape.patch_cols()});
+    ref::im2col_i8(in, cc.k, cc.k, cc.stride, cc.padding, col);
+    h.as.write_virt(buf.im2col_scratch, col.data(), col.size());
+  }
+
+  const ConvPlan plan = emit_conv(h.config, shape, buf, shift, cc.act);
+  EXPECT_EQ(plan.macs, shape.macs());
+  h.accel.run(plan.program, h.as);
+
+  const TensorI8 got = h.download<std::int8_t>(
+      buf.output, {std::size_t{1}, shape.oh(), shape.ow(), cc.oc});
+  for (unsigned y = 0; y < shape.oh(); ++y) {
+    for (unsigned x = 0; x < shape.ow(); ++x) {
+      for (unsigned o = 0; o < cc.oc; ++o) {
+        ASSERT_EQ(got.at(0, y, x, o), expect.at(0, y, x, o))
+            << "y=" << y << " x=" << x << " oc=" << o;
+      }
+    }
+  }
+}
+
+TEST(Conv, OneByOneDirect) {
+  AccelHarness h;
+  run_conv_case(h, {8, 8, 32, 1, 16, 1, 0, Activation::kNone}, 1);
+}
+
+TEST(Conv, ThreeByThreeSame) {
+  AccelHarness h;
+  run_conv_case(h, {10, 10, 8, 3, 12, 1, 1, Activation::kRelu}, 2);
+}
+
+TEST(Conv, StridedWithPadding) {
+  AccelHarness h;
+  run_conv_case(h, {14, 14, 6, 3, 10, 2, 1, Activation::kRelu}, 3);
+}
+
+TEST(Conv, BigKernelLikeAlexNet) {
+  AccelHarness h;
+  run_conv_case(h, {19, 19, 3, 11, 8, 4, 2, Activation::kRelu}, 4);
+}
+
+TEST(Conv, SingleChannel) {
+  AccelHarness h;
+  run_conv_case(h, {7, 7, 1, 3, 1, 1, 1, Activation::kNone}, 5);
+}
+
+TEST(Conv, CpuIm2colCostChargedOnlyWithoutUnit) {
+  ConvShape shape;
+  shape.ih = shape.iw = 8;
+  shape.ic = 4;
+  shape.kh = shape.kw = 3;
+  shape.oc = 8;
+  shape.padding = 1;
+  ConvBuffers buf;
+  buf.input = 0x10000;
+  buf.weights = 0x20000;
+  buf.output = 0x30000;
+  buf.im2col_scratch = 0x40000;
+
+  GemminiConfig no_unit = GemminiConfig::paper_default();
+  no_unit.has_im2col = false;
+  GemminiConfig with_unit = GemminiConfig::paper_default();
+  with_unit.has_im2col = true;
+  const ConvPlan p1 = emit_conv(no_unit, shape, buf, 8, Activation::kNone);
+  const ConvPlan p2 = emit_conv(with_unit, shape, buf, 8, Activation::kNone);
+  EXPECT_GT(p1.cpu_im2col_bytes, 0u);
+  EXPECT_EQ(p2.cpu_im2col_bytes, 0u);
+  EXPECT_EQ(p1.cpu_im2col_bytes, shape.im2col_bytes(1));
+}
+
+TEST(Conv, MissingScratchThrows) {
+  ConvShape shape;
+  shape.ih = shape.iw = 8;
+  shape.ic = 4;
+  shape.kh = shape.kw = 3;
+  shape.oc = 8;
+  ConvBuffers buf;
+  buf.input = 0x1000;
+  buf.weights = 0x2000;
+  buf.output = 0x3000;
+  EXPECT_THROW(
+      emit_conv(GemminiConfig::paper_default(), shape, buf, 8,
+                Activation::kNone),
+      RuntimeError);
+}
+
+void run_dw_case(AccelHarness& h, unsigned hw, unsigned c, unsigned k,
+                 unsigned stride, unsigned padding, std::uint64_t seed) {
+  Rng rng(seed);
+  ConvShape shape;
+  shape.ih = shape.iw = hw;
+  shape.ic = c;
+  shape.kh = shape.kw = k;
+  shape.oc = c;
+  shape.stride = stride;
+  shape.padding = padding;
+  const std::uint64_t kk = static_cast<std::uint64_t>(k) * k;
+  const unsigned shift = default_out_shift(kk);
+
+  TensorI8 in({1, hw, hw, c});
+  TensorI8 w3({k, k, c});
+  in.randomize(rng);
+  w3.randomize(rng);
+  TensorI8 expect({1, shape.oh(), shape.ow(), c});
+  ref::depthwise_conv2d_i8(in, w3, nullptr, expect,
+                           {stride, padding, shift, Activation::kRelu});
+
+  // Weight matrix [kk x C]: column c = channel c's kernel. The [KH,KW,C]
+  // tensor flattened is exactly that.
+  ConvBuffers buf;
+  buf.input = h.upload(in);
+  buf.weights = h.upload(w3);
+  buf.output = h.as.alloc(shape.out_rows() * c + 8192);
+  const std::uint64_t m = shape.out_rows();
+  buf.im2col_scratch = h.as.alloc(m * kk * c + 8192);
+  // Channel-major per-channel im2col (what the runner's fixup materializes).
+  std::vector<std::int8_t> col(m * kk);
+  for (unsigned ch = 0; ch < c; ++ch) {
+    std::size_t idx = 0;
+    for (unsigned y = 0; y < shape.oh(); ++y) {
+      for (unsigned x = 0; x < shape.ow(); ++x) {
+        for (unsigned ky = 0; ky < k; ++ky) {
+          for (unsigned kx = 0; kx < k; ++kx, ++idx) {
+            const std::int64_t sy =
+                static_cast<std::int64_t>(y) * stride + ky - padding;
+            const std::int64_t sx =
+                static_cast<std::int64_t>(x) * stride + kx - padding;
+            const bool ok = sy >= 0 && sy < hw && sx >= 0 && sx < hw;
+            col[idx] = ok ? in.at(0, sy, sx, ch) : std::int8_t{0};
+          }
+        }
+      }
+    }
+    h.as.write_virt(buf.im2col_scratch + static_cast<std::uint64_t>(ch) * m * kk,
+                    col.data(), col.size());
+  }
+
+  const ConvPlan plan =
+      emit_depthwise_conv(h.config, shape, buf, shift, Activation::kRelu);
+  h.accel.run(plan.program, h.as);
+
+  const TensorI8 got = h.download<std::int8_t>(
+      buf.output, {std::size_t{1}, shape.oh(), shape.ow(), c});
+  for (unsigned y = 0; y < shape.oh(); ++y) {
+    for (unsigned x = 0; x < shape.ow(); ++x) {
+      for (unsigned ch = 0; ch < c; ++ch) {
+        ASSERT_EQ(got.at(0, y, x, ch), expect.at(0, y, x, ch))
+            << "y=" << y << " x=" << x << " c=" << ch;
+      }
+    }
+  }
+}
+
+TEST(DepthwiseConv, Small3x3) {
+  AccelHarness h;
+  run_dw_case(h, 6, 4, 3, 1, 1, 10);
+}
+
+TEST(DepthwiseConv, StridedMobileNetStyle) {
+  AccelHarness h;
+  run_dw_case(h, 10, 8, 3, 2, 1, 11);
+}
+
+// Sweep the conv shape space: every case must match the reference.
+class ConvSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ConvSweep, MatchesReference) {
+  const auto [hw, ic, k, stride] = GetParam();
+  AccelHarness h;
+  run_conv_case(h,
+                {static_cast<unsigned>(hw), static_cast<unsigned>(hw),
+                 static_cast<unsigned>(ic), static_cast<unsigned>(k),
+                 /*oc=*/static_cast<unsigned>(ic + 3),
+                 static_cast<unsigned>(stride),
+                 /*padding=*/static_cast<unsigned>(k / 2), Activation::kRelu},
+                static_cast<std::uint64_t>(hw * 1000 + ic * 100 + k * 10 +
+                                           stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConvSweep,
+                         ::testing::Combine(::testing::Values(6, 9, 12),
+                                            ::testing::Values(1, 3, 17),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,192 @@
+// Analytic model tests: the area/timing/power models must reproduce the
+// paper's published synthesis numbers (Fig. 3, Fig. 6) at the calibration
+// points and behave sanely away from them.
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/header_gen.h"
+#include "src/core/feature_matrix.h"
+#include "src/estimate/area_model.h"
+#include "src/estimate/power_model.h"
+#include "src/estimate/timing_model.h"
+
+namespace gemmini {
+namespace {
+
+// ---- Fig. 3 calibration points --------------------------------------------
+
+TEST(TimingModel, SystolicHits189GHz) {
+  TimingModel tm;
+  const auto g = GemminiConfig::systolic_16x16().array;
+  EXPECT_NEAR(tm.fmax_ghz(g, DType::kInt8), 1.89, 0.02);
+}
+
+TEST(TimingModel, VectorHits069GHz) {
+  TimingModel tm;
+  const auto g = GemminiConfig::vector_16x16().array;
+  EXPECT_NEAR(tm.fmax_ghz(g, DType::kInt8), 0.69, 0.02);
+}
+
+TEST(TimingModel, SystolicVectorRatioIs27x) {
+  // "the TPU-like design achieves a 2.7x higher maximum frequency"
+  TimingModel tm;
+  const double ratio =
+      tm.fmax_ghz(GemminiConfig::systolic_16x16().array, DType::kInt8) /
+      tm.fmax_ghz(GemminiConfig::vector_16x16().array, DType::kInt8);
+  EXPECT_NEAR(ratio, 2.7, 0.15);
+}
+
+TEST(TimingModel, LongerChainsAreSlower) {
+  TimingModel tm;
+  double prev = 10.0;
+  for (unsigned chain : {1u, 2u, 4u, 8u, 16u}) {
+    SpatialArrayGeometry g{16 / chain, 16, chain, 1};
+    const double f = tm.fmax_ghz(g, DType::kInt8);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(TimingModel, MeetsTimingGate) {
+  TimingModel tm;
+  GemminiConfig cfg = GemminiConfig::vector_16x16();
+  cfg.clock_ghz = 1.0;
+  EXPECT_FALSE(tm.meets_timing(cfg));  // 0.69 GHz part at 1 GHz: fails
+  cfg.clock_ghz = 0.5;
+  EXPECT_TRUE(tm.meets_timing(cfg));
+}
+
+TEST(AreaModel, SystolicArrayNear120K) {
+  AreaModel am;
+  const double a =
+      am.spatial_array_um2(GemminiConfig::systolic_16x16().array,
+                           DType::kInt8);
+  EXPECT_NEAR(a, 120000, 4000);  // paper: 120K um^2
+}
+
+TEST(AreaModel, VectorArrayNear67K) {
+  AreaModel am;
+  const double a = am.spatial_array_um2(GemminiConfig::vector_16x16().array,
+                                        DType::kInt8);
+  EXPECT_NEAR(a, 67000, 3000);  // paper: 67K um^2
+}
+
+TEST(AreaModel, SystolicVectorAreaRatio18x) {
+  AreaModel am;
+  const double ratio =
+      am.spatial_array_um2(GemminiConfig::systolic_16x16().array,
+                           DType::kInt8) /
+      am.spatial_array_um2(GemminiConfig::vector_16x16().array,
+                           DType::kInt8);
+  EXPECT_NEAR(ratio, 1.8, 0.15);  // paper: "1.8x as much area"
+}
+
+// ---- Fig. 6 calibration points --------------------------------------------
+
+TEST(AreaModel, Fig6Breakdown) {
+  AreaModel am;
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_im2col = false;
+  cfg.has_pooling = false;
+  cfg.has_transposer = false;
+  const AreaBreakdown b = am.breakdown(cfg, /*host_is_boom=*/false);
+  EXPECT_NEAR(b.scratchpad_um2, 544000, 2000);     // 544K for 256 KB
+  EXPECT_NEAR(b.accumulator_um2, 146000, 4000);    // 146K for 64 KB
+  EXPECT_NEAR(b.host_cpu_um2, 171000, 1);          // Rocket
+  EXPECT_NEAR(b.spatial_array_um2, 116000, 6000);  // 116K for 16x16
+  EXPECT_NEAR(b.total_um2, 1029000, 60000);        // ~1.03 mm^2
+  // SRAM dominance: the paper reports 67.1% for sp+acc.
+  EXPECT_NEAR(b.fraction(b.scratchpad_um2 + b.accumulator_um2), 0.671, 0.03);
+  EXPECT_NEAR(b.fraction(b.spatial_array_um2), 0.113, 0.02);
+}
+
+TEST(AreaModel, ScalesLinearlyWithSram) {
+  AreaModel am;
+  EXPECT_DOUBLE_EQ(am.scratchpad_um2(512 * 1024),
+                   2 * am.scratchpad_um2(256 * 1024));
+}
+
+TEST(AreaModel, Fp32MacsCostMore) {
+  AreaModel am;
+  const auto g = GemminiConfig::paper_default().array;
+  EXPECT_GT(am.spatial_array_um2(g, DType::kFp32),
+            2 * am.spatial_array_um2(g, DType::kInt8));
+}
+
+// ---- Power ------------------------------------------------------------------
+
+TEST(PowerModel, SystolicDraws3xVector) {
+  // "3.0x as much power, due to its pipeline registers"
+  PowerModel pm;
+  const double systolic = pm.spatial_array_mw(
+      GemminiConfig::systolic_16x16().array, DType::kInt8, 0.5);
+  const double vector = pm.spatial_array_mw(
+      GemminiConfig::vector_16x16().array, DType::kInt8, 0.5);
+  EXPECT_NEAR(systolic / vector, 3.0, 0.2);
+}
+
+TEST(PowerModel, ScalesWithFrequency) {
+  PowerModel pm;
+  const auto g = GemminiConfig::paper_default().array;
+  EXPECT_NEAR(pm.spatial_array_mw(g, DType::kInt8, 1.0),
+              2 * pm.spatial_array_mw(g, DType::kInt8, 0.5), 1e-9);
+}
+
+// ---- Codegen ------------------------------------------------------------------
+
+TEST(HeaderGen, EmitsConfigParameters) {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_im2col = true;
+  const std::string h = generate_params_header(cfg);
+  EXPECT_NE(h.find("#define DIM 16"), std::string::npos);
+  EXPECT_NE(h.find("#define BANK_NUM 4"), std::string::npos);
+  EXPECT_NE(h.find("typedef int8_t elem_t;"), std::string::npos);
+  EXPECT_NE(h.find("#define HAS_IM2COL 1"), std::string::npos);
+  EXPECT_NE(h.find("#define DATAFLOW_WS 1"), std::string::npos);
+  EXPECT_NE(h.find("#define DATAFLOW_OS 1"), std::string::npos);
+}
+
+TEST(HeaderGen, Fp32TypesAndTlbParams) {
+  GemminiConfig cfg = GemminiConfig::edge();
+  cfg.dtype = DType::kFp32;
+  cfg.translation.filter_registers = true;
+  const std::string h = generate_params_header(cfg);
+  EXPECT_NE(h.find("typedef float elem_t;"), std::string::npos);
+  EXPECT_NE(h.find("#define TLB_ENTRIES 4"), std::string::npos);
+  EXPECT_NE(h.find("#define L2_TLB_ENTRIES 0"), std::string::npos);
+  EXPECT_NE(h.find("#define HAS_TLB_FILTER_REGS 1"), std::string::npos);
+}
+
+// ---- Table I -------------------------------------------------------------------
+
+TEST(FeatureMatrix, GemminiRowDerivedFromCapabilities) {
+  const auto rows = feature_matrix();
+  const auto& g = rows.back();
+  EXPECT_EQ(g.name, "Gemmini");
+  EXPECT_EQ(g.datatypes, "Int/Float");
+  EXPECT_TRUE(g.multiple_dataflows);
+  EXPECT_EQ(g.spatial_array, "vector/systolic");
+  EXPECT_TRUE(g.virtual_memory);
+  EXPECT_TRUE(g.full_soc);
+  EXPECT_TRUE(g.os_support);
+}
+
+TEST(FeatureMatrix, OnlyGemminiHasFullSoc) {
+  for (const auto& r : feature_matrix()) {
+    if (r.name != "Gemmini") {
+      EXPECT_FALSE(r.full_soc) << r.name;
+      EXPECT_FALSE(r.virtual_memory) << r.name;
+    }
+  }
+}
+
+TEST(FeatureMatrix, RendersAllRows) {
+  const std::string s = render_feature_matrix();
+  for (const char* name : {"NVDLA", "VTA", "PolySA", "DNNBuilder", "MAGNet",
+                           "DNNWeaver", "MAERI", "Gemmini"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,126 @@
+// Floating-point datatype support (Table I: Gemmini handles Int *and*
+// Float): the fp32 configuration must run the same programs with float
+// payloads, bit-exactly matching the float reference kernels.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/cpu/kernels.h"
+#include "src/runtime/matmul.h"
+#include "tests/test_util.h"
+
+namespace gemmini {
+namespace {
+
+GemminiConfig fp32_config() {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.name = "fp32-16x16";
+  cfg.dtype = DType::kFp32;
+  return cfg;
+}
+
+void run_fp32_case(std::uint64_t m, std::uint64_t k, std::uint64_t n,
+                   bool bias, Activation act, std::uint64_t seed) {
+  test::AccelHarness h(fp32_config());
+  Rng rng(seed);
+  TensorF32 a({m, k}), b({k, n}), expect({m, n});
+  a.randomize(rng);
+  b.randomize(rng);
+  std::vector<float> bias_row(n, 0.0f);
+  if (bias) {
+    for (auto& v : bias_row) v = rng.next_float_pm1();
+  }
+
+  MatmulParams p;
+  p.a = h.upload(a);
+  p.b = h.upload(b);
+  p.c = h.as.alloc(m * n * 4 + 8192);
+  if (bias) {
+    p.bias = h.as.alloc(n * 4 + 4096);
+    h.as.write_virt(p.bias, bias_row.data(), n * 4);
+  }
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.act = act;
+
+  const Program prog = emit_tiled_matmul(h.config, p);
+  h.accel.run(prog, h.as);
+
+  ref::gemm_f32(a, b, bias ? bias_row.data() : nullptr, expect, act);
+  const TensorF32 got = h.download<float>(p.c, {m, n});
+  const unsigned dim = h.config.dim();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (k <= dim) {
+        // Single K-tile: accumulation order matches the reference exactly.
+        ASSERT_EQ(got.at(i, j), expect.at(i, j)) << i << "," << j;
+      } else {
+        // Multiple K-tiles accumulate block partial sums, which reorders
+        // the float additions — equal up to rounding.
+        ASSERT_NEAR(got.at(i, j), expect.at(i, j),
+                    1e-4f * static_cast<float>(k))
+            << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Fp32Matmul, SingleTile) {
+  run_fp32_case(16, 16, 16, false, Activation::kNone, 1);
+}
+
+TEST(Fp32Matmul, MultiTileWithBias) {
+  run_fp32_case(48, 64, 32, true, Activation::kNone, 2);
+}
+
+TEST(Fp32Matmul, RaggedWithRelu) {
+  run_fp32_case(21, 35, 13, true, Activation::kRelu, 3);
+}
+
+TEST(Fp32Matmul, DeepK) { run_fp32_case(16, 512, 16, false, Activation::kNone, 4); }
+
+TEST(Fp32Config, RowGeometryAccountsForElementWidth) {
+  const GemminiConfig cfg = fp32_config();
+  EXPECT_EQ(cfg.sp_row_bytes(), 64u);   // 16 x 4B
+  EXPECT_EQ(cfg.acc_row_bytes(), 64u);
+  EXPECT_EQ(cfg.sp_rows(), 256u * 1024 / 64);
+  cfg.validate();
+}
+
+TEST(Fp32Dma, RoundTripThroughScratchpad) {
+  test::AccelHarness h(fp32_config());
+  Rng rng(5);
+  TensorF32 t({16, 16});
+  t.randomize(rng);
+  const VAddr src = h.upload(t);
+  const VAddr dst = h.as.alloc(16 * 16 * 4 + 4096);
+  Program prog{make_config_ld(64, 1.0f, 0), make_config_st(64),
+               make_mvin(src, LocalAddr::sp_row(0), 16, 16),
+               make_mvout(dst, LocalAddr::sp_row(0), 16, 16), make_fence()};
+  h.accel.run(prog, h.as);
+  EXPECT_EQ((h.download<float>(dst, {16, 16})), t);
+}
+
+TEST(Fp32Accumulator, MvinScaleAndAccumulate) {
+  test::AccelHarness h(fp32_config());
+  TensorF32 a({1, 4});
+  a[0] = 1.5f; a[1] = -2.0f; a[2] = 0.25f; a[3] = 8.0f;
+  const VAddr va = h.upload(a);
+  const VAddr out = h.as.alloc(4096);
+  Program prog{make_config_ex(Dataflow::kWeightStationary, Activation::kNone,
+                              0),
+               make_config_ld(16, 2.0f, 0), make_config_st(16),
+               make_mvin(va, LocalAddr::acc_row(0, false), 1, 4),
+               make_mvin(va, LocalAddr::acc_row(0, true), 1, 4),
+               make_mvout(out, LocalAddr::acc_row(0, false), 1, 4),
+               make_fence()};
+  h.accel.run(prog, h.as);
+  const TensorF32 got = h.download<float>(out, {1, 4});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(got[i], 4.0f * a[i]);  // 2x scale, accumulated twice
+  }
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,142 @@
+// ISA tests: local-address encoding, RoCC round-trips, disassembly.
+
+#include <gtest/gtest.h>
+
+#include "src/isa/isa.h"
+
+namespace gemmini {
+namespace {
+
+TEST(LocalAddr, SpRow) {
+  const LocalAddr a = LocalAddr::sp_row(1234);
+  EXPECT_FALSE(a.is_garbage());
+  EXPECT_FALSE(a.is_acc());
+  EXPECT_EQ(a.row(), 1234u);
+}
+
+TEST(LocalAddr, AccRowWithAccumulate) {
+  const LocalAddr a = LocalAddr::acc_row(77, true);
+  EXPECT_TRUE(a.is_acc());
+  EXPECT_TRUE(a.accumulate());
+  EXPECT_EQ(a.row(), 77u);
+  const LocalAddr b = LocalAddr::acc_row(77, false);
+  EXPECT_FALSE(b.accumulate());
+}
+
+TEST(LocalAddr, GarbageIsNeitherSpNorAcc) {
+  const LocalAddr g = LocalAddr::garbage();
+  EXPECT_TRUE(g.is_garbage());
+  EXPECT_FALSE(g.is_acc());
+  EXPECT_FALSE(g.accumulate());
+}
+
+Instruction roundtrip(const Instruction& i) { return decode(encode(i)); }
+
+TEST(RoccEncoding, MvinRoundTrip) {
+  for (unsigned ch = 0; ch < 3; ++ch) {
+    const Instruction i =
+        make_mvin(0x1234'5678'9abcull, LocalAddr::sp_row(4095), 16, 13, ch);
+    const Instruction r = roundtrip(i);
+    EXPECT_EQ(r.op, Opcode::kMvin);
+    EXPECT_EQ(r.dram_addr, i.dram_addr);
+    EXPECT_EQ(r.local, i.local);
+    EXPECT_EQ(r.rows, 16);
+    EXPECT_EQ(r.cols, 13);
+    EXPECT_EQ(r.ld_channel, ch);
+  }
+}
+
+TEST(RoccEncoding, MvoutAccumulatorRoundTrip) {
+  const Instruction i =
+      make_mvout(0xdead'b000ull, LocalAddr::acc_row(99, false), 7, 16);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kMvout);
+  EXPECT_TRUE(r.local.is_acc());
+  EXPECT_EQ(r.local.row(), 99u);
+  EXPECT_EQ(r.rows, 7);
+}
+
+TEST(RoccEncoding, PreloadRoundTrip) {
+  const Instruction i = make_preload(LocalAddr::sp_row(100),
+                                     LocalAddr::acc_row(3, true), 16, 12, 9,
+                                     12);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kPreload);
+  EXPECT_EQ(r.local, i.local);
+  EXPECT_EQ(r.local2, i.local2);
+  EXPECT_TRUE(r.local2.accumulate());
+  EXPECT_EQ(r.rows, 16);
+  EXPECT_EQ(r.cols, 12);
+  EXPECT_EQ(r.rows2, 9);
+  EXPECT_EQ(r.cols2, 12);
+}
+
+TEST(RoccEncoding, ComputeBothFlavors) {
+  const Instruction p = roundtrip(make_compute(
+      LocalAddr::sp_row(1), LocalAddr::garbage(), 16, 16, 0, 0, true));
+  EXPECT_EQ(p.op, Opcode::kComputePreloaded);
+  const Instruction a = roundtrip(make_compute(
+      LocalAddr::sp_row(1), LocalAddr::sp_row(2), 4, 5, 4, 5, false));
+  EXPECT_EQ(a.op, Opcode::kComputeAccumulated);
+  EXPECT_EQ(a.rows2, 4);
+}
+
+TEST(RoccEncoding, ConfigExRoundTrip) {
+  const Instruction i = make_config_ex(Dataflow::kOutputStationary,
+                                       Activation::kRelu6, 13, true);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kConfigEx);
+  EXPECT_EQ(r.dataflow, Dataflow::kOutputStationary);
+  EXPECT_EQ(r.activation, Activation::kRelu6);
+  EXPECT_EQ(r.out_shift, 13);
+  EXPECT_TRUE(r.a_transpose);
+}
+
+TEST(RoccEncoding, ConfigLdPreservesScale) {
+  const Instruction i = make_config_ld(12345, 0.625f, 2);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kConfigLd);
+  EXPECT_EQ(r.stride_bytes, 12345u);
+  EXPECT_FLOAT_EQ(r.ld_scale, 0.625f);
+  EXPECT_EQ(r.ld_channel, 2);
+}
+
+TEST(RoccEncoding, ConfigStPooling) {
+  const Instruction i = make_config_st(2048, 3, 2);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kConfigSt);
+  EXPECT_EQ(r.stride_bytes, 2048u);
+  EXPECT_EQ(r.pool_window, 3);
+  EXPECT_EQ(r.pool_stride, 2);
+}
+
+TEST(RoccEncoding, FenceAndFlush) {
+  EXPECT_EQ(roundtrip(make_fence()).op, Opcode::kFence);
+  EXPECT_EQ(roundtrip(make_flush()).op, Opcode::kFlush);
+}
+
+TEST(Disassembly, ReadableOutput) {
+  Program prog{make_config_ex(Dataflow::kWeightStationary, Activation::kRelu,
+                              8),
+               make_mvin(0x1000, LocalAddr::sp_row(0), 16, 16),
+               make_preload(LocalAddr::sp_row(0), LocalAddr::acc_row(0, false),
+                            16, 16, 16, 16),
+               make_compute(LocalAddr::sp_row(16), LocalAddr::garbage(), 16,
+                            16, 0, 0, true),
+               make_mvout(0x2000, LocalAddr::acc_row(0, false), 16, 16),
+               make_fence()};
+  const std::string d = disassemble(prog);
+  EXPECT_NE(d.find("config_ex"), std::string::npos);
+  EXPECT_NE(d.find("mvin"), std::string::npos);
+  EXPECT_NE(d.find("preload"), std::string::npos);
+  EXPECT_NE(d.find("compute.preloaded"), std::string::npos);
+  EXPECT_NE(d.find("acc[0]"), std::string::npos);
+  EXPECT_NE(d.find("fence"), std::string::npos);
+}
+
+TEST(Builders, RejectInvalidArguments) {
+  EXPECT_DEATH(make_config_ex(Dataflow::kBoth, Activation::kNone, 0), "");
+}
+
+}  // namespace
+}  // namespace gemmini

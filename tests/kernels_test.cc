@@ -1,0 +1,215 @@
+// Golden-reference kernel tests: hand-computed cases plus structural
+// properties (im2col-then-gemm == direct conv, pooling bounds, softmax
+// normalization, ...). These kernels are the oracle for everything else,
+// so they get their own scrutiny.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/base/fixed.h"
+#include "src/base/rng.h"
+#include "src/cpu/kernels.h"
+
+namespace gemmini {
+namespace {
+
+TEST(RefGemm, HandComputed2x2) {
+  TensorI8 a({2, 2}), b({2, 2}), c({2, 2});
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  ref::gemm_i8(a, b, nullptr, c, 0, Activation::kNone);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(RefGemm, SaturatesInsteadOfWrapping) {
+  TensorI8 a({1, 4}), b({4, 1}), c({1, 1});
+  for (int i = 0; i < 4; ++i) {
+    a[i] = 127;
+    b[i] = 127;
+  }
+  ref::gemm_i8(a, b, nullptr, c, 0, Activation::kNone);
+  EXPECT_EQ(c.at(0, 0), 127);  // 4*127*127 saturates to int8 max
+}
+
+TEST(RefGemm, BiasAddsPerColumn) {
+  TensorI8 a({1, 1}), b({1, 2}), c({1, 2});
+  a[0] = 1;
+  b.at(0, 0) = 10;
+  b.at(0, 1) = 20;
+  const std::int32_t bias[2] = {5, -30};
+  ref::gemm_i8(a, b, bias, c, 0, Activation::kNone);
+  EXPECT_EQ(c.at(0, 0), 15);
+  EXPECT_EQ(c.at(0, 1), -10);
+}
+
+TEST(RefGemm, AccI32MatchesQuantizedPipeline) {
+  Rng rng(1);
+  TensorI8 a({8, 8}), b({8, 8}), c8({8, 8});
+  TensorI32 c32({8, 8});
+  a.randomize(rng);
+  b.randomize(rng);
+  ref::gemm_i8_acc_i32(a, b, c32);
+  ref::gemm_i8(a, b, nullptr, c8, 4, Activation::kNone);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(c8[i], quantize_i32_to_i8(c32[i], 4, Activation::kNone));
+  }
+}
+
+TEST(RefConv, Im2colGemmEquivalence) {
+  // conv(in, w) == im2col(in) x flatten(w) — the identity the whole
+  // accelerator mapping rests on.
+  Rng rng(2);
+  const unsigned ih = 9, iw = 9, ic = 5, k = 3, oc = 7, stride = 2, pad = 1;
+  TensorI8 in({1, ih, iw, ic}), w({k, k, ic, oc});
+  in.randomize(rng);
+  w.randomize(rng);
+
+  TensorI8 direct({1, ref::conv_out_dim(ih, k, stride, pad),
+                   ref::conv_out_dim(iw, k, stride, pad), oc});
+  ref::conv2d_i8(in, w, nullptr, direct, {stride, pad, 6, Activation::kNone});
+
+  const std::size_t m = direct.dim(1) * direct.dim(2);
+  TensorI8 col({m, static_cast<std::size_t>(k) * k * ic});
+  ref::im2col_i8(in, k, k, stride, pad, col);
+  TensorI8 wmat({static_cast<std::size_t>(k) * k * ic, oc});
+  std::copy(w.data(), w.data() + w.size(), wmat.data());
+  TensorI8 viagemm({m, oc});
+  ref::gemm_i8(col, wmat, nullptr, viagemm, 6, Activation::kNone);
+
+  for (std::size_t i = 0; i < m * oc; ++i) {
+    ASSERT_EQ(direct[i], viagemm[i]) << "flat index " << i;
+  }
+}
+
+TEST(RefConv, PaddingContributesZeros) {
+  TensorI8 in({1, 1, 1, 1}), w({3, 3, 1, 1}), out({1, 1, 1, 1});
+  in.at(0, 0, 0, 0) = 3;
+  w.fill(1);
+  ref::conv2d_i8(in, w, nullptr, out, {1, 1, 0, Activation::kNone});
+  EXPECT_EQ(out.at(0, 0, 0, 0), 3);  // only the center tap sees data
+}
+
+TEST(RefDepthwise, ChannelsIndependent) {
+  Rng rng(3);
+  TensorI8 in({1, 6, 6, 3}), w({3, 3, 3});
+  in.randomize(rng);
+  w.randomize(rng);
+  TensorI8 out({1, 6, 6, 3});
+  ref::depthwise_conv2d_i8(in, w, nullptr, out, {1, 1, 4, Activation::kNone});
+
+  // Zeroing channel 2's input must not change channels 0/1 outputs.
+  TensorI8 in2 = in;
+  for (unsigned y = 0; y < 6; ++y) {
+    for (unsigned x = 0; x < 6; ++x) in2.at(0, y, x, 2) = 0;
+  }
+  TensorI8 out2({1, 6, 6, 3});
+  ref::depthwise_conv2d_i8(in2, w, nullptr, out2,
+                           {1, 1, 4, Activation::kNone});
+  for (unsigned y = 0; y < 6; ++y) {
+    for (unsigned x = 0; x < 6; ++x) {
+      EXPECT_EQ(out.at(0, y, x, 0), out2.at(0, y, x, 0));
+      EXPECT_EQ(out.at(0, y, x, 1), out2.at(0, y, x, 1));
+    }
+  }
+}
+
+TEST(RefPool, MaxPoolPicksMaximum) {
+  TensorI8 in({1, 4, 4, 1});
+  for (std::size_t i = 0; i < 16; ++i) in[i] = static_cast<std::int8_t>(i);
+  TensorI8 out({1, 2, 2, 1});
+  ref::maxpool_i8(in, 2, 2, 0, out);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 5);
+  EXPECT_EQ(out.at(0, 0, 1, 0), 7);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 13);
+  EXPECT_EQ(out.at(0, 1, 1, 0), 15);
+}
+
+TEST(RefPool, OutputNeverExceedsInputMax) {
+  Rng rng(4);
+  TensorI8 in({1, 11, 11, 4});
+  in.randomize(rng);
+  std::int8_t max_in = -128;
+  for (std::size_t i = 0; i < in.size(); ++i) max_in = std::max(max_in, in[i]);
+  TensorI8 out({1, 5, 5, 4});
+  ref::maxpool_i8(in, 3, 2, 0, out);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_LE(out[i], max_in);
+}
+
+TEST(RefPool, GlobalAvgPoolOfConstantIsConstant) {
+  TensorI8 in({1, 7, 7, 3});
+  in.fill(42);
+  TensorI8 out({1, 3});
+  ref::global_avgpool_i8(in, out);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(out[i], 42);
+}
+
+TEST(RefResadd, SaturatesAndActivates) {
+  TensorI8 a({3}), b({3}), out({3});
+  a[0] = 100; b[0] = 100;   // saturate
+  a[1] = -50; b[1] = 20;    // negative, relu clips
+  a[2] = 5; b[2] = 6;
+  ref::resadd_i8(a, b, out, Activation::kRelu);
+  EXPECT_EQ(out[0], 127);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 11);
+}
+
+TEST(RefSoftmax, RowsSumToOne) {
+  Rng rng(5);
+  TensorF32 in({4, 16}), out({4, 16});
+  in.randomize(rng);
+  ref::softmax_f32(in, out);
+  for (std::size_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_GT(out.at(r, c), 0.0f);
+      sum += out.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(RefSoftmax, InvariantToRowShift) {
+  TensorF32 a({1, 4}), b({1, 4}), oa({1, 4}), ob({1, 4});
+  for (int i = 0; i < 4; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(i) + 100.0f;
+  }
+  ref::softmax_f32(a, oa);
+  ref::softmax_f32(b, ob);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(oa[i], ob[i], 1e-6f);
+}
+
+TEST(RefLayerNorm, ZeroMeanUnitVariance) {
+  Rng rng(6);
+  TensorF32 in({3, 64}), out({3, 64});
+  in.randomize(rng);
+  ref::layernorm_f32(in, out);
+  for (std::size_t r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (std::size_t c = 0; c < 64; ++c) mean += out.at(r, c);
+    mean /= 64;
+    for (std::size_t c = 0; c < 64; ++c) {
+      var += (out.at(r, c) - mean) * (out.at(r, c) - mean);
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(RefGelu, KnownValues) {
+  TensorF32 in({3}), out({3});
+  in[0] = 0.0f; in[1] = 100.0f; in[2] = -100.0f;
+  ref::gelu_f32(in, out);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[1], 100.0f, 1e-3f);
+  EXPECT_NEAR(out[2], 0.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace gemmini

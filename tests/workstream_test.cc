@@ -1,0 +1,60 @@
+// WorkStream and OS-noise model tests: step construction, tag bookkeeping,
+// fixup hooks, and the context-switch cost model.
+
+#include <gtest/gtest.h>
+
+#include "src/cpu/cost_model.h"
+#include "src/runtime/workstream.h"
+
+namespace gemmini {
+namespace {
+
+TEST(WorkStream, AddCpuAndAccelSteps) {
+  WorkStream ws;
+  ws.name = "t";
+  ws.add_cpu("im2col", 1234);
+  Program prog{make_fence(), make_fence()};
+  ws.add_accel("conv", prog);
+  ASSERT_EQ(ws.steps.size(), 2u);
+  EXPECT_EQ(ws.steps[0].kind, WorkStep::Kind::kCpu);
+  EXPECT_EQ(ws.steps[0].cpu_cycles, 1234u);
+  EXPECT_EQ(ws.steps[0].tag, "im2col");
+  EXPECT_EQ(ws.steps[1].kind, WorkStep::Kind::kAccel);
+  EXPECT_EQ(ws.steps[1].program.size(), 2u);
+  EXPECT_EQ(ws.total_instructions(), 2u);
+}
+
+TEST(CostModel, RocketVsBoomOrdering) {
+  const CpuCostModel rocket = CpuCostModel::rocket();
+  const CpuCostModel boom = CpuCostModel::boom();
+  EXPECT_GT(rocket.gemm_cycles(1000), boom.gemm_cycles(1000));
+  EXPECT_GT(rocket.im2col_cycles(1000), boom.im2col_cycles(1000));
+  EXPECT_GT(rocket.special_cycles(1000), boom.special_cycles(1000));
+  EXPECT_GT(rocket.dispatch_cycles(), boom.dispatch_cycles());
+}
+
+TEST(CostModel, CalibrationAnchors) {
+  const CpuCostModel rocket = CpuCostModel::rocket();
+  // ~28.5 cycles/MAC reproduces the paper's 2,670x ResNet-50 headline
+  // (see cpu/cost_model.h for the derivation).
+  EXPECT_NEAR(rocket.cycles_per_mac_i8, 28.5, 1e-9);
+  // BOOM ~2.36x faster on dense kernels (2670/1130).
+  EXPECT_NEAR(rocket.cycles_per_mac_i8 / CpuCostModel::boom().cycles_per_mac_i8,
+              2.36, 0.05);
+}
+
+TEST(CostModel, KernelEstimatesScaleLinearly) {
+  const CpuCostModel m = CpuCostModel::rocket();
+  EXPECT_EQ(m.gemm_cycles(2000), 2 * m.gemm_cycles(1000));
+  EXPECT_EQ(m.pool_cycles(100, 3), 100u * 9 * 3);
+  EXPECT_EQ(m.resadd_cycles(500), 3000u);
+}
+
+TEST(OsNoise, DefaultsOffWithSaneValues) {
+  const OsNoiseModel os;
+  EXPECT_FALSE(os.enabled);
+  EXPECT_GT(os.period_cycles, os.switch_cost_cycles);
+}
+
+}  // namespace
+}  // namespace gemmini
