@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds Release, runs the perf harness, and diffs the simulated cycle counts
+# against scripts/golden_cycles.json so perf PRs cannot silently change
+# timing semantics. Usage:
+#
+#   scripts/run_bench.sh [out.json]     # default out: BENCH_PR1.json
+#
+# Exit is nonzero if the build fails, the harness reports a functional
+# mismatch / insufficient speedup, or any golden cycle count differs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BUILD_DIR=build-bench
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_perf
+
+"./$BUILD_DIR/bench_perf" "$OUT"
+
+python3 - "$OUT" scripts/golden_cycles.json <<'EOF'
+import json, sys
+
+out_path, golden_path = sys.argv[1], sys.argv[2]
+with open(out_path) as f:
+    got = json.load(f)["workloads"]
+with open(golden_path) as f:
+    golden = json.load(f)
+
+failed = False
+for name, want in golden.items():
+    if name.startswith("_"):
+        continue
+    have = got.get(name, {}).get("sim_cycles")
+    if have != want:
+        print(f"CYCLE DIFF: {name}: golden {want}, got {have}")
+        failed = True
+    else:
+        print(f"cycles ok:  {name}: {have}")
+if failed:
+    print("FAIL: simulated cycle counts diverged from scripts/golden_cycles.json")
+    sys.exit(1)
+print("all golden cycle counts match")
+EOF

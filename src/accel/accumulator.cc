@@ -39,6 +39,12 @@ void Accumulator::readout_i8(std::uint64_t row, unsigned n, unsigned shift,
 void Accumulator::readout_f32(std::uint64_t row, unsigned n, Activation act,
                               float* dst) const {
   const float* src = row_f32(row);
+  // Identity read-out is a straight row copy; the activation branch stays
+  // out of the element loop either way.
+  if (act == Activation::kNone) {
+    std::copy(src, src + n, dst);
+    return;
+  }
   for (unsigned i = 0; i < n; ++i) {
     dst[i] = apply_activation_f32(src[i], act);
   }

@@ -78,11 +78,9 @@ DmaEngine::XferResult DmaEngine::mvin(const AddressSpace& as, VAddr dram,
       local_done = sp_.reserve(dst.row(), rows, sr.done, 1);
     }
     done = std::max(done, local_done);
-  }
-  std::vector<std::uint8_t> buf;
-  for (unsigned r = 0; r < rows; ++r) {
-    const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
-    if (!contiguous) {
+  } else {
+    for (unsigned r = 0; r < rows; ++r) {
+      const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
       const StreamResult sr =
           stream(as, va, row_bytes, /*write=*/false, issue);
       issue = sr.next_issue;
@@ -96,38 +94,72 @@ DmaEngine::XferResult DmaEngine::mvin(const AddressSpace& as, VAddr dram,
       }
       done = std::max(done, row_done);
     }
+  }
 
-    if (functional) {
-      buf.resize(row_bytes);
-      as.read_virt(va, buf.data(), row_bytes);
-      if (dst.is_acc()) {
-        // Input-typed payload widened into the accumulator, honoring the
-        // accumulate bit (this is how residual additions run on Gemmini).
-        if (cfg_.dtype == DType::kInt8) {
-          std::vector<std::int32_t> wide(cols);
+  if (functional) {
+    // Burst the whole transfer into a staging buffer first — one page-bounded
+    // copy per chunk (contiguous transfers are a single burst; strided rows
+    // still reuse one translation per page) — then convert row-by-row with
+    // the dtype/destination branch hoisted out of the loops.
+    AddressSpace::Cursor copier(as);
+    stage_.resize(row_bytes * rows);
+    std::uint8_t* const buf_data = stage_.data();
+    if (contiguous) {
+      copier.read(dram, buf_data, row_bytes * rows);
+    } else {
+      for (unsigned r = 0; r < rows; ++r) {
+        copier.read(dram + static_cast<std::uint64_t>(r) * stride_bytes,
+                    buf_data + static_cast<std::size_t>(r) * row_bytes,
+                    row_bytes);
+      }
+    }
+
+    if (dst.is_acc()) {
+      // Input-typed payload widened into the accumulator, honoring the
+      // accumulate bit (this is how residual additions run on Gemmini).
+      if (cfg_.dtype == DType::kInt8) {
+        std::vector<std::int32_t> wide(cols);
+        for (unsigned r = 0; r < rows; ++r) {
+          const auto* src = reinterpret_cast<const std::int8_t*>(
+              buf_data + static_cast<std::size_t>(r) * row_bytes);
           for (unsigned c = 0; c < cols; ++c) {
-            wide[c] = static_cast<std::int32_t>(
-                scale_i8(static_cast<std::int8_t>(buf[c]), scale));
+            wide[c] = static_cast<std::int32_t>(scale_i8(src[c], scale));
           }
           acc_.write_row_i32(dst.row() + r, wide.data(), cols,
                              dst.accumulate());
-        } else {
-          std::vector<float> wide(cols);
-          const float* f = reinterpret_cast<const float*>(buf.data());
-          for (unsigned c = 0; c < cols; ++c) wide[c] = f[c] * scale;
+        }
+      } else if (scale == 1.0f) {
+        for (unsigned r = 0; r < rows; ++r) {
+          const auto* src = reinterpret_cast<const float*>(
+              buf_data + static_cast<std::size_t>(r) * row_bytes);
+          acc_.write_row_f32(dst.row() + r, src, cols, dst.accumulate());
+        }
+      } else {
+        std::vector<float> wide(cols);
+        for (unsigned r = 0; r < rows; ++r) {
+          const auto* src = reinterpret_cast<const float*>(
+              buf_data + static_cast<std::size_t>(r) * row_bytes);
+          for (unsigned c = 0; c < cols; ++c) wide[c] = src[c] * scale;
           acc_.write_row_f32(dst.row() + r, wide.data(), cols,
                              dst.accumulate());
         }
-      } else {
+      }
+    } else if (cfg_.dtype == DType::kInt8 && scale != 1.0f) {
+      for (unsigned r = 0; r < rows; ++r) {
+        const auto* src = reinterpret_cast<const std::int8_t*>(
+            buf_data + static_cast<std::size_t>(r) * row_bytes);
         std::uint8_t* row = sp_.row_ptr(dst.row() + r);
-        if (cfg_.dtype == DType::kInt8 && scale != 1.0f) {
-          for (unsigned c = 0; c < cols; ++c) {
-            row[c] = static_cast<std::uint8_t>(
-                scale_i8(static_cast<std::int8_t>(buf[c]), scale));
-          }
-        } else {
-          std::copy(buf.begin(), buf.end(), row);
+        for (unsigned c = 0; c < cols; ++c) {
+          row[c] = static_cast<std::uint8_t>(scale_i8(src[c], scale));
         }
+        std::fill(row + row_bytes, row + sp_.row_bytes(), 0);
+      }
+    } else {
+      for (unsigned r = 0; r < rows; ++r) {
+        std::uint8_t* row = sp_.row_ptr(dst.row() + r);
+        const std::uint8_t* src =
+            buf_data + static_cast<std::size_t>(r) * row_bytes;
+        std::copy(src, src + row_bytes, row);
         // Zero-pad the rest of the row so partial tiles compute correctly.
         std::fill(row + row_bytes, row + sp_.row_bytes(), 0);
       }
@@ -164,12 +196,9 @@ DmaEngine::XferResult DmaEngine::mvout(const AddressSpace& as, VAddr dram,
                read_done - rows + 1);
     issue = std::max(issue + rows, sr.next_issue);
     done = std::max(done, sr.done);
-  }
-  std::vector<std::uint8_t> buf(row_bytes);
-  for (unsigned r = 0; r < rows; ++r) {
-    const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
-
-    if (!contiguous) {
+  } else {
+    for (unsigned r = 0; r < rows; ++r) {
+      const VAddr va = dram + static_cast<std::uint64_t>(r) * stride_bytes;
       // Local read first (1 cycle through the read-out pipeline)...
       Cycle read_done;
       if (src.is_acc()) {
@@ -183,21 +212,49 @@ DmaEngine::XferResult DmaEngine::mvout(const AddressSpace& as, VAddr dram,
       issue = std::max(issue + 1, sr.next_issue);
       done = std::max(done, sr.done);
     }
+  }
 
-    if (functional) {
-      if (src.is_acc()) {
-        if (cfg_.dtype == DType::kInt8) {
+  if (functional) {
+    // Assemble every output row (read-out pipeline applied for accumulator
+    // sources, dtype branch hoisted) into one staging buffer, then burst it
+    // out with page-bounded writes — a single write_virt-equivalent for
+    // contiguous transfers, one per row (with the page translation reused)
+    // for strided ones.
+    stage_.resize(row_bytes * rows);
+    std::uint8_t* const buf_data = stage_.data();
+    if (src.is_acc()) {
+      if (cfg_.dtype == DType::kInt8) {
+        for (unsigned r = 0; r < rows; ++r) {
           acc_.readout_i8(src.row() + r, cols, out_shift, act,
-                          reinterpret_cast<std::int8_t*>(buf.data()));
-        } else {
-          acc_.readout_f32(src.row() + r, cols, act,
-                           reinterpret_cast<float*>(buf.data()));
+                          reinterpret_cast<std::int8_t*>(
+                              buf_data + static_cast<std::size_t>(r) *
+                                               row_bytes));
         }
       } else {
-        const std::uint8_t* row = sp_.row_ptr(src.row() + r);
-        std::copy(row, row + row_bytes, buf.begin());
+        for (unsigned r = 0; r < rows; ++r) {
+          acc_.readout_f32(src.row() + r, cols, act,
+                           reinterpret_cast<float*>(
+                               buf_data + static_cast<std::size_t>(r) *
+                                                row_bytes));
+        }
       }
-      as.write_virt(va, buf.data(), row_bytes);
+    } else {
+      for (unsigned r = 0; r < rows; ++r) {
+        const std::uint8_t* row = sp_.row_ptr(src.row() + r);
+        std::copy(row, row + row_bytes,
+                  buf_data + static_cast<std::size_t>(r) * row_bytes);
+      }
+    }
+
+    AddressSpace::Cursor copier(as);
+    if (contiguous) {
+      copier.write(dram, buf_data, row_bytes * rows);
+    } else {
+      for (unsigned r = 0; r < rows; ++r) {
+        copier.write(dram + static_cast<std::uint64_t>(r) * stride_bytes,
+                     buf_data + static_cast<std::size_t>(r) * row_bytes,
+                     row_bytes);
+      }
     }
   }
   return XferResult{issue, done};

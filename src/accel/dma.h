@@ -10,6 +10,7 @@
 // the RTL. Functional mode moves real bytes; timing mode moves only time.
 
 #include <deque>
+#include <vector>
 
 #include "src/accel/accumulator.h"
 #include "src/accel/scratchpad.h"
@@ -88,6 +89,9 @@ class DmaEngine {
   // completions must not stall load issue.
   std::deque<Cycle> read_inflight_;
   std::deque<Cycle> write_inflight_;
+  /// Functional-path staging buffer, reused across transfers so each
+  /// mvin/mvout doesn't pay a zero-initialization of the whole payload.
+  std::vector<std::uint8_t> stage_;
   StatSet stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/accel/exec_unit.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/base/fixed.h"
 
@@ -13,19 +14,22 @@ void ExecUnit::latch_b(LocalAddr b, unsigned rows, unsigned cols) {
   if (b.is_garbage()) return;
   const unsigned dim = cfg_.dim();
   GEMMINI_CHECK(rows <= dim && cols <= dim);
-  std::fill(b_i32_.begin(), b_i32_.end(), 0);
-  std::fill(b_f32_.begin(), b_f32_.end(), 0.0f);
   GEMMINI_CHECK_MSG(!b.is_acc(), "PRELOAD reads B from the scratchpad");
-  for (unsigned r = 0; r < rows; ++r) {
-    const std::uint8_t* row = sp_.row_ptr(b.row() + r);
-    if (cfg_.dtype == DType::kInt8) {
-      for (unsigned c = 0; c < cols; ++c) {
-        b_i32_[r * dim + c] =
-            static_cast<std::int8_t>(row[c]);
-      }
-    } else {
-      const float* f = reinterpret_cast<const float*>(row);
-      for (unsigned c = 0; c < cols; ++c) b_f32_[r * dim + c] = f[c];
+  // The tile is stored *transposed* (bt[c * dim + r]) so each COMPUTE output
+  // column reads one contiguous lane; whole scratchpad rows are streamed in
+  // with the dtype branch hoisted out of the loops.
+  if (cfg_.dtype == DType::kInt8) {
+    std::fill(b_t_i8_.begin(), b_t_i8_.end(), std::int8_t{0});
+    for (unsigned r = 0; r < rows; ++r) {
+      const std::int8_t* row =
+          reinterpret_cast<const std::int8_t*>(sp_.row_ptr(b.row() + r));
+      for (unsigned c = 0; c < cols; ++c) b_t_i8_[c * dim + r] = row[c];
+    }
+  } else {
+    std::fill(b_t_f32_.begin(), b_t_f32_.end(), 0.0f);
+    for (unsigned r = 0; r < rows; ++r) {
+      const float* row = reinterpret_cast<const float*>(sp_.row_ptr(b.row() + r));
+      for (unsigned c = 0; c < cols; ++c) b_t_f32_[c * dim + r] = row[c];
     }
   }
 }
@@ -46,6 +50,50 @@ Cycle ExecUnit::preload(const Instruction& inst, Cycle start,
   c_rows_ = inst.rows2;
   c_cols_ = inst.cols2;
   return t;
+}
+
+void ExecUnit::gather_a_row_i8(const Instruction& inst, const ExConfigState& ex,
+                               unsigned r, unsigned m, unsigned k) {
+  std::int8_t* dst = a_row_i8_.data();
+  if (inst.local.is_garbage() || (ex.a_transpose && r >= k) ||
+      (!ex.a_transpose && r >= m)) {
+    std::memset(dst, 0, k);
+    return;
+  }
+  if (!ex.a_transpose) {
+    std::memcpy(dst, sp_.row_ptr(inst.local.row() + r), k);
+    return;
+  }
+  // op(A) row r under transposition = column r of the stored tile, striding
+  // across the first min(m, k) scratchpad rows; rows past m read as zero.
+  const unsigned lim = std::min(m, k);
+  for (unsigned kk = 0; kk < lim; ++kk) {
+    dst[kk] =
+        static_cast<std::int8_t>(sp_.row_ptr(inst.local.row() + kk)[r]);
+  }
+  if (lim < k) std::memset(dst + lim, 0, k - lim);
+}
+
+void ExecUnit::gather_a_row_f32(const Instruction& inst,
+                                const ExConfigState& ex, unsigned r,
+                                unsigned m, unsigned k) {
+  float* dst = a_row_f32_.data();
+  if (inst.local.is_garbage() || (ex.a_transpose && r >= k) ||
+      (!ex.a_transpose && r >= m)) {
+    std::fill(dst, dst + k, 0.0f);
+    return;
+  }
+  if (!ex.a_transpose) {
+    std::memcpy(dst, sp_.row_ptr(inst.local.row() + r),
+                static_cast<std::size_t>(k) * sizeof(float));
+    return;
+  }
+  const unsigned lim = std::min(m, k);
+  for (unsigned kk = 0; kk < lim; ++kk) {
+    dst[kk] =
+        reinterpret_cast<const float*>(sp_.row_ptr(inst.local.row() + kk))[r];
+  }
+  if (lim < k) std::fill(dst + lim, dst + k, 0.0f);
 }
 
 Cycle ExecUnit::compute(const Instruction& inst, const ExConfigState& ex,
@@ -85,46 +133,42 @@ Cycle ExecUnit::compute(const Instruction& inst, const ExConfigState& ex,
   if (!functional || c_dest_.is_garbage()) return t;
 
   // ---- Functional matmul: C = op(A) x B + D --------------------------------
-  auto a_elem_i8 = [&](unsigned r, unsigned c) -> std::int32_t {
-    if (inst.local.is_garbage()) return 0;
-    const unsigned rr = ex.a_transpose ? c : r;
-    const unsigned cc = ex.a_transpose ? r : c;
-    if (rr >= m || cc >= k) return 0;
-    return static_cast<std::int8_t>(sp_.row_ptr(inst.local.row() + rr)[cc]);
-  };
-  auto a_elem_f32 = [&](unsigned r, unsigned c) -> float {
-    if (inst.local.is_garbage()) return 0.0f;
-    const unsigned rr = ex.a_transpose ? c : r;
-    const unsigned cc = ex.a_transpose ? r : c;
-    if (rr >= m || cc >= k) return 0.0f;
-    return reinterpret_cast<const float*>(
-        sp_.row_ptr(inst.local.row() + rr))[cc];
-  };
-
+  // Per output row: gather op(A) row r once into a contiguous staging buffer,
+  // run contiguous dot products against the transposed B tile, fold in D,
+  // then commit the whole row. The dtype branch is hoisted out of the loops.
   const unsigned out_rows = c_rows_ ? c_rows_ : m;
   const LocalAddr d = inst.local2;
-  for (unsigned r = 0; r < out_rows; ++r) {
-    if (cfg_.dtype == DType::kInt8) {
-      std::vector<std::int32_t> out(n, 0);
+  if (cfg_.dtype == DType::kInt8) {
+    std::int32_t* out = out_i32_.data();
+    for (unsigned r = 0; r < out_rows; ++r) {
+      gather_a_row_i8(inst, ex, r, m, k);
+      const std::int8_t* ar = a_row_i8_.data();
+      std::int64_t* sums = sums_i64_.data();
       for (unsigned c = 0; c < n; ++c) {
-        std::int64_t sum = 0;
+        const std::int8_t* bt = b_t_i8_.data() + c * dim;
+        std::int32_t s = 0;  // |a*b| <= 2^14, dim <= 256: no overflow
         for (unsigned kk = 0; kk < k; ++kk) {
-          sum += static_cast<std::int64_t>(a_elem_i8(r, kk)) *
-                 b_i32_[kk * dim + c];
+          s += static_cast<std::int32_t>(ar[kk]) * bt[kk];
         }
-        if (!d.is_garbage() && r < inst.rows2 && c < inst.cols2) {
-          if (d.is_acc()) {
-            sum += acc_.row_i32(d.row() + r)[c];
-          } else {
-            sum += static_cast<std::int8_t>(sp_.row_ptr(d.row() + r)[c]);
-          }
+        sums[c] = s;
+      }
+      if (!d.is_garbage() && r < inst.rows2) {
+        const unsigned dn = std::min(n, static_cast<unsigned>(inst.cols2));
+        if (d.is_acc()) {
+          const std::int32_t* drow = acc_.row_i32(d.row() + r);
+          for (unsigned c = 0; c < dn; ++c) sums[c] += drow[c];
+        } else {
+          const std::int8_t* drow =
+              reinterpret_cast<const std::int8_t*>(sp_.row_ptr(d.row() + r));
+          for (unsigned c = 0; c < dn; ++c) sums[c] += drow[c];
         }
-        out[c] = static_cast<std::int32_t>(std::clamp<std::int64_t>(
-            sum, INT32_MIN, INT32_MAX));
+      }
+      for (unsigned c = 0; c < n; ++c) {
+        out[c] = static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(sums[c], INT32_MIN, INT32_MAX));
       }
       if (c_dest_.is_acc()) {
-        acc_.write_row_i32(c_dest_.row() + r, out.data(), n,
-                           c_dest_.accumulate());
+        acc_.write_row_i32(c_dest_.row() + r, out, n, c_dest_.accumulate());
       } else {
         std::uint8_t* row = sp_.row_ptr(c_dest_.row() + r);
         for (unsigned c = 0; c < n; ++c) {
@@ -132,26 +176,31 @@ Cycle ExecUnit::compute(const Instruction& inst, const ExConfigState& ex,
               quantize_i32_to_i8(out[c], ex.out_shift, ex.activation));
         }
       }
-    } else {
-      std::vector<float> out(n, 0.0f);
+    }
+  } else {
+    float* out = out_f32_.data();
+    for (unsigned r = 0; r < out_rows; ++r) {
+      gather_a_row_f32(inst, ex, r, m, k);
+      const float* ar = a_row_f32_.data();
       for (unsigned c = 0; c < n; ++c) {
+        const float* bt = b_t_f32_.data() + c * dim;
         float sum = 0.0f;
-        for (unsigned kk = 0; kk < k; ++kk) {
-          sum += a_elem_f32(r, kk) * b_f32_[kk * dim + c];
-        }
-        if (!d.is_garbage() && r < inst.rows2 && c < inst.cols2) {
-          if (d.is_acc()) {
-            sum += acc_.row_f32(d.row() + r)[c];
-          } else {
-            sum += reinterpret_cast<const float*>(
-                sp_.row_ptr(d.row() + r))[c];
-          }
-        }
+        for (unsigned kk = 0; kk < k; ++kk) sum += ar[kk] * bt[kk];
         out[c] = sum;
       }
+      if (!d.is_garbage() && r < inst.rows2) {
+        const unsigned dn = std::min(n, static_cast<unsigned>(inst.cols2));
+        if (d.is_acc()) {
+          const float* drow = acc_.row_f32(d.row() + r);
+          for (unsigned c = 0; c < dn; ++c) out[c] += drow[c];
+        } else {
+          const float* drow =
+              reinterpret_cast<const float*>(sp_.row_ptr(d.row() + r));
+          for (unsigned c = 0; c < dn; ++c) out[c] += drow[c];
+        }
+      }
       if (c_dest_.is_acc()) {
-        acc_.write_row_f32(c_dest_.row() + r, out.data(), n,
-                           c_dest_.accumulate());
+        acc_.write_row_f32(c_dest_.row() + r, out, n, c_dest_.accumulate());
       } else {
         float* row = reinterpret_cast<float*>(sp_.row_ptr(c_dest_.row() + r));
         for (unsigned c = 0; c < n; ++c) {

@@ -30,8 +30,13 @@ class ExecUnit {
  public:
   ExecUnit(const GemminiConfig& cfg, Scratchpad& sp, Accumulator& acc)
       : cfg_(cfg), model_(cfg_), sp_(sp), acc_(acc),
-        b_i32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0),
-        b_f32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0.0f) {}
+        b_t_i8_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0),
+        b_t_f32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0.0f),
+        a_row_i8_(cfg.dim(), 0),
+        a_row_f32_(cfg.dim(), 0.0f),
+        sums_i64_(cfg.dim(), 0),
+        out_i32_(cfg.dim(), 0),
+        out_f32_(cfg.dim(), 0.0f) {}
 
   /// PRELOAD: latch B (rows x cols from scratchpad; garbage = zero tile) and
   /// remember the C destination for subsequent COMPUTEs.
@@ -52,15 +57,29 @@ class ExecUnit {
 
  private:
   void latch_b(LocalAddr b, unsigned rows, unsigned cols);
+  /// Stages op(A) row `r` (transpose/garbage/out-of-range handled) into the
+  /// contiguous a_row_* buffer, length k.
+  void gather_a_row_i8(const Instruction& inst, const ExConfigState& ex,
+                       unsigned r, unsigned m, unsigned k);
+  void gather_a_row_f32(const Instruction& inst, const ExConfigState& ex,
+                        unsigned r, unsigned m, unsigned k);
 
   const GemminiConfig& cfg_;
   SpatialArrayModel model_;
   Scratchpad& sp_;
   Accumulator& acc_;
 
-  // Latched weight tile (both domains; only the config's dtype is used).
-  std::vector<std::int32_t> b_i32_;
-  std::vector<float> b_f32_;
+  // Latched weight tile, stored transposed (bt[c * dim + r]) so COMPUTE's
+  // inner dot products are contiguous. Both domains exist; only the config's
+  // dtype is used.
+  std::vector<std::int8_t> b_t_i8_;
+  std::vector<float> b_t_f32_;
+  // Pre-laid-out per-row staging buffers (gathered A row, dots, output row).
+  std::vector<std::int8_t> a_row_i8_;
+  std::vector<float> a_row_f32_;
+  std::vector<std::int64_t> sums_i64_;
+  std::vector<std::int32_t> out_i32_;
+  std::vector<float> out_f32_;
   LocalAddr c_dest_ = LocalAddr::garbage();
   unsigned c_rows_ = 0;
   unsigned c_cols_ = 0;

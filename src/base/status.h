@@ -38,6 +38,17 @@ namespace detail {
     }                                                                    \
   } while (0)
 
+/// Debug-only invariant check for per-element hot paths (tensor indexing,
+/// kernel inner loops). Compiled out under NDEBUG; use GEMMINI_CHECK for
+/// per-instruction invariants that must hold in release builds too.
+#ifdef NDEBUG
+#define GEMMINI_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define GEMMINI_DCHECK(expr) GEMMINI_CHECK(expr)
+#endif
+
 #define GEMMINI_CHECK_MSG(expr, msg)                                     \
   do {                                                                   \
     if (!(expr)) {                                                       \

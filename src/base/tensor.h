@@ -38,35 +38,58 @@ class Tensor {
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }
 
-  // 2-D access (matrices are the lingua franca of the runtime).
+  // 2-D access (matrices are the lingua franca of the runtime). Offsets are
+  // computed once per call; the rank/bounds checks compile out under NDEBUG
+  // so the accessors inline to a single multiply-add in release builds.
   T& at(std::size_t r, std::size_t c) {
-    GEMMINI_CHECK(rank() == 2);
+    GEMMINI_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
     return data_[r * shape_[1] + c];
   }
   const T& at(std::size_t r, std::size_t c) const {
-    GEMMINI_CHECK(rank() == 2);
+    GEMMINI_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
     return data_[r * shape_[1] + c];
   }
 
   // 3-D access (e.g. depthwise weights [KH, KW, C]).
   T& at(std::size_t a, std::size_t b, std::size_t c) {
-    GEMMINI_CHECK(rank() == 3);
-    return data_[(a * shape_[1] + b) * shape_[2] + c];
+    GEMMINI_DCHECK(rank() == 3 && a < shape_[0] && b < shape_[1] &&
+                   c < shape_[2]);
+    const std::size_t off = (a * shape_[1] + b) * shape_[2] + c;
+    return data_[off];
   }
   const T& at(std::size_t a, std::size_t b, std::size_t c) const {
-    GEMMINI_CHECK(rank() == 3);
-    return data_[(a * shape_[1] + b) * shape_[2] + c];
+    GEMMINI_DCHECK(rank() == 3 && a < shape_[0] && b < shape_[1] &&
+                   c < shape_[2]);
+    const std::size_t off = (a * shape_[1] + b) * shape_[2] + c;
+    return data_[off];
   }
 
   // 4-D NHWC access, the layout used by the convolution kernels.
   T& at(std::size_t n, std::size_t h, std::size_t w, std::size_t c) {
-    GEMMINI_CHECK(rank() == 4);
-    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+    GEMMINI_DCHECK(rank() == 4 && n < shape_[0] && h < shape_[1] &&
+                   w < shape_[2] && c < shape_[3]);
+    const std::size_t off =
+        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c;
+    return data_[off];
   }
   const T& at(std::size_t n, std::size_t h, std::size_t w,
               std::size_t c) const {
-    GEMMINI_CHECK(rank() == 4);
-    return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+    GEMMINI_DCHECK(rank() == 4 && n < shape_[0] && h < shape_[1] &&
+                   w < shape_[2] && c < shape_[3]);
+    const std::size_t off =
+        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c;
+    return data_[off];
+  }
+
+  /// Raw pointer to row `r` of a rank-2 tensor — the accessor the blocked
+  /// kernels stream through instead of per-element at().
+  T* row(std::size_t r) {
+    GEMMINI_DCHECK(rank() == 2 && r < shape_[0]);
+    return data_.data() + r * shape_[1];
+  }
+  const T* row(std::size_t r) const {
+    GEMMINI_DCHECK(rank() == 2 && r < shape_[0]);
+    return data_.data() + r * shape_[1];
   }
 
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }

@@ -7,9 +7,163 @@
 #include "src/base/status.h"
 
 namespace gemmini::ref {
+namespace {
+
+// ---- Blocked-GEMM machinery -----------------------------------------------
+// All three GEMMs share one strategy: pack B into a transposed panel so that
+// both operands of the inner loop are contiguous, then walk output columns in
+// cache-sized blocks so the packed panel stays resident while A rows stream
+// through. The inner dot products are k-unrolled. Integer accumulation is
+// exact (order-independent); the float path keeps a single accumulator and
+// adds products in ascending-k order, so both match the naive loops
+// bit-for-bit.
+
+/// Output-column block: the packed B panel slice kept hot across all A rows.
+constexpr std::size_t kColBlock = 64;
+
+/// int8 dot product, exact. Products are accumulated in int32 in bounded
+/// chunks (|p| <= 128*128 = 2^14, so 2^16 products never overflow int32),
+/// then widened — the sum equals the naive all-int64 accumulation exactly
+/// regardless of order, which frees the compiler to unroll and vectorize the
+/// chunk loop (widening int8 multiplies into SIMD int32 lanes).
+std::int64_t dot_i8(const std::int8_t* a, const std::int8_t* bt,
+                    std::size_t k) {
+  constexpr std::size_t kChunk = 1u << 16;
+  std::int64_t total = 0;
+  std::size_t kk = 0;
+  while (kk < k) {
+    const std::size_t end = std::min(k, kk + kChunk);
+    std::int32_t s = 0;
+    for (; kk < end; ++kk) {
+      s += static_cast<std::int32_t>(a[kk]) * bt[kk];
+    }
+    total += s;
+  }
+  return total;
+}
+
+/// fp32 dot product seeded with `init` (the bias). A single accumulator and
+/// ascending-k adds reproduce the naive rounding sequence exactly; the
+/// unrolled body is plain sequential statements for the same reason.
+float dot_f32(float init, const float* a, const float* bt, std::size_t k) {
+  float sum = init;
+  std::size_t kk = 0;
+  for (; kk + 4 <= k; kk += 4) {
+    sum += a[kk] * bt[kk];
+    sum += a[kk + 1] * bt[kk + 1];
+    sum += a[kk + 2] * bt[kk + 2];
+    sum += a[kk + 3] * bt[kk + 3];
+  }
+  for (; kk < k; ++kk) sum += a[kk] * bt[kk];
+  return sum;
+}
+
+/// Packs columns [j0, j0+jn) of B[k x n] into `bt`, one contiguous
+/// length-k row per output column (transposed panel).
+template <typename T>
+void pack_b_panel(const Tensor<T>& b, std::size_t k, std::size_t j0,
+                  std::size_t jn, std::vector<T>& bt) {
+  bt.resize(jn * k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const T* brow = b.row(kk) + j0;
+    for (std::size_t j = 0; j < jn; ++j) bt[j * k + kk] = brow[j];
+  }
+}
+
+}  // namespace
 
 void gemm_i8(const TensorI8& a, const TensorI8& b, const std::int32_t* bias,
              TensorI8& c, unsigned out_shift, Activation act) {
+  GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  std::vector<std::int8_t> bt;
+  for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const std::size_t jn = std::min(kColBlock, n - j0);
+    pack_b_panel(b, k, j0, jn, bt);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* ar = a.row(i);
+      std::int8_t* cr = c.row(i) + j0;
+      for (std::size_t j = 0; j < jn; ++j) {
+        const std::int64_t sum =
+            (bias ? bias[j0 + j] : 0) + dot_i8(ar, bt.data() + j * k, k);
+        const std::int32_t acc = static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+        cr[j] = quantize_i32_to_i8(acc, out_shift, act);
+      }
+    }
+  }
+}
+
+void gemm_f32(const TensorF32& a, const TensorF32& b, const float* bias,
+              TensorF32& c, Activation act) {
+  GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  // Float accumulation is order-sensitive, so each output keeps one
+  // accumulator fed in ascending-k order (bit-exact vs the naive loop). The
+  // serial FMA chain per output is the throughput limiter; interleaving
+  // kJInterleave *independent* output columns hides its latency without
+  // reordering any single column's sum.
+  constexpr std::size_t kJInterleave = 8;
+  std::vector<float> bt;
+  for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const std::size_t jn = std::min(kColBlock, n - j0);
+    pack_b_panel(b, k, j0, jn, bt);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* ar = a.row(i);
+      float* cr = c.row(i) + j0;
+      std::size_t j = 0;
+      for (; j + kJInterleave <= jn; j += kJInterleave) {
+        const float* bp = bt.data() + j * k;
+        float s[kJInterleave];
+        for (std::size_t u = 0; u < kJInterleave; ++u) {
+          s[u] = bias ? bias[j0 + j + u] : 0.0f;
+        }
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = ar[kk];
+          for (std::size_t u = 0; u < kJInterleave; ++u) {
+            s[u] += av * bp[u * k + kk];
+          }
+        }
+        for (std::size_t u = 0; u < kJInterleave; ++u) {
+          cr[j + u] = apply_activation_f32(s[u], act);
+        }
+      }
+      for (; j < jn; ++j) {
+        const float sum =
+            dot_f32(bias ? bias[j0 + j] : 0.0f, ar, bt.data() + j * k, k);
+        cr[j] = apply_activation_f32(sum, act);
+      }
+    }
+  }
+}
+
+void gemm_i8_acc_i32(const TensorI8& a, const TensorI8& b, TensorI32& c) {
+  GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
+  std::vector<std::int8_t> bt;
+  for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+    const std::size_t jn = std::min(kColBlock, n - j0);
+    pack_b_panel(b, k, j0, jn, bt);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int8_t* ar = a.row(i);
+      std::int32_t* cr = c.row(i) + j0;
+      for (std::size_t j = 0; j < jn; ++j) {
+        const std::int64_t sum = dot_i8(ar, bt.data() + j * k, k);
+        cr[j] = static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(sum, INT32_MIN, INT32_MAX));
+      }
+    }
+  }
+}
+
+// ---- Naive loops (equivalence oracle + perf baseline) ----------------------
+
+void gemm_i8_naive(const TensorI8& a, const TensorI8& b,
+                   const std::int32_t* bias, TensorI8& c, unsigned out_shift,
+                   Activation act) {
   GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -27,8 +181,8 @@ void gemm_i8(const TensorI8& a, const TensorI8& b, const std::int32_t* bias,
   }
 }
 
-void gemm_f32(const TensorF32& a, const TensorF32& b, const float* bias,
-              TensorF32& c, Activation act) {
+void gemm_f32_naive(const TensorF32& a, const TensorF32& b, const float* bias,
+                    TensorF32& c, Activation act) {
   GEMMINI_CHECK(a.rank() == 2 && b.rank() == 2 && c.rank() == 2);
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
@@ -43,7 +197,8 @@ void gemm_f32(const TensorF32& a, const TensorF32& b, const float* bias,
   }
 }
 
-void gemm_i8_acc_i32(const TensorI8& a, const TensorI8& b, TensorI32& c) {
+void gemm_i8_acc_i32_naive(const TensorI8& a, const TensorI8& b,
+                           TensorI32& c) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   GEMMINI_CHECK(b.dim(0) == k && c.dim(0) == m && c.dim(1) == n);
   for (std::size_t i = 0; i < m; ++i) {

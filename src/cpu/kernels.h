@@ -18,6 +18,11 @@ namespace gemmini::ref {
 
 /// C[M x N] = saturate(shift(act(A[M x K] * B[K x N] + bias[N])))
 /// `bias` may be null. Quantized int8 pipeline.
+///
+/// Blocked implementation: B is packed into transposed column panels so the
+/// inner loop is a contiguous, k-unrolled dot product over raw row pointers.
+/// Bit-for-bit identical to gemm_i8_naive (integer accumulation is exact and
+/// the float path preserves the naive accumulation order).
 void gemm_i8(const TensorI8& a, const TensorI8& b, const std::int32_t* bias,
              TensorI8& c, unsigned out_shift, Activation act);
 
@@ -28,6 +33,18 @@ void gemm_f32(const TensorF32& a, const TensorF32& b, const float* bias,
 /// Raw int32 accumulation (no requantization) — used to test the
 /// accumulator path in isolation.
 void gemm_i8_acc_i32(const TensorI8& a, const TensorI8& b, TensorI32& c);
+
+// ---- Naive reference loops -------------------------------------------------
+// The original scalar i/j/k implementations, retained as the equivalence
+// oracle for the blocked kernels above and as the baseline the perf harness
+// (bench/bench_perf.cc) measures speedup against.
+void gemm_i8_naive(const TensorI8& a, const TensorI8& b,
+                   const std::int32_t* bias, TensorI8& c, unsigned out_shift,
+                   Activation act);
+void gemm_f32_naive(const TensorF32& a, const TensorF32& b, const float* bias,
+                    TensorF32& c, Activation act);
+void gemm_i8_acc_i32_naive(const TensorI8& a, const TensorI8& b,
+                           TensorI32& c);
 
 /// Parameters of a 2-D convolution over NHWC tensors.
 struct ConvParams {

@@ -72,23 +72,42 @@ PAddr AddressSpace::translate(VAddr va) const {
 
 void AddressSpace::write_virt(VAddr va, const void* src,
                               std::size_t bytes) const {
-  const auto* p = static_cast<const std::uint8_t*>(src);
+  Cursor(*this).write(va, src, bytes);
+}
+
+void AddressSpace::read_virt(VAddr va, void* dst, std::size_t bytes) const {
+  Cursor(*this).read(va, dst, bytes);
+}
+
+PAddr AddressSpace::Cursor::paddr_of(VAddr va) {
+  const VAddr vbase = page_base(va);
+  if (!valid_ || vbase != last_vbase_) {
+    last_pbase_ = as_.translate(vbase);
+    last_vbase_ = vbase;
+    valid_ = true;
+  }
+  return last_pbase_ | page_offset(va);
+}
+
+void AddressSpace::Cursor::read(VAddr va, void* dst, std::size_t bytes) {
+  auto* p = static_cast<std::uint8_t*>(dst);
   while (bytes > 0) {
-    const std::size_t chunk = std::min<std::size_t>(
-        bytes, kPageBytes - page_offset(va));
-    mem_.write(translate(va), p, chunk);
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes, kPageBytes - page_offset(va));
+    as_.mem_.read(paddr_of(va), p, chunk);
     va += chunk;
     p += chunk;
     bytes -= chunk;
   }
 }
 
-void AddressSpace::read_virt(VAddr va, void* dst, std::size_t bytes) const {
-  auto* p = static_cast<std::uint8_t*>(dst);
+void AddressSpace::Cursor::write(VAddr va, const void* src,
+                                 std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
   while (bytes > 0) {
-    const std::size_t chunk = std::min<std::size_t>(
-        bytes, kPageBytes - page_offset(va));
-    mem_.read(translate(va), p, chunk);
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes, kPageBytes - page_offset(va));
+    as_.mem_.write(paddr_of(va), p, chunk);
     va += chunk;
     p += chunk;
     bytes -= chunk;

@@ -71,6 +71,26 @@ class AddressSpace {
   void write_virt(VAddr va, const void* src, std::size_t bytes) const;
   void read_virt(VAddr va, void* dst, std::size_t bytes) const;
 
+  /// Streaming copier with a one-entry translation cache: chunks at page
+  /// boundaries and walks each page once, *even across calls* — so a burst
+  /// of strided rows landing in one page costs a single functional walk
+  /// (the DMA's functional data path). Always moves data through this
+  /// address space's own backing memory.
+  class Cursor {
+   public:
+    explicit Cursor(const AddressSpace& as) : as_(as) {}
+    void read(VAddr va, void* dst, std::size_t bytes);
+    void write(VAddr va, const void* src, std::size_t bytes);
+
+   private:
+    PAddr paddr_of(VAddr va);
+
+    const AddressSpace& as_;
+    bool valid_ = false;
+    VAddr last_vbase_ = 0;
+    PAddr last_pbase_ = 0;
+  };
+
  private:
   PhysMem& mem_;
   FrameAllocator& frames_;

@@ -5,7 +5,17 @@
 namespace gemmini {
 
 Tlb::Tlb(const TlbConfig& cfg, std::string name, Cycle profile_window)
-    : cfg_(cfg), name_(std::move(name)), series_(profile_window) {
+    : cfg_(cfg),
+      name_(std::move(name)),
+      read_requests_(stats_.counter("read_requests")),
+      write_requests_(stats_.counter("write_requests")),
+      read_same_page_(stats_.counter("read_same_page")),
+      write_same_page_(stats_.counter("write_same_page")),
+      hits_(stats_.counter("hits")),
+      misses_(stats_.counter("misses")),
+      fastpath_hits_(stats_.counter("fastpath_hits")),
+      fastpath_misses_(stats_.counter("fastpath_misses")),
+      series_(profile_window) {
   cfg_.validate();
   entries_.assign(cfg_.entries, Entry{});
 }
@@ -14,20 +24,40 @@ std::optional<std::uint64_t> Tlb::lookup(std::uint64_t vpn, bool is_write,
                                          Cycle t) {
   // Consecutive same-page profiling (pre-lookup, per request stream).
   if (is_write) {
-    stats_.counter("write_requests").add();
+    write_requests_.add();
     if (have_last_write_ && last_write_vpn_ == vpn) {
-      stats_.counter("write_same_page").add();
+      write_same_page_.add();
     }
     have_last_write_ = true;
     last_write_vpn_ = vpn;
   } else {
-    stats_.counter("read_requests").add();
+    read_requests_.add();
     if (have_last_read_ && last_read_vpn_ == vpn) {
-      stats_.counter("read_same_page").add();
+      read_same_page_.add();
     }
     have_last_read_ = true;
     last_read_vpn_ = vpn;
   }
+
+  // Last-page fast path: a one-entry filter per request stream in front of
+  // the set scan. Same-page streaks resolve against the remembered entry
+  // directly; the entry is re-validated (flush / eviction / refill may have
+  // replaced it), and all architectural bookkeeping — hit counters, LRU
+  // refresh, miss-rate series — is identical to the scanning path, so timing
+  // and statistics are unchanged.
+  LastHit& last = is_write ? last_write_hit_ : last_read_hit_;
+  if (last.valid && last.vpn == vpn) {
+    Entry& e = entries_[last.idx];
+    if (e.valid && e.vpn == vpn) {
+      e.lru = ++lru_clock_;
+      hits_.add();
+      fastpath_hits_.add();
+      series_.record(t, /*event=*/false);
+      return e.ppn;
+    }
+    last.valid = false;  // stale: entry was evicted or remapped
+  }
+  fastpath_misses_.add();
 
   const unsigned set = set_of(vpn);
   Entry* base = &entries_[static_cast<std::size_t>(set) * set_ways()];
@@ -36,12 +66,15 @@ std::optional<std::uint64_t> Tlb::lookup(std::uint64_t vpn, bool is_write,
     Entry& e = base[w];
     if (e.valid && e.vpn == vpn) {
       e.lru = lru_clock_;
-      stats_.counter("hits").add();
+      hits_.add();
+      last.valid = true;
+      last.vpn = vpn;
+      last.idx = static_cast<std::size_t>(set) * set_ways() + w;
       series_.record(t, /*event=*/false);
       return e.ppn;
     }
   }
-  stats_.counter("misses").add();
+  misses_.add();
   series_.record(t, /*event=*/true);
   return std::nullopt;
 }
@@ -77,6 +110,10 @@ void Tlb::fill(std::uint64_t vpn, std::uint64_t ppn) {
 void Tlb::flush() {
   for (auto& e : entries_) e = Entry{};
   have_last_read_ = have_last_write_ = false;
+  // Shootdown also drops the last-page filters: the remembered entries are
+  // gone, and a post-flush streak must re-walk like the RTL would.
+  last_read_hit_ = LastHit{};
+  last_write_hit_ = LastHit{};
   stats_.counter("flushes").add();
 }
 

@@ -37,6 +37,11 @@ class Tlb {
   explicit Tlb(const TlbConfig& cfg, std::string name = "tlb",
                Cycle profile_window = 100000);
 
+  // The cached Counter& members below alias this object's own stats_ map; a
+  // copy or move would silently keep pointing at the source's counters.
+  Tlb(const Tlb&) = delete;
+  Tlb& operator=(const Tlb&) = delete;
+
   /// Looks up `vpn` at time `t`. Returns the mapped PPN on hit. Records the
   /// access in the profiling series either way.
   std::optional<std::uint64_t> lookup(std::uint64_t vpn, bool is_write,
@@ -54,6 +59,10 @@ class Tlb {
 
   std::uint64_t hits() const { return stats_.value("hits"); }
   std::uint64_t misses() const { return stats_.value("misses"); }
+  /// Hits satisfied by the one-entry last-page filter in front of the set
+  /// scan (a subset of hits(): the filter is a host-side fast path with
+  /// identical architectural behavior, not a modeled structure).
+  std::uint64_t fastpath_hits() const { return stats_.value("fastpath_hits"); }
   double hit_rate() const {
     const double total = static_cast<double>(hits() + misses());
     return total == 0 ? 0.0 : static_cast<double>(hits()) / total;
@@ -83,10 +92,32 @@ class Tlb {
   std::vector<Entry> entries_;
   std::uint64_t lru_clock_ = 0;
   StatSet stats_;
+  // Hot counters resolved once at construction: lookup() runs per DMA
+  // request, and the string-keyed map walk in StatSet::counter() would cost
+  // more than the set scan the fast path saves. (std::map nodes are
+  // reference-stable, so these stay valid for the Tlb's lifetime.)
+  Counter& read_requests_;
+  Counter& write_requests_;
+  Counter& read_same_page_;
+  Counter& write_same_page_;
+  Counter& hits_;
+  Counter& misses_;
+  Counter& fastpath_hits_;
+  Counter& fastpath_misses_;
   TimeSeries series_;
 
   bool have_last_read_ = false, have_last_write_ = false;
   std::uint64_t last_read_vpn_ = 0, last_write_vpn_ = 0;
+
+  /// One-entry last-page filter per request stream: remembers where the last
+  /// hit lives so same-page streaks skip the set scan. Re-validated against
+  /// the entry on use; cleared by flush().
+  struct LastHit {
+    bool valid = false;
+    std::uint64_t vpn = 0;
+    std::size_t idx = 0;
+  };
+  LastHit last_read_hit_, last_write_hit_;
 };
 
 }  // namespace gemmini

@@ -211,5 +211,109 @@ TEST(RefGelu, KnownValues) {
   EXPECT_NEAR(out[2], 0.0f, 1e-3f);
 }
 
+// ---- Blocked-vs-naive GEMM equivalence -------------------------------------
+// The blocked, B-packed kernels must match the retained naive loops
+// bit-for-bit across shapes (including non-multiples of the 16-wide array dim
+// and of the kernels' internal 64-column panel), bias on/off, every
+// activation, and assorted shifts. These are the guards that let the rest of
+// the stack trust the fast kernels as the functional oracle.
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+const GemmShape kEquivalenceShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {3, 5, 7},     {16, 16, 16},
+    {17, 33, 65}, {64, 64, 64}, {65, 128, 63}, {128, 70, 200},
+    {5, 300, 96},
+};
+
+TEST(GemmEquivalence, BlockedI8MatchesNaive) {
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  std::uint64_t seed = 100;
+  for (const auto& s : kEquivalenceShapes) {
+    for (bool bias : {false, true}) {
+      for (Activation act : acts) {
+        for (unsigned shift : {0u, 6u}) {
+          Rng rng(++seed);
+          TensorI8 a({s.m, s.k}), b({s.k, s.n});
+          TensorI8 c_fast({s.m, s.n}), c_naive({s.m, s.n});
+          a.randomize(rng);
+          b.randomize(rng);
+          std::vector<std::int32_t> bias_v(s.n);
+          for (auto& v : bias_v) v = rng.next_range(-5000, 5000);
+          ref::gemm_i8(a, b, bias ? bias_v.data() : nullptr, c_fast, shift,
+                       act);
+          ref::gemm_i8_naive(a, b, bias ? bias_v.data() : nullptr, c_naive,
+                             shift, act);
+          ASSERT_EQ(c_fast, c_naive)
+              << "i8 mismatch m=" << s.m << " k=" << s.k << " n=" << s.n
+              << " bias=" << bias << " act=" << static_cast<int>(act)
+              << " shift=" << shift;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, BlockedF32MatchesNaiveBitForBit) {
+  const Activation acts[] = {Activation::kNone, Activation::kRelu,
+                             Activation::kRelu6};
+  std::uint64_t seed = 500;
+  for (const auto& s : kEquivalenceShapes) {
+    for (bool bias : {false, true}) {
+      for (Activation act : acts) {
+        Rng rng(++seed);
+        TensorF32 a({s.m, s.k}), b({s.k, s.n});
+        TensorF32 c_fast({s.m, s.n}), c_naive({s.m, s.n});
+        a.randomize(rng);
+        b.randomize(rng);
+        std::vector<float> bias_v(s.n);
+        for (auto& v : bias_v) v = rng.next_float_pm1();
+        ref::gemm_f32(a, b, bias ? bias_v.data() : nullptr, c_fast, act);
+        ref::gemm_f32_naive(a, b, bias ? bias_v.data() : nullptr, c_naive,
+                            act);
+        // operator== compares the float payloads exactly: the blocked kernel
+        // must reproduce the naive accumulation order, not just be "close".
+        ASSERT_EQ(c_fast, c_naive)
+            << "f32 mismatch m=" << s.m << " k=" << s.k << " n=" << s.n
+            << " bias=" << bias << " act=" << static_cast<int>(act);
+      }
+    }
+  }
+}
+
+TEST(GemmEquivalence, BlockedAccI32MatchesNaive) {
+  std::uint64_t seed = 900;
+  for (const auto& s : kEquivalenceShapes) {
+    Rng rng(++seed);
+    TensorI8 a({s.m, s.k}), b({s.k, s.n});
+    TensorI32 c_fast({s.m, s.n}), c_naive({s.m, s.n});
+    a.randomize(rng);
+    b.randomize(rng);
+    ref::gemm_i8_acc_i32(a, b, c_fast);
+    ref::gemm_i8_acc_i32_naive(a, b, c_naive);
+    ASSERT_EQ(c_fast, c_naive)
+        << "acc_i32 mismatch m=" << s.m << " k=" << s.k << " n=" << s.n;
+  }
+}
+
+TEST(GemmEquivalence, SaturationExtremesMatch) {
+  // All-max inputs drive the int64 accumulator towards the INT32 clamp;
+  // blocked and naive must clamp identically.
+  TensorI8 a({4, 300}), b({300, 4});
+  TensorI32 c_fast({4, 4}), c_naive({4, 4});
+  a.fill(127);
+  b.fill(127);
+  ref::gemm_i8_acc_i32(a, b, c_fast);
+  ref::gemm_i8_acc_i32_naive(a, b, c_naive);
+  EXPECT_EQ(c_fast, c_naive);
+  a.fill(-128);
+  ref::gemm_i8_acc_i32(a, b, c_fast);
+  ref::gemm_i8_acc_i32_naive(a, b, c_naive);
+  EXPECT_EQ(c_fast, c_naive);
+}
+
 }  // namespace
 }  // namespace gemmini

@@ -239,6 +239,128 @@ TEST_F(TranslationFixture, EffectiveHitRateCountsFilters) {
   EXPECT_NEAR(ts.effective_private_hit_rate(), 0.99, 0.011);
 }
 
+// ---- TLB last-page fast path -----------------------------------------------
+// A one-entry filter per request stream sits in front of the set scan; it
+// must be architecturally invisible (identical hits/misses/LRU) while
+// recording its own fastpath_hits counter, and must drop on page crossings,
+// evictions, and shootdowns.
+
+TEST(TlbFastPath, SamePageStreakHitsFilter) {
+  Tlb tlb(TlbConfig{.entries = 4});
+  tlb.fill(10, 0x9000);
+  EXPECT_EQ(tlb.lookup(10, false, 0), 0x9000u);  // scan hit, arms the filter
+  EXPECT_EQ(tlb.fastpath_hits(), 0u);
+  EXPECT_EQ(tlb.lookup(10, false, 1), 0x9000u);
+  EXPECT_EQ(tlb.lookup(10, false, 2), 0x9000u);
+  EXPECT_EQ(tlb.fastpath_hits(), 2u);
+  EXPECT_EQ(tlb.hits(), 3u);  // fast hits are still architectural hits
+  EXPECT_EQ(tlb.misses(), 0u);
+}
+
+TEST(TlbFastPath, PageCrossingInvalidatesFilter) {
+  Tlb tlb(TlbConfig{.entries = 4});
+  tlb.fill(10, 0x9000);
+  tlb.fill(11, 0xa000);
+  tlb.lookup(10, false, 0);                      // arms filter on vpn 10
+  EXPECT_EQ(tlb.lookup(10, false, 1), 0x9000u);  // fast
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  EXPECT_EQ(tlb.lookup(11, false, 2), 0xa000u);  // page cross: full scan
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  // Filter now tracks vpn 11; returning to 10 scans again.
+  EXPECT_EQ(tlb.lookup(10, false, 3), 0x9000u);
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  EXPECT_EQ(tlb.lookup(10, false, 4), 0x9000u);  // fast again
+  EXPECT_EQ(tlb.fastpath_hits(), 2u);
+}
+
+TEST(TlbFastPath, ShootdownClearsFilter) {
+  Tlb tlb(TlbConfig{.entries = 4});
+  tlb.fill(10, 0x9000);
+  tlb.lookup(10, false, 0);
+  tlb.lookup(10, false, 1);
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  tlb.flush();
+  tlb.fill(10, 0x9000);
+  // Post-flush streak must re-scan before the filter re-arms, even though
+  // the same vpn is re-installed.
+  EXPECT_EQ(tlb.lookup(10, false, 2), 0x9000u);
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  EXPECT_EQ(tlb.lookup(10, false, 3), 0x9000u);
+  EXPECT_EQ(tlb.fastpath_hits(), 2u);
+}
+
+TEST(TlbFastPath, StaleFilterAfterEvictionFallsThrough) {
+  Tlb tlb(TlbConfig{.entries = 2});
+  tlb.fill(1, 0x1000);
+  tlb.lookup(1, false, 0);
+  tlb.lookup(1, false, 1);  // filter armed on vpn 1
+  tlb.fill(2, 0x2000);
+  tlb.lookup(2, false, 2);
+  tlb.fill(3, 0x3000);  // evicts vpn 1 (LRU)
+  const std::uint64_t fast_before = tlb.fastpath_hits();
+  // Filter still remembers vpn 1's slot, but the entry now holds vpn 3: the
+  // fast path must re-validate and report an architectural miss.
+  EXPECT_FALSE(tlb.lookup(1, false, 3).has_value());
+  EXPECT_EQ(tlb.fastpath_hits(), fast_before);
+}
+
+TEST(TlbFastPath, FastHitsRefreshLru) {
+  Tlb tlb(TlbConfig{.entries = 2});
+  tlb.fill(1, 0x1000);
+  tlb.fill(2, 0x2000);
+  tlb.lookup(1, true, 0);   // scan hit: arms the *write* filter on vpn 1
+  tlb.lookup(2, false, 1);  // scan hit: vpn 2's stamp now exceeds vpn 1's
+  tlb.lookup(1, true, 2);   // fast hit; must restamp vpn 1 above vpn 2
+  EXPECT_EQ(tlb.fastpath_hits(), 1u);
+  // If the fast path failed to refresh LRU, vpn 1 (stale stamp) would be the
+  // victim here instead of vpn 2.
+  tlb.fill(3, 0x3000);
+  EXPECT_TRUE(tlb.lookup(1, false, 3).has_value());
+  EXPECT_FALSE(tlb.lookup(2, false, 4).has_value());
+}
+
+TEST(TlbFastPath, ReadAndWriteStreamsAreIndependent) {
+  Tlb tlb(TlbConfig{.entries = 4});
+  tlb.fill(10, 0x9000);
+  tlb.fill(20, 0xb000);
+  tlb.lookup(10, false, 0);  // arm read filter
+  tlb.lookup(20, true, 1);   // arm write filter
+  // Interleaved same-page streaks stay fast in both streams.
+  EXPECT_EQ(tlb.lookup(10, false, 2), 0x9000u);
+  EXPECT_EQ(tlb.lookup(20, true, 3), 0xb000u);
+  EXPECT_EQ(tlb.lookup(10, false, 4), 0x9000u);
+  EXPECT_EQ(tlb.lookup(20, true, 5), 0xb000u);
+  EXPECT_EQ(tlb.fastpath_hits(), 4u);
+}
+
+TEST_F(TranslationFixture, FastPathKeepsTranslationResultsIdentical) {
+  // Stream many translations with and without same-page streaks; results and
+  // timing must be a pure function of the request sequence (the fast path
+  // only skips the host-side scan).
+  auto ts = make(4, 0, false);
+  const VAddr base = as.alloc(8 * kPageBytes);
+  Cycle t = 0;
+  std::vector<PAddr> got;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (VAddr off : std::initializer_list<VAddr>{0, 64, 128, kPageBytes, kPageBytes + 8,
+                      2 * kPageBytes, 2 * kPageBytes + 16}) {
+      const auto tr = ts.translate(as, base + off, false, t);
+      got.push_back(tr.paddr);
+      t = tr.done + 1;
+    }
+  }
+  // Every paddr must agree with the functional page-table walk.
+  std::size_t i = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (VAddr off : std::initializer_list<VAddr>{0, 64, 128, kPageBytes, kPageBytes + 8,
+                      2 * kPageBytes, 2 * kPageBytes + 16}) {
+      EXPECT_EQ(got[i++], as.translate(base + off));
+    }
+  }
+  // And the private TLB's fast path actually engaged on the streaks.
+  EXPECT_GT(ts.private_tlb().fastpath_hits(), 0u);
+}
+
 TEST_F(TranslationFixture, PteWalksBenefitFromL2Cache) {
   auto ts = make(1, 0, false);
   const VAddr a = as.alloc(kPageBytes);
