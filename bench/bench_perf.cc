@@ -1,4 +1,5 @@
-// Simulator-throughput perf harness (PR 1's hot-path overhaul).
+// Simulator-throughput perf harness (PR 1's hot-path overhaul, PR 2's
+// facade migration).
 //
 // Runs a fixed workload mix and reports, per workload, simulated cycles,
 // host wall time, and simulated-cycles-per-second — the number that bounds
@@ -6,11 +7,21 @@
 // blocked CPU GEMM kernels against the retained naive loops (the in-PR
 // speedup baseline) and verifies bit-exact equivalence while doing so.
 //
-//   $ ./bench_perf [out.json]     # default out: BENCH_PR1.json
+// Every simulator workload stands its system up through `sim::Session`; the
+// cycle counts are pinned by scripts/golden_cycles.json, so the facade is
+// proven to be a zero-cost re-plumbing of the old hand-wired harness.
 //
-// The JSON is the perf-trajectory record: scripts/run_bench.sh diffs its
-// simulated cycle counts against scripts/golden_cycles.json so perf PRs
-// cannot silently change timing semantics.
+//   $ ./bench_perf [out.json]             # default out: BENCH_PR1.json
+//   $ ./bench_perf --sweep [out.json]     # parallel-sweep mode, default
+//                                         # out: BENCH_PR2.json
+//
+// Sweep mode fans a 9-point config grid (Fig. 9 Base/BigSP/BigL2 x three
+// scaled DNNs) across 4 worker threads via `sim::Sweep`, byte-compares the
+// reports against a serial run of the same grid, and emits the structured
+// JSON reports. The default mode's JSON remains the perf-trajectory record:
+// scripts/run_bench.sh diffs its simulated cycle counts against
+// scripts/golden_cycles.json so perf PRs cannot silently change timing
+// semantics.
 
 #include <chrono>
 #include <cstdio>
@@ -43,32 +54,22 @@ double time_ms(int reps, Fn&& fn) {
   return best;
 }
 
-/// Single-accelerator functional harness (mirrors tests/test_util.h without
-/// depending on the test tree).
-struct Harness {
-  explicit Harness(GemminiConfig cfg = GemminiConfig::paper_default())
-      : config(std::move(cfg)),
-        mem(MemSysConfig{}),
-        frames(0x8000'0000ull),
-        as(mem.phys(), frames),
-        ptw(config.translation.ptw, mem, RequestorId{100}),
-        accel(config, mem, ptw, RequestorId{0}) {
-    accel.set_functional(true);
-  }
+/// One functional single-core session per measurement: every run starts
+/// from the exact cold state the seed simulator would see, so the cycle
+/// count is deterministic (warm TLB / PTE-cache / bus state cannot leak
+/// between reps).
+sim::Session make_session(GemminiConfig accel = GemminiConfig::paper_default()) {
+  return sim::Session::builder()
+      .accel(std::move(accel))
+      .functional(true)
+      .build();
+}
 
-  VAddr upload_bytes(const void* data, std::uint64_t bytes) {
-    const VAddr va = as.alloc(bytes + 4096);
-    as.write_virt(va, data, bytes);
-    return va;
-  }
-
-  GemminiConfig config;
-  MemorySystem mem;
-  FrameAllocator frames;
-  AddressSpace as;
-  PageTableWalker ptw;
-  Accelerator accel;
-};
+VAddr upload_bytes(sim::Session& s, const void* data, std::uint64_t bytes) {
+  const VAddr va = s.address_space().alloc(bytes + 4096);
+  s.address_space().write_virt(va, data, bytes);
+  return va;
+}
 
 struct Entry {
   std::string name;
@@ -142,29 +143,26 @@ Entry accel_tiled_matmul(std::uint64_t m, std::uint64_t k, std::uint64_t n) {
   e.name = "accel_tiled_matmul";
   e.wall_ms = 1e300;
   TensorI8 got({m, n});
-  // Fresh harness per rep: every run starts from the exact cold state the
-  // seed simulator would see, so the cycle count is deterministic (warm
-  // TLB / PTE-cache / bus state cannot leak between reps).
   for (int rep = 0; rep < 3; ++rep) {
-    Harness h;
+    sim::Session s = make_session();
     MatmulParams p;
-    p.a = h.upload_bytes(a.data(), a.size());
-    p.b = h.upload_bytes(b.data(), b.size());
-    p.c = h.as.alloc(m * n + 8192);
+    p.a = upload_bytes(s, a.data(), a.size());
+    p.b = upload_bytes(s, b.data(), b.size());
+    p.c = s.address_space().alloc(m * n + 8192);
     p.m = m;
     p.k = k;
     p.n = n;
     p.out_shift = 7;
     p.act = Activation::kRelu;
-    const Program prog = emit_tiled_matmul(h.config, p);
+    const Program prog = emit_tiled_matmul(s.config().accel, p);
 
     const double t0 = now_ms();
-    const Cycle cycles = h.accel.run(prog, h.as);
+    const Cycle cycles = s.accelerator().run(prog, s.address_space());
     e.wall_ms = std::min(e.wall_ms, now_ms() - t0);
     GEMMINI_CHECK_MSG(rep == 0 || cycles == e.sim_cycles,
                       "nondeterministic cycle count");
     e.sim_cycles = cycles;
-    h.as.read_virt(p.c, got.data(), got.size());
+    s.address_space().read_virt(p.c, got.data(), got.size());
   }
 
   // Functional cross-check against the blocked reference kernel.
@@ -201,17 +199,17 @@ Entry accel_conv3x3() {
   for (int rep = 0; rep < 3; ++rep) {
     GemminiConfig cfg = GemminiConfig::paper_default();
     cfg.has_im2col = true;
-    Harness h(cfg);
+    sim::Session s = make_session(cfg);
     ConvBuffers buf;
-    buf.input = h.upload_bytes(in.data(), in.size());
-    buf.weights = h.upload_bytes(w.data(), w.size());
-    buf.output = h.as.alloc(shape.out_rows() * shape.oc + 8192);
-    buf.im2col_scratch = h.as.alloc(shape.im2col_bytes(1) + 8192);
+    buf.input = upload_bytes(s, in.data(), in.size());
+    buf.weights = upload_bytes(s, w.data(), w.size());
+    buf.output = s.address_space().alloc(shape.out_rows() * shape.oc + 8192);
+    buf.im2col_scratch = s.address_space().alloc(shape.im2col_bytes(1) + 8192);
     const ConvPlan plan =
-        emit_conv(h.config, shape, buf, 7, Activation::kRelu);
+        emit_conv(s.config().accel, shape, buf, 7, Activation::kRelu);
 
     const double t0 = now_ms();
-    const Cycle cycles = h.accel.run(plan.program, h.as);
+    const Cycle cycles = s.accelerator().run(plan.program, s.address_space());
     e.wall_ms = std::min(e.wall_ms, now_ms() - t0);
     GEMMINI_CHECK_MSG(rep == 0 || cycles == e.sim_cycles,
                       "nondeterministic cycle count");
@@ -226,25 +224,30 @@ Entry accel_conv3x3() {
 
 Entry resnet_slice() {
   // "ResNet-ish slice": the full zoo ResNet-50 topology at reduced 32x32
-  // resolution, functional, through the push-button SoC flow.
+  // resolution, functional, through the push-button Session flow. Like the
+  // other simulator workloads: best of 3 reps, each on a fresh cold
+  // session (SoC elaboration + lowering are part of the timed push-button
+  // flow), with the cycle count checked for determinism across reps.
   SocConfig cfg = SocConfig::base_1mb_l2();
   cfg.accel.has_im2col = true;
 
   Entry e;
   e.name = "resnet50_slice_32";
+  e.wall_ms = 1e300;
   const Model model = zoo::resnet50(32);
 
-  const double t0 = now_ms();
-  Soc soc(cfg);
-  soc.set_functional(true);
-  LoweringOptions opts;
-  opts.functional = true;
-  opts.seed = 7;
-  const LoweredModel lowered =
-      lower_model(model, cfg.accel, cfg.cpu, soc.address_space(0), opts);
-  const CoreResult r = soc.run(lowered.stream);
-  e.wall_ms = now_ms() - t0;
-  e.sim_cycles = r.finish;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_ms();
+    sim::Session session = sim::Session::builder(cfg)
+                               .functional(true)
+                               .seed(7)
+                               .build();
+    const sim::Report r = session.run(model);
+    e.wall_ms = std::min(e.wall_ms, now_ms() - t0);
+    GEMMINI_CHECK_MSG(rep == 0 || r.cycles == e.sim_cycles,
+                      "nondeterministic cycle count");
+    e.sim_cycles = r.cycles;
+  }
 
   std::printf("%-28s %12llu cycles  %8.2f ms  %10.1f Mcyc/s\n",
               e.name.c_str(), static_cast<unsigned long long>(e.sim_cycles),
@@ -272,10 +275,83 @@ bool write_json(const std::string& path, const std::vector<Entry>& entries) {
   return out.good();
 }
 
+// ---- Sweep mode ------------------------------------------------------------
+
+int run_sweep(const std::string& out_path) {
+  std::printf("=== bench_perf --sweep: parallel design-space sweep ===\n\n");
+
+  // Fig. 9's three memory-partitioning configs x three scaled DNNs = 9
+  // points, every one through its own worker-local Session.
+  std::vector<SocConfig> configs = {SocConfig::base_1mb_l2(),
+                                    SocConfig::big_sp(), SocConfig::big_l2()};
+  for (SocConfig& cfg : configs) cfg.accel.has_im2col = true;
+
+  sim::Experiment exp;
+  exp.configs(configs)
+      .model(zoo::squeezenet_v11(64))
+      .model(zoo::mobilenet_v2(64))
+      .model(zoo::alexnet(63));
+  const sim::Sweep sweep = exp.sweep();
+  std::printf("%zu-point grid (3 configs x 3 models)\n", sweep.size());
+
+  const double t_serial0 = now_ms();
+  const auto serial = sweep.run({.threads = 1});
+  const double serial_ms = now_ms() - t_serial0;
+
+  const unsigned kThreads = 4;
+  const double t_par0 = now_ms();
+  const auto parallel = sweep.run({.threads = kThreads});
+  const double par_ms = now_ms() - t_par0;
+
+  const std::string serial_json = sim::reports_to_json(serial, 2);
+  const std::string parallel_json = sim::reports_to_json(parallel, 2);
+  const bool deterministic = serial_json == parallel_json;
+
+  for (const sim::Report& r : parallel) {
+    std::printf("  %-32s %12llu cycles  speedup %7.0fx\n", r.point.c_str(),
+                static_cast<unsigned long long>(r.cycles), r.speedup);
+  }
+  std::printf("\nserial %.0f ms, %u-thread %.0f ms (%.2fx), reports %s\n",
+              serial_ms, kThreads, par_ms, serial_ms / par_ms,
+              deterministic ? "byte-identical" : "DIVERGED");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 2,\n  \"threads\": " << kThreads
+      << ",\n  \"serial_ms\": " << serial_ms << ",\n  \"parallel_ms\": "
+      << par_ms << ",\n  \"deterministic\": "
+      << (deterministic ? "true" : "false") << ",\n  \"sweep\": ";
+  // Indent the report array under the wrapper object.
+  for (const char c : parallel_json) {
+    out << c;
+    if (c == '\n') out << "  ";
+  }
+  out << "\n}\n";
+  const bool wrote = out.good();
+  out.close();
+  if (wrote) {
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("ERROR: could not write %s\n", out_path.c_str());
+  }
+  return (deterministic && wrote) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_PR1.json";
+  bool sweep_mode = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep_mode = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (out_path.empty()) out_path = sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
+
+  if (sweep_mode) return run_sweep(out_path);
+
   std::printf("=== bench_perf: hot-path throughput harness ===\n\n");
 
   std::vector<Entry> entries;

@@ -1,11 +1,17 @@
 // Design-space exploration across the architectural template (paper §III-A,
 // Fig. 3): sweep spatial-array geometries from fully-pipelined systolic to
 // fully-combinational vector engines, and scratchpad sizes, reporting the
-// area / frequency / power / performance trade-offs the generator exposes.
+// area / frequency / power / performance trade-offs.
+//
+// Both sweeps go through `sim::Sweep`: every point elaborates its own SoC
+// on a worker thread, and the per-point `sim::Report` already carries the
+// estimate-model answers (area / fmax / power), so no separate model
+// plumbing is needed.
 //
 //   $ ./example_design_space
 
 #include <cstdio>
+#include <vector>
 
 #include "src/core/gemmini.h"
 
@@ -28,34 +34,41 @@ int main() {
       {"2x2 of 8x8", {2, 2, 8, 8}},
       {"1x16 of 16x1 (NVDLA)", {1, 16, 16, 1}},
   };
-  const AreaModel area_model;
-  const TimingModel timing_model;
-  const PowerModel power_model;
+  sim::Sweep geo_sweep;
   for (const Geo& geo : geos) {
     SocConfig cfg;
     cfg.accel.array = geo.g;
     cfg.accel.name = geo.name;
     cfg.accel.has_im2col = true;
-    // Run the workload at the geometry's own achievable frequency.
-    const double fmax = timing_model.fmax_ghz(geo.g, DType::kInt8);
-    Generator gen(cfg);
-    const RunReport r = gen.run_model(workload);
-    std::printf("%-22s %-10.2f %-12.1f %-10.1f %-12lu\n", geo.name, fmax,
-                area_model.spatial_array_um2(geo.g, DType::kInt8) / 1000.0,
-                power_model.spatial_array_mw(geo.g, DType::kInt8, 0.5),
+    geo_sweep.add(geo.name, cfg, workload);
+  }
+  // The report embeds whole-accelerator estimates; the paper's Fig. 3
+  // numbers are for the bare array, so compute those from the models.
+  const AreaModel area_model;
+  const PowerModel power_model;
+  const std::vector<sim::Report> geo_reports = geo_sweep.run();
+  for (std::size_t i = 0; i < geo_reports.size(); ++i) {
+    const sim::Report& r = geo_reports[i];
+    const SpatialArrayGeometry& g = geos[i].g;
+    std::printf("%-22s %-10.2f %-12.1f %-10.1f %-12lu\n", r.point.c_str(),
+                r.estimates.fmax_ghz,
+                area_model.spatial_array_um2(g, DType::kInt8) / 1000.0,
+                power_model.spatial_array_mw(g, DType::kInt8, 0.5),
                 static_cast<unsigned long>(r.cycles));
   }
 
   std::printf("\nScratchpad capacity sweep (16x16 systolic):\n");
   std::printf("%-12s %-12s %-12s\n", "sp(KB)", "area(Kum2)", "cycles");
-  for (const unsigned kb : {64u, 128u, 256u, 512u}) {
-    SocConfig cfg;
-    cfg.accel.sp_capacity_bytes = kb * 1024ull;
-    cfg.accel.has_im2col = true;
-    Generator gen(cfg);
-    const RunReport r = gen.run_model(workload);
-    std::printf("%-12u %-12.1f %-12lu\n", kb,
-                gen.area().total_um2 / 1000.0,
+  SocConfig sp_base;
+  sp_base.accel.has_im2col = true;
+  const auto sp_reports = sim::Experiment(sp_base)
+                              .scratchpad_sizes({64u << 10, 128u << 10,
+                                                 256u << 10, 512u << 10})
+                              .model(workload)
+                              .run();
+  for (const sim::Report& r : sp_reports) {
+    std::printf("%-12s %-12.1f %-12lu\n", r.point.c_str(),
+                r.estimates.area.total_um2 / 1000.0,
                 static_cast<unsigned long>(r.cycles));
   }
 
@@ -64,17 +77,16 @@ int main() {
        {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {
     SocConfig cfg;
     cfg.accel.has_im2col = true;
-    Soc soc(cfg);
-    auto& as = soc.address_space(0);
+    sim::Session session = sim::Session::builder(cfg).build();
+    auto& as = session.address_space();
     MatmulParams p;
     p.a = as.alloc(1 << 20);
     p.b = as.alloc(1 << 20);
     p.c = as.alloc(1 << 20);
     p.m = p.k = p.n = 512;
     p.dataflow = df;
-    const Program prog = emit_tiled_matmul(cfg.accel, p);
-    soc.accelerator(0).set_functional(false);
-    const Cycle cycles = soc.accelerator(0).run(prog, as);
+    const Program prog = emit_tiled_matmul(session.config().accel, p);
+    const Cycle cycles = session.accelerator().run(prog, as);
     std::printf("  %s: 512^3 matmul in %lu cycles\n", dataflow_name(df),
                 static_cast<unsigned long>(cycles));
   }

@@ -3,10 +3,16 @@
 // the shared L2 (BigL2)? The answer flips between single-core and dual-core
 // SoCs — this example reproduces that crossover.
 //
+// The 3 configs x 2 core-counts grid runs as one six-point `sim::Sweep`
+// (each point a multi-core co-simulation on its own SoC); the SoC-level
+// completion and L2 statistics come straight out of the per-point
+// `sim::Report`.
+//
 //   $ ./example_multicore_partition [--fast]
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "src/core/gemmini.h"
 
@@ -14,7 +20,7 @@ using namespace gemmini;
 
 namespace {
 
-void report(const char* name, const RunReport& r, const RunReport& base) {
+void report(const char* name, const sim::Report& r, const sim::Report& base) {
   const double total = 100.0 * (static_cast<double>(base.cycles) /
                                     static_cast<double>(r.cycles) -
                                 1.0);
@@ -40,31 +46,32 @@ int main(int argc, char** argv) {
   const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
   const Model model = zoo::resnet50(fast ? 96 : 224);
 
+  // Build the grid: {Base, BigSP, BigL2} x {1, 2} cores, ResNet-50 per
+  // core, every point a full multi-core co-simulation.
+  std::vector<SocConfig> partitions = {SocConfig::base_1mb_l2(),
+                                       SocConfig::big_sp(),
+                                       SocConfig::big_l2()};
+  sim::Sweep sweep;
   for (const unsigned cores : {1u, 2u}) {
-    std::printf("%u-core SoC, ResNet-50 per core:\n", cores);
-    RunReport base_rep;
-    for (const char* which : {"Base", "BigSP", "BigL2"}) {
-      SocConfig cfg = std::strcmp(which, "BigSP") == 0  ? SocConfig::big_sp()
-                      : std::strcmp(which, "BigL2") == 0 ? SocConfig::big_l2()
-                                                         : SocConfig::base_1mb_l2();
+    for (SocConfig cfg : partitions) {
       cfg.cores = cores;
       cfg.accel.has_im2col = true;
-      Generator gen(cfg);
-      const auto reports = gen.run_model_multicore(model);
-      // Slowest stream defines SoC-level completion.
-      RunReport worst = reports.front();
-      for (const auto& r : reports) {
-        if (r.cycles > worst.cycles) worst = r;
-      }
-      if (std::strcmp(which, "Base") == 0) {
-        base_rep = worst;
-        std::printf("  %-6s: %12lu cycles (baseline), L2 miss rate %.1f%%\n",
-                    which, static_cast<unsigned long>(worst.cycles),
-                    100.0 * gen.soc().memory().l2().miss_rate());
-      } else {
-        report(which, worst, base_rep);
-      }
+      std::string label = cfg.name + "-c" + std::to_string(cores);
+      sweep.add({std::move(label), std::move(cfg), model,
+                 /*multicore=*/true, /*functional=*/false, /*seed=*/1});
     }
+  }
+  const std::vector<sim::Report> reports = sweep.run();
+
+  for (const unsigned cores : {1u, 2u}) {
+    std::printf("%u-core SoC, ResNet-50 per core:\n", cores);
+    const std::size_t base_idx = (cores - 1) * partitions.size();
+    const sim::Report& base = reports[base_idx];
+    std::printf("  %-6s: %12lu cycles (baseline), L2 miss rate %.1f%%\n",
+                "Base", static_cast<unsigned long>(base.cycles),
+                100.0 * base.substrate.l2_miss_rate);
+    report("BigSP", reports[base_idx + 1], base);
+    report("BigL2", reports[base_idx + 2], base);
     std::printf("\n");
   }
   std::printf("Paper's finding: single-core prefers BigSP (conv +10%%); "

@@ -1,6 +1,7 @@
 // Push-button flow (paper §III-B): read a network description in the
-// ONNX-lite text format, lower it onto a generated accelerator, run it, and
-// print the report — no accelerator-specific code in the model description.
+// ONNX-lite text format, lower it onto a generated accelerator, run it
+// through `sim::Session`, and print the structured report — no
+// accelerator-specific code in the model description.
 //
 //   $ ./example_onnx_flow [model.gonnx]
 //
@@ -34,15 +35,20 @@ int main(int argc, char** argv) {
 
   SocConfig cfg;
   cfg.accel.has_im2col = true;
-  Generator gen(cfg);
-  const RunReport r = gen.run_model(model);
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report r = session.run(model);
 
   std::printf("\n%lu cycles (%.3f ms @ %.1f GHz), %.0fx speedup over %s\n",
               static_cast<unsigned long>(r.cycles), r.seconds * 1e3,
-              cfg.accel.clock_ghz, r.speedup, cfg.cpu.name.c_str());
+              session.config().accel.clock_ghz, r.speedup,
+              session.config().cpu.name.c_str());
   std::printf("array utilization %.1f%%, %lu RoCC instructions executed\n",
               100.0 * r.array_utilization,
-              static_cast<unsigned long>(r.accel.instructions));
+              static_cast<unsigned long>(r.per_core[0].accel.instructions));
+
+  // The report is one structured object — sweep drivers and CI consume the
+  // same JSON this prints.
+  std::printf("\n--- sim::Report (JSON) ---\n%s\n", r.to_json(2).c_str());
 
   // Round-trip: serialize back to the text format.
   std::printf("\n--- round-tripped description ---\n%s",

@@ -1,6 +1,17 @@
-// Quickstart: generate an accelerator, multiply two matrices on it, and
-// check the result against the CPU reference — the "hello world" of the
-// low-level C API (paper §III-B).
+// Quickstart: the "hello world" of the simulation stack, through the
+// unified `sim::Session` facade.
+//
+// A Session owns the whole system for one experiment — config, SoC,
+// address spaces, accelerator, estimates — so there is exactly one object
+// to build, whichever layer of the stack you want to exercise:
+//
+//   * push-button:  session.run(model)        -> sim::Report
+//   * tuned C API:  emit_tiled_matmul + session.accelerator().run(...)
+//   * raw state:    session.address_space() / session.soc()
+//
+// This example drives the *low-level* layer: generate an accelerator,
+// multiply two matrices on it, and check the result against the CPU
+// reference (paper §III-B).
 //
 //   $ ./example_quickstart
 
@@ -11,7 +22,7 @@
 using namespace gemmini;
 
 int main() {
-  // 1. Configure the generator: a 16x16 weight-stationary systolic array
+  // 1. Configure the template: a 16x16 weight-stationary systolic array
   //    with a 256 KB scratchpad — the paper's default instantiation.
   GemminiConfig cfg = GemminiConfig::paper_default();
   std::printf("Generated '%s': %ux%u PEs, %lu KB scratchpad, %lu KB acc\n",
@@ -19,12 +30,13 @@ int main() {
               static_cast<unsigned long>(cfg.sp_capacity_bytes / 1024),
               static_cast<unsigned long>(cfg.acc_capacity_bytes / 1024));
 
-  // 2. Stand up a single-accelerator SoC in functional mode.
-  SocConfig soc_cfg;
-  soc_cfg.accel = cfg;
-  Soc soc(soc_cfg);
-  soc.set_functional(true);
-  AddressSpace& as = soc.address_space(0);
+  // 2. Build the session: one builder call validates everything (array
+  //    geometry, CPU cost model, memory system, OS noise) and elaborates a
+  //    single-core SoC. `functional()` makes real int8 data flow through
+  //    the simulated memory hierarchy instead of just time.
+  sim::Session session =
+      sim::Session::builder().accel(cfg).functional().build();
+  AddressSpace& as = session.address_space();
 
   // 3. Allocate and fill matrices in the process's virtual address space.
   const std::uint64_t m = 64, k = 96, n = 48;
@@ -39,7 +51,7 @@ int main() {
   as.write_virt(vb, b.data(), b.size());
 
   // 4. Emit the tiled matmul with the runtime's auto-tiling heuristic and
-  //    run it through the cycle-level accelerator model.
+  //    run it through the session-owned cycle-level accelerator model.
   MatmulParams p;
   p.a = va;
   p.b = vb;
@@ -49,11 +61,10 @@ int main() {
   p.n = n;
   p.out_shift = 10;
   p.act = Activation::kRelu;
-  const Program prog = emit_tiled_matmul(cfg, p);
+  const Program prog = emit_tiled_matmul(session.config().accel, p);
   std::printf("Program: %zu RoCC instructions\n", prog.size());
 
-  Accelerator& accel = soc.accelerator(0);
-  const Cycle cycles = accel.run(prog, as);
+  const Cycle cycles = session.accelerator().run(prog, as);
 
   // 5. Verify against the golden reference.
   TensorI8 expect({m, n}), got({m, n});
@@ -61,17 +72,22 @@ int main() {
   as.read_virt(vc, got.data(), got.size());
   const bool ok = got == expect;
 
-  const auto& rep = accel.report();
+  const auto& rep = session.accelerator().report();
   std::printf("Ran %lu x %lu x %lu matmul in %lu cycles "
               "(%.1f%% array utilization): %s\n",
               static_cast<unsigned long>(m), static_cast<unsigned long>(k),
               static_cast<unsigned long>(n),
               static_cast<unsigned long>(cycles),
-              100.0 * rep.utilization(cfg, cycles),
+              100.0 * rep.utilization(session.config().accel, cycles),
               ok ? "MATCHES reference" : "MISMATCH");
 
-  // 6. The generator also emits the per-instantiation C header.
+  // 6. The same session also answers the synthesis-substitute questions
+  //    (area / fmax / power — embedded in every push-button sim::Report)
+  //    and emits the per-instantiation C header.
+  const sim::Estimates est = session.estimates();
+  std::printf("Estimates: %.0f Kum2, fmax %.2f GHz, %.1f mW\n",
+              est.area.total_um2 / 1000.0, est.fmax_ghz, est.power_mw);
   std::printf("\n--- generated gemmini_params.h (excerpt) ---\n%.400s...\n",
-              generate_params_header(cfg).c_str());
+              session.params_header().c_str());
   return ok ? 0 : 1;
 }

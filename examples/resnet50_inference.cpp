@@ -1,14 +1,16 @@
 // End-to-end ResNet-50 inference on a generated SoC — the paper's headline
 // workload (Fig. 7). Runs the full 53-conv network through the push-button
-// flow and reports FPS, speedup over the host CPU, per-layer-type cycle
-// breakdown, and substrate statistics.
+// `sim::Session` flow and reports FPS, speedup over the host CPU, per-layer-
+// type cycle breakdown, and substrate statistics — all fields of one
+// `sim::Report`.
 //
 //   $ ./example_resnet50_inference          # full 224x224, timing mode
 //   $ ./example_resnet50_inference --check  # 64x64 input, functional mode,
-//                                           # validates determinism
+//                                           # validates real data flow
 
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "src/core/gemmini.h"
 
@@ -25,28 +27,25 @@ int main(int argc, char** argv) {
   std::printf("%s", model.summary().c_str());
 
   if (check) {
-    // Functional mode: real int8 data flows through the simulated SoC.
-    Soc soc(cfg);
-    soc.set_functional(true);
-    LoweringOptions opts;
-    opts.functional = true;
-    opts.seed = 7;
-    const LoweredModel lowered =
-        lower_model(model, cfg.accel, cfg.cpu, soc.address_space(0), opts);
-    const CoreResult r = soc.run(lowered.stream);
+    // Functional mode: real int8 data flows through the simulated SoC. The
+    // session's `last_lowered()` layout locates the logits buffer in
+    // simulated virtual memory.
+    sim::Session session =
+        sim::Session::builder(cfg).functional().seed(7).build();
+    const sim::Report r = session.run(model);
     const std::size_t out = model.layers().size() - 1;
     std::vector<std::int8_t> logits(model.shape(out).elems());
-    soc.address_space(0).read_virt(lowered.layer_output[out], logits.data(),
-                                   logits.size());
+    session.address_space().read_virt(session.last_lowered().layer_output[out],
+                                      logits.data(), logits.size());
     int nonzero = 0;
     for (auto v : logits) nonzero += (v != 0);
     std::printf("functional run: %lu cycles, %d/%zu non-zero logits\n",
-                static_cast<unsigned long>(r.finish), nonzero, logits.size());
+                static_cast<unsigned long>(r.cycles), nonzero, logits.size());
     return nonzero > 0 ? 0 : 1;
   }
 
-  Generator gen(cfg);
-  const RunReport r = gen.run_model(model);
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report r = session.run(model);
   std::printf("\nResNet-50 on '%s' + %s host @ %.1f GHz\n",
               cfg.accel.name.c_str(), cfg.cpu.name.c_str(),
               cfg.accel.clock_ghz);
@@ -62,9 +61,10 @@ int main(int argc, char** argv) {
                 100.0 * static_cast<double>(c) / static_cast<double>(r.cycles));
   }
 
-  const auto& tlb = gen.soc().accelerator(0).translation();
-  std::printf("  private TLB hit rate: %.1f%%\n", 100.0 * tlb.private_tlb().hit_rate());
+  // Substrate statistics ride along in the same report.
+  std::printf("  private TLB hit rate: %.1f%%\n",
+              100.0 * r.per_core[0].private_tlb_hit_rate);
   std::printf("  L2 miss rate:         %.1f%%\n",
-              100.0 * gen.soc().memory().l2().miss_rate());
+              100.0 * r.substrate.l2_miss_rate);
   return 0;
 }

@@ -3,10 +3,16 @@
 // without the filter-register optimization, and find the cheapest
 // translation system within 2% of peak performance.
 //
+// The 2 x 2 x 2 = 8-point grid runs as one `sim::Sweep` across 4 worker
+// threads — each point on its own SoC — and the per-point TLB hit rates
+// come out of the `sim::Report`'s per-core translation statistics.
+//
 //   $ ./example_tlb_codesign [--fast]   (--fast uses a 96x96 input)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/core/gemmini.h"
@@ -20,12 +26,9 @@ int main(int argc, char** argv) {
   struct Point {
     unsigned priv, shared;
     bool filters;
-    Cycle cycles;
-    double hit_rate;
   };
   std::vector<Point> points;
-  Cycle best = kCycleMax;
-
+  sim::Sweep sweep;
   for (const bool filters : {false, true}) {
     for (const unsigned priv : {4u, 16u}) {
       for (const unsigned shared : {0u, 512u}) {
@@ -35,32 +38,41 @@ int main(int argc, char** argv) {
         cfg.accel.translation.l2_tlb_present = shared > 0;
         cfg.accel.translation.l2_tlb.entries = shared > 0 ? shared : 1;
         cfg.accel.translation.filter_registers = filters;
-        Generator gen(cfg);
-        const RunReport r = gen.run_model(model);
-        const auto& ts = gen.soc().accelerator(0).translation();
-        points.push_back(
-            {priv, shared, filters, r.cycles, ts.effective_private_hit_rate()});
-        if (r.cycles < best) best = r.cycles;
+        std::string name = "p";
+        name += std::to_string(priv);
+        name += "-s";
+        name += std::to_string(shared);
+        name += filters ? "-filt" : "-nofilt";
+        points.push_back({priv, shared, filters});
+        sweep.add(std::move(name), std::move(cfg), model);
       }
     }
   }
 
+  const std::vector<sim::Report> reports = sweep.run({.threads = 4});
+  Cycle best = kCycleMax;
+  for (const sim::Report& r : reports) best = std::min(best, r.cycles);
+
   std::printf("%-8s %-8s %-8s %-14s %-10s %s\n", "private", "L2-TLB",
               "filters", "cycles", "hit-rate", "vs-best");
-  for (const auto& p : points) {
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Point& p = points[i];
+    const sim::Report& r = reports[i];
     std::printf("%-8u %-8u %-8s %-14lu %-10.1f %+.1f%%\n", p.priv, p.shared,
                 p.filters ? "yes" : "no",
-                static_cast<unsigned long>(p.cycles), 100.0 * p.hit_rate,
-                100.0 * (static_cast<double>(p.cycles) /
+                static_cast<unsigned long>(r.cycles),
+                100.0 * r.per_core[0].effective_private_tlb_hit_rate,
+                100.0 * (static_cast<double>(r.cycles) /
                              static_cast<double>(best) -
                          1.0));
   }
 
   // The paper's conclusion: a 4-entry private TLB + filter registers and NO
   // shared L2 TLB lands within ~2% of the best configuration.
-  for (const auto& p : points) {
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Point& p = points[i];
     if (p.priv == 4 && p.shared == 0 && p.filters) {
-      const double loss = static_cast<double>(p.cycles) /
+      const double loss = static_cast<double>(reports[i].cycles) /
                               static_cast<double>(best) -
                           1.0;
       std::printf("\n4-entry private TLB + filter registers, no L2 TLB: "

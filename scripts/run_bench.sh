@@ -3,14 +3,31 @@
 # against scripts/golden_cycles.json so perf PRs cannot silently change
 # timing semantics. Usage:
 #
-#   scripts/run_bench.sh [out.json]     # default out: BENCH_PR1.json
+#   scripts/run_bench.sh [out.json]             # default out: BENCH_PR1.json
+#   scripts/run_bench.sh --sweep [sweep.json]   # additionally runs the
+#                                               # parallel-sweep mode via the
+#                                               # sim::Sweep API; default
+#                                               # sweep out: BENCH_PR2.json
 #
 # Exit is nonzero if the build fails, the harness reports a functional
-# mismatch / insufficient speedup, or any golden cycle count differs.
+# mismatch / insufficient speedup, any golden cycle count differs, or (in
+# sweep mode) the parallel sweep's reports are not byte-identical to the
+# serial run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+SWEEP=0
+if [[ "${1:-}" == "--sweep" ]]; then
+  SWEEP=1
+  shift
+fi
+
+if [[ $SWEEP == 1 ]]; then
+  SWEEP_OUT="${1:-BENCH_PR2.json}"
+  OUT="${2:-BENCH_PR1.json}"
+else
+  OUT="${1:-BENCH_PR1.json}"
+fi
 BUILD_DIR=build-bench
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -42,3 +59,19 @@ if failed:
     sys.exit(1)
 print("all golden cycle counts match")
 EOF
+
+if [[ $SWEEP == 1 ]]; then
+  "./$BUILD_DIR/bench_perf" --sweep "$SWEEP_OUT"
+  python3 - "$SWEEP_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    sweep = json.load(f)
+if not sweep.get("deterministic"):
+    print("FAIL: parallel sweep diverged from the serial run")
+    sys.exit(1)
+points = sweep.get("sweep", [])
+print(f"sweep ok: {len(points)} points on {sweep.get('threads')} threads, "
+      "parallel reports byte-identical to serial")
+EOF
+fi

@@ -43,6 +43,8 @@ struct AccelReport {
                         static_cast<double>(span);
     return peak == 0 ? 0.0 : static_cast<double>(macs) / peak;
   }
+
+  friend bool operator==(const AccelReport&, const AccelReport&) = default;
 };
 
 class Accelerator {

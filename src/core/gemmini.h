@@ -2,11 +2,15 @@
 // Umbrella header: the full public API of the Gemmini C++ reproduction.
 //
 // Layered exactly like the paper's stack:
-//   * push-button:  zoo / onnx_lite  ->  Generator::run_model
+//   * facade:       sim/session.h (sim::Session) + sim/experiment.h
+//                   (sim::Experiment / sim::Sweep) + sim/report.h — the
+//                   unified entry point for every experiment
+//   * push-button:  zoo / onnx_lite  ->  Session::run
 //   * tuned C API:  runtime/matmul.h, runtime/conv.h, runtime/kernels_accel.h
 //   * raw ISA:      isa/isa.h + accel/accelerator.h
 //   * SoC/system:   soc/soc.h (multi-core, shared L2, OS noise)
 //   * estimates:    estimate/{area,timing,power}_model.h
+//   * deprecated:   core/generator.h (Generator — thin shim over Session)
 
 #include "src/arch/config.h"
 #include "src/arch/spatial_array.h"
@@ -28,4 +32,7 @@
 #include "src/runtime/kernels_accel.h"
 #include "src/runtime/matmul.h"
 #include "src/runtime/tiling.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/sim/session.h"
 #include "src/soc/soc.h"

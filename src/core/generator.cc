@@ -2,69 +2,44 @@
 
 namespace gemmini {
 
-Generator::Generator(const SocConfig& cfg) : cfg_(cfg) {
-  cfg_.validate();
-  soc_ = std::make_unique<Soc>(cfg_);
+namespace {
+
+/// Flattens one core's slice of a sim::Report into the legacy RunReport.
+RunReport flatten(const sim::Report& rep, const sim::CoreReport& core,
+                  double clock_ghz) {
+  RunReport r;
+  r.cycles = core.cycles;
+  r.seconds = static_cast<double>(core.cycles) / (clock_ghz * 1e9);
+  r.fps = r.seconds > 0 ? 1.0 / r.seconds : 0.0;
+  r.cpu_baseline = rep.cpu_baseline;
+  r.speedup = core.cycles == 0
+                  ? 0.0
+                  : static_cast<double>(rep.cpu_baseline) /
+                        static_cast<double>(core.cycles);
+  r.cycles_by_tag = core.cycles_by_tag;
+  r.accel = core.accel;
+  r.array_utilization = core.array_utilization;
+  return r;
 }
 
-RunReport Generator::make_report(const CoreResult& r,
-                                 const Model& model) const {
-  RunReport rep;
-  rep.cycles = r.finish;
-  rep.seconds =
-      static_cast<double>(r.finish) / (cfg_.accel.clock_ghz * 1e9);
-  rep.fps = rep.seconds > 0 ? 1.0 / rep.seconds : 0.0;
-  rep.cpu_baseline = cpu_baseline_cycles(model, cfg_.cpu);
-  rep.speedup = r.finish == 0
-                    ? 0.0
-                    : static_cast<double>(rep.cpu_baseline) /
-                          static_cast<double>(r.finish);
-  rep.cycles_by_tag = r.cycles_by_tag;
-  rep.accel = r.accel;
-  rep.array_utilization = r.accel.utilization(cfg_.accel, r.finish);
-  return rep;
-}
+}  // namespace
+
+Generator::Generator(const SocConfig& cfg)
+    : session_(sim::Session::builder(cfg).build()) {}
 
 RunReport Generator::run_model(const Model& model) {
-  soc_->reset_all();
-  const LoweredModel lowered =
-      lower_model(model, cfg_.accel, cfg_.cpu, soc_->address_space(0));
-  const CoreResult r = soc_->run(lowered.stream);
-  return make_report(r, model);
+  const sim::Report rep = session_.run(model);
+  return flatten(rep, rep.per_core.front(), config().accel.clock_ghz);
 }
 
 std::vector<RunReport> Generator::run_model_multicore(const Model& model) {
-  soc_->reset_all();
-  std::vector<LoweredModel> lowered;
-  std::vector<const WorkStream*> streams;
-  lowered.reserve(cfg_.cores);
-  for (unsigned c = 0; c < cfg_.cores; ++c) {
-    lowered.push_back(lower_model(model, cfg_.accel, cfg_.cpu,
-                                  soc_->address_space(c)));
-  }
-  for (const auto& l : lowered) streams.push_back(&l.stream);
-  const auto results = soc_->run_parallel(streams);
+  const sim::Report rep = session_.run_multicore(model);
   std::vector<RunReport> reports;
-  reports.reserve(results.size());
-  for (const auto& r : results) reports.push_back(make_report(r, model));
+  reports.reserve(rep.per_core.size());
+  for (const sim::CoreReport& core : rep.per_core) {
+    reports.push_back(flatten(rep, core, config().accel.clock_ghz));
+  }
   return reports;
-}
-
-AreaBreakdown Generator::area() const {
-  return area_model_.breakdown(cfg_.accel,
-                               cfg_.cpu.cpu_class == CpuClass::kBoom);
-}
-
-double Generator::fmax_ghz() const {
-  return timing_model_.fmax_ghz(cfg_.accel.array, cfg_.accel.dtype);
-}
-
-double Generator::power_mw() const {
-  return power_model_.accelerator_mw(cfg_.accel);
-}
-
-std::string Generator::params_header() const {
-  return generate_params_header(cfg_.accel);
 }
 
 }  // namespace gemmini

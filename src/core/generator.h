@@ -1,19 +1,17 @@
 #pragma once
-// The generator facade — the library's primary public entry point.
+// DEPRECATED facade — superseded by sim::Session (src/sim/session.h).
 //
-// `Generator` mirrors the role of the Chisel generator: it takes an
-// architectural configuration plus SoC-level parameters and "elaborates" a
-// runnable system: the accelerator model, the host-CPU model, the SoC
-// memory system, the tuned software stack, and the generated C header.
+// `Generator` was the library's original entry point. It remains as a thin
+// source-compatible shim over the unified facade: every call delegates to an
+// owned `sim::Session`, and `RunReport` is a flattened view of `sim::Report`.
+// New code should use the Session builder directly:
 //
-//   GemminiConfig cfg = GemminiConfig::paper_default();
-//   SocConfig soc = SocConfig::base_1mb_l2();
-//   soc.accel = cfg;
-//   gemmini::Generator gen(soc);
-//   auto report = gen.run_model(zoo::resnet50());
+//   auto session = sim::Session::builder().soc(cfg).build();
+//   sim::Report report = session.run(zoo::resnet50());
 //
-// It also exposes the estimate models (area / fmax / power) so design-space
-// sweeps read like the paper's methodology.
+// The shim is kept deliberately warning-free (no [[deprecated]] attribute)
+// because the historical bench_fig* reproductions still build against it;
+// it will grow no new features.
 
 #include <memory>
 #include <string>
@@ -25,11 +23,14 @@
 #include "src/estimate/timing_model.h"
 #include "src/model/graph.h"
 #include "src/model/runner.h"
+#include "src/sim/session.h"
 #include "src/soc/soc.h"
 
 namespace gemmini {
 
 /// End-to-end result of running a model on a generated system.
+/// DEPRECATED: new code should consume sim::Report, which adds per-core
+/// breakdowns, substrate statistics, estimates and JSON serialization.
 struct RunReport {
   Cycle cycles = 0;
   double seconds = 0;          ///< at the configured clock
@@ -45,8 +46,8 @@ class Generator {
  public:
   explicit Generator(const SocConfig& cfg);
 
-  const SocConfig& config() const { return cfg_; }
-  Soc& soc() { return *soc_; }
+  const SocConfig& config() const { return session_.config(); }
+  Soc& soc() { return session_.soc(); }
 
   /// Lowers and runs one model on core 0 (timing mode). Repeatable;
   /// timing state is reset between runs.
@@ -56,21 +57,15 @@ class Generator {
   std::vector<RunReport> run_model_multicore(const Model& model);
 
   // ---- Estimates (the synthesis-flow substitutes) -------------------------
-  AreaBreakdown area() const;
-  double fmax_ghz() const;
-  double power_mw() const;
+  AreaBreakdown area() const { return session_.estimates().area; }
+  double fmax_ghz() const { return session_.estimates().fmax_ghz; }
+  double power_mw() const { return session_.estimates().power_mw; }
 
   /// The generated gemmini_params.h contents for this instantiation.
-  std::string params_header() const;
+  std::string params_header() const { return session_.params_header(); }
 
  private:
-  RunReport make_report(const CoreResult& r, const Model& model) const;
-
-  SocConfig cfg_;
-  std::unique_ptr<Soc> soc_;
-  AreaModel area_model_;
-  TimingModel timing_model_;
-  PowerModel power_model_;
+  sim::Session session_;
 };
 
 }  // namespace gemmini

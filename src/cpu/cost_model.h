@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/status.h"
 #include "src/base/types.h"
 
 namespace gemmini {
@@ -50,6 +51,24 @@ struct CpuCostModel {
 
   static CpuCostModel rocket();
   static CpuCostModel boom();
+
+  /// Every per-unit cost must be positive: a zero or negative cost silently
+  /// zeroes whole cycle categories (and the speedup denominators built on
+  /// them). Throws ConfigError.
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(!name.empty(), "cpu cost model needs a name");
+    GEMMINI_CONFIG_REQUIRE(
+        cycles_per_mac_i8 > 0 && cycles_per_mac_f32 > 0,
+        "cpu '" << name << "': cycles-per-MAC must be positive");
+    GEMMINI_CONFIG_REQUIRE(
+        im2col_cycles_per_byte > 0 && move_cycles_per_byte > 0 &&
+            pool_cycles_per_cmp > 0 && special_cycles_per_elem > 0 &&
+            resadd_cycles_per_byte > 0,
+        "cpu '" << name << "': per-byte/per-element costs must be positive");
+    GEMMINI_CONFIG_REQUIRE(
+        kernel_dispatch_cycles >= 0,
+        "cpu '" << name << "': dispatch cost cannot be negative");
+  }
 
   // ---- Whole-kernel estimates (all return cycles) -------------------------
   Cycle gemm_cycles(std::uint64_t macs, bool fp32 = false) const {
@@ -91,6 +110,21 @@ struct OsNoiseModel {
   bool enabled = false;
   Cycle period_cycles = 1'000'000;  ///< ~1 ms at 1 GHz (Linux tick-ish)
   Cycle switch_cost_cycles = 8'000;
+
+  /// The SoC charges `switch_cost_cycles` and re-arms the timer by
+  /// `period_cycles`; a switch cost >= the period means the core never makes
+  /// forward progress between preemptions (an infinite loop in the
+  /// scheduler). Throws ConfigError.
+  void validate() const {
+    if (!enabled) return;
+    GEMMINI_CONFIG_REQUIRE(period_cycles > 0,
+                           "OS noise period must be positive");
+    GEMMINI_CONFIG_REQUIRE(
+        switch_cost_cycles < period_cycles,
+        "OS context-switch cost (" << switch_cost_cycles
+            << ") must be smaller than the switch period (" << period_cycles
+            << ") or the core can never make progress");
+  }
 };
 
 }  // namespace gemmini

@@ -180,4 +180,14 @@ std::vector<Model> all_paper_models() {
   return models;
 }
 
+std::vector<Model> all_paper_models_scaled() {
+  std::vector<Model> models;
+  models.push_back(resnet50(32));
+  models.push_back(alexnet(63));
+  models.push_back(squeezenet_v11(64));
+  models.push_back(mobilenet_v2(64));
+  models.push_back(bert_base(32, 1));
+  return models;
+}
+
 }  // namespace gemmini::zoo

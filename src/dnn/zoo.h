@@ -31,4 +31,9 @@ Model bert_base(unsigned seq_len = 128, unsigned num_layers = 12);
 /// All five, in the order the paper plots them.
 std::vector<Model> all_paper_models();
 
+/// The same five at reduced input resolution / depth — small enough for
+/// functional end-to-end tests and multi-point sweeps while still covering
+/// every layer kind (conv, depthwise, dense, pools, resadd, attention).
+std::vector<Model> all_paper_models_scaled();
+
 }  // namespace gemmini::zoo

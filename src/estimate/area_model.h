@@ -33,6 +33,8 @@ struct AreaBreakdown {
   double fraction(double part) const {
     return total_um2 == 0 ? 0.0 : part / total_um2;
   }
+
+  friend bool operator==(const AreaBreakdown&, const AreaBreakdown&) = default;
 };
 
 struct AreaModelConstants {

@@ -71,8 +71,8 @@ Cycle cpu_baseline_cycles(const Model& model, const CpuCostModel& cpu) {
 }
 
 LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                         const CpuCostModel& cpu, const AddressSpace&,
-                         AddressSpace& as, const LoweringOptions& opts) {
+                         const CpuCostModel& cpu, AddressSpace& as,
+                         const LoweringOptions& opts) {
   LoweredModel out;
   out.stream.name = model.name();
   const auto& layers = model.layers();

@@ -41,16 +41,23 @@ struct LoweredModel {
   std::uint64_t weight_bytes = 0;
 };
 
-/// Lowers `model` for the given accelerator instantiation into `as`.
+/// Lowers `model` for the given accelerator instantiation into `as`. This is
+/// the single lowering entry point; `sim::Session` calls it on behalf of the
+/// push-button flow.
 LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                         const CpuCostModel& cpu, const AddressSpace& as_const,
-                         AddressSpace& as, const LoweringOptions& opts = {});
+                         const CpuCostModel& cpu, AddressSpace& as,
+                         const LoweringOptions& opts = {});
 
-/// Convenience overload (single AddressSpace reference).
+/// Deprecated dual-AddressSpace overload, kept for source compatibility with
+/// callers of the old const/mutable signature. The const reference was never
+/// used; both references must name the same address space.
+[[deprecated("use the single-AddressSpace lower_model")]]
 inline LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                                const CpuCostModel& cpu, AddressSpace& as,
+                                const CpuCostModel& cpu,
+                                const AddressSpace& /*as_const*/,
+                                AddressSpace& as,
                                 const LoweringOptions& opts = {}) {
-  return lower_model(model, cfg, cpu, as, as, opts);
+  return lower_model(model, cfg, cpu, as, opts);
 }
 
 /// Cycles for running the whole model in software on `cpu` (no accelerator):

@@ -1,0 +1,242 @@
+#include "src/sim/experiment.h"
+
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+namespace gemmini::sim {
+
+Sweep& Sweep::add(SweepPoint point) {
+  points_.push_back(std::move(point));
+  return *this;
+}
+
+Sweep& Sweep::add(std::string name, SocConfig config, Model model) {
+  return add(SweepPoint{std::move(name), std::move(config), std::move(model),
+                        /*multicore=*/false, /*functional=*/false,
+                        /*seed=*/1});
+}
+
+Report Sweep::run_point(const SweepPoint& point) {
+  Session session = Session::builder(point.config)
+                        .functional(point.functional)
+                        .seed(point.seed)
+                        .build();
+  Report rep = point.multicore ? session.run_multicore(point.model)
+                               : session.run(point.model);
+  rep.point = point.name;
+  return rep;
+}
+
+std::vector<Report> Sweep::run(const SweepOptions& opts) const {
+  std::vector<std::optional<Report>> slots(points_.size());
+  std::vector<std::string> errors(points_.size());
+
+  unsigned threads = opts.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > points_.size()) {
+    threads = static_cast<unsigned>(points_.size());
+  }
+
+  // Dynamic work distribution: workers pull the next unclaimed point. Which
+  // worker runs which point is scheduling-dependent; the *result* is not,
+  // because every point elaborates its own SoC and writes only its own slot.
+  // Once any point fails, workers stop claiming new points — a failed sweep
+  // aborts promptly instead of simulating the rest of a large grid. The
+  // deterministic-error guarantee survives early abort: points are claimed
+  // in index order and a claimed point always runs to completion, so by the
+  // time any later point sets `failed`, the lowest-indexed failing point
+  // has already been claimed and will record its error.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  auto work = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points_.size()) break;
+      try {
+        slots[i] = run_point(points_[i]);
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+        failed.store(true, std::memory_order_relaxed);
+      } catch (...) {
+        errors[i] = "unknown error";
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Surface the first recorded failure in *point* order, independent of
+  // which thread hit it first.
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!errors[i].empty()) {
+      throw RuntimeError("sweep point " + std::to_string(i) + " '" +
+                         points_[i].name + "' failed: " + errors[i]);
+    }
+  }
+
+  std::vector<Report> reports;
+  reports.reserve(slots.size());
+  for (auto& slot : slots) reports.push_back(std::move(*slot));
+  return reports;
+}
+
+// ---- Experiment -------------------------------------------------------------
+
+namespace {
+
+std::string human_bytes(const char* prefix, std::uint64_t bytes) {
+  std::ostringstream oss;
+  oss << prefix;
+  if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0) {
+    oss << (bytes >> 20) << "M";
+  } else if (bytes >= 1024 && bytes % 1024 == 0) {
+    oss << (bytes >> 10) << "K";
+  } else {
+    oss << bytes << "B";
+  }
+  return oss.str();
+}
+
+}  // namespace
+
+Experiment::Experiment(SocConfig base) : base_(std::move(base)) {}
+
+Experiment& Experiment::model(Model m) {
+  models_.push_back(std::move(m));
+  return *this;
+}
+Experiment& Experiment::models(std::vector<Model> ms) {
+  for (Model& m : ms) models_.push_back(std::move(m));
+  return *this;
+}
+Experiment& Experiment::geometries(std::vector<SpatialArrayGeometry> gs) {
+  geometries_ = std::move(gs);
+  return *this;
+}
+Experiment& Experiment::scratchpad_sizes(std::vector<std::uint64_t> bytes) {
+  sp_sizes_ = std::move(bytes);
+  return *this;
+}
+Experiment& Experiment::l2_sizes(std::vector<std::uint64_t> bytes) {
+  l2_sizes_ = std::move(bytes);
+  return *this;
+}
+Experiment& Experiment::core_counts(std::vector<unsigned> cores) {
+  core_counts_ = std::move(cores);
+  return *this;
+}
+Experiment& Experiment::configs(std::vector<SocConfig> cfgs) {
+  explicit_configs_ = std::move(cfgs);
+  return *this;
+}
+Experiment& Experiment::multicore(bool on) {
+  multicore_ = on;
+  return *this;
+}
+Experiment& Experiment::functional(bool on) {
+  functional_ = on;
+  return *this;
+}
+Experiment& Experiment::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+Sweep Experiment::sweep() const {
+  GEMMINI_CONFIG_REQUIRE(!models_.empty(),
+                         "sim::Experiment: add at least one model");
+  GEMMINI_CONFIG_REQUIRE(
+      explicit_configs_.empty() ||
+          (geometries_.empty() && sp_sizes_.empty() && l2_sizes_.empty() &&
+           core_counts_.empty()),
+      "sim::Experiment: configs() cannot be combined with per-axis setters");
+
+  // Expand the config grid one axis at a time, tagging each variant with
+  // the axes that produced it.
+  struct Variant {
+    SocConfig cfg;
+    std::string label;
+  };
+  std::vector<Variant> variants;
+  if (!explicit_configs_.empty()) {
+    for (const SocConfig& cfg : explicit_configs_) {
+      variants.push_back({cfg, cfg.name});
+    }
+  } else {
+    variants.push_back({base_, ""});
+    auto expand = [&variants](auto&& apply, std::size_t count) {
+      if (count == 0) return;
+      std::vector<Variant> next;
+      next.reserve(variants.size() * count);
+      for (const Variant& v : variants) {
+        for (std::size_t i = 0; i < count; ++i) {
+          Variant nv = v;
+          const std::string part = apply(nv.cfg, i);
+          if (!nv.label.empty()) nv.label += "-";
+          nv.label += part;
+          next.push_back(std::move(nv));
+        }
+      }
+      variants = std::move(next);
+    };
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          const SpatialArrayGeometry& g = geometries_[i];
+          cfg.accel.array = g;
+          std::ostringstream oss;
+          oss << "g" << g.mesh_rows << "x" << g.mesh_cols << "x" << g.tile_rows
+              << "x" << g.tile_cols;
+          return oss.str();
+        },
+        geometries_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.accel.sp_capacity_bytes = sp_sizes_[i];
+          return human_bytes("sp", sp_sizes_[i]);
+        },
+        sp_sizes_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.mem.l2.size_bytes = l2_sizes_[i];
+          return human_bytes("l2", l2_sizes_[i]);
+        },
+        l2_sizes_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.cores = core_counts_[i];
+          std::string part = "c";
+          part += std::to_string(core_counts_[i]);
+          return part;
+        },
+        core_counts_.size());
+  }
+
+  Sweep sw;
+  for (const Variant& v : variants) {
+    for (const Model& m : models_) {
+      SweepPoint p{v.label.empty() ? m.name() : v.label + "/" + m.name(),
+                   v.cfg, m, multicore_, functional_, seed_};
+      sw.add(std::move(p));
+    }
+  }
+  return sw;
+}
+
+std::vector<Report> Experiment::run(const SweepOptions& opts) const {
+  return sweep().run(opts);
+}
+
+}  // namespace gemmini::sim

@@ -1,0 +1,120 @@
+#pragma once
+// sim::Sweep / sim::Experiment — the design-space-exploration driver.
+//
+// A Sweep is an ordered list of independent experiment points (one SocConfig
+// + one Model each). `run()` fans the points across a pool of worker
+// threads; every worker elaborates its *own* Session (own Soc, own memory
+// system, own address spaces), so points never share mutable simulator state
+// and the result vector is deterministic: byte-identical reports whether the
+// sweep runs on one thread or sixteen. That property is what lets
+// design-space sweeps use all host cores without giving up the golden-cycle
+// reproducibility the repo's perf harness enforces.
+//
+//   sim::Sweep sweep;
+//   for (const auto& cfg : configs)
+//     sweep.add(cfg.name, cfg, zoo::resnet50(96));
+//   std::vector<sim::Report> reports = sweep.run({.threads = 8});
+//
+// Experiment is the grid builder on top: give it a base SocConfig plus the
+// axes to vary (array geometry, scratchpad size, L2 size, core count, model
+// list) and it emits the cartesian-product Sweep with stable point names.
+//
+//   auto reports = sim::Experiment(SocConfig::base_1mb_l2())
+//                      .geometries({{16, 16, 1, 1}, {1, 16, 16, 1}})
+//                      .scratchpad_sizes({256 << 10, 512 << 10})
+//                      .models(zoo::all_paper_models_scaled())
+//                      .run();
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/graph.h"
+#include "src/sim/report.h"
+#include "src/sim/session.h"
+#include "src/soc/soc.h"
+
+namespace gemmini::sim {
+
+/// One independent experiment: a config, a model, and how to run it.
+struct SweepPoint {
+  std::string name;  ///< unique label, copied into Report::point
+  SocConfig config;
+  Model model;
+  bool multicore = false;  ///< run one stream per core instead of core 0
+  bool functional = false;
+  std::uint64_t seed = 1;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 = one per host hardware thread. Results do not
+  /// depend on this value.
+  unsigned threads = 0;
+};
+
+class Sweep {
+ public:
+  Sweep& add(SweepPoint point);
+  /// Convenience: timing-mode single-core point.
+  Sweep& add(std::string name, SocConfig config, Model model);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<SweepPoint>& points() const { return points_; }
+
+  /// Runs every point, fanned across the worker pool, and returns reports
+  /// in point order. A point whose config fails validation (or whose run
+  /// throws) aborts the sweep with the first failing point named; the
+  /// first-failure choice is by point order, not thread timing, so errors
+  /// are deterministic too.
+  std::vector<Report> run(const SweepOptions& opts = {}) const;
+
+  /// Runs one point exactly as the pool workers would (used by the
+  /// determinism test and anyone wanting a single point re-run).
+  static Report run_point(const SweepPoint& point);
+
+ private:
+  std::vector<SweepPoint> points_;
+};
+
+/// Cartesian-product grid builder over the template's main design axes.
+/// Unset axes stay at the base config's value. Point names encode only the
+/// axes that vary, so reports stay readable at any grid size.
+class Experiment {
+ public:
+  explicit Experiment(SocConfig base = SocConfig{});
+
+  Experiment& model(Model m);
+  Experiment& models(std::vector<Model> ms);
+  Experiment& geometries(std::vector<SpatialArrayGeometry> gs);
+  /// Scratchpad capacities (accumulator capacity is left at base).
+  Experiment& scratchpad_sizes(std::vector<std::uint64_t> bytes);
+  Experiment& l2_sizes(std::vector<std::uint64_t> bytes);
+  Experiment& core_counts(std::vector<unsigned> cores);
+  /// Pre-built config variants (e.g. the Fig. 9 Base/BigSP/BigL2 trio);
+  /// mutually exclusive with the per-axis setters above.
+  Experiment& configs(std::vector<SocConfig> cfgs);
+
+  Experiment& multicore(bool on = true);
+  Experiment& functional(bool on = true);
+  Experiment& seed(std::uint64_t s);
+
+  /// Expands the grid into a Sweep (configs x models, in axis order).
+  Sweep sweep() const;
+  /// sweep().run(opts).
+  std::vector<Report> run(const SweepOptions& opts = {}) const;
+
+ private:
+  SocConfig base_;
+  std::vector<Model> models_;
+  std::vector<SpatialArrayGeometry> geometries_;
+  std::vector<std::uint64_t> sp_sizes_;
+  std::vector<std::uint64_t> l2_sizes_;
+  std::vector<unsigned> core_counts_;
+  std::vector<SocConfig> explicit_configs_;
+  bool multicore_ = false;
+  bool functional_ = false;
+  std::uint64_t seed_ = 1;
+};
+
+}  // namespace gemmini::sim

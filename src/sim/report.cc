@@ -1,0 +1,249 @@
+#include "src/sim/report.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace gemmini::sim {
+
+namespace {
+
+// A minimal deterministic JSON writer. Keys are emitted in a fixed order and
+// doubles use shortest-round-trip formatting (%.17g trimmed), so equal
+// reports serialize byte-identically — the property the sweep determinism
+// check compares.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    newline();
+    out_ << '"' << k << "\":";
+    if (indent_ > 0) out_ << ' ';
+    just_keyed_ = true;
+  }
+
+  void value(const std::string& s) {
+    pre_value();
+    out_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out_ << '\\' << c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // Control characters (a config or point name could carry a stray
+        // newline/tab) must be escaped or the output is not JSON.
+        switch (c) {
+          case '\n': out_ << "\\n"; break;
+          case '\t': out_ << "\\t"; break;
+          case '\r': out_ << "\\r"; break;
+          default: {
+            char esc[8];
+            std::snprintf(esc, sizeof esc, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ << esc;
+          }
+        }
+      } else {
+        out_ << c;
+      }
+    }
+    out_ << '"';
+  }
+  void value(const char* s) { value(std::string(s)); }
+  void value(std::uint64_t v) {
+    pre_value();
+    out_ << v;
+  }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v) {
+    pre_value();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    pre_value();
+    if (!std::isfinite(v)) {
+      out_ << "null";
+      return;
+    }
+    // std::to_chars is locale-independent and shortest-round-trip by
+    // construction (snprintf %g would honour LC_NUMERIC and could emit
+    // "0,5" — invalid JSON — inside a host app that calls setlocale).
+    char buf[40];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_ << std::string_view(buf, static_cast<std::size_t>(res.ptr - buf));
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void open(char c) {
+    pre_value();
+    out_ << c;
+    ++depth_;
+    empty_ = true;
+  }
+  void close(char c) {
+    --depth_;
+    if (!empty_) newline();
+    out_ << c;
+    empty_ = false;
+  }
+  void pre_value() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    comma();
+    newline();
+  }
+  void comma() {
+    if (!empty_ && !just_keyed_) out_ << ',';
+    empty_ = false;
+  }
+  void newline() {
+    if (indent_ <= 0) return;
+    out_ << '\n';
+    for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+  }
+
+  std::ostringstream out_;
+  int indent_;
+  int depth_ = 0;
+  bool empty_ = true;
+  bool just_keyed_ = false;
+};
+
+void write_tags(JsonWriter& w, const std::map<std::string, Cycle>& tags) {
+  w.begin_object();
+  for (const auto& [tag, cycles] : tags) {
+    w.key(tag.c_str());
+    w.value(cycles);
+  }
+  w.end_object();
+}
+
+void write_core(JsonWriter& w, const CoreReport& c) {
+  w.begin_object();
+  w.key("core");
+  w.value(c.core);
+  w.key("cycles");
+  w.value(c.cycles);
+  w.key("cpu_cycles");
+  w.value(c.cpu_cycles);
+  w.key("cycles_by_tag");
+  write_tags(w, c.cycles_by_tag);
+  w.key("accel");
+  w.begin_object();
+  w.key("finish");
+  w.value(c.accel.finish);
+  w.key("instructions");
+  w.value(c.accel.instructions);
+  w.key("macs");
+  w.value(c.accel.macs);
+  w.key("load_busy");
+  w.value(c.accel.load_busy);
+  w.key("exec_busy");
+  w.value(c.accel.exec_busy);
+  w.key("store_busy");
+  w.value(c.accel.store_busy);
+  w.end_object();
+  w.key("array_utilization");
+  w.value(c.array_utilization);
+  w.key("private_tlb_hit_rate");
+  w.value(c.private_tlb_hit_rate);
+  w.key("effective_private_tlb_hit_rate");
+  w.value(c.effective_private_tlb_hit_rate);
+  w.end_object();
+}
+
+void write_report(JsonWriter& w, const Report& r) {
+  w.begin_object();
+  w.key("point");
+  w.value(r.point);
+  w.key("config");
+  w.value(r.config);
+  w.key("model");
+  w.value(r.model);
+  w.key("cores");
+  w.value(r.cores);
+  w.key("cycles");
+  w.value(r.cycles);
+  w.key("seconds");
+  w.value(r.seconds);
+  w.key("fps");
+  w.value(r.fps);
+  w.key("cpu_baseline");
+  w.value(r.cpu_baseline);
+  w.key("speedup");
+  w.value(r.speedup);
+  w.key("array_utilization");
+  w.value(r.array_utilization);
+  w.key("cycles_by_tag");
+  write_tags(w, r.cycles_by_tag);
+  w.key("per_core");
+  w.begin_array();
+  for (const CoreReport& c : r.per_core) write_core(w, c);
+  w.end_array();
+  w.key("substrate");
+  w.begin_object();
+  w.key("l2_miss_rate");
+  w.value(r.substrate.l2_miss_rate);
+  w.key("l2_hits");
+  w.value(r.substrate.l2_hits);
+  w.key("l2_misses");
+  w.value(r.substrate.l2_misses);
+  w.end_object();
+  w.key("estimates");
+  w.begin_object();
+  w.key("area_um2");
+  w.begin_object();
+  w.key("spatial_array");
+  w.value(r.estimates.area.spatial_array_um2);
+  w.key("scratchpad");
+  w.value(r.estimates.area.scratchpad_um2);
+  w.key("accumulator");
+  w.value(r.estimates.area.accumulator_um2);
+  w.key("peripherals");
+  w.value(r.estimates.area.peripherals_um2);
+  w.key("uncore");
+  w.value(r.estimates.area.uncore_um2);
+  w.key("host_cpu");
+  w.value(r.estimates.area.host_cpu_um2);
+  w.key("total");
+  w.value(r.estimates.area.total_um2);
+  w.end_object();
+  w.key("fmax_ghz");
+  w.value(r.estimates.fmax_ghz);
+  w.key("power_mw");
+  w.value(r.estimates.power_mw);
+  w.key("meets_timing");
+  w.value(r.estimates.meets_timing);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string Report::to_json(int indent) const {
+  JsonWriter w(indent);
+  write_report(w, *this);
+  return w.str();
+}
+
+std::string reports_to_json(const std::vector<Report>& reports, int indent) {
+  JsonWriter w(indent);
+  w.begin_array();
+  for (const Report& r : reports) write_report(w, r);
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace gemmini::sim

@@ -1,0 +1,104 @@
+#pragma once
+// sim::Report — the one result shape of the unified simulation facade.
+//
+// Before the facade, callers juggled three result structs (`RunReport` from
+// the generator, `CoreResult` from the SoC, `AccelReport` from the
+// accelerator) plus three separately-queried estimate models. A Report folds
+// all of them into a single structured record:
+//
+//   * headline numbers (cycles, seconds, FPS, CPU-baseline speedup),
+//   * the per-layer-tag cycle breakdown (the Fig. 9 accounting),
+//   * one CoreReport per core (per-core tags, accelerator counters, TLB
+//     rates),
+//   * substrate statistics of the shared memory system (L2 miss rate),
+//   * the synthesis-substitute estimates (area / fmax / power).
+//
+// Reports compare bitwise (`operator==` is defaulted member-wise) and
+// serialize to deterministic JSON — two properties the parallel-sweep driver
+// leans on: a sweep is correct iff its reports are byte-identical to the
+// serial run's.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/accel/accelerator.h"
+#include "src/base/types.h"
+#include "src/estimate/area_model.h"
+
+namespace gemmini::sim {
+
+/// Result of one core's stream: timing, tag breakdown, accelerator counters
+/// and that core's private translation statistics.
+struct CoreReport {
+  unsigned core = 0;
+  Cycle cycles = 0;      ///< this core's completion time
+  Cycle cpu_cycles = 0;  ///< CPU-resident share (im2col, special, dispatch)
+  std::map<std::string, Cycle> cycles_by_tag;
+  AccelReport accel;
+  double array_utilization = 0;
+  double private_tlb_hit_rate = 0;
+  /// Counting filter-register hits as private hits (paper §V-A).
+  double effective_private_tlb_hit_rate = 0;
+
+  friend bool operator==(const CoreReport&, const CoreReport&) = default;
+};
+
+/// The synthesis-flow substitutes, evaluated for the session's accelerator.
+struct Estimates {
+  AreaBreakdown area;
+  double fmax_ghz = 0;
+  double power_mw = 0;
+  bool meets_timing = false;
+
+  friend bool operator==(const Estimates&, const Estimates&) = default;
+};
+
+/// Shared-substrate statistics (one memory system per SoC, however many
+/// cores run on it).
+struct SubstrateStats {
+  double l2_miss_rate = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+
+  friend bool operator==(const SubstrateStats&, const SubstrateStats&) =
+      default;
+};
+
+/// End-to-end result of one experiment (one model on one SoC config).
+struct Report {
+  /// Sweep-point label ("" for direct Session runs).
+  std::string point;
+  std::string config;  ///< SocConfig::name
+  std::string model;   ///< Model::name()
+  unsigned cores = 0;  ///< cores that actually ran a stream
+
+  // Headline numbers. For multi-core runs `cycles` is the completion of the
+  // slowest core (SoC-level finish).
+  Cycle cycles = 0;
+  double seconds = 0;  ///< at the configured accelerator clock
+  double fps = 0;      ///< inferences per second (per core)
+  Cycle cpu_baseline = 0;  ///< same model, host CPU only
+  double speedup = 0;      ///< baseline / accelerated
+  double array_utilization = 0;  ///< core 0 (single-core headline)
+
+  /// Summed over cores — the Fig. 9 per-layer-type accounting.
+  std::map<std::string, Cycle> cycles_by_tag;
+
+  std::vector<CoreReport> per_core;
+  SubstrateStats substrate;
+  Estimates estimates;
+
+  friend bool operator==(const Report&, const Report&) = default;
+
+  /// Deterministic JSON (stable key order, round-trippable doubles). Two
+  /// equal reports always produce byte-identical JSON.
+  std::string to_json(int indent = 0) const;
+};
+
+/// Serializes a whole sweep: a JSON array of reports, in point order.
+std::string reports_to_json(const std::vector<Report>& reports,
+                            int indent = 0);
+
+}  // namespace gemmini::sim

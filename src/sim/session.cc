@@ -1,0 +1,116 @@
+#include "src/sim/session.h"
+
+#include <algorithm>
+
+#include "src/codegen/header_gen.h"
+
+namespace gemmini::sim {
+
+Session Session::Builder::build() const {
+  try {
+    cfg_.validate();
+  } catch (const ConfigError& e) {
+    throw ConfigError("sim::Session '" + cfg_.name +
+                      "': invalid configuration: " + e.what());
+  }
+  return Session(cfg_, functional_, seed_);
+}
+
+Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed)
+    : functional_(functional), seed_(seed) {
+  soc_ = std::make_unique<Soc>(cfg);
+  soc_->set_functional(functional_);
+}
+
+Estimates Session::estimates() const {
+  Estimates e;
+  e.area = area_model_.breakdown(config().accel,
+                                 config().cpu.cpu_class == CpuClass::kBoom);
+  e.fmax_ghz =
+      timing_model_.fmax_ghz(config().accel.array, config().accel.dtype);
+  e.power_mw = power_model_.accelerator_mw(config().accel);
+  e.meets_timing = timing_model_.meets_timing(config().accel);
+  return e;
+}
+
+std::string Session::params_header() const {
+  return generate_params_header(config().accel);
+}
+
+Report Session::make_report(const Model& model,
+                            const std::vector<CoreResult>& results) const {
+  Report rep;
+  rep.config = config().name;
+  rep.model = model.name();
+  rep.cores = static_cast<unsigned>(results.size());
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CoreResult& r = results[i];
+    CoreReport core;
+    core.core = static_cast<unsigned>(i);
+    core.cycles = r.finish;
+    core.cpu_cycles = r.cpu_cycles;
+    core.cycles_by_tag = r.cycles_by_tag;
+    core.accel = r.accel;
+    core.array_utilization = r.accel.utilization(config().accel, r.finish);
+    const auto& ts =
+        soc_->accelerator(static_cast<unsigned>(i)).translation();
+    core.private_tlb_hit_rate = ts.private_tlb().hit_rate();
+    core.effective_private_tlb_hit_rate = ts.effective_private_hit_rate();
+    rep.per_core.push_back(std::move(core));
+
+    rep.cycles = std::max(rep.cycles, r.finish);
+    for (const auto& [tag, c] : r.cycles_by_tag) rep.cycles_by_tag[tag] += c;
+  }
+
+  rep.seconds = static_cast<double>(rep.cycles) /
+                (config().accel.clock_ghz * 1e9);
+  rep.fps = rep.seconds > 0 ? 1.0 / rep.seconds : 0.0;
+  rep.cpu_baseline = cpu_baseline_cycles(model, config().cpu);
+  rep.speedup = rep.cycles == 0
+                    ? 0.0
+                    : static_cast<double>(rep.cpu_baseline) /
+                          static_cast<double>(rep.cycles);
+  if (!rep.per_core.empty()) {
+    rep.array_utilization = rep.per_core.front().array_utilization;
+  }
+
+  const auto& l2 = soc_->memory().l2();
+  rep.substrate.l2_miss_rate = l2.miss_rate();
+  rep.substrate.l2_hits = l2.hits();
+  rep.substrate.l2_misses = l2.misses();
+
+  rep.estimates = estimates();
+  return rep;
+}
+
+Report Session::run(const Model& model) {
+  soc_->reset_all();
+  LoweringOptions opts;
+  opts.functional = functional_;
+  opts.seed = seed_;
+  last_lowered_ = lower_model(model, config().accel, config().cpu,
+                              soc_->address_space(0), opts);
+  const CoreResult r = soc_->run(last_lowered_.stream);
+  return make_report(model, {r});
+}
+
+Report Session::run_multicore(const Model& model) {
+  soc_->reset_all();
+  LoweringOptions opts;
+  opts.functional = functional_;
+  opts.seed = seed_;
+  std::vector<LoweredModel> lowered;
+  std::vector<const WorkStream*> streams;
+  lowered.reserve(config().cores);
+  for (unsigned c = 0; c < config().cores; ++c) {
+    lowered.push_back(lower_model(model, config().accel, config().cpu,
+                                  soc_->address_space(c), opts));
+  }
+  for (const auto& l : lowered) streams.push_back(&l.stream);
+  const std::vector<CoreResult> results = soc_->run_parallel(streams);
+  last_lowered_ = std::move(lowered.front());
+  return make_report(model, results);
+}
+
+}  // namespace gemmini::sim

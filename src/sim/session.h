@@ -1,0 +1,159 @@
+#pragma once
+// sim::Session — the unified entry point of the simulation stack.
+//
+// A Session owns the whole config -> SoC -> address-space -> lowering -> run
+// chain for one experiment. It replaces the hand-wired pattern every example
+// used to repeat (build a SocConfig, construct a Soc, fetch an AddressSpace,
+// call lower_model, run the WorkStream, stitch three result structs
+// together) with a builder and two run calls:
+//
+//   auto session = sim::Session::builder()
+//                      .soc(SocConfig::base_1mb_l2())
+//                      .functional(true)   // real data, not just time
+//                      .seed(7)
+//                      .build();           // validates once, clear errors
+//   sim::Report r = session.run(zoo::resnet50(64));
+//
+// The Session validates its configuration exactly once, at build() time, and
+// reports problems as ConfigError with the offending config named. Runs are
+// repeatable: timing and cache state are reset before each run.
+//
+// Low-level work (hand-emitted programs, raw accelerator access) still goes
+// through the same session — `address_space()` / `accelerator()` / `soc()`
+// expose the owned instances — so one object is the root of every
+// experiment, whichever layer of the stack it exercises.
+//
+// `sim::Sweep` (experiment.h) fans many Sessions across worker threads.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/estimate/area_model.h"
+#include "src/estimate/power_model.h"
+#include "src/estimate/timing_model.h"
+#include "src/model/graph.h"
+#include "src/model/runner.h"
+#include "src/sim/report.h"
+#include "src/soc/soc.h"
+
+namespace gemmini::sim {
+
+class Session {
+ public:
+  /// Fluent configuration for a Session. All setters return *this; build()
+  /// validates the assembled SocConfig once and constructs the SoC.
+  class Builder {
+   public:
+    /// Replaces the whole SoC config (accel + cpu + mem + os + cores).
+    Builder& soc(SocConfig cfg) {
+      cfg_ = std::move(cfg);
+      return *this;
+    }
+    Builder& accel(GemminiConfig cfg) {
+      cfg_.accel = std::move(cfg);
+      return *this;
+    }
+    Builder& cpu(CpuCostModel cpu) {
+      cfg_.cpu = std::move(cpu);
+      return *this;
+    }
+    Builder& mem(MemSysConfig mem) {
+      cfg_.mem = mem;
+      return *this;
+    }
+    Builder& os(OsNoiseModel os) {
+      cfg_.os = os;
+      return *this;
+    }
+    Builder& cores(unsigned n) {
+      cfg_.cores = n;
+      return *this;
+    }
+    Builder& name(std::string n) {
+      cfg_.name = std::move(n);
+      return *this;
+    }
+    /// Functional mode: real int8 data flows through the simulated SoC and
+    /// lowering materializes weights/inputs. Timing-only mode (default)
+    /// moves only time.
+    Builder& functional(bool on = true) {
+      functional_ = on;
+      return *this;
+    }
+    /// Seed for functional-mode weight/input initialization.
+    Builder& seed(std::uint64_t s) {
+      seed_ = s;
+      return *this;
+    }
+
+    const SocConfig& config() const { return cfg_; }
+
+    /// Validates the configuration (accelerator template, CPU cost model,
+    /// memory system, OS noise model) and elaborates the SoC. Throws
+    /// ConfigError naming the session on any invalid field.
+    Session build() const;
+
+   private:
+    SocConfig cfg_{};
+    bool functional_ = false;
+    std::uint64_t seed_ = 1;
+  };
+
+  static Builder builder() { return Builder{}; }
+  static Builder builder(SocConfig cfg) { return Builder{}.soc(std::move(cfg)); }
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  // ---- Push-button runs ----------------------------------------------------
+  /// Lowers and runs `model` on core 0. Repeatable; all timing state is
+  /// reset first.
+  Report run(const Model& model);
+
+  /// Lowers one copy of `model` per core and runs them concurrently against
+  /// the shared L2/bus/DRAM. The report's `cycles` is the SoC-level finish
+  /// (slowest core); per-core detail is in `per_core`.
+  Report run_multicore(const Model& model);
+
+  // ---- Introspection -------------------------------------------------------
+  /// The SoC's validated config is the single source of truth.
+  const SocConfig& config() const { return soc_->config(); }
+  bool functional() const { return functional_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Layout of the most recent run()'s core-0 lowering: buffer VAs for
+  /// reading inputs/outputs back out of simulated memory in functional mode.
+  const LoweredModel& last_lowered() const { return last_lowered_; }
+
+  /// Estimates for this instantiation (also embedded in every Report).
+  Estimates estimates() const;
+  /// The generated gemmini_params.h contents.
+  std::string params_header() const;
+
+  // ---- Low-level access (the session still owns everything) ---------------
+  Soc& soc() { return *soc_; }
+  const Soc& soc() const { return *soc_; }
+  AddressSpace& address_space(unsigned core = 0) {
+    return soc_->address_space(core);
+  }
+  Accelerator& accelerator(unsigned core = 0) {
+    return soc_->accelerator(core);
+  }
+
+ private:
+  Session(const SocConfig& cfg, bool functional, std::uint64_t seed);
+
+  Report make_report(const Model& model,
+                     const std::vector<CoreResult>& results) const;
+
+  bool functional_ = false;
+  std::uint64_t seed_ = 1;
+  std::unique_ptr<Soc> soc_;
+  AreaModel area_model_;
+  TimingModel timing_model_;
+  PowerModel power_model_;
+  LoweredModel last_lowered_;
+};
+
+}  // namespace gemmini::sim

@@ -37,7 +37,9 @@ struct SocConfig {
     GEMMINI_CONFIG_REQUIRE(cores >= 1 && cores <= 16,
                            "1..16 cores supported");
     accel.validate();
+    cpu.validate();
     mem.validate();
+    os.validate();
   }
 
   /// The Fig. 9 configurations.

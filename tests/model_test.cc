@@ -64,7 +64,9 @@ TEST(Graph, ProducerDefaultsToPrevious) {
 }
 
 TEST(Graph, ModelMustStartWithInput) {
-  EXPECT_THROW(Model("t", {LayerSpec{.kind = LayerKind::kConv}}), ConfigError);
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  EXPECT_THROW(Model("t", {conv}), ConfigError);
 }
 
 TEST(Graph, SummaryMentionsLayers) {

@@ -1,0 +1,265 @@
+// Tests for the unified simulation facade: sim::Session (builder,
+// validation, push-button runs, report consistency), sim::Sweep /
+// sim::Experiment (grid expansion, parallel determinism) and sim::Report
+// (JSON serialization).
+
+#include <gtest/gtest.h>
+
+#include "src/core/generator.h"
+#include "src/dnn/zoo.h"
+#include "src/sim/experiment.h"
+#include "src/sim/report.h"
+#include "src/sim/session.h"
+
+namespace gemmini {
+namespace {
+
+// ---- Session ----------------------------------------------------------------
+
+TEST(SimSession, BuilderValidatesOnce) {
+  // A broken accelerator template surfaces at build() with the session
+  // named, not later inside the SoC constructor.
+  sim::Session::Builder b;
+  SocConfig cfg;
+  cfg.name = "broken";
+  cfg.accel.sp_capacity_bytes = 100;
+  b.soc(cfg);
+  try {
+    b.build();
+    FAIL() << "build() should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos);
+  }
+}
+
+TEST(SimSession, ValidatesCpuCostModel) {
+  SocConfig cfg;
+  cfg.cpu.cycles_per_mac_i8 = 0;  // previously skipped by validate()
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  EXPECT_THROW(sim::Session::builder(cfg).build(), ConfigError);
+}
+
+TEST(SimSession, ValidatesOsNoiseModel) {
+  SocConfig cfg;
+  cfg.os.enabled = true;
+  cfg.os.period_cycles = 0;  // scheduler could never make progress
+  EXPECT_THROW(cfg.validate(), ConfigError);
+
+  SocConfig cfg2;
+  cfg2.os.enabled = true;
+  cfg2.os.switch_cost_cycles = cfg2.os.period_cycles;  // cost >= period
+  EXPECT_THROW(cfg2.validate(), ConfigError);
+
+  SocConfig ok;
+  ok.os.enabled = true;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(SimSession, ReportIsConsistent) {
+  SocConfig cfg;
+  cfg.accel.has_im2col = true;
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report r = session.run(zoo::squeezenet_v11(64));
+  EXPECT_EQ(r.model, "squeezenet_v1.1");
+  EXPECT_EQ(r.cores, 1u);
+  ASSERT_EQ(r.per_core.size(), 1u);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.cycles, r.per_core[0].cycles);
+  EXPECT_GT(r.fps, 0.0);
+  EXPECT_NEAR(r.seconds, static_cast<double>(r.cycles) / 1e9, 1e-12);
+  EXPECT_GT(r.speedup, 10.0);
+  EXPECT_GT(r.array_utilization, 0.0);
+  EXPECT_LT(r.array_utilization, 1.0);
+  EXPECT_GT(r.per_core[0].accel.macs, 0u);
+  // Estimates ride along in the report.
+  EXPECT_GT(r.estimates.area.total_um2, 900000.0);
+  EXPECT_NEAR(r.estimates.fmax_ghz, 1.89, 0.02);
+  EXPECT_GT(r.estimates.power_mw, 1.0);
+  // The tag breakdown accounts the run.
+  Cycle tagged = 0;
+  for (const auto& [tag, c] : r.cycles_by_tag) tagged += c;
+  EXPECT_GT(tagged, 0u);
+}
+
+TEST(SimSession, AllPaperModelsRunScaled) {
+  // The whole zoo, scaled, through the push-button facade — every layer
+  // kind the lowering supports (conv, depthwise, dense, pools, resadd,
+  // softmax/layernorm/gelu) exercised end to end.
+  for (const Model& m : zoo::all_paper_models_scaled()) {
+    SocConfig cfg;
+    cfg.accel.has_im2col = true;
+    sim::Session session = sim::Session::builder(cfg).build();
+    const sim::Report r = session.run(m);
+    EXPECT_GT(r.cycles, 0u) << m.name();
+    EXPECT_GT(r.speedup, 1.0) << m.name();
+    EXPECT_GT(r.per_core[0].accel.instructions, 0u) << m.name();
+  }
+}
+
+TEST(SimSession, FunctionalRunMaterializesData) {
+  SocConfig cfg;
+  cfg.accel.has_im2col = true;
+  sim::Session session =
+      sim::Session::builder(cfg).functional().seed(7).build();
+  // ResNet-50's dense head keeps logits nonzero after quantization (the
+  // averaged squeezenet conv head rounds to all-zero at this scale).
+  const Model m = zoo::resnet50(32);
+  const sim::Report r = session.run(m);
+  EXPECT_GT(r.cycles, 0u);
+  // Read the logits back out of simulated memory via the lowering layout.
+  const std::size_t out = m.layers().size() - 1;
+  std::vector<std::int8_t> logits(m.shape(out).elems());
+  session.address_space().read_virt(session.last_lowered().layer_output[out],
+                                    logits.data(), logits.size());
+  int nonzero = 0;
+  for (const auto v : logits) nonzero += (v != 0);
+  EXPECT_GT(nonzero, 0);
+}
+
+TEST(SimSession, MulticoreReportHasPerCoreBreakdown) {
+  SocConfig cfg;
+  cfg.cores = 2;
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report r = session.run_multicore(zoo::squeezenet_v11(64));
+  EXPECT_EQ(r.cores, 2u);
+  ASSERT_EQ(r.per_core.size(), 2u);
+  EXPECT_GT(r.per_core[0].cycles, 0u);
+  EXPECT_GT(r.per_core[1].cycles, 0u);
+  EXPECT_EQ(r.cycles,
+            std::max(r.per_core[0].cycles, r.per_core[1].cycles));
+  // Shared-substrate contention: both cores slower than a solo run.
+  SocConfig solo_cfg;
+  sim::Session solo = sim::Session::builder(solo_cfg).build();
+  const Cycle solo_cycles = solo.run(zoo::squeezenet_v11(64)).cycles;
+  EXPECT_GT(r.per_core[0].cycles, solo_cycles);
+  EXPECT_GT(r.per_core[1].cycles, solo_cycles);
+}
+
+TEST(SimSession, MatchesDeprecatedGeneratorShim) {
+  // The legacy facade is a thin shim over the session; both entry points
+  // must report identical cycles.
+  SocConfig cfg;
+  cfg.accel.has_im2col = true;
+  const Model m = zoo::squeezenet_v11(64);
+  sim::Session session = sim::Session::builder(cfg).build();
+  Generator gen(cfg);
+  EXPECT_EQ(session.run(m).cycles, gen.run_model(m).cycles);
+}
+
+// ---- Report JSON ------------------------------------------------------------
+
+TEST(SimReport, JsonIsDeterministicAndStructured) {
+  SocConfig cfg;
+  sim::Session s1 = sim::Session::builder(cfg).build();
+  sim::Session s2 = sim::Session::builder(cfg).build();
+  const Model m = zoo::squeezenet_v11(64);
+  const sim::Report r1 = s1.run(m);
+  const sim::Report r2 = s2.run(m);
+  EXPECT_EQ(r1, r2);
+  const std::string json = r1.to_json(2);
+  EXPECT_EQ(json, r2.to_json(2));
+  // Structural spot checks.
+  for (const char* key :
+       {"\"model\"", "\"cycles\"", "\"cycles_by_tag\"", "\"per_core\"",
+        "\"substrate\"", "\"estimates\"", "\"fmax_ghz\"", "\"l2_miss_rate\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Compact mode emits no newlines.
+  EXPECT_EQ(r1.to_json(0).find('\n'), std::string::npos);
+}
+
+// ---- Sweep / Experiment -----------------------------------------------------
+
+TEST(SimSweep, ParallelResultsAreByteIdenticalToSerial) {
+  // The acceptance gate: a >= 8-point grid on >= 4 worker threads must
+  // produce reports byte-identical to the serial run.
+  sim::Experiment exp;
+  SocConfig base;
+  base.accel.has_im2col = true;
+  exp = sim::Experiment(base);
+  exp.scratchpad_sizes({128u << 10, 256u << 10})
+      .l2_sizes({1u << 20, 2u << 20})
+      .models({zoo::squeezenet_v11(48), zoo::mobilenet_v2(48)});
+  const sim::Sweep sweep = exp.sweep();
+  ASSERT_GE(sweep.size(), 8u);
+
+  const auto serial = sweep.run({.threads = 1});
+  const auto parallel = sweep.run({.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "point " << serial[i].point;
+  }
+  EXPECT_EQ(sim::reports_to_json(serial, 2), sim::reports_to_json(parallel, 2));
+}
+
+TEST(SimSweep, ReportsArriveInPointOrder) {
+  sim::Sweep sweep;
+  SocConfig cfg;
+  sweep.add("a", cfg, zoo::squeezenet_v11(48));
+  sweep.add("b", cfg, zoo::mobilenet_v2(48));
+  sweep.add("c", cfg, zoo::bert_base(16, 1));
+  const auto reports = sweep.run({.threads = 3});
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].point, "a");
+  EXPECT_EQ(reports[1].point, "b");
+  EXPECT_EQ(reports[2].point, "c");
+  EXPECT_EQ(reports[2].model, "bert-base");
+}
+
+TEST(SimSweep, InvalidPointFailsDeterministically) {
+  sim::Sweep sweep;
+  SocConfig ok;
+  SocConfig bad;
+  bad.name = "bad-point";
+  bad.accel.rob_entries = 0;
+  sweep.add("ok", ok, zoo::squeezenet_v11(48));
+  sweep.add("bad", bad, zoo::squeezenet_v11(48));
+  try {
+    sweep.run({.threads = 2});
+    FAIL() << "sweep should have thrown";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
+  }
+}
+
+TEST(SimExperiment, GridExpansionNamesAxes) {
+  sim::Experiment exp;
+  exp.core_counts({1, 2})
+      .scratchpad_sizes({128u << 10, 256u << 10})
+      .model(zoo::squeezenet_v11(48));
+  const sim::Sweep sweep = exp.sweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep.points()[0].name, "sp128K-c1/squeezenet_v1.1");
+  EXPECT_EQ(sweep.points()[3].name, "sp256K-c2/squeezenet_v1.1");
+  EXPECT_EQ(sweep.points()[3].config.cores, 2u);
+  EXPECT_EQ(sweep.points()[3].config.accel.sp_capacity_bytes, 256u << 10);
+}
+
+TEST(SimExperiment, RequiresModels) {
+  sim::Experiment exp;
+  EXPECT_THROW(exp.sweep(), ConfigError);
+}
+
+TEST(SimExperiment, ExplicitConfigsExclusiveWithAxes) {
+  sim::Experiment exp;
+  exp.configs({SocConfig::base_1mb_l2()})
+      .core_counts({1, 2})
+      .model(zoo::squeezenet_v11(48));
+  EXPECT_THROW(exp.sweep(), ConfigError);
+}
+
+// ---- lower_model single entry point ----------------------------------------
+
+TEST(LowerModel, SingleAddressSpaceEntryPoint) {
+  SocConfig cfg;
+  Soc soc(cfg);
+  const Model m = zoo::squeezenet_v11(48);
+  const LoweredModel lowered =
+      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(0));
+  EXPECT_FALSE(lowered.stream.steps.empty());
+  EXPECT_GT(lowered.stream.total_instructions(), 0u);
+  EXPECT_EQ(lowered.layer_output.size(), m.layers().size());
+}
+
+}  // namespace
+}  // namespace gemmini
