@@ -24,10 +24,10 @@ int main() {
   cfg.accel.translation.l2_tlb_present = false;
   cfg.accel.translation.profile_window = 250000;
 
-  Generator gen(cfg);
-  const RunReport r = gen.run_model(zoo::resnet50(fast ? 96 : 224));
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report r = session.run(zoo::resnet50(fast ? 96 : 224));
 
-  const Tlb& tlb = gen.soc().accelerator(0).translation().private_tlb();
+  const Tlb& tlb = session.soc().accelerator(0).translation().private_tlb();
   const TimeSeries& series = tlb.miss_series();
 
   std::printf("run: %lu cycles; private TLB: %lu hits, %lu misses "

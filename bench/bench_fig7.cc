@@ -55,8 +55,8 @@ int main() {
         cfg.accel.has_im2col = unit;
         cfg.cpu = host == CpuClass::kRocket ? CpuCostModel::rocket()
                                             : CpuCostModel::boom();
-        Generator gen(cfg);
-        const RunReport r = gen.run_model(w.model);
+        sim::Session session = sim::Session::builder(cfg).build();
+        const sim::Report r = session.run(w.model);
         totals[host == CpuClass::kBoom] = static_cast<double>(r.cycles);
         const double speedup =
             static_cast<double>(rocket_baseline) / static_cast<double>(r.cycles);

@@ -46,9 +46,9 @@ int main() {
         cfg.accel.translation.l2_tlb_present = shared > 0;
         if (shared > 0) cfg.accel.translation.l2_tlb.entries = shared;
         cfg.accel.translation.filter_registers = filters;
-        Generator gen(cfg);
-        const RunReport r = gen.run_model(model);
-        const auto& ts = gen.soc().accelerator(0).translation();
+        sim::Session session = sim::Session::builder(cfg).build();
+        const sim::Report r = session.run(model);
+        const auto& ts = session.soc().accelerator(0).translation();
         points.push_back({filters, priv, shared, r.cycles,
                           ts.effective_private_hit_rate()});
         if (r.cycles < best) best = r.cycles;

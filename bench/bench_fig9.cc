@@ -38,14 +38,12 @@ RowResult run_config(const SocConfig& base, unsigned cores,
   SocConfig cfg = base;
   cfg.cores = cores;
   cfg.accel.has_im2col = true;
-  Generator gen(cfg);
-  const auto reports = gen.run_model_multicore(model);
+  sim::Session session = sim::Session::builder(cfg).build();
+  const sim::Report rep = session.run_multicore(model);
   RowResult out;
-  for (const auto& r : reports) {
-    out.total = std::max(out.total, r.cycles);
-    for (const auto& [tag, c] : r.cycles_by_tag) out.tags[tag] += c;
-  }
-  out.l2_miss_rate = gen.soc().memory().l2().miss_rate();
+  out.total = rep.cycles;            // SoC-level finish (slowest core)
+  out.tags = rep.cycles_by_tag;      // already summed over cores
+  out.l2_miss_rate = rep.substrate.l2_miss_rate;
   return out;
 }
 

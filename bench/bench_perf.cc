@@ -14,6 +14,13 @@
 //   $ ./bench_perf [out.json]             # default out: BENCH_PR1.json
 //   $ ./bench_perf --sweep [out.json]     # parallel-sweep mode, default
 //                                         # out: BENCH_PR2.json
+//   $ ./bench_perf --plan [out.json]      # tiling-policy comparison mode,
+//                                         # default out: BENCH_PR3.json
+//
+// Plan mode compiles the scaled model zoo under the paper's greedy
+// HeuristicTiling and the search-based ExhaustiveTiling, compares modeled
+// DMA traffic and simulated cycles per policy, and fails if the exhaustive
+// search is ever worse than the heuristic on its own objective.
 //
 // Sweep mode fans a 9-point config grid (Fig. 9 Base/BigSP/BigL2 x three
 // scaled DNNs) across 4 worker threads via `sim::Sweep`, byte-compares the
@@ -336,20 +343,99 @@ int run_sweep(const std::string& out_path) {
   return (deterministic && wrote) ? 0 : 1;
 }
 
+// ---- Plan mode: Heuristic vs Exhaustive tiling -----------------------------
+
+int run_plan_compare(const std::string& out_path) {
+  std::printf("=== bench_perf --plan: tiling-policy comparison ===\n\n");
+
+  SocConfig cfg = SocConfig::base_1mb_l2();
+  cfg.accel.has_im2col = true;
+
+  struct Row {
+    std::string model;
+    std::uint64_t heur_dma = 0, exh_dma = 0;
+    Cycle heur_cycles = 0, exh_cycles = 0;
+  };
+  std::vector<Row> rows;
+  bool never_worse = true;
+
+  std::printf("%-18s %16s %16s %9s %14s %14s\n", "model", "heur dma(B)",
+              "exh dma(B)", "saved", "heur cycles", "exh cycles");
+  for (const Model& m : zoo::all_paper_models_scaled()) {
+    Row row;
+    row.model = m.name();
+    {
+      sim::Session s = sim::Session::builder(cfg).build();
+      const sim::Report r = s.run(m);
+      row.heur_dma = s.last_plan().modeled_dma_bytes();
+      row.heur_cycles = r.cycles;
+    }
+    {
+      sim::Session s =
+          sim::Session::builder(cfg)
+              .tiling(std::make_shared<const lowering::ExhaustiveTiling>())
+              .build();
+      const sim::Report r = s.run(m);
+      row.exh_dma = s.last_plan().modeled_dma_bytes();
+      row.exh_cycles = r.cycles;
+    }
+    never_worse = never_worse && row.exh_dma <= row.heur_dma;
+    std::printf("%-18s %16llu %16llu %8.2f%% %14llu %14llu\n",
+                row.model.c_str(),
+                static_cast<unsigned long long>(row.heur_dma),
+                static_cast<unsigned long long>(row.exh_dma),
+                row.heur_dma == 0
+                    ? 0.0
+                    : 100.0 * (1.0 - static_cast<double>(row.exh_dma) /
+                                         static_cast<double>(row.heur_dma)),
+                static_cast<unsigned long long>(row.heur_cycles),
+                static_cast<unsigned long long>(row.exh_cycles));
+    rows.push_back(std::move(row));
+  }
+  std::printf("\nexhaustive modeled DMA traffic %s the heuristic's on every "
+              "model\n", never_worse ? "<=" : "EXCEEDS");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 3,\n  \"config\": \"" << cfg.name
+      << "\",\n  \"exhaustive_never_worse\": "
+      << (never_worse ? "true" : "false") << ",\n  \"models\": {\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    \"" << r.model << "\": {"
+        << "\"heuristic_dma_bytes\": " << r.heur_dma << ", "
+        << "\"exhaustive_dma_bytes\": " << r.exh_dma << ", "
+        << "\"heuristic_cycles\": " << r.heur_cycles << ", "
+        << "\"exhaustive_cycles\": " << r.exh_cycles << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  const bool wrote = out.good();
+  std::printf("%s %s\n", wrote ? "wrote" : "ERROR: could not write",
+              out_path.c_str());
+  return (never_worse && wrote) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sweep_mode = false;
+  bool plan_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep_mode = true;
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
+      plan_mode = true;
     } else {
       out_path = argv[i];
     }
   }
-  if (out_path.empty()) out_path = sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
+  if (out_path.empty()) {
+    out_path = plan_mode ? "BENCH_PR3.json"
+                         : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
+  }
 
+  if (plan_mode) return run_plan_compare(out_path);
   if (sweep_mode) return run_sweep(out_path);
 
   std::printf("=== bench_perf: hot-path throughput harness ===\n\n");

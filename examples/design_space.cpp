@@ -72,6 +72,22 @@ int main() {
                 static_cast<unsigned long>(r.cycles));
   }
 
+  std::printf("\nTiling-policy axis (compile policies sweep like hardware):\n");
+  std::printf("%-26s %-12s\n", "policy/model", "cycles");
+  SocConfig tp_base;
+  tp_base.accel.has_im2col = true;
+  const auto tp_reports =
+      sim::Experiment(tp_base)
+          .tiling_policies(
+              {std::make_shared<const lowering::HeuristicTiling>(),
+               std::make_shared<const lowering::ExhaustiveTiling>()})
+          .model(workload)
+          .run();
+  for (const sim::Report& r : tp_reports) {
+    std::printf("%-26s %-12lu\n", r.point.c_str(),
+                static_cast<unsigned long>(r.cycles));
+  }
+
   std::printf("\nDataflow comparison (weight- vs output-stationary):\n");
   for (const Dataflow df :
        {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {

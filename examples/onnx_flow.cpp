@@ -36,7 +36,14 @@ int main(int argc, char** argv) {
   SocConfig cfg;
   cfg.accel.has_im2col = true;
   sim::Session session = sim::Session::builder(cfg).build();
-  const sim::Report r = session.run(model);
+
+  // Compile first: the sim::Plan records the staged pipeline's decisions
+  // (placement, per-matmul tiles, buffer layout, quantization shifts) and
+  // serializes to the same deterministic JSON dialect as sim::Report.
+  const sim::Plan plan = session.plan(model);
+  std::printf("\n--- sim::Plan (JSON) ---\n%s\n", plan.to_json(2).c_str());
+
+  const sim::Report r = session.run(plan);
 
   std::printf("\n%lu cycles (%.3f ms @ %.1f GHz), %.0fx speedup over %s\n",
               static_cast<unsigned long>(r.cycles), r.seconds * 1e3,

@@ -89,5 +89,22 @@ int main() {
               est.area.total_um2 / 1000.0, est.fmax_ghz, est.power_mw);
   std::printf("\n--- generated gemmini_params.h (excerpt) ---\n%.400s...\n",
               session.params_header().c_str());
+
+  // 7. The compile side mirrors the run side: `plan()` pushes a model
+  //    through the staged lowering pipeline (placement -> tiling ->
+  //    allocation) and returns every decision — placement targets, staging
+  //    tiles, VA layout, quantization shifts — before a single cycle is
+  //    simulated. `session.run(plan)` executes it; Plan::to_json dumps it.
+  const sim::Plan plan = session.plan(zoo::squeezenet_v11(64));
+  unsigned accel_layers = 0;
+  for (const sim::PlannedLayer& l : plan.layers) {
+    accel_layers += l.target == lowering::LayerTarget::kAccel;
+  }
+  std::printf("\nCompiled %s with %s placement + %s tiling: %zu layers "
+              "(%u on the accelerator), %.1f KB weights, %.2f MB modeled "
+              "DMA traffic\n",
+              plan.model().name().c_str(), plan.placement_policy.c_str(),
+              plan.tiling_policy.c_str(), plan.layers.size(), accel_layers,
+              plan.weight_bytes / 1024.0, plan.modeled_dma_bytes() / 1e6);
   return ok ? 0 : 1;
 }

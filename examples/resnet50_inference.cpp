@@ -27,12 +27,19 @@ int main(int argc, char** argv) {
   std::printf("%s", model.summary().c_str());
 
   if (check) {
-    // Functional mode: real int8 data flows through the simulated SoC. The
-    // session's `last_lowered()` layout locates the logits buffer in
-    // simulated virtual memory.
+    // Functional mode: real int8 data flows through the simulated SoC.
+    // Compile once (`plan()`), run the compiled artifact — the session's
+    // `last_lowered()` layout locates the logits buffer in simulated
+    // virtual memory.
     sim::Session session =
         sim::Session::builder(cfg).functional().seed(7).build();
-    const sim::Report r = session.run(model);
+    const sim::Plan plan = session.plan(model);
+    std::printf("compiled: %zu layers, %.1f MB weights, %.1f MB modeled DMA "
+                "(placement %s, tiling %s)\n",
+                plan.layers.size(), plan.weight_bytes / 1e6,
+                plan.modeled_dma_bytes() / 1e6,
+                plan.placement_policy.c_str(), plan.tiling_policy.c_str());
+    const sim::Report r = session.run(plan);
     const std::size_t out = model.layers().size() - 1;
     std::vector<std::int8_t> logits(model.shape(out).elems());
     session.address_space().read_virt(session.last_lowered().layer_output[out],

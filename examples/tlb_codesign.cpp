@@ -49,13 +49,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Tiling is a translation lever too: staging tiles that move fewer DMA
+  // bytes issue fewer translated requests. Ride the paper's pick (4-entry
+  // private TLB + filters, no shared TLB) through the sweep once more with
+  // the search-based tiling policy — policies slot into a SweepPoint the
+  // same way a config does.
+  {
+    SocConfig cfg = SocConfig::base_1mb_l2();
+    cfg.accel.has_im2col = true;
+    cfg.accel.translation.private_tlb.entries = 4;
+    cfg.accel.translation.l2_tlb_present = false;
+    cfg.accel.translation.filter_registers = true;
+    sweep.add({"p4-s0-filt-exhaustive", std::move(cfg), model,
+               /*multicore=*/false, /*functional=*/false, /*seed=*/1,
+               /*placement=*/nullptr,
+               std::make_shared<const lowering::ExhaustiveTiling>()});
+  }
+
   const std::vector<sim::Report> reports = sweep.run({.threads = 4});
+  // "best" stays a hardware-grid baseline: the appended tiling-policy
+  // point is reported against it, not folded into it.
   Cycle best = kCycleMax;
-  for (const sim::Report& r : reports) best = std::min(best, r.cycles);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    best = std::min(best, reports[i].cycles);
+  }
 
   std::printf("%-8s %-8s %-8s %-14s %-10s %s\n", "private", "L2-TLB",
               "filters", "cycles", "hit-rate", "vs-best");
-  for (std::size_t i = 0; i < reports.size(); ++i) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     const sim::Report& r = reports[i];
     std::printf("%-8u %-8u %-8s %-14lu %-10.1f %+.1f%%\n", p.priv, p.shared,
@@ -67,9 +88,16 @@ int main(int argc, char** argv) {
                          1.0));
   }
 
+  const sim::Report& exh = reports.back();
+  std::printf("%-8s %-8s %-8s %-14lu %-10s %+.1f%%  (exhaustive tiling)\n",
+              "4", "0", "yes", static_cast<unsigned long>(exh.cycles), "-",
+              100.0 * (static_cast<double>(exh.cycles) /
+                           static_cast<double>(best) -
+                       1.0));
+
   // The paper's conclusion: a 4-entry private TLB + filter registers and NO
   // shared L2 TLB lands within ~2% of the best configuration.
-  for (std::size_t i = 0; i < reports.size(); ++i) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
     if (p.priv == 4 && p.shared == 0 && p.filters) {
       const double loss = static_cast<double>(reports[i].cycles) /

@@ -8,22 +8,36 @@
 #                                               # parallel-sweep mode via the
 #                                               # sim::Sweep API; default
 #                                               # sweep out: BENCH_PR2.json
+#   scripts/run_bench.sh --plan [plan.json]     # additionally runs the
+#                                               # tiling-policy comparison
+#                                               # (HeuristicTiling vs
+#                                               # ExhaustiveTiling over the
+#                                               # scaled model zoo); default
+#                                               # plan out: BENCH_PR3.json
 #
 # Exit is nonzero if the build fails, the harness reports a functional
-# mismatch / insufficient speedup, any golden cycle count differs, or (in
-# sweep mode) the parallel sweep's reports are not byte-identical to the
-# serial run.
+# mismatch / insufficient speedup, any golden cycle count differs, (in sweep
+# mode) the parallel sweep's reports are not byte-identical to the serial
+# run, or (in plan mode) ExhaustiveTiling models more DMA traffic than the
+# heuristic anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SWEEP=0
+PLAN=0
 if [[ "${1:-}" == "--sweep" ]]; then
   SWEEP=1
+  shift
+elif [[ "${1:-}" == "--plan" ]]; then
+  PLAN=1
   shift
 fi
 
 if [[ $SWEEP == 1 ]]; then
   SWEEP_OUT="${1:-BENCH_PR2.json}"
+  OUT="${2:-BENCH_PR1.json}"
+elif [[ $PLAN == 1 ]]; then
+  PLAN_OUT="${1:-BENCH_PR3.json}"
   OUT="${2:-BENCH_PR1.json}"
 else
   OUT="${1:-BENCH_PR1.json}"
@@ -73,5 +87,30 @@ if not sweep.get("deterministic"):
 points = sweep.get("sweep", [])
 print(f"sweep ok: {len(points)} points on {sweep.get('threads')} threads, "
       "parallel reports byte-identical to serial")
+EOF
+fi
+
+if [[ $PLAN == 1 ]]; then
+  "./$BUILD_DIR/bench_perf" --plan "$PLAN_OUT"
+  python3 - "$PLAN_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    plan = json.load(f)
+if not plan.get("exhaustive_never_worse"):
+    print("FAIL: ExhaustiveTiling modeled more DMA traffic than the heuristic")
+    sys.exit(1)
+failed = False
+for name, row in plan.get("models", {}).items():
+    h, e = row["heuristic_dma_bytes"], row["exhaustive_dma_bytes"]
+    if e > h:
+        print(f"DMA REGRESSION: {name}: exhaustive {e} > heuristic {h}")
+        failed = True
+    else:
+        saved = 100.0 * (1.0 - e / h) if h else 0.0
+        print(f"plan ok:    {name}: exhaustive saves {saved:.2f}% modeled DMA")
+if failed:
+    sys.exit(1)
+print("tiling-policy comparison ok")
 EOF
 fi

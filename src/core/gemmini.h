@@ -5,7 +5,10 @@
 //   * facade:       sim/session.h (sim::Session) + sim/experiment.h
 //                   (sim::Experiment / sim::Sweep) + sim/report.h — the
 //                   unified entry point for every experiment
-//   * push-button:  zoo / onnx_lite  ->  Session::run
+//   * compiler:     model/lowering/ (staged pipeline: placement -> tiling ->
+//                   allocation -> emission, pluggable policies) producing
+//                   sim/plan.h (sim::Plan, the compile record)
+//   * push-button:  zoo / onnx_lite  ->  Session::plan / Session::run
 //   * tuned C API:  runtime/matmul.h, runtime/conv.h, runtime/kernels_accel.h
 //   * raw ISA:      isa/isa.h + accel/accelerator.h
 //   * SoC/system:   soc/soc.h (multi-core, shared L2, OS noise)
@@ -26,6 +29,8 @@
 #include "src/estimate/timing_model.h"
 #include "src/isa/isa.h"
 #include "src/model/graph.h"
+#include "src/model/lowering/pipeline.h"
+#include "src/model/lowering/policy.h"
 #include "src/model/onnx_lite.h"
 #include "src/model/runner.h"
 #include "src/runtime/conv.h"
@@ -33,6 +38,7 @@
 #include "src/runtime/matmul.h"
 #include "src/runtime/tiling.h"
 #include "src/sim/experiment.h"
+#include "src/sim/plan.h"
 #include "src/sim/report.h"
 #include "src/sim/session.h"
 #include "src/soc/soc.h"

@@ -384,10 +384,12 @@ void resadd_i8(const TensorI8& a, const TensorI8& b, TensorI8& out,
                Activation act) {
   GEMMINI_CHECK(a.shape() == b.shape() && a.shape() == out.shape());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    std::int32_t sum =
+    const std::int32_t sum =
         static_cast<std::int32_t>(a[i]) + static_cast<std::int32_t>(b[i]);
-    sum = apply_activation_i32(sum, act, 127);
-    out[i] = saturate_i8(sum);
+    // Exactly the accumulator's zero-shift read-out pipeline (activation
+    // with the output-domain ReLU6 threshold, then saturation), so the CPU
+    // fallback placement is bit-identical to the accelerator's resadd.
+    out[i] = quantize_i32_to_i8(sum, 0, act);
   }
 }
 

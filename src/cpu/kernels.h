@@ -78,7 +78,9 @@ void maxpool_i8(const TensorI8& in, unsigned window, unsigned stride,
 /// Global average pooling: [N,H,W,C] -> [N,C].
 void global_avgpool_i8(const TensorI8& in, TensorI8& out);
 
-/// Residual addition with saturation + optional ReLU: out = act(a + b).
+/// Residual addition through the accumulator's read-out pipeline:
+/// out = saturate(act(a + b)) with int32 accumulation and a zero output
+/// shift — bit-identical to the accelerator's accumulate-on-write resadd.
 void resadd_i8(const TensorI8& a, const TensorI8& b, TensorI8& out,
                Activation act);
 

@@ -1,0 +1,24 @@
+#pragma once
+// Lowering phase 3: buffer allocation. Lays out every buffer of the model
+// in the process virtual address space — layer outputs up front, then
+// per-layer weights / bias / im2col scratch in layer order — picks the
+// per-layer quantization shifts, and (in functional mode) materializes the
+// deterministic random weights and input.
+//
+// The allocation order is part of the compiled ABI: plans built for the
+// same model + config + policies in a fresh address space are VA-for-VA
+// identical, which is what makes Plan JSON byte-reproducible.
+
+#include "src/arch/config.h"
+#include "src/sim/plan.h"
+#include "src/vm/page_table.h"
+
+namespace gemmini::lowering {
+
+/// Fills every PlannedLayer's buffers and out_shift, and the plan's
+/// input/weight totals. Requires assign_placement + assign_tiles to have
+/// run. Uses plan.functional / plan.seed for data materialization.
+void allocate_buffers(sim::Plan& plan, const GemminiConfig& cfg,
+                      AddressSpace& as);
+
+}  // namespace gemmini::lowering

@@ -1,0 +1,355 @@
+#include "src/model/lowering/emission.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/base/fixed.h"
+#include "src/base/status.h"
+#include "src/base/tensor.h"
+#include "src/cpu/kernels.h"
+#include "src/model/lowering/tiling.h"
+#include "src/runtime/conv.h"
+#include "src/runtime/kernels_accel.h"
+#include "src/runtime/matmul.h"
+
+namespace gemmini::lowering {
+
+namespace {
+
+/// Reads an NHWC spatial tensor from virtual memory.
+TensorI8 read_spatial(const AddressSpace& as, VAddr va, const TensorShape& s) {
+  TensorI8 t({1, s.h, s.w, s.c});
+  as.read_virt(va, t.data(), t.size());
+  return t;
+}
+
+/// Reads the accelerator's int8 bias row and widens it into the int32
+/// domain the reference kernels accumulate in (the DMA does the same on
+/// MVIN channel 2).
+std::vector<std::int32_t> read_bias(const AddressSpace& as, VAddr va,
+                                    std::uint64_t n) {
+  std::vector<std::int8_t> raw(n);
+  as.read_virt(va, raw.data(), raw.size());
+  return std::vector<std::int32_t>(raw.begin(), raw.end());
+}
+
+}  // namespace
+
+LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
+                         const CpuCostModel& cpu) {
+  const Model& model = plan.model();
+  const auto& layers = model.layers();
+  GEMMINI_CHECK_MSG(plan.layers.size() == layers.size(),
+                    "emit_stream requires a fully built plan");
+  const bool functional = plan.functional;
+
+  LoweredModel out;
+  out.stream.name = model.name();
+  out.layer_output.resize(layers.size());
+  out.layer_bytes.resize(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    out.layer_output[i] = plan.layers[i].output.va;
+    out.layer_bytes[i] = plan.layers[i].output.bytes;
+  }
+  out.input = plan.input;
+  out.input_bytes = plan.input_bytes;
+  out.weight_bytes = plan.weight_bytes;
+
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    const LayerSpec& l = layers[i];
+    const sim::PlannedLayer& pl = plan.layers[i];
+    const std::size_t prod = model.producer(i);
+    const TensorShape& in_shape = model.shape(prod);
+    const TensorShape& out_shape = model.shape(i);
+    const VAddr in_va = plan.layers[prod].output.va;
+    const VAddr out_va = pl.output.va;
+    const bool on_accel = pl.target == LayerTarget::kAccel;
+
+    switch (l.kind) {
+      case LayerKind::kConv:
+      case LayerKind::kDepthwiseConv: {
+        const bool dw = l.kind == LayerKind::kDepthwiseConv;
+        const ConvShape shape = conv_shape(l, in_shape);
+        const std::uint64_t kk = static_cast<std::uint64_t>(l.kh) * l.kw;
+        const unsigned shift = pl.out_shift;
+
+        if (!on_accel) {
+          // Host-CPU convolution: cost-model cycles; full reference-kernel
+          // numerics in functional mode.
+          WorkStep step;
+          step.kind = WorkStep::Kind::kCpu;
+          step.tag = pl.tag;
+          step.cpu_cycles = cpu.gemm_cycles(model.layer_macs(i));
+          if (functional) {
+            const VAddr w_va = pl.weights.va, b_va = pl.bias.va;
+            const TensorShape in_s = in_shape;
+            const ConvShape cs = shape;
+            const Activation act = l.act;
+            step.post_fixup = [=](const AddressSpace& vas) {
+              const TensorI8 in = read_spatial(vas, in_va, in_s);
+              ref::ConvParams p;
+              p.stride = cs.stride;
+              p.padding = cs.padding;
+              p.out_shift = shift;
+              p.act = act;
+              std::vector<std::int32_t> bias;
+              if (b_va) bias = read_bias(vas, b_va, cs.oc);
+              TensorI8 o({1, cs.oh(), cs.ow(), cs.oc});
+              if (dw) {
+                TensorI8 w({cs.kh, cs.kw, cs.ic});
+                vas.read_virt(w_va, w.data(), w.size());
+                ref::depthwise_conv2d_i8(in, w, b_va ? bias.data() : nullptr,
+                                         o, p);
+              } else {
+                TensorI8 w({cs.kh, cs.kw, cs.ic, cs.oc});
+                vas.read_virt(w_va, w.data(), w.size());
+                ref::conv2d_i8(in, w, b_va ? bias.data() : nullptr, o, p);
+              }
+              vas.write_virt(out_va, o.data(), o.size());
+            };
+          }
+          out.stream.steps.push_back(std::move(step));
+          break;
+        }
+
+        ConvBuffers buf;
+        buf.input = in_va;
+        buf.output = out_va;
+        buf.weights = pl.weights.va;
+        buf.bias = pl.bias.va;
+        buf.im2col_scratch = pl.scratch.va;
+        const bool needs_scratch = pl.scratch.va != 0;
+        ConvPlan cplan =
+            dw ? emit_depthwise_conv(cfg, shape, buf, shift, l.act,
+                                     pl.matmul.tile)
+               : emit_conv(cfg, shape, buf, shift, l.act, pl.matmul.tile);
+
+        out.stream.add_cpu("other", cpu.dispatch_cycles());
+        if (cplan.cpu_im2col_bytes) {
+          out.stream.add_cpu("im2col",
+                             cpu.im2col_cycles(cplan.cpu_im2col_bytes));
+        }
+        WorkStep step;
+        step.kind = WorkStep::Kind::kAccel;
+        step.tag = "conv";
+        step.program = std::move(cplan.program);
+        if (functional && needs_scratch) {
+          const VAddr scratch = buf.im2col_scratch;
+          const TensorShape in_s = in_shape;
+          const ConvShape cs = shape;
+          if (dw) {
+            step.pre_fixup = [=](const AddressSpace& vas) {
+              TensorI8 in = read_spatial(vas, in_va, in_s);
+              // Channel-major per-channel im2col.
+              const std::uint64_t m = cs.out_rows();
+              std::vector<std::int8_t> col(m * kk);
+              for (unsigned c = 0; c < cs.ic; ++c) {
+                std::size_t idx = 0;
+                for (unsigned y = 0; y < cs.oh(); ++y) {
+                  for (unsigned x = 0; x < cs.ow(); ++x) {
+                    for (unsigned ky = 0; ky < cs.kh; ++ky) {
+                      for (unsigned kx = 0; kx < cs.kw; ++kx, ++idx) {
+                        const std::int64_t sy =
+                            static_cast<std::int64_t>(y) * cs.stride + ky -
+                            cs.padding;
+                        const std::int64_t sx =
+                            static_cast<std::int64_t>(x) * cs.stride + kx -
+                            cs.padding;
+                        const bool ok =
+                            sy >= 0 && sy < static_cast<std::int64_t>(cs.ih) &&
+                            sx >= 0 && sx < static_cast<std::int64_t>(cs.iw);
+                        col[idx] = ok ? in.at(0, sy, sx, c) : std::int8_t{0};
+                      }
+                    }
+                  }
+                }
+                vas.write_virt(scratch + static_cast<std::uint64_t>(c) * m * kk,
+                               col.data(), col.size());
+              }
+            };
+          } else {
+            step.pre_fixup = [=](const AddressSpace& vas) {
+              TensorI8 in = read_spatial(vas, in_va, in_s);
+              TensorI8 col({cs.out_rows(), cs.patch_cols()});
+              ref::im2col_i8(in, cs.kh, cs.kw, cs.stride, cs.padding, col);
+              vas.write_virt(scratch, col.data(), col.size());
+            };
+          }
+        }
+        out.stream.steps.push_back(std::move(step));
+        break;
+      }
+
+      case LayerKind::kDense: {
+        const std::uint64_t in_features = pl.matmul.dims.k;
+        const std::uint64_t rows = pl.matmul.dims.m;
+
+        if (!on_accel) {
+          WorkStep step;
+          step.kind = WorkStep::Kind::kCpu;
+          step.tag = pl.tag;
+          step.cpu_cycles = cpu.gemm_cycles(model.layer_macs(i));
+          if (functional) {
+            const VAddr w_va = pl.weights.va, b_va = pl.bias.va;
+            const std::uint64_t n = l.out_features;
+            const unsigned shift = pl.out_shift;
+            const Activation act = l.act;
+            step.post_fixup = [=](const AddressSpace& vas) {
+              TensorI8 a({rows, in_features}), b({in_features, n});
+              vas.read_virt(in_va, a.data(), a.size());
+              vas.read_virt(w_va, b.data(), b.size());
+              std::vector<std::int32_t> bias;
+              if (b_va) bias = read_bias(vas, b_va, n);
+              TensorI8 c({rows, n});
+              ref::gemm_i8(a, b, b_va ? bias.data() : nullptr, c, shift, act);
+              vas.write_virt(out_va, c.data(), c.size());
+            };
+          }
+          out.stream.steps.push_back(std::move(step));
+          break;
+        }
+
+        MatmulParams p;
+        p.a = in_va;
+        p.b = pl.weights.va;
+        p.bias = pl.bias.va;
+        p.c = out_va;
+        p.m = rows;
+        p.k = in_features;
+        p.n = l.out_features;
+        p.out_shift = pl.out_shift;
+        p.act = l.act;
+        p.tile = pl.matmul.tile;
+        out.stream.add_cpu("other", cpu.dispatch_cycles());
+        out.stream.add_accel("matmul", emit_tiled_matmul(cfg, p));
+        break;
+      }
+
+      case LayerKind::kMaxPool: {
+        const std::uint64_t in_elems = in_shape.elems();
+        const std::uint64_t out_elems = out_shape.elems();
+        WorkStep step;
+        if (on_accel) {
+          step.kind = WorkStep::Kind::kAccel;
+          step.tag = "pool";
+          step.program = emit_pool(cfg, in_va, out_va, in_elems, out_elems,
+                                   l.window, l.pool_stride);
+          out.stream.add_cpu("other", cpu.dispatch_cycles());
+        } else {
+          step.kind = WorkStep::Kind::kCpu;
+          step.tag = "pool";
+          step.cpu_cycles = cpu.pool_cycles(out_elems, l.window);
+        }
+        if (functional) {
+          const TensorShape in_s = in_shape, out_s = out_shape;
+          const unsigned win = l.window, ps = l.pool_stride,
+                         pp = l.pool_padding;
+          step.post_fixup = [=](const AddressSpace& vas) {
+            TensorI8 in = read_spatial(vas, in_va, in_s);
+            TensorI8 o({1, out_s.h, out_s.w, out_s.c});
+            ref::maxpool_i8(in, win, ps, pp, o);
+            vas.write_virt(out_va, o.data(), o.size());
+          };
+        }
+        out.stream.steps.push_back(std::move(step));
+        break;
+      }
+
+      case LayerKind::kGlobalAvgPool: {
+        WorkStep step;
+        step.kind = WorkStep::Kind::kCpu;
+        step.tag = "pool";
+        step.cpu_cycles = cpu.move_cycles(in_shape.elems());
+        if (functional) {
+          const TensorShape in_s = in_shape;
+          step.post_fixup = [=](const AddressSpace& vas) {
+            TensorI8 in = read_spatial(vas, in_va, in_s);
+            TensorI8 o({std::size_t{1}, static_cast<std::size_t>(in_s.c)});
+            ref::global_avgpool_i8(in, o);
+            vas.write_virt(out_va, o.data(), o.size());
+          };
+        }
+        out.stream.steps.push_back(std::move(step));
+        break;
+      }
+
+      case LayerKind::kResAdd: {
+        const VAddr b_va = plan.layers[model.producer2(i)].output.va;
+        if (!on_accel) {
+          WorkStep step;
+          step.kind = WorkStep::Kind::kCpu;
+          step.tag = pl.tag;
+          step.cpu_cycles = cpu.resadd_cycles(out_shape.elems());
+          if (functional) {
+            const std::uint64_t elems = out_shape.elems();
+            const Activation act = l.act;
+            step.post_fixup = [=](const AddressSpace& vas) {
+              TensorI8 a({elems}), b({elems}), o({elems});
+              vas.read_virt(in_va, a.data(), a.size());
+              vas.read_virt(b_va, b.data(), b.size());
+              ref::resadd_i8(a, b, o, act);
+              vas.write_virt(out_va, o.data(), o.size());
+            };
+          }
+          out.stream.steps.push_back(std::move(step));
+          break;
+        }
+        out.stream.add_cpu("other", cpu.dispatch_cycles());
+        out.stream.add_accel(
+            "resadd",
+            emit_resadd(cfg, in_va, b_va, out_va, out_shape.elems(), l.act));
+        break;
+      }
+
+      case LayerKind::kSoftmax:
+      case LayerKind::kLayerNorm:
+      case LayerKind::kGelu: {
+        WorkStep step;
+        step.kind = WorkStep::Kind::kCpu;
+        step.tag = "special";
+        // Dequantize, compute in float, requantize: the int8<->fp32
+        // marshalling is part of the CPU burden (paper §II: up to 77% of ML
+        // time can land on CPUs for exactly this kind of glue).
+        step.cpu_cycles = cpu.special_cycles(out_shape.elems()) +
+                          cpu.move_cycles(out_shape.elems() * 5);
+        if (functional) {
+          const TensorShape s = out_shape;
+          const LayerKind kind = l.kind;
+          step.post_fixup = [=](const AddressSpace& vas) {
+            const std::uint64_t rows = s.is_matrix ? s.rows : 1;
+            const std::uint64_t cols = s.is_matrix ? s.cols : s.elems();
+            std::vector<std::int8_t> raw(rows * cols);
+            vas.read_virt(in_va, raw.data(), raw.size());
+            TensorF32 f({rows, cols}), g({rows, cols});
+            for (std::size_t e = 0; e < raw.size(); ++e) {
+              f[e] = static_cast<float>(raw[e]) / 32.0f;
+            }
+            float out_scale = 32.0f;
+            if (kind == LayerKind::kSoftmax) {
+              ref::softmax_f32(f, g);
+              out_scale = 127.0f;
+            } else if (kind == LayerKind::kLayerNorm) {
+              ref::layernorm_f32(f, g);
+              out_scale = 32.0f;
+            } else {
+              ref::gelu_f32(f, g);
+              out_scale = 32.0f;
+            }
+            for (std::size_t e = 0; e < raw.size(); ++e) {
+              raw[e] = saturate_i8(static_cast<std::int32_t>(
+                  std::lround(g[e] * out_scale)));
+            }
+            vas.write_virt(out_va, raw.data(), raw.size());
+          };
+        }
+        out.stream.steps.push_back(std::move(step));
+        break;
+      }
+
+      case LayerKind::kInput: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gemmini::lowering

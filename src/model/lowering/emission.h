@@ -1,0 +1,25 @@
+#pragma once
+// Lowering phase 4: emission. Consumes a finished sim::Plan and produces
+// the runnable WorkStream (plus the LoweredModel layout view): RoCC
+// programs for accelerator-placed layers (staged with the plan's tiles),
+// CPU cost-model steps for CPU-placed layers, and — in functional mode —
+// the pre/post fixup hooks that materialize data the modeled hardware
+// produces outside the ISA-level simulation.
+//
+// Emission is a pure function of the plan: it does not allocate or touch
+// simulated memory (fixups run later, when the SoC executes the stream),
+// so one plan can be emitted — and re-emitted after mutation — any number
+// of times. Tile overrides are validated here against the scratchpad/
+// accumulator budget (RuntimeError via validate_tiles).
+
+#include "src/arch/config.h"
+#include "src/cpu/cost_model.h"
+#include "src/model/runner.h"
+#include "src/sim/plan.h"
+
+namespace gemmini::lowering {
+
+LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
+                         const CpuCostModel& cpu);
+
+}  // namespace gemmini::lowering

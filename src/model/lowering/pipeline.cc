@@ -1,0 +1,28 @@
+#include "src/model/lowering/pipeline.h"
+
+namespace gemmini::lowering {
+
+sim::Plan build_plan(const Model& model, const GemminiConfig& cfg,
+                     AddressSpace& as, const PipelineOptions& opts) {
+  const std::shared_ptr<const PlacementPolicy> placement =
+      opts.placement ? opts.placement
+                     : std::make_shared<const DefaultPlacement>();
+  const std::shared_ptr<const TilingPolicy> tiling =
+      opts.tiling ? opts.tiling : std::make_shared<const HeuristicTiling>();
+
+  sim::Plan plan(model);
+  plan.functional = opts.functional;
+  plan.seed = opts.seed;
+  assign_placement(plan, cfg, *placement);
+  assign_tiles(plan, cfg, *tiling);
+  allocate_buffers(plan, cfg, as);
+  return plan;
+}
+
+LoweredModel compile(const Model& model, const GemminiConfig& cfg,
+                     const CpuCostModel& cpu, AddressSpace& as,
+                     const PipelineOptions& opts) {
+  return emit_stream(build_plan(model, cfg, as, opts), cfg, cpu);
+}
+
+}  // namespace gemmini::lowering

@@ -1,0 +1,66 @@
+#include "src/model/lowering/placement.h"
+
+#include <string>
+
+#include "src/base/status.h"
+
+namespace gemmini::lowering {
+
+namespace {
+
+/// The Fig. 9 accounting tag each layer kind's cycles land under.
+const char* layer_tag(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "other";
+    case LayerKind::kConv:
+    case LayerKind::kDepthwiseConv:
+      return "conv";
+    case LayerKind::kDense: return "matmul";
+    case LayerKind::kMaxPool:
+    case LayerKind::kGlobalAvgPool:
+      return "pool";
+    case LayerKind::kResAdd: return "resadd";
+    case LayerKind::kSoftmax:
+    case LayerKind::kLayerNorm:
+    case LayerKind::kGelu:
+      return "special";
+  }
+  return "other";
+}
+
+}  // namespace
+
+void assign_placement(sim::Plan& plan, const GemminiConfig& cfg,
+                      const PlacementPolicy& policy) {
+  const Model& model = plan.model();
+  const auto& layers = model.layers();
+  plan.placement_policy = policy.name();
+  plan.layers.assign(layers.size(), sim::PlannedLayer{});
+
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    sim::PlannedLayer& pl = plan.layers[i];
+    const LayerKind kind = layers[i].kind;
+    pl.index = i;
+    pl.kind = layer_kind_name(kind);
+    pl.tag = layer_tag(kind);
+    if (kind == LayerKind::kInput) {
+      pl.target = LayerTarget::kNone;
+      continue;
+    }
+    pl.target = policy.place(model, i, cfg);
+    if (pl.target == LayerTarget::kNone) {
+      throw RuntimeError("placement policy '" + policy.name() +
+                         "' returned no target for layer " +
+                         std::to_string(i) + " (" + pl.kind + ")");
+    }
+    if (pl.target == LayerTarget::kAccel && !accelerable(kind, cfg)) {
+      throw RuntimeError("placement policy '" + policy.name() +
+                         "' put layer " + std::to_string(i) + " (" + pl.kind +
+                         ") on the accelerator, but this lowering cannot "
+                         "accelerate it on instantiation '" +
+                         cfg.name + "'");
+    }
+  }
+}
+
+}  // namespace gemmini::lowering

@@ -1,0 +1,20 @@
+#pragma once
+// Lowering phase 1: placement. Consults the PlacementPolicy for every layer
+// and records the accelerator-vs-CPU target (plus the layer's kind and
+// Fig. 9 accounting tag) in the Plan.
+
+#include "src/arch/config.h"
+#include "src/model/lowering/policy.h"
+#include "src/sim/plan.h"
+
+namespace gemmini::lowering {
+
+/// Fills `plan.layers` (one entry per model layer) with kind/tag/target.
+/// Throws RuntimeError if the policy puts a layer the lowering cannot
+/// accelerate on the accelerator (softmax/layernorm/GELU, global average
+/// pooling, or max pooling on an instantiation without the pooling engine),
+/// or returns kNone for a non-input layer.
+void assign_placement(sim::Plan& plan, const GemminiConfig& cfg,
+                      const PlacementPolicy& policy);
+
+}  // namespace gemmini::lowering

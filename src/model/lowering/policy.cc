@@ -1,0 +1,122 @@
+#include "src/model/lowering/policy.h"
+
+#include <algorithm>
+
+#include "src/base/status.h"
+
+namespace gemmini::lowering {
+
+const char* layer_target_name(LayerTarget t) {
+  switch (t) {
+    case LayerTarget::kNone: return "none";
+    case LayerTarget::kCpu: return "cpu";
+    case LayerTarget::kAccel: return "accel";
+  }
+  return "?";
+}
+
+bool accelerable(LayerKind kind, const GemminiConfig& cfg) {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kDepthwiseConv:
+    case LayerKind::kDense:
+    case LayerKind::kResAdd:
+      return true;
+    case LayerKind::kMaxPool:
+      return cfg.has_pooling;
+    case LayerKind::kInput:
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kSoftmax:
+    case LayerKind::kLayerNorm:
+    case LayerKind::kGelu:
+      return false;
+  }
+  return false;
+}
+
+// ---- Placement --------------------------------------------------------------
+
+LayerTarget DefaultPlacement::place(const Model& model, std::size_t layer,
+                                    const GemminiConfig& cfg) const {
+  const LayerKind kind = model.layers()[layer].kind;
+  if (kind == LayerKind::kInput) return LayerTarget::kNone;
+  return accelerable(kind, cfg) ? LayerTarget::kAccel : LayerTarget::kCpu;
+}
+
+LayerTarget CpuOnlyPlacement::place(const Model& model, std::size_t layer,
+                                    const GemminiConfig& /*cfg*/) const {
+  return model.layers()[layer].kind == LayerKind::kInput ? LayerTarget::kNone
+                                                         : LayerTarget::kCpu;
+}
+
+// ---- Tiling -----------------------------------------------------------------
+
+TileShape HeuristicTiling::choose(const GemminiConfig& cfg,
+                                  std::size_t /*layer*/,
+                                  const MatmulDims& dims) const {
+  return choose_tiles(cfg, dims);
+}
+
+TileShape ExhaustiveTiling::choose(const GemminiConfig& cfg,
+                                   std::size_t /*layer*/,
+                                   const MatmulDims& dims) const {
+  const std::uint64_t dim = cfg.dim();
+  const TileBudget budget = tile_budget(cfg);
+  const auto blocks = [dim](std::uint64_t x) {
+    return static_cast<unsigned>(std::max<std::uint64_t>(1, (x + dim - 1) / dim));
+  };
+  const unsigned need_i = blocks(dims.m);
+  const unsigned need_k = blocks(dims.k);
+  const unsigned need_j = blocks(dims.n);
+
+  TileShape best{1, 1, 1};
+  GEMMINI_CHECK_MSG(
+      1 <= budget.max_a_blocks && 1 <= budget.max_b_blocks &&
+          1 <= budget.max_c_blocks,
+      "scratchpad cannot stage even one tile");
+  std::uint64_t best_traffic = modeled_dma_bytes(cfg, dims, best);
+  std::uint64_t best_staged = 2;  // i*k + k*j of the 1x1x1 tile
+
+  for (unsigned i = 1; i <= need_i; ++i) {
+    if (i > budget.max_a_blocks || i > budget.max_c_blocks) break;
+    for (unsigned k = 1; k <= need_k; ++k) {
+      if (static_cast<std::uint64_t>(i) * k > budget.max_a_blocks) break;
+      for (unsigned j = 1; j <= need_j; ++j) {
+        if (static_cast<std::uint64_t>(k) * j > budget.max_b_blocks ||
+            static_cast<std::uint64_t>(i) * j > budget.max_c_blocks) {
+          break;
+        }
+        const TileShape t{i, k, j};
+        const std::uint64_t traffic = modeled_dma_bytes(cfg, dims, t);
+        const std::uint64_t staged =
+            static_cast<std::uint64_t>(i) * k + static_cast<std::uint64_t>(k) * j;
+        if (traffic < best_traffic ||
+            (traffic == best_traffic && staged > best_staged)) {
+          best = t;
+          best_traffic = traffic;
+          best_staged = staged;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+ManualTiling::ManualTiling(std::shared_ptr<const TilingPolicy> fallback)
+    : fallback_(fallback ? std::move(fallback)
+                         : std::make_shared<const HeuristicTiling>()) {}
+
+ManualTiling& ManualTiling::set(std::size_t layer, TileShape tile) {
+  overrides_[layer] = tile;
+  return *this;
+}
+
+TileShape ManualTiling::choose(const GemminiConfig& cfg, std::size_t layer,
+                               const MatmulDims& dims) const {
+  const auto it = overrides_.find(layer);
+  if (it == overrides_.end()) return fallback_->choose(cfg, layer, dims);
+  validate_tiles(cfg, it->second);  // the runtime budget check
+  return it->second;
+}
+
+}  // namespace gemmini::lowering

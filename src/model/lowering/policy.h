@@ -1,0 +1,147 @@
+#pragma once
+// Pluggable compile policies for the staged lowering pipeline.
+//
+// The paper's "push-button" flow (§III-B) hard-wires two decisions the
+// pipeline now delegates to policy objects:
+//
+//   * PlacementPolicy — which layers run on the accelerator vs the host CPU
+//     (the paper's heuristic: matmul-shaped layers and resadds on the
+//     array, pooling on the pooling engine when instantiated, everything
+//     else on the CPU).
+//   * TilingPolicy — the staging tile for every accelerated matmul.
+//     Selecting I/K/J extents under the scratchpad/accumulator budget is a
+//     multi-dimensional knapsack (PAPERS.md: Nakamura et al.), so besides
+//     the paper's greedy heuristic the pipeline ships a budget-constrained
+//     exhaustive search minimizing modeled DMA traffic, and a manual
+//     per-layer override policy for hand-tuning.
+//
+// Policies are immutable once handed to a Session/Sweep: `place`/`choose`
+// are const and must be thread-safe, because the sweep driver shares one
+// policy instance across worker threads. Every policy is deterministic —
+// the Plan-determinism guarantee (byte-identical Plan JSON for identical
+// inputs) is only as strong as its policies.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/arch/config.h"
+#include "src/model/graph.h"
+#include "src/runtime/tiling.h"
+
+namespace gemmini::lowering {
+
+/// Where one layer of the model executes.
+enum class LayerTarget : std::uint8_t {
+  kNone,   ///< no work (the input pseudo-layer)
+  kCpu,    ///< host CPU (cost-model cycles; reference kernels when functional)
+  kAccel,  ///< the Gemmini accelerator (emitted RoCC program)
+};
+
+const char* layer_target_name(LayerTarget t);
+
+/// Returns true if the lowering can put this layer kind on the accelerator
+/// at all (softmax/layernorm/GELU and global average pooling are CPU-only;
+/// max pooling needs the pooling engine).
+bool accelerable(LayerKind kind, const GemminiConfig& cfg);
+
+// ---- Placement --------------------------------------------------------------
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Stable identifier, used in Plan JSON and sweep-point labels.
+  virtual std::string name() const = 0;
+
+  /// Decides where layer `layer` of `model` runs on instantiation `cfg`.
+  /// Never called for the input pseudo-layer. Returning kAccel for a layer
+  /// where `accelerable()` is false fails the placement stage with a
+  /// RuntimeError naming the layer.
+  virtual LayerTarget place(const Model& model, std::size_t layer,
+                            const GemminiConfig& cfg) const = 0;
+};
+
+/// The paper's §III-B placement: conv / depthwise conv / dense / resadd on
+/// the accelerator, max pooling on the pooling engine when the
+/// instantiation has one, everything else on the host CPU.
+class DefaultPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "default"; }
+  LayerTarget place(const Model& model, std::size_t layer,
+                    const GemminiConfig& cfg) const override;
+};
+
+/// Every layer on the host CPU: the Fig. 7 software baseline as a runnable
+/// WorkStream (cost-model cycles; full reference-kernel numerics in
+/// functional mode) instead of an analytic estimate.
+class CpuOnlyPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "cpu-only"; }
+  LayerTarget place(const Model& model, std::size_t layer,
+                    const GemminiConfig& cfg) const override;
+};
+
+// ---- Tiling -----------------------------------------------------------------
+
+class TilingPolicy {
+ public:
+  virtual ~TilingPolicy() = default;
+
+  /// Stable identifier, used in Plan JSON and sweep-point labels.
+  virtual std::string name() const = 0;
+
+  /// Chooses the staging tile for the matmul of layer `layer` with problem
+  /// dims `dims`. Must return a tile that fits `tile_budget(cfg)`; the
+  /// emission stage re-validates and throws RuntimeError on violations.
+  virtual TileShape choose(const GemminiConfig& cfg, std::size_t layer,
+                           const MatmulDims& dims) const = 0;
+};
+
+/// The paper's greedy heuristic (choose_tiles): round-robin I/J/K growth
+/// until a budget constraint binds. The pipeline default; golden cycle
+/// counts are pinned against it.
+class HeuristicTiling final : public TilingPolicy {
+ public:
+  std::string name() const override { return "heuristic"; }
+  TileShape choose(const GemminiConfig& cfg, std::size_t layer,
+                   const MatmulDims& dims) const override;
+};
+
+/// Budget-constrained exhaustive search minimizing `modeled_dma_bytes`
+/// (ties broken toward more staged data per iteration, then first-found in
+/// a fixed I/K/J scan order, so the result is deterministic). The feasible
+/// set includes the heuristic's tile, so the modeled traffic is never worse
+/// than HeuristicTiling's.
+class ExhaustiveTiling final : public TilingPolicy {
+ public:
+  std::string name() const override { return "exhaustive"; }
+  TileShape choose(const GemminiConfig& cfg, std::size_t layer,
+                   const MatmulDims& dims) const override;
+};
+
+/// Per-layer manual overrides ("the low-level API also allows them to
+/// manually set tile-sizes for each kernel"), validated against the budget
+/// via validate_tiles at choose time; layers without an override fall back
+/// to a delegate policy (HeuristicTiling unless another is given).
+class ManualTiling final : public TilingPolicy {
+ public:
+  explicit ManualTiling(
+      std::shared_ptr<const TilingPolicy> fallback = nullptr);
+
+  /// Registers the tile for layer `layer`. Returns *this for chaining.
+  /// Feasibility is checked at choose() time, against the config the plan
+  /// is actually built for.
+  ManualTiling& set(std::size_t layer, TileShape tile);
+
+  std::string name() const override { return "manual"; }
+  TileShape choose(const GemminiConfig& cfg, std::size_t layer,
+                   const MatmulDims& dims) const override;
+
+ private:
+  std::map<std::size_t, TileShape> overrides_;
+  std::shared_ptr<const TilingPolicy> fallback_;
+};
+
+}  // namespace gemmini::lowering

@@ -1,0 +1,36 @@
+#pragma once
+// Lowering phase 2: tiling. For every accelerator-placed layer that lowers
+// to matmul(s), derives the matmul problem dims, asks the TilingPolicy for
+// the staging tile, and records the modeled DMA traffic; streaming layers
+// (resadd, pooling) get their traffic recorded too.
+
+#include "src/arch/config.h"
+#include "src/model/lowering/policy.h"
+#include "src/runtime/conv.h"
+#include "src/sim/plan.h"
+
+namespace gemmini::lowering {
+
+/// The ConvShape a (depthwise-)conv layer lowers with, given its producer's
+/// output shape. One definition shared by every pipeline stage so tiling,
+/// allocation and emission can never disagree on the conv geometry.
+ConvShape conv_shape(const LayerSpec& layer, const TensorShape& in_shape);
+
+/// Matmul problem dims a layer lowers to (conv in im2col form, depthwise
+/// conv as `count` per-channel skinny matmuls, dense directly). Exposed so
+/// policies can be probed outside a full plan build.
+struct MatmulLowering {
+  MatmulDims dims{};
+  std::uint64_t count = 1;
+};
+
+/// Returns the lowered-matmul dims of layer `layer`, or count == 0 if the
+/// layer does not lower to a matmul.
+MatmulLowering matmul_lowering(const Model& model, std::size_t layer);
+
+/// Fills tile/dims/traffic for every planned layer. Requires
+/// assign_placement to have run.
+void assign_tiles(sim::Plan& plan, const GemminiConfig& cfg,
+                  const TilingPolicy& policy);
+
+}  // namespace gemmini::lowering

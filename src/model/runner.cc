@@ -3,12 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/base/fixed.h"
-#include "src/base/tensor.h"
-#include "src/cpu/kernels.h"
-#include "src/runtime/conv.h"
-#include "src/runtime/kernels_accel.h"
-#include "src/runtime/matmul.h"
+#include "src/model/lowering/pipeline.h"
 
 namespace gemmini {
 
@@ -20,23 +15,6 @@ unsigned default_out_shift(std::uint64_t k_depth) {
   const int shift = static_cast<int>(std::lround(std::log2(target)));
   return static_cast<unsigned>(std::clamp(shift, 0, 24));
 }
-
-namespace {
-
-std::uint64_t padded_bytes(std::uint64_t elems, const GemminiConfig& cfg) {
-  const std::uint64_t row = cfg.sp_row_bytes();
-  const std::uint64_t bytes = elems * cfg.input_bytes();
-  return (bytes + row - 1) / row * row + row;  // extra guard row
-}
-
-/// Reads an NHWC spatial tensor from virtual memory.
-TensorI8 read_spatial(const AddressSpace& as, VAddr va, const TensorShape& s) {
-  TensorI8 t({1, s.h, s.w, s.c});
-  as.read_virt(va, t.data(), t.size());
-  return t;
-}
-
-}  // namespace
 
 Cycle cpu_baseline_cycles(const Model& model, const CpuCostModel& cpu) {
   Cycle total = 0;
@@ -73,268 +51,10 @@ Cycle cpu_baseline_cycles(const Model& model, const CpuCostModel& cpu) {
 LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
                          const CpuCostModel& cpu, AddressSpace& as,
                          const LoweringOptions& opts) {
-  LoweredModel out;
-  out.stream.name = model.name();
-  const auto& layers = model.layers();
-  out.layer_output.assign(layers.size(), 0);
-  out.layer_bytes.assign(layers.size(), 0);
-  Rng rng(opts.seed);
-
-  // ---- Allocate all layer outputs up front --------------------------------
-  for (std::size_t i = 0; i < layers.size(); ++i) {
-    const std::uint64_t bytes = padded_bytes(model.shape(i).elems(), cfg);
-    out.layer_output[i] = as.alloc(bytes);
-    out.layer_bytes[i] = bytes;
-  }
-  out.input = out.layer_output[0];
-  out.input_bytes = out.layer_bytes[0];
-
-  if (opts.functional) {
-    std::vector<std::int8_t> buf(model.shape(0).elems());
-    for (auto& v : buf) v = rng.next_int8();
-    as.write_virt(out.input, buf.data(), buf.size());
-  }
-
-  auto alloc_weights = [&](std::uint64_t elems) {
-    out.weight_bytes += elems * cfg.input_bytes();
-    const VAddr va = as.alloc(padded_bytes(elems, cfg));
-    if (opts.functional) {
-      std::vector<std::int8_t> buf(elems);
-      for (auto& v : buf) v = rng.next_int8();
-      as.write_virt(va, buf.data(), buf.size());
-    }
-    return va;
-  };
-
-  // ---- Lower layer by layer -------------------------------------------------
-  for (std::size_t i = 1; i < layers.size(); ++i) {
-    const LayerSpec& l = layers[i];
-    const std::size_t prod = l.kind == LayerKind::kInput ? 0 : model.producer(i);
-    const TensorShape& in_shape = model.shape(prod);
-    const TensorShape& out_shape = model.shape(i);
-    const VAddr in_va = out.layer_output[prod];
-    const VAddr out_va = out.layer_output[i];
-
-    switch (l.kind) {
-      case LayerKind::kConv:
-      case LayerKind::kDepthwiseConv: {
-        const bool dw = l.kind == LayerKind::kDepthwiseConv;
-        ConvShape shape;
-        shape.batch = 1;
-        shape.ih = in_shape.h;
-        shape.iw = in_shape.w;
-        shape.ic = in_shape.c;
-        shape.kh = l.kh;
-        shape.kw = l.kw;
-        shape.oc = dw ? in_shape.c : l.oc;
-        shape.stride = l.stride;
-        shape.padding = l.padding;
-
-        ConvBuffers buf;
-        buf.input = in_va;
-        buf.output = out_va;
-        const std::uint64_t kk = static_cast<std::uint64_t>(l.kh) * l.kw;
-        const std::uint64_t w_elems =
-            dw ? kk * in_shape.c : shape.patch_cols() * shape.oc;
-        buf.weights = alloc_weights(w_elems);
-        buf.bias = l.has_bias ? alloc_weights(shape.oc) : 0;
-        const bool needs_scratch = dw || !shape.is_direct();
-        if (needs_scratch) {
-          const std::uint64_t scratch_elems =
-              dw ? shape.out_rows() * kk * in_shape.c
-                 : shape.out_rows() * shape.patch_cols();
-          buf.im2col_scratch = as.alloc(padded_bytes(scratch_elems, cfg));
-        }
-        const unsigned shift =
-            default_out_shift(dw ? kk : shape.patch_cols());
-        ConvPlan plan =
-            dw ? emit_depthwise_conv(cfg, shape, buf, shift, l.act)
-               : emit_conv(cfg, shape, buf, shift, l.act);
-
-        out.stream.add_cpu("other", cpu.dispatch_cycles());
-        if (plan.cpu_im2col_bytes) {
-          out.stream.add_cpu("im2col",
-                             cpu.im2col_cycles(plan.cpu_im2col_bytes));
-        }
-        WorkStep step;
-        step.kind = WorkStep::Kind::kAccel;
-        step.tag = "conv";
-        step.program = std::move(plan.program);
-        if (opts.functional && needs_scratch) {
-          const VAddr scratch = buf.im2col_scratch;
-          const TensorShape in_s = in_shape;
-          const ConvShape cs = shape;
-          if (dw) {
-            step.pre_fixup = [=](const AddressSpace& vas) {
-              TensorI8 in = read_spatial(vas, in_va, in_s);
-              // Channel-major per-channel im2col.
-              const std::uint64_t m = cs.out_rows();
-              std::vector<std::int8_t> col(m * kk);
-              for (unsigned c = 0; c < cs.ic; ++c) {
-                std::size_t idx = 0;
-                for (unsigned y = 0; y < cs.oh(); ++y) {
-                  for (unsigned x = 0; x < cs.ow(); ++x) {
-                    for (unsigned ky = 0; ky < cs.kh; ++ky) {
-                      for (unsigned kx = 0; kx < cs.kw; ++kx, ++idx) {
-                        const std::int64_t sy =
-                            static_cast<std::int64_t>(y) * cs.stride + ky -
-                            cs.padding;
-                        const std::int64_t sx =
-                            static_cast<std::int64_t>(x) * cs.stride + kx -
-                            cs.padding;
-                        const bool ok =
-                            sy >= 0 && sy < static_cast<std::int64_t>(cs.ih) &&
-                            sx >= 0 && sx < static_cast<std::int64_t>(cs.iw);
-                        col[idx] = ok ? in.at(0, sy, sx, c) : std::int8_t{0};
-                      }
-                    }
-                  }
-                }
-                vas.write_virt(scratch + static_cast<std::uint64_t>(c) * m * kk,
-                               col.data(), col.size());
-              }
-            };
-          } else {
-            step.pre_fixup = [=](const AddressSpace& vas) {
-              TensorI8 in = read_spatial(vas, in_va, in_s);
-              TensorI8 col({cs.out_rows(), cs.patch_cols()});
-              ref::im2col_i8(in, cs.kh, cs.kw, cs.stride, cs.padding, col);
-              vas.write_virt(scratch, col.data(), col.size());
-            };
-          }
-        }
-        out.stream.steps.push_back(std::move(step));
-        break;
-      }
-
-      case LayerKind::kDense: {
-        const std::uint64_t in_features =
-            in_shape.is_matrix
-                ? in_shape.cols
-                : static_cast<std::uint64_t>(in_shape.h) * in_shape.w *
-                      in_shape.c;
-        const std::uint64_t rows = in_shape.is_matrix ? in_shape.rows : 1;
-        MatmulParams p;
-        p.a = in_va;
-        p.b = alloc_weights(in_features * l.out_features);
-        p.bias = l.has_bias ? alloc_weights(l.out_features) : 0;
-        p.c = out_va;
-        p.m = rows;
-        p.k = in_features;
-        p.n = l.out_features;
-        p.out_shift = default_out_shift(in_features);
-        p.act = l.act;
-        out.stream.add_cpu("other", cpu.dispatch_cycles());
-        out.stream.add_accel("matmul", emit_tiled_matmul(cfg, p));
-        break;
-      }
-
-      case LayerKind::kMaxPool: {
-        const std::uint64_t in_elems = in_shape.elems();
-        const std::uint64_t out_elems = out_shape.elems();
-        WorkStep step;
-        if (cfg.has_pooling) {
-          step.kind = WorkStep::Kind::kAccel;
-          step.tag = "pool";
-          step.program = emit_pool(cfg, in_va, out_va, in_elems, out_elems,
-                                   l.window, l.pool_stride);
-          out.stream.add_cpu("other", cpu.dispatch_cycles());
-        } else {
-          step.kind = WorkStep::Kind::kCpu;
-          step.tag = "pool";
-          step.cpu_cycles = cpu.pool_cycles(out_elems, l.window);
-        }
-        if (opts.functional) {
-          const TensorShape in_s = in_shape, out_s = out_shape;
-          const unsigned win = l.window, ps = l.pool_stride,
-                         pp = l.pool_padding;
-          step.post_fixup = [=](const AddressSpace& vas) {
-            TensorI8 in = read_spatial(vas, in_va, in_s);
-            TensorI8 o({1, out_s.h, out_s.w, out_s.c});
-            ref::maxpool_i8(in, win, ps, pp, o);
-            vas.write_virt(out_va, o.data(), o.size());
-          };
-        }
-        out.stream.steps.push_back(std::move(step));
-        break;
-      }
-
-      case LayerKind::kGlobalAvgPool: {
-        WorkStep step;
-        step.kind = WorkStep::Kind::kCpu;
-        step.tag = "pool";
-        step.cpu_cycles = cpu.move_cycles(in_shape.elems());
-        if (opts.functional) {
-          const TensorShape in_s = in_shape;
-          step.post_fixup = [=](const AddressSpace& vas) {
-            TensorI8 in = read_spatial(vas, in_va, in_s);
-            TensorI8 o({std::size_t{1}, static_cast<std::size_t>(in_s.c)});
-            ref::global_avgpool_i8(in, o);
-            vas.write_virt(out_va, o.data(), o.size());
-          };
-        }
-        out.stream.steps.push_back(std::move(step));
-        break;
-      }
-
-      case LayerKind::kResAdd: {
-        const VAddr b_va = out.layer_output[model.producer2(i)];
-        out.stream.add_cpu("other", cpu.dispatch_cycles());
-        out.stream.add_accel(
-            "resadd",
-            emit_resadd(cfg, in_va, b_va, out_va, out_shape.elems(), l.act));
-        break;
-      }
-
-      case LayerKind::kSoftmax:
-      case LayerKind::kLayerNorm:
-      case LayerKind::kGelu: {
-        WorkStep step;
-        step.kind = WorkStep::Kind::kCpu;
-        step.tag = "special";
-        // Dequantize, compute in float, requantize: the int8<->fp32
-        // marshalling is part of the CPU burden (paper §II: up to 77% of ML
-        // time can land on CPUs for exactly this kind of glue).
-        step.cpu_cycles = cpu.special_cycles(out_shape.elems()) +
-                          cpu.move_cycles(out_shape.elems() * 5);
-        if (opts.functional) {
-          const TensorShape s = out_shape;
-          const LayerKind kind = l.kind;
-          step.post_fixup = [=](const AddressSpace& vas) {
-            const std::uint64_t rows = s.is_matrix ? s.rows : 1;
-            const std::uint64_t cols = s.is_matrix ? s.cols : s.elems();
-            std::vector<std::int8_t> raw(rows * cols);
-            vas.read_virt(in_va, raw.data(), raw.size());
-            TensorF32 f({rows, cols}), g({rows, cols});
-            for (std::size_t e = 0; e < raw.size(); ++e) {
-              f[e] = static_cast<float>(raw[e]) / 32.0f;
-            }
-            float out_scale = 32.0f;
-            if (kind == LayerKind::kSoftmax) {
-              ref::softmax_f32(f, g);
-              out_scale = 127.0f;
-            } else if (kind == LayerKind::kLayerNorm) {
-              ref::layernorm_f32(f, g);
-              out_scale = 32.0f;
-            } else {
-              ref::gelu_f32(f, g);
-              out_scale = 32.0f;
-            }
-            for (std::size_t e = 0; e < raw.size(); ++e) {
-              raw[e] = saturate_i8(static_cast<std::int32_t>(
-                  std::lround(g[e] * out_scale)));
-            }
-            vas.write_virt(out_va, raw.data(), raw.size());
-          };
-        }
-        out.stream.steps.push_back(std::move(step));
-        break;
-      }
-
-      case LayerKind::kInput: break;
-    }
-  }
-  return out;
+  lowering::PipelineOptions popts;
+  popts.functional = opts.functional;
+  popts.seed = opts.seed;
+  return lowering::compile(model, cfg, cpu, as, popts);
 }
 
 }  // namespace gemmini

@@ -1,10 +1,14 @@
 #pragma once
-// Model lowering: maps a graph-IR model onto one core's accelerator +
-// host CPU, producing a WorkStream. This is the "push-button" layer of the
-// software stack: it allocates every buffer in the process address space,
-// picks per-layer quantization shifts, decides accelerator-vs-CPU placement
-// per layer kind, and (in functional mode) initializes weights and wires up
-// the data-materialization hooks.
+// Model lowering entry point (DEPRECATED shim) + CPU-baseline estimation.
+//
+// `lower_model` was the monolithic "push-button" lowering; it is now a thin
+// shim over the staged compiler pipeline in src/model/lowering/ (placement
+// -> tiling -> allocation -> emission, driven by pluggable policies, with
+// `sim::Plan` as the inspectable intermediate artifact). New code should go
+// through `sim::Session::plan()/run()` or `lowering::build_plan`/
+// `lowering::emit_stream` directly; this shim compiles with the default
+// policies (the paper's heuristics) and will be removed once the remaining
+// test callers migrate.
 //
 // CPU-baseline estimation (the Fig. 7 denominator) lives here too, since it
 // consumes the same per-layer op counts.
@@ -41,24 +45,14 @@ struct LoweredModel {
   std::uint64_t weight_bytes = 0;
 };
 
-/// Lowers `model` for the given accelerator instantiation into `as`. This is
-/// the single lowering entry point; `sim::Session` calls it on behalf of the
-/// push-button flow.
+/// DEPRECATED: lowers `model` into `as` through the staged pipeline with
+/// the default policies. Equivalent to `lowering::compile(...)`; kept as a
+/// source-compatible shim for one more release. (The attribute is withheld
+/// deliberately — the historical tests still build against it warning-free,
+/// exactly like the Generator shim.)
 LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
                          const CpuCostModel& cpu, AddressSpace& as,
                          const LoweringOptions& opts = {});
-
-/// Deprecated dual-AddressSpace overload, kept for source compatibility with
-/// callers of the old const/mutable signature. The const reference was never
-/// used; both references must name the same address space.
-[[deprecated("use the single-AddressSpace lower_model")]]
-inline LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                                const CpuCostModel& cpu,
-                                const AddressSpace& /*as_const*/,
-                                AddressSpace& as,
-                                const LoweringOptions& opts = {}) {
-  return lower_model(model, cfg, cpu, as, opts);
-}
 
 /// Cycles for running the whole model in software on `cpu` (no accelerator):
 /// the Fig. 7 baseline.

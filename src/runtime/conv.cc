@@ -5,13 +5,14 @@
 namespace gemmini {
 
 ConvPlan emit_conv(const GemminiConfig& cfg, const ConvShape& shape,
-                   const ConvBuffers& buf, unsigned out_shift,
-                   Activation act) {
+                   const ConvBuffers& buf, unsigned out_shift, Activation act,
+                   std::optional<TileShape> tile) {
   const std::size_t elem = cfg.input_bytes();
   ConvPlan plan;
   plan.macs = shape.macs();
 
   MatmulParams p;
+  p.tile = tile;
   p.b = buf.weights;
   p.c = buf.output;
   p.bias = buf.bias;
@@ -43,7 +44,7 @@ ConvPlan emit_conv(const GemminiConfig& cfg, const ConvShape& shape,
 
 ConvPlan emit_depthwise_conv(const GemminiConfig& cfg, const ConvShape& shape,
                              const ConvBuffers& buf, unsigned out_shift,
-                             Activation act) {
+                             Activation act, std::optional<TileShape> tile) {
   if (buf.im2col_scratch == 0) {
     throw RuntimeError("depthwise conv requires an im2col scratch buffer");
   }
@@ -61,6 +62,7 @@ ConvPlan emit_depthwise_conv(const GemminiConfig& cfg, const ConvShape& shape,
   // C_c [m x 1] (column c of the NHWC output).
   for (unsigned c = 0; c < shape.ic; ++c) {
     MatmulParams p;
+    p.tile = tile;
     p.a = buf.im2col_scratch + static_cast<std::uint64_t>(c) * m * kk * elem;
     p.a_row_stride_bytes = kk * elem;
     p.b = buf.weights + static_cast<std::uint64_t>(c) * elem;

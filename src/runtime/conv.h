@@ -68,14 +68,20 @@ struct ConvPlan {
 };
 
 /// Lowers a standard convolution. Throws RuntimeError if `im2col_scratch`
-/// is missing when required.
+/// is missing when required. `tile` overrides the staging tile for the
+/// underlying matmul (validated against the budget); nullopt = the runtime
+/// heuristic.
 ConvPlan emit_conv(const GemminiConfig& cfg, const ConvShape& shape,
-                   const ConvBuffers& buf, unsigned out_shift, Activation act);
+                   const ConvBuffers& buf, unsigned out_shift, Activation act,
+                   std::optional<TileShape> tile = std::nullopt);
 
 /// Lowers a depthwise convolution (weights [KH*KW x C] column-per-channel;
 /// scratch holds the per-channel im2col expansion, laid out channel-major).
+/// The per-channel matmuls all share one tile shape (their dims are
+/// identical), so a single `tile` override covers every channel.
 ConvPlan emit_depthwise_conv(const GemminiConfig& cfg, const ConvShape& shape,
                              const ConvBuffers& buf, unsigned out_shift,
-                             Activation act);
+                             Activation act,
+                             std::optional<TileShape> tile = std::nullopt);
 
 }  // namespace gemmini

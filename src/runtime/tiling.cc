@@ -60,6 +60,27 @@ TileShape choose_tiles(const GemminiConfig& cfg, const MatmulDims& dims) {
   return t;
 }
 
+std::uint64_t modeled_dma_bytes(const GemminiConfig& cfg,
+                                const MatmulDims& dims, const TileShape& tile,
+                                bool has_bias) {
+  const std::uint64_t dim = cfg.dim();
+  const std::uint64_t elem = cfg.input_bytes();
+  const auto blocks = [dim](std::uint64_t x) {
+    return std::max<std::uint64_t>(1, (x + dim - 1) / dim);
+  };
+  const std::uint64_t mb = blocks(dims.m), nb = blocks(dims.n);
+  const std::uint64_t i_passes = (mb + tile.i - 1) / tile.i;
+  const std::uint64_t j_passes = (nb + tile.j - 1) / tile.j;
+  // Per (i0, j0, k0) iteration every A/B MVIN moves exactly the live
+  // prows x pcols window, so one full pass over A or B moves m*k or k*n
+  // elements regardless of edge tiles.
+  const std::uint64_t a_bytes = dims.m * dims.k * elem * j_passes;
+  const std::uint64_t b_bytes = dims.k * dims.n * elem * i_passes;
+  const std::uint64_t bias_bytes = has_bias ? dims.m * dims.n * elem : 0;
+  const std::uint64_t c_bytes = dims.m * dims.n * elem;
+  return a_bytes + b_bytes + bias_bytes + c_bytes;
+}
+
 void validate_tiles(const GemminiConfig& cfg, const TileShape& tile) {
   const TileBudget budget = tile_budget(cfg);
   if (tile.i == 0 || tile.k == 0 || tile.j == 0 || !fits(tile, budget)) {

@@ -23,6 +23,8 @@ struct MatmulDims {
   std::uint64_t m = 0;  ///< rows of A and C
   std::uint64_t k = 0;  ///< cols of A == rows of B
   std::uint64_t n = 0;  ///< cols of B and C
+
+  friend bool operator==(const MatmulDims&, const MatmulDims&) = default;
 };
 
 /// Tile extents in DIM-blocks.
@@ -30,6 +32,8 @@ struct TileShape {
   unsigned i = 1;  ///< M direction
   unsigned k = 1;  ///< K direction
   unsigned j = 1;  ///< N direction
+
+  friend bool operator==(const TileShape&, const TileShape&) = default;
 };
 
 /// Scratchpad/accumulator budget (in DIM-blocks) for the standard staging
@@ -50,5 +54,16 @@ TileShape choose_tiles(const GemminiConfig& cfg, const MatmulDims& dims);
 /// also allows them to manually set tile-sizes for each kernel"). Throws
 /// RuntimeError if it does not fit.
 void validate_tiles(const GemminiConfig& cfg, const TileShape& tile);
+
+/// Modeled DRAM traffic, in bytes, for one tiled matmul staged with `tile`,
+/// mirroring emit_tiled_matmul's staging loops exactly: the whole A matrix
+/// is reloaded once per J tile pass, the whole B matrix once per I tile
+/// pass, the bias row is broadcast across every output element, and C is
+/// drained once. This is the objective the search-based tiling policy
+/// minimizes (tile selection under the scratchpad/accumulator budget is a
+/// multi-dimensional knapsack; the traffic model is its value function).
+std::uint64_t modeled_dma_bytes(const GemminiConfig& cfg,
+                                const MatmulDims& dims, const TileShape& tile,
+                                bool has_bias = false);
 
 }  // namespace gemmini

@@ -15,13 +15,16 @@ Sweep& Sweep::add(SweepPoint point) {
 Sweep& Sweep::add(std::string name, SocConfig config, Model model) {
   return add(SweepPoint{std::move(name), std::move(config), std::move(model),
                         /*multicore=*/false, /*functional=*/false,
-                        /*seed=*/1});
+                        /*seed=*/1, /*placement=*/nullptr,
+                        /*tiling=*/nullptr});
 }
 
 Report Sweep::run_point(const SweepPoint& point) {
   Session session = Session::builder(point.config)
                         .functional(point.functional)
                         .seed(point.seed)
+                        .placement(point.placement)
+                        .tiling(point.tiling)
                         .build();
   Report rep = point.multicore ? session.run_multicore(point.model)
                                : session.run(point.model);
@@ -142,6 +145,16 @@ Experiment& Experiment::configs(std::vector<SocConfig> cfgs) {
   explicit_configs_ = std::move(cfgs);
   return *this;
 }
+Experiment& Experiment::placement_policies(
+    std::vector<std::shared_ptr<const lowering::PlacementPolicy>> ps) {
+  placement_policies_ = std::move(ps);
+  return *this;
+}
+Experiment& Experiment::tiling_policies(
+    std::vector<std::shared_ptr<const lowering::TilingPolicy>> ts) {
+  tiling_policies_ = std::move(ts);
+  return *this;
+}
 Experiment& Experiment::multicore(bool on) {
   multicore_ = on;
   return *this;
@@ -224,12 +237,35 @@ Sweep Experiment::sweep() const {
         core_counts_.size());
   }
 
+  // The lowering-policy axes compose with every config axis (they are
+  // orthogonal to the SocConfig, so they combine with explicit configs
+  // too). An unset axis contributes one "default" column with no label.
+  using PlacementPtr = std::shared_ptr<const lowering::PlacementPolicy>;
+  using TilingPtr = std::shared_ptr<const lowering::TilingPolicy>;
+  const std::vector<PlacementPtr> placements =
+      placement_policies_.empty() ? std::vector<PlacementPtr>{nullptr}
+                                  : placement_policies_;
+  const std::vector<TilingPtr> tilings =
+      tiling_policies_.empty() ? std::vector<TilingPtr>{nullptr}
+                               : tiling_policies_;
+
   Sweep sw;
   for (const Variant& v : variants) {
-    for (const Model& m : models_) {
-      SweepPoint p{v.label.empty() ? m.name() : v.label + "/" + m.name(),
-                   v.cfg, m, multicore_, functional_, seed_};
-      sw.add(std::move(p));
+    for (const PlacementPtr& pp : placements) {
+      for (const TilingPtr& tp : tilings) {
+        std::string label = v.label;
+        for (const std::string& part :
+             {pp ? pp->name() : std::string{}, tp ? tp->name() : std::string{}}) {
+          if (part.empty()) continue;
+          if (!label.empty()) label += "-";
+          label += part;
+        }
+        for (const Model& m : models_) {
+          SweepPoint p{label.empty() ? m.name() : label + "/" + m.name(),
+                       v.cfg, m, multicore_, functional_, seed_, pp, tp};
+          sw.add(std::move(p));
+        }
+      }
     }
   }
   return sw;

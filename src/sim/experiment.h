@@ -26,10 +26,12 @@
 //                      .run();
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/model/graph.h"
+#include "src/model/lowering/policy.h"
 #include "src/sim/report.h"
 #include "src/sim/session.h"
 #include "src/soc/soc.h"
@@ -37,6 +39,10 @@
 namespace gemmini::sim {
 
 /// One independent experiment: a config, a model, and how to run it.
+/// `placement`/`tiling` select the lowering-pipeline policies for this
+/// point (nullptr = the paper's default heuristics). Policy objects are
+/// shared across worker threads, so they must be deterministic and
+/// thread-safe under const access — every shipped policy is.
 struct SweepPoint {
   std::string name;  ///< unique label, copied into Report::point
   SocConfig config;
@@ -44,6 +50,8 @@ struct SweepPoint {
   bool multicore = false;  ///< run one stream per core instead of core 0
   bool functional = false;
   std::uint64_t seed = 1;
+  std::shared_ptr<const lowering::PlacementPolicy> placement;
+  std::shared_ptr<const lowering::TilingPolicy> tiling;
 };
 
 struct SweepOptions {
@@ -94,6 +102,13 @@ class Experiment {
   /// Pre-built config variants (e.g. the Fig. 9 Base/BigSP/BigL2 trio);
   /// mutually exclusive with the per-axis setters above.
   Experiment& configs(std::vector<SocConfig> cfgs);
+  /// Lowering-policy grid axes (compose with every other axis, including
+  /// explicit configs). Point labels use each policy's name(). An empty
+  /// vector (the default) leaves the pipeline on the paper's heuristics.
+  Experiment& placement_policies(
+      std::vector<std::shared_ptr<const lowering::PlacementPolicy>> ps);
+  Experiment& tiling_policies(
+      std::vector<std::shared_ptr<const lowering::TilingPolicy>> ts);
 
   Experiment& multicore(bool on = true);
   Experiment& functional(bool on = true);
@@ -112,6 +127,9 @@ class Experiment {
   std::vector<std::uint64_t> l2_sizes_;
   std::vector<unsigned> core_counts_;
   std::vector<SocConfig> explicit_configs_;
+  std::vector<std::shared_ptr<const lowering::PlacementPolicy>>
+      placement_policies_;
+  std::vector<std::shared_ptr<const lowering::TilingPolicy>> tiling_policies_;
   bool multicore_ = false;
   bool functional_ = false;
   std::uint64_t seed_ = 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/codegen/header_gen.h"
+#include "src/model/lowering/pipeline.h"
 
 namespace gemmini::sim {
 
@@ -13,13 +14,35 @@ Session Session::Builder::build() const {
     throw ConfigError("sim::Session '" + cfg_.name +
                       "': invalid configuration: " + e.what());
   }
-  return Session(cfg_, functional_, seed_);
+  return Session(cfg_, functional_, seed_, placement_, tiling_);
 }
 
-Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed)
-    : functional_(functional), seed_(seed) {
+Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
+                 std::shared_ptr<const lowering::PlacementPolicy> placement,
+                 std::shared_ptr<const lowering::TilingPolicy> tiling)
+    : functional_(functional),
+      seed_(seed),
+      placement_(placement
+                     ? std::move(placement)
+                     : std::make_shared<const lowering::DefaultPlacement>()),
+      tiling_(tiling ? std::move(tiling)
+                     : std::make_shared<const lowering::HeuristicTiling>()) {
   soc_ = std::make_unique<Soc>(cfg);
   soc_->set_functional(functional_);
+}
+
+Session& Session::with_policy(
+    std::shared_ptr<const lowering::PlacementPolicy> p) {
+  GEMMINI_CHECK_MSG(p != nullptr, "with_policy: null placement policy");
+  placement_ = std::move(p);
+  return *this;
+}
+
+Session& Session::with_policy(
+    std::shared_ptr<const lowering::TilingPolicy> t) {
+  GEMMINI_CHECK_MSG(t != nullptr, "with_policy: null tiling policy");
+  tiling_ = std::move(t);
+  return *this;
 }
 
 Estimates Session::estimates() const {
@@ -84,32 +107,70 @@ Report Session::make_report(const Model& model,
   return rep;
 }
 
-Report Session::run(const Model& model) {
-  soc_->reset_all();
-  LoweringOptions opts;
+Plan Session::build_plan(const Model& model, unsigned core) {
+  if (core >= config().cores) {
+    throw RuntimeError("sim::Session '" + config().name + "': plan() for core " +
+                       std::to_string(core) + " on a " +
+                       std::to_string(config().cores) + "-core SoC");
+  }
+  lowering::PipelineOptions opts;
   opts.functional = functional_;
   opts.seed = seed_;
-  last_lowered_ = lower_model(model, config().accel, config().cpu,
-                              soc_->address_space(0), opts);
+  opts.placement = placement_;
+  opts.tiling = tiling_;
+  Plan p = lowering::build_plan(model, config().accel,
+                                soc_->address_space(core), opts);
+  p.core = core;
+  return p;
+}
+
+Plan Session::plan(const Model& model, unsigned core) {
+  Plan p = build_plan(model, core);
+  if (core == 0) last_plan_ = p;
+  return p;
+}
+
+Report Session::run(const Model& model) {
+  soc_->reset_all();
+  last_plan_ = build_plan(model, 0);
+  last_lowered_ =
+      lowering::emit_stream(*last_plan_, config().accel, config().cpu);
   const CoreResult r = soc_->run(last_lowered_.stream);
   return make_report(model, {r});
 }
 
+Report Session::run(const Plan& plan) {
+  // A plan's buffers live in one core's address space; the single-stream
+  // runner executes on core 0, so a per-core plan from run_multicore's
+  // compile phase cannot be replayed here against the wrong page tables.
+  GEMMINI_CHECK_MSG(plan.core == 0,
+                    "run(Plan): plan was compiled for core "
+                        << plan.core
+                        << "; only core-0 plans run standalone (use "
+                           "run_multicore for per-core execution)");
+  soc_->reset_all();
+  last_lowered_ = lowering::emit_stream(plan, config().accel, config().cpu);
+  last_plan_ = plan;
+  const CoreResult r = soc_->run(last_lowered_.stream);
+  return make_report(plan.model(), {r});
+}
+
 Report Session::run_multicore(const Model& model) {
   soc_->reset_all();
-  LoweringOptions opts;
-  opts.functional = functional_;
-  opts.seed = seed_;
+  std::vector<Plan> plans;
   std::vector<LoweredModel> lowered;
   std::vector<const WorkStream*> streams;
+  plans.reserve(config().cores);
   lowered.reserve(config().cores);
   for (unsigned c = 0; c < config().cores; ++c) {
-    lowered.push_back(lower_model(model, config().accel, config().cpu,
-                                  soc_->address_space(c), opts));
+    plans.push_back(build_plan(model, c));
+    lowered.push_back(
+        lowering::emit_stream(plans.back(), config().accel, config().cpu));
   }
   for (const auto& l : lowered) streams.push_back(&l.stream);
   const std::vector<CoreResult> results = soc_->run_parallel(streams);
   last_lowered_ = std::move(lowered.front());
+  last_plan_ = std::move(plans.front());
   return make_report(model, results);
 }
 

@@ -18,6 +18,14 @@
 // reports problems as ConfigError with the offending config named. Runs are
 // repeatable: timing and cache state are reset before each run.
 //
+// The compile side mirrors the run side: `plan()` pushes a model through
+// the staged lowering pipeline (placement -> tiling -> allocation, see
+// src/model/lowering/) under the session's pluggable policies and returns
+// the `sim::Plan` compile record — inspect it, dump it as JSON, mutate it
+// (set_tile), then `run(plan)`. `with_policy(...)` (or the builder's
+// `placement()`/`tiling()`) swaps the paper's heuristics for alternatives
+// such as `lowering::ExhaustiveTiling`.
+//
 // Low-level work (hand-emitted programs, raw accelerator access) still goes
 // through the same session — `address_space()` / `accelerator()` / `soc()`
 // expose the owned instances — so one object is the root of every
@@ -27,13 +35,16 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/estimate/area_model.h"
 #include "src/estimate/power_model.h"
 #include "src/estimate/timing_model.h"
 #include "src/model/graph.h"
+#include "src/model/lowering/policy.h"
 #include "src/model/runner.h"
+#include "src/sim/plan.h"
 #include "src/sim/report.h"
 #include "src/soc/soc.h"
 
@@ -86,6 +97,19 @@ class Session {
       seed_ = s;
       return *this;
     }
+    /// Placement policy for the lowering pipeline (default: the paper's
+    /// accelerator-first heuristic, lowering::DefaultPlacement).
+    Builder& placement(std::shared_ptr<const lowering::PlacementPolicy> p) {
+      placement_ = std::move(p);
+      return *this;
+    }
+    /// Tiling policy for the lowering pipeline (default: the paper's greedy
+    /// heuristic, lowering::HeuristicTiling — golden cycle counts are
+    /// pinned against it).
+    Builder& tiling(std::shared_ptr<const lowering::TilingPolicy> t) {
+      tiling_ = std::move(t);
+      return *this;
+    }
 
     const SocConfig& config() const { return cfg_; }
 
@@ -98,6 +122,8 @@ class Session {
     SocConfig cfg_{};
     bool functional_ = false;
     std::uint64_t seed_ = 1;
+    std::shared_ptr<const lowering::PlacementPolicy> placement_;
+    std::shared_ptr<const lowering::TilingPolicy> tiling_;
   };
 
   static Builder builder() { return Builder{}; }
@@ -106,14 +132,41 @@ class Session {
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
 
+  // ---- Compilation ---------------------------------------------------------
+  /// Compiles `model` for core `core` through the staged lowering pipeline
+  /// (placement -> tiling -> allocation) under the session's policies,
+  /// returning the sim::Plan compile record. Allocation happens immediately
+  /// in that core's address space (and, in functional mode, weights/input
+  /// are materialized), so a plan is built once and can then be inspected,
+  /// dumped as JSON, mutated, and run any number of times. Throws
+  /// RuntimeError if `core` is out of range; plans for cores other than 0
+  /// are inspection records (run(Plan) executes core-0 plans only).
+  Plan plan(const Model& model, unsigned core = 0);
+
+  /// Swaps a lowering policy; affects subsequent plan()/run() calls.
+  /// Returns *this so policies chain: session.with_policy(a).with_policy(b).
+  Session& with_policy(std::shared_ptr<const lowering::PlacementPolicy> p);
+  Session& with_policy(std::shared_ptr<const lowering::TilingPolicy> t);
+
+  const lowering::PlacementPolicy& placement_policy() const {
+    return *placement_;
+  }
+  const lowering::TilingPolicy& tiling_policy() const { return *tiling_; }
+
   // ---- Push-button runs ----------------------------------------------------
-  /// Lowers and runs `model` on core 0. Repeatable; all timing state is
-  /// reset first.
+  /// Compiles (with the session's policies) and runs `model` on core 0.
+  /// Repeatable; all timing state is reset first.
   Report run(const Model& model);
 
-  /// Lowers one copy of `model` per core and runs them concurrently against
-  /// the shared L2/bus/DRAM. The report's `cycles` is the SoC-level finish
-  /// (slowest core); per-core detail is in `per_core`.
+  /// Emits and runs a previously built (possibly mutated) plan on core 0.
+  /// Tile overrides are validated against the budget at emission. The plan
+  /// must have been built by this session (its buffers live in this
+  /// session's address space).
+  Report run(const Plan& plan);
+
+  /// Compiles one copy of `model` per core and runs them concurrently
+  /// against the shared L2/bus/DRAM. The report's `cycles` is the SoC-level
+  /// finish (slowest core); per-core detail is in `per_core`.
   Report run_multicore(const Model& model);
 
   // ---- Introspection -------------------------------------------------------
@@ -125,6 +178,16 @@ class Session {
   /// Layout of the most recent run()'s core-0 lowering: buffer VAs for
   /// reading inputs/outputs back out of simulated memory in functional mode.
   const LoweredModel& last_lowered() const { return last_lowered_; }
+
+  /// The compile record behind the most recent plan()/run() (core 0).
+  /// GEMMINI_CHECKs that something has been compiled; probe with
+  /// has_last_plan() first on a fresh session.
+  const Plan& last_plan() const {
+    GEMMINI_CHECK_MSG(last_plan_.has_value(),
+                      "last_plan(): nothing compiled yet in this session");
+    return *last_plan_;
+  }
+  bool has_last_plan() const { return last_plan_.has_value(); }
 
   /// Estimates for this instantiation (also embedded in every Report).
   Estimates estimates() const;
@@ -142,18 +205,24 @@ class Session {
   }
 
  private:
-  Session(const SocConfig& cfg, bool functional, std::uint64_t seed);
+  Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
+          std::shared_ptr<const lowering::PlacementPolicy> placement,
+          std::shared_ptr<const lowering::TilingPolicy> tiling);
 
+  Plan build_plan(const Model& model, unsigned core);
   Report make_report(const Model& model,
                      const std::vector<CoreResult>& results) const;
 
   bool functional_ = false;
   std::uint64_t seed_ = 1;
+  std::shared_ptr<const lowering::PlacementPolicy> placement_;
+  std::shared_ptr<const lowering::TilingPolicy> tiling_;
   std::unique_ptr<Soc> soc_;
   AreaModel area_model_;
   TimingModel timing_model_;
   PowerModel power_model_;
   LoweredModel last_lowered_;
+  std::optional<Plan> last_plan_;
 };
 
 }  // namespace gemmini::sim

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/runtime/matmul.h"
 #include "src/runtime/tiling.h"
 
 namespace gemmini {
@@ -91,6 +94,83 @@ TEST(ValidateTiles, RejectsOverflowAndZero) {
   const GemminiConfig cfg = GemminiConfig::paper_default();
   EXPECT_THROW(validate_tiles(cfg, TileShape{10000, 10000, 1}), RuntimeError);
   EXPECT_THROW(validate_tiles(cfg, TileShape{0, 1, 1}), RuntimeError);
+}
+
+// ---- Edge cases -------------------------------------------------------------
+
+TEST(ChooseTiles, DegenerateDimsSmallerThanDim) {
+  // m/k/n all below DIM still need (and get) exactly one 1x1x1 tile.
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  for (const MatmulDims dims :
+       {MatmulDims{1, 1, 1}, MatmulDims{3, 5, 7}, MatmulDims{15, 15, 15},
+        MatmulDims{1, 4096, 1}}) {
+    const TileShape t = choose_tiles(cfg, dims);
+    EXPECT_EQ(t.i, 1u) << dims.m << "x" << dims.k << "x" << dims.n;
+    EXPECT_EQ(t.j, 1u);
+    // K can only grow toward the problem's own block count.
+    const std::uint64_t kb = (dims.k + cfg.dim() - 1) / cfg.dim();
+    EXPECT_LE(t.k, std::max<std::uint64_t>(1, kb));
+  }
+}
+
+/// Smallest legal instantiation for tiling purposes: budgets of exactly one
+/// DIM x DIM block for A, B and C.
+GemminiConfig minimum_budget_config() {
+  GemminiConfig cfg = GemminiConfig::paper_default();
+  // sp_rows = capacity / dim = 64 rows -> /2 (A|B) /2 (dbuf) /16 = 1 block.
+  cfg.sp_capacity_bytes = 64 * 16;
+  // acc_rows = capacity / (dim * 4) = 32 rows -> /2 (dbuf) /16 = 1 block.
+  cfg.acc_capacity_bytes = 32 * 16 * 4;
+  return cfg;
+}
+
+TEST(TileBudget, MinimumConfigStagesExactlyOneBlock) {
+  const GemminiConfig cfg = minimum_budget_config();
+  const TileBudget b = tile_budget(cfg);
+  EXPECT_EQ(b.max_a_blocks, 1u);
+  EXPECT_EQ(b.max_b_blocks, 1u);
+  EXPECT_EQ(b.max_c_blocks, 1u);
+  // The heuristic degenerates gracefully: 1x1x1 for any problem size.
+  const TileShape t = choose_tiles(cfg, {100000, 100000, 100000});
+  EXPECT_EQ(t.i, 1u);
+  EXPECT_EQ(t.k, 1u);
+  EXPECT_EQ(t.j, 1u);
+  // And the only acceptable manual tile is that same 1x1x1.
+  EXPECT_NO_THROW(validate_tiles(cfg, TileShape{1, 1, 1}));
+  EXPECT_THROW(validate_tiles(cfg, TileShape{1, 2, 1}), RuntimeError);
+  EXPECT_THROW(validate_tiles(cfg, TileShape{2, 1, 1}), RuntimeError);
+  EXPECT_THROW(validate_tiles(cfg, TileShape{1, 1, 2}), RuntimeError);
+}
+
+TEST(ValidateTiles, ManualTileRejectedAtEmission) {
+  // A budget-violating manual tile must be refused by the program emitter,
+  // not silently staged past the scratchpad's capacity.
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  MatmulParams p;
+  p.a = 0x1000;
+  p.b = 0x2000;
+  p.c = 0x3000;
+  p.m = p.k = p.n = 1024;
+  p.tile = TileShape{static_cast<unsigned>(b.max_c_blocks + 1), 1, 1};
+  EXPECT_THROW(emit_tiled_matmul(cfg, p), RuntimeError);
+  // The same shape within budget is accepted.
+  p.tile = TileShape{1, 1, 1};
+  EXPECT_NO_THROW(emit_tiled_matmul(cfg, p));
+}
+
+TEST(ModeledDmaBytes, CountsPassesExactly) {
+  const GemminiConfig cfg = GemminiConfig::paper_default();  // dim 16
+  // 4x2x4 blocks, tile 2x1x2: A reloaded ceil(4/2)=2 times, B ceil(4/2)=2.
+  const MatmulDims dims{64, 32, 64};
+  const TileShape tile{2, 1, 2};
+  const std::uint64_t a = 64ull * 32 * 2, b = 32ull * 64 * 2, c = 64ull * 64;
+  EXPECT_EQ(modeled_dma_bytes(cfg, dims, tile, false), a + b + c);
+  EXPECT_EQ(modeled_dma_bytes(cfg, dims, tile, true), a + b + 2 * c);
+  // Growing the output tile to cover the problem removes all reloads.
+  const TileShape full{4, 2, 4};
+  EXPECT_EQ(modeled_dma_bytes(cfg, dims, full, false),
+            64ull * 32 + 32ull * 64 + 64ull * 64);
 }
 
 }  // namespace
