@@ -16,6 +16,14 @@
 //                                         # out: BENCH_PR2.json
 //   $ ./bench_perf --plan [out.json]      # tiling-policy comparison mode,
 //                                         # default out: BENCH_PR3.json
+//   $ ./bench_perf --trace [trace.json]   # cycle-level trace mode, default
+//                                         # out: trace.json
+//
+// Trace mode runs the quickstart model (scaled SqueezeNet) twice — once
+// untraced, once with the src/trace/ recorder attached — asserts the cycle
+// counts are bit-identical (tracing is observational only), checks every
+// bottleneck row's components sum exactly to its layer span, prints the
+// bottleneck table, and writes the Perfetto-loadable trace.json.
 //
 // Plan mode compiles the scaled model zoo under the paper's greedy
 // HeuristicTiling and the search-based ExhaustiveTiling, compares modeled
@@ -415,26 +423,89 @@ int run_plan_compare(const std::string& out_path) {
   return (never_worse && wrote) ? 0 : 1;
 }
 
+// ---- Trace mode: cycle-level profiling artifact ----------------------------
+
+int run_trace(const std::string& out_path) {
+  std::printf("=== bench_perf --trace: cycle-level trace + bottlenecks ===\n\n");
+
+  SocConfig cfg = SocConfig::base_1mb_l2();
+  cfg.accel.has_im2col = true;
+  const Model model = zoo::squeezenet_v11(64);
+
+  // Tracing must be purely observational: same model, same config, cycle
+  // counts bit-identical with the recorder attached and detached.
+  sim::Session plain = sim::Session::builder(cfg).build();
+  const sim::Report r_plain = plain.run(model);
+
+  sim::Session traced = sim::Session::builder(cfg)
+                            .trace(trace::TraceConfig::enabled_default())
+                            .build();
+  const sim::Report r_traced = traced.run(model);
+
+  const bool invariant = r_plain.cycles == r_traced.cycles;
+  std::printf("cycles untraced %llu, traced %llu: %s\n",
+              static_cast<unsigned long long>(r_plain.cycles),
+              static_cast<unsigned long long>(r_traced.cycles),
+              invariant ? "bit-identical" : "DIVERGED");
+
+  bool sums_ok = !r_traced.bottlenecks.empty();
+  for (const trace::LayerBottleneck& l : r_traced.bottlenecks) {
+    const Cycle sum = l.cpu + l.compute + l.translation + l.dram +
+                      l.bus_wait + l.dma + l.other;
+    if (sum != l.span) {
+      std::printf("SUM MISMATCH: layer %zu components %llu != span %llu\n",
+                  l.layer, static_cast<unsigned long long>(sum),
+                  static_cast<unsigned long long>(l.span));
+      sums_ok = false;
+    }
+  }
+
+  // The report already carries the attribution rows; print them without
+  // re-running the (snapshot + interval-union) pass.
+  trace::BottleneckReport bn;
+  bn.layers = r_traced.bottlenecks;
+  bn.dropped_events = r_traced.trace_dropped_events;
+  std::printf("\n%s\n", bn.to_string().c_str());
+  std::printf("%zu trace events recorded (%llu dropped)\n",
+              traced.trace_buffer().size(),
+              static_cast<unsigned long long>(
+                  traced.trace_buffer().dropped()));
+
+  const bool nonempty = !traced.trace_buffer().empty();
+  const bool wrote = traced.write_trace(out_path);
+  std::printf("%s %s (open in https://ui.perfetto.dev)\n",
+              wrote ? "wrote" : "ERROR: could not write", out_path.c_str());
+
+  const bool ok = invariant && sums_ok && nonempty && wrote;
+  if (!ok) std::printf("FAIL: trace mode checks failed\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sweep_mode = false;
   bool plan_mode = false;
+  bool trace_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
       sweep_mode = true;
     } else if (std::strcmp(argv[i], "--plan") == 0) {
       plan_mode = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_mode = true;
     } else {
       out_path = argv[i];
     }
   }
   if (out_path.empty()) {
-    out_path = plan_mode ? "BENCH_PR3.json"
-                         : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
+    out_path = trace_mode  ? "trace.json"
+               : plan_mode ? "BENCH_PR3.json"
+               : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
   }
 
+  if (trace_mode) return run_trace(out_path);
   if (plan_mode) return run_plan_compare(out_path);
   if (sweep_mode) return run_sweep(out_path);
 

@@ -14,22 +14,34 @@
 #                                               # ExhaustiveTiling over the
 #                                               # scaled model zoo); default
 #                                               # plan out: BENCH_PR3.json
+#   scripts/run_bench.sh --trace [trace.json]   # additionally runs the
+#                                               # cycle-level trace mode
+#                                               # (src/trace/) and validates
+#                                               # the emitted Perfetto
+#                                               # artifact; default out:
+#                                               # trace.json
 #
 # Exit is nonzero if the build fails, the harness reports a functional
 # mismatch / insufficient speedup, any golden cycle count differs, (in sweep
 # mode) the parallel sweep's reports are not byte-identical to the serial
-# run, or (in plan mode) ExhaustiveTiling models more DMA traffic than the
-# heuristic anywhere.
+# run, (in plan mode) ExhaustiveTiling models more DMA traffic than the
+# heuristic anywhere, or (in trace mode) tracing perturbs cycle counts /
+# bottleneck components fail to sum / the trace.json does not parse or is
+# empty.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SWEEP=0
 PLAN=0
+TRACE=0
 if [[ "${1:-}" == "--sweep" ]]; then
   SWEEP=1
   shift
 elif [[ "${1:-}" == "--plan" ]]; then
   PLAN=1
+  shift
+elif [[ "${1:-}" == "--trace" ]]; then
+  TRACE=1
   shift
 fi
 
@@ -38,6 +50,9 @@ if [[ $SWEEP == 1 ]]; then
   OUT="${2:-BENCH_PR1.json}"
 elif [[ $PLAN == 1 ]]; then
   PLAN_OUT="${1:-BENCH_PR3.json}"
+  OUT="${2:-BENCH_PR1.json}"
+elif [[ $TRACE == 1 ]]; then
+  TRACE_OUT="${1:-trace.json}"
   OUT="${2:-BENCH_PR1.json}"
 else
   OUT="${1:-BENCH_PR1.json}"
@@ -87,6 +102,26 @@ if not sweep.get("deterministic"):
 points = sweep.get("sweep", [])
 print(f"sweep ok: {len(points)} points on {sweep.get('threads')} threads, "
       "parallel reports byte-identical to serial")
+EOF
+fi
+
+if [[ $TRACE == 1 ]]; then
+  # bench_perf --trace already asserts cycle invariance and component sums;
+  # this validates the artifact itself parses and is non-empty.
+  "./$BUILD_DIR/bench_perf" --trace "$TRACE_OUT"
+  python3 - "$TRACE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace.get("traceEvents", [])
+spans = [e for e in events if e.get("ph") == "X"]
+if not spans:
+    print("FAIL: trace.json holds no span events")
+    sys.exit(1)
+tracks = {(e.get("pid"), e.get("tid")) for e in spans}
+print(f"trace ok: {len(events)} events ({len(spans)} spans) across "
+      f"{len(tracks)} core x unit tracks")
 EOF
 fi
 

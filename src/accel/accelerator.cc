@@ -5,13 +5,15 @@
 namespace gemmini {
 
 Accelerator::Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
-                         PageTableWalker& ptw, RequestorId requestor)
+                         PageTableWalker& ptw, RequestorId requestor,
+                         trace::Tracer* tracer)
     : cfg_(cfg),
       mem_(mem),
+      tracer_(tracer),
       sp_(cfg_),
       acc_(cfg_),
-      translation_(cfg_.translation, ptw),
-      dma_(cfg_, mem_, translation_, sp_, acc_, requestor),
+      translation_(cfg_.translation, ptw, tracer),
+      dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer),
       exec_(cfg_, sp_, acc_),
       hazards_(cfg_.sp_rows(), cfg_.acc_rows()),
       rob_(cfg_.rob_entries, 0) {
@@ -114,6 +116,11 @@ void Accelerator::exec_one(const Instruction& inst) {
                             xr.issue_done, xr.data_done);
       ld_free_ = xr.issue_done;
       report_.load_busy += xr.issue_done - start;
+      if (tracer_) {
+        tracer_->span(trace::EventKind::kMvin, start, xr.data_done,
+                      static_cast<std::uint64_t>(inst.rows) * inst.cols *
+                          cfg_.input_bytes());
+      }
       retire(start, xr.data_done);
       break;
     }
@@ -132,6 +139,11 @@ void Accelerator::exec_one(const Instruction& inst) {
                            xr.issue_done);
       st_free_ = xr.issue_done;
       report_.store_busy += xr.issue_done - start;
+      if (tracer_) {
+        tracer_->span(trace::EventKind::kMvout, start, xr.data_done,
+                      static_cast<std::uint64_t>(inst.rows) * inst.cols *
+                          cfg_.input_bytes());
+      }
       retire(start, xr.data_done);
       break;
     }
@@ -148,6 +160,7 @@ void Accelerator::exec_one(const Instruction& inst) {
       }
       ex_free_ = end;
       report_.exec_busy += end - start;
+      if (tracer_) tracer_->span(trace::EventKind::kPreload, start, end);
       retire(start, end);
       break;
     }
@@ -170,8 +183,13 @@ void Accelerator::exec_one(const Instruction& inst) {
             start, hazards_.write_ready(c.is_acc(), c.row(), c_rows));
       }
       start = rob_gate(start);
+      const std::uint64_t macs_before = report_.macs;
       const Cycle end =
           exec_.compute(inst, ex_state_, start, functional_, report_.macs);
+      if (tracer_) {
+        tracer_->span(trace::EventKind::kTile, start, end,
+                      report_.macs - macs_before);
+      }
       if (!inst.local.is_garbage()) {
         hazards_.record_read(false, inst.local.row(), inst.rows, end);
       }

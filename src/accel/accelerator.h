@@ -50,8 +50,12 @@ struct AccelReport {
 class Accelerator {
  public:
   /// `ptw` is shared SoC-wide (single walker, as in the paper's edge SoC).
+  /// `tracer` (may be null) receives instruction-level spans (MVIN/MVOUT,
+  /// preloads, compute tiles) plus everything the owned DMA/translation
+  /// subsystems emit.
   Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
-              PageTableWalker& ptw, RequestorId requestor);
+              PageTableWalker& ptw, RequestorId requestor,
+              trace::Tracer* tracer = nullptr);
 
   /// Functional mode moves real data through PhysMem; timing mode moves only
   /// time (used for full-DNN benchmark sweeps).
@@ -95,6 +99,7 @@ class Accelerator {
 
   GemminiConfig cfg_;
   MemorySystem& mem_;
+  trace::Tracer* tracer_;
   bool functional_ = true;
 
   Scratchpad sp_;

@@ -47,6 +47,11 @@ DmaEngine::StreamResult DmaEngine::stream(const AddressSpace& as, VAddr va,
     stats_.counter(write ? "bytes_out" : "bytes_in").add(chunk);
     stats_.counter("requests").add();
   }
+  if (tracer_) {
+    tracer_->span(write ? trace::EventKind::kDmaBurstWrite
+                        : trace::EventKind::kDmaBurstRead,
+                  issue, r.done, bytes, requestor_.value);
+  }
   return r;
 }
 

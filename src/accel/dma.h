@@ -19,6 +19,7 @@
 #include "src/base/types.h"
 #include "src/isa/isa.h"
 #include "src/mem/memsys.h"
+#include "src/trace/trace.h"
 #include "src/vm/translation.h"
 
 namespace gemmini {
@@ -27,13 +28,14 @@ class DmaEngine {
  public:
   DmaEngine(const GemminiConfig& cfg, MemorySystem& mem,
             TranslationSystem& translation, Scratchpad& sp, Accumulator& acc,
-            RequestorId requestor)
+            RequestorId requestor, trace::Tracer* tracer = nullptr)
       : cfg_(cfg),
         mem_(mem),
         translation_(translation),
         sp_(sp),
         acc_(acc),
-        requestor_(requestor) {}
+        requestor_(requestor),
+        tracer_(tracer) {}
 
   /// Timing result of a data-movement instruction: `issue_done` is when the
   /// DMA front-end finishes injecting requests (the next MVIN/MVOUT can
@@ -84,6 +86,7 @@ class DmaEngine {
   Scratchpad& sp_;
   Accumulator& acc_;
   RequestorId requestor_;
+  trace::Tracer* tracer_;
   // Reads and writes have independent in-flight windows, mirroring the
   // RTL's separate load/store reservation stations: a backlog of store
   // completions must not stall load issue.

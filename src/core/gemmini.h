@@ -13,14 +13,14 @@
 //   * raw ISA:      isa/isa.h + accel/accelerator.h
 //   * SoC/system:   soc/soc.h (multi-core, shared L2, OS noise)
 //   * estimates:    estimate/{area,timing,power}_model.h
-//   * deprecated:   core/generator.h (Generator — thin shim over Session)
+//   * observability: trace/ (cycle-level events, Perfetto export,
+//                   bottleneck attribution)
 
 #include "src/arch/config.h"
 #include "src/arch/spatial_array.h"
 #include "src/accel/accelerator.h"
 #include "src/codegen/header_gen.h"
 #include "src/core/feature_matrix.h"
-#include "src/core/generator.h"
 #include "src/cpu/cost_model.h"
 #include "src/cpu/kernels.h"
 #include "src/dnn/zoo.h"
@@ -42,3 +42,6 @@
 #include "src/sim/report.h"
 #include "src/sim/session.h"
 #include "src/soc/soc.h"
+#include "src/trace/bottleneck.h"
+#include "src/trace/perfetto.h"
+#include "src/trace/trace.h"

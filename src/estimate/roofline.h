@@ -26,8 +26,11 @@ class RooflineModel {
  public:
   RooflineModel(const GemminiConfig& accel, const MemSysConfig& mem)
       : peak_macs_per_cycle_(accel.array.num_pes()),
-        bytes_per_cycle_(std::min(mem.system_bus.width_bytes,
-                                  mem.dram.channel_width_bytes)) {}
+        // DRAM traffic crosses the system bus, the memory bus AND the DRAM
+        // channel; the narrowest of the three is the bandwidth roof.
+        bytes_per_cycle_(std::min({mem.system_bus.width_bytes,
+                                   mem.memory_bus.width_bytes,
+                                   mem.dram.channel_width_bytes})) {}
 
   double peak_macs_per_cycle() const {
     return static_cast<double>(peak_macs_per_cycle_);

@@ -6,13 +6,21 @@
 // and a memory bus connecting the L2 to DRAM. Each transfer occupies the bus
 // for ceil(bytes / width) cycles; a request arriving while the bus is busy
 // waits, which is the mechanism behind multi-core contention in Fig. 9.
+//
+// Accounting is kept per requestor (who moved how many bytes, who ate how
+// many wait cycles) — the raw material for both the sim::Report substrate
+// table and trace-event attribution. When a trace::Tracer is attached, every
+// grant (and any wait preceding it) is emitted as a span on this bus's
+// track; tracing is observational and never alters busy_until_ bookkeeping.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 
 namespace gemmini {
 
@@ -25,31 +33,68 @@ struct BusConfig {
 
 class Bus {
  public:
-  explicit Bus(const BusConfig& cfg, std::string name = "bus")
-      : cfg_(cfg), name_(std::move(name)) {
+  /// Per-requestor share of this bus's traffic and contention.
+  struct RequestorStats {
+    int requestor = 0;
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t wait_cycles = 0;
+
+    friend bool operator==(const RequestorStats&, const RequestorStats&) =
+        default;
+  };
+
+  explicit Bus(const BusConfig& cfg, std::string name = "bus",
+               trace::Tracer* tracer = nullptr,
+               trace::Unit unit = trace::Unit::kSystemBus)
+      : cfg_(cfg), name_(std::move(name)), tracer_(tracer), unit_(unit) {
     cfg_.validate();
   }
 
   /// Requests the bus at time `t` for a `bytes`-byte transfer. Returns the
   /// cycle at which the transfer completes; the bus is busy until then.
   Cycle transfer(Cycle t, std::uint64_t bytes, RequestorId requestor) {
-    (void)requestor;
     const Cycle occupancy =
         (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
     const Cycle start = t > busy_until_ ? t : busy_until_;
-    if (start > t) stats_.counter("wait_cycles").add(start - t);
+    RequestorStats& rs = requestor_slot(requestor.value);
+    if (start > t) {
+      stats_.counter("wait_cycles").add(start - t);
+      rs.wait_cycles += start - t;
+      if (tracer_) {
+        tracer_->span_on(unit_, trace::EventKind::kBusWait, t, start, bytes,
+                         requestor.value);
+      }
+    }
     busy_until_ = start + occupancy;
     stats_.counter("busy_cycles").add(occupancy);
     stats_.counter("transfers").add();
     stats_.counter("bytes").add(bytes);
+    rs.transfers += 1;
+    rs.bytes += bytes;
+    if (tracer_) {
+      tracer_->span_on(unit_, trace::EventKind::kBusGrant, start, busy_until_,
+                       bytes, requestor.value);
+    }
     return busy_until_;
   }
 
   Cycle busy_until() const { return busy_until_; }
-  void reset_time() { busy_until_ = 0; }
+  /// Resets occupancy and the per-requestor table (which therefore always
+  /// describes the window since the last reset — one Session run). The
+  /// aggregate StatSet deliberately survives, like every other component's.
+  void reset_time() {
+    busy_until_ = 0;
+    by_requestor_.clear();
+  }
 
   const BusConfig& config() const { return cfg_; }
   const StatSet& stats() const { return stats_; }
+  /// Per-requestor accounting, in first-seen order (sort by `requestor` for
+  /// stable reporting).
+  const std::vector<RequestorStats>& requestor_stats() const {
+    return by_requestor_;
+  }
 
   /// Fraction of cycles busy in [0, horizon).
   double utilization(Cycle horizon) const {
@@ -59,10 +104,23 @@ class Bus {
   }
 
  private:
+  RequestorStats& requestor_slot(int id) {
+    // A handful of requestors per SoC (cores + PTW): linear scan beats any
+    // map on this hot path.
+    for (RequestorStats& rs : by_requestor_) {
+      if (rs.requestor == id) return rs;
+    }
+    by_requestor_.push_back(RequestorStats{id, 0, 0, 0});
+    return by_requestor_.back();
+  }
+
   BusConfig cfg_;
   std::string name_;
+  trace::Tracer* tracer_;
+  trace::Unit unit_;
   Cycle busy_until_ = 0;
   StatSet stats_;
+  std::vector<RequestorStats> by_requestor_;
 };
 
 }  // namespace gemmini

@@ -12,6 +12,7 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 
 namespace gemmini {
 
@@ -35,7 +36,20 @@ class Dram {
   /// tCCD: cycles between column commands to the same open bank.
   static constexpr Cycle kColumnCommandOccupancy = 4;
 
-  explicit Dram(const DramConfig& cfg) : cfg_(cfg) {
+  /// Per-requestor share of DRAM traffic and row-buffer behaviour.
+  struct RequestorStats {
+    int requestor = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+
+    friend bool operator==(const RequestorStats&, const RequestorStats&) =
+        default;
+  };
+
+  explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr)
+      : cfg_(cfg), tracer_(tracer) {
     cfg_.validate();
     banks_.assign(cfg_.banks, Bank{});
   }
@@ -55,14 +69,18 @@ class Dram {
   /// One line-sized access issued at time `t`. Returns completion time.
   Cycle access(PAddr addr, std::uint64_t bytes, Cycle t,
                RequestorId requestor) {
-    (void)requestor;
     const std::uint64_t row = addr / cfg_.row_bytes;
-    Bank& bank = banks_[bank_of(addr)];
+    const unsigned bank_idx = bank_of(addr);
+    Bank& bank = banks_[bank_idx];
 
     const bool row_hit = bank.open_valid && bank.open_row == row;
     const Cycle access_lat =
         row_hit ? cfg_.row_hit_latency : cfg_.row_miss_latency;
     stats_.counter(row_hit ? "row_hits" : "row_misses").add();
+    RequestorStats& rs = requestor_slot(requestor.value);
+    rs.accesses += 1;
+    rs.bytes += bytes;
+    (row_hit ? rs.row_hits : rs.row_misses) += 1;
 
     // The bank is busy until its previous access finishes; the shared data
     // channel serializes only the data *bursts*, so accesses to different
@@ -84,13 +102,24 @@ class Dram {
     channel_busy_until_ = done;
     stats_.counter("accesses").add();
     stats_.counter("bytes").add(bytes);
+    if (tracer_) {
+      tracer_->span(row_hit ? trace::EventKind::kDramRowHit
+                            : trace::EventKind::kDramRowMiss,
+                    start, done, bytes, requestor.value, bank_idx);
+    }
     return done;
   }
 
   const StatSet& stats() const { return stats_; }
+  /// Per-requestor accounting, in first-seen order, since the last
+  /// reset_time (i.e. one Session run).
+  const std::vector<RequestorStats>& requestor_stats() const {
+    return by_requestor_;
+  }
   void reset_time() {
     for (auto& b : banks_) b = Bank{};
     channel_busy_until_ = 0;
+    by_requestor_.clear();
   }
 
  private:
@@ -100,10 +129,20 @@ class Dram {
     Cycle busy_until = 0;
   };
 
+  RequestorStats& requestor_slot(int id) {
+    for (RequestorStats& rs : by_requestor_) {
+      if (rs.requestor == id) return rs;
+    }
+    by_requestor_.push_back(RequestorStats{id, 0, 0, 0, 0});
+    return by_requestor_.back();
+  }
+
   DramConfig cfg_;
+  trace::Tracer* tracer_;
   std::vector<Bank> banks_;
   Cycle channel_busy_until_ = 0;
   StatSet stats_;
+  std::vector<RequestorStats> by_requestor_;
 };
 
 }  // namespace gemmini

@@ -4,12 +4,13 @@
 
 namespace gemmini {
 
-MemorySystem::MemorySystem(const MemSysConfig& cfg)
+MemorySystem::MemorySystem(const MemSysConfig& cfg, trace::Tracer* tracer)
     : cfg_(cfg),
-      sysbus_(cfg.system_bus, "sysbus"),
+      tracer_(tracer),
+      sysbus_(cfg.system_bus, "sysbus", tracer, trace::Unit::kSystemBus),
       l2_(std::make_unique<Cache>(cfg.l2, "l2")),
-      membus_(cfg.memory_bus, "membus"),
-      dram_(cfg.dram) {
+      membus_(cfg.memory_bus, "membus", tracer, trace::Unit::kMemoryBus),
+      dram_(cfg.dram, tracer) {
   cfg_.validate();
 }
 
@@ -30,6 +31,11 @@ Cycle MemorySystem::access(PAddr addr, std::uint64_t bytes, bool write,
     const Cycle at_l2 = sysbus_.transfer(t, in_line, requestor);
 
     const CacheAccess ca = l2_->access_line(cur, write, requestor);
+    if (tracer_) {
+      tracer_->instant(ca.hit ? trace::EventKind::kL2Hit
+                              : trace::EventKind::kL2Miss,
+                       at_l2, in_line, requestor.value);
+    }
     Cycle line_done = at_l2 + cfg_.l2.hit_latency;
     if (!ca.hit) {
       // Refill from DRAM over the memory bus; latency is serial:

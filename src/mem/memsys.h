@@ -18,6 +18,7 @@
 #include "src/mem/cache.h"
 #include "src/mem/dram.h"
 #include "src/mem/phys_mem.h"
+#include "src/trace/trace.h"
 
 namespace gemmini {
 
@@ -37,7 +38,10 @@ struct MemSysConfig {
 
 class MemorySystem {
  public:
-  explicit MemorySystem(const MemSysConfig& cfg);
+  /// `tracer` (may be null) is shared with both buses and the DRAM model;
+  /// the memory system itself emits the L2 hit/miss events.
+  explicit MemorySystem(const MemSysConfig& cfg,
+                        trace::Tracer* tracer = nullptr);
 
   /// Timing access: `bytes` at physical address `addr`, issued at cycle `t`.
   /// Returns the completion cycle. Splits across cache lines; state (cache
@@ -57,7 +61,11 @@ class MemorySystem {
   Cache& l2() { return *l2_; }
   const Cache& l2() const { return *l2_; }
   Bus& system_bus() { return sysbus_; }
+  const Bus& system_bus() const { return sysbus_; }
+  Bus& memory_bus() { return membus_; }
+  const Bus& memory_bus() const { return membus_; }
   Dram& dram() { return dram_; }
+  const Dram& dram() const { return dram_; }
 
   const MemSysConfig& config() const { return cfg_; }
 
@@ -73,6 +81,7 @@ class MemorySystem {
 
  private:
   MemSysConfig cfg_;
+  trace::Tracer* tracer_;
   PhysMem phys_;
   Bus sysbus_;
   std::unique_ptr<Cache> l2_;

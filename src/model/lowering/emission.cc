@@ -56,6 +56,7 @@ LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
   out.weight_bytes = plan.weight_bytes;
 
   for (std::size_t i = 1; i < layers.size(); ++i) {
+    const std::size_t steps_before = out.stream.steps.size();
     const LayerSpec& l = layers[i];
     const sim::PlannedLayer& pl = plan.layers[i];
     const std::size_t prod = model.producer(i);
@@ -347,6 +348,11 @@ LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
       }
 
       case LayerKind::kInput: break;
+    }
+    // Stamp every step this layer emitted (dispatch, im2col, the program)
+    // with the layer index — the trace subsystem's attribution key.
+    for (std::size_t s = steps_before; s < out.stream.steps.size(); ++s) {
+      out.stream.steps[s].layer = static_cast<std::int32_t>(i);
     }
   }
   return out;

@@ -1,6 +1,6 @@
 #pragma once
 // The staged lowering pipeline: the push-button compiler behind
-// `sim::Session` (and the deprecated `lower_model` shim).
+// `sim::Session`.
 //
 //     Model ──placement──▶ targets ──tiling──▶ tiles ──allocation──▶ Plan
 //                                                                      │
@@ -9,7 +9,7 @@
 // `build_plan` runs the first three phases against pluggable policies and
 // returns the sim::Plan compile record; `emit_stream` (emission.h) turns a
 // plan into the runnable WorkStream. `compile` is the one-shot composition
-// the shims use. Each phase is also callable on its own (placement.h /
+// of the two. Each phase is also callable on its own (placement.h /
 // tiling.h / allocation.h) for tools that want to intercept the pipeline
 // mid-flight.
 

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/model/lowering/pipeline.h"
-
 namespace gemmini {
 
 unsigned default_out_shift(std::uint64_t k_depth) {
@@ -46,15 +44,6 @@ Cycle cpu_baseline_cycles(const Model& model, const CpuCostModel& cpu) {
     }
   }
   return total;
-}
-
-LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                         const CpuCostModel& cpu, AddressSpace& as,
-                         const LoweringOptions& opts) {
-  lowering::PipelineOptions popts;
-  popts.functional = opts.functional;
-  popts.seed = opts.seed;
-  return lowering::compile(model, cfg, cpu, as, popts);
 }
 
 }  // namespace gemmini

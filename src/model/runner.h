@@ -1,17 +1,17 @@
 #pragma once
-// Model lowering entry point (DEPRECATED shim) + CPU-baseline estimation.
+// LoweredModel (the runnable result of compilation) + CPU-baseline
+// estimation.
 //
-// `lower_model` was the monolithic "push-button" lowering; it is now a thin
-// shim over the staged compiler pipeline in src/model/lowering/ (placement
-// -> tiling -> allocation -> emission, driven by pluggable policies, with
-// `sim::Plan` as the inspectable intermediate artifact). New code should go
-// through `sim::Session::plan()/run()` or `lowering::build_plan`/
-// `lowering::emit_stream` directly; this shim compiles with the default
-// policies (the paper's heuristics) and will be removed once the remaining
-// test callers migrate.
+// Lowering itself lives in the staged compiler pipeline under
+// src/model/lowering/ (placement -> tiling -> allocation -> emission,
+// driven by pluggable policies, with `sim::Plan` as the inspectable
+// intermediate artifact); go through `sim::Session::plan()/run()` or
+// `lowering::build_plan`/`lowering::emit_stream`/`lowering::compile`. The
+// historical monolithic `lower_model` shim (and the `Generator` facade that
+// wrapped it) is gone.
 //
-// CPU-baseline estimation (the Fig. 7 denominator) lives here too, since it
-// consumes the same per-layer op counts.
+// CPU-baseline estimation (the Fig. 7 denominator) lives here, since it
+// consumes the same per-layer op counts the compiler does.
 
 #include <cstdint>
 #include <map>
@@ -27,14 +27,6 @@
 
 namespace gemmini {
 
-struct LoweringOptions {
-  /// Initialize weights/input with deterministic random data and attach the
-  /// functional materialization hooks (tests/examples). Timing-only sweeps
-  /// leave this off: buffers are mapped but never written.
-  bool functional = false;
-  std::uint64_t seed = 1;
-};
-
 struct LoweredModel {
   WorkStream stream;
   /// Layer index -> output buffer VA (padded to whole DIM rows).
@@ -44,15 +36,6 @@ struct LoweredModel {
   std::uint64_t input_bytes = 0;
   std::uint64_t weight_bytes = 0;
 };
-
-/// DEPRECATED: lowers `model` into `as` through the staged pipeline with
-/// the default policies. Equivalent to `lowering::compile(...)`; kept as a
-/// source-compatible shim for one more release. (The attribute is withheld
-/// deliberately — the historical tests still build against it warning-free,
-/// exactly like the Generator shim.)
-LoweredModel lower_model(const Model& model, const GemminiConfig& cfg,
-                         const CpuCostModel& cpu, AddressSpace& as,
-                         const LoweringOptions& opts = {});
 
 /// Cycles for running the whole model in software on `cpu` (no accelerator):
 /// the Fig. 7 baseline.

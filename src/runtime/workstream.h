@@ -9,6 +9,7 @@
 // (im2col expansions, pooling numerics, CPU-resident float ops). They carry
 // no timing — time comes from the steps themselves.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -25,6 +26,10 @@ struct WorkStep {
   /// Layer-type tag for the Fig. 9 accounting: "conv", "matmul", "resadd",
   /// "pool", "im2col", "special", "other".
   std::string tag = "other";
+  /// Model layer index this step implements (-1 = not layer work, e.g.
+  /// hand-emitted programs). Emission stamps it; the SoC forwards it to the
+  /// trace subsystem so every event lands on the right layer.
+  std::int32_t layer = -1;
   Cycle cpu_cycles = 0;  ///< kCpu only
   Program program;       ///< kAccel only
   std::function<void(const AddressSpace&)> pre_fixup;

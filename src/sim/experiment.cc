@@ -16,7 +16,7 @@ Sweep& Sweep::add(std::string name, SocConfig config, Model model) {
   return add(SweepPoint{std::move(name), std::move(config), std::move(model),
                         /*multicore=*/false, /*functional=*/false,
                         /*seed=*/1, /*placement=*/nullptr,
-                        /*tiling=*/nullptr});
+                        /*tiling=*/nullptr, /*trace=*/{}});
 }
 
 Report Sweep::run_point(const SweepPoint& point) {
@@ -25,10 +25,18 @@ Report Sweep::run_point(const SweepPoint& point) {
                         .seed(point.seed)
                         .placement(point.placement)
                         .tiling(point.tiling)
+                        .trace(point.trace)
                         .build();
   Report rep = point.multicore ? session.run_multicore(point.model)
                                : session.run(point.model);
   rep.point = point.name;
+  if (session.tracing() && !point.trace.export_path.empty()) {
+    if (!session.write_trace(point.trace.export_path)) {
+      throw RuntimeError("sweep point '" + point.name +
+                         "': could not write trace to " +
+                         point.trace.export_path);
+    }
+  }
   return rep;
 }
 
@@ -167,6 +175,13 @@ Experiment& Experiment::seed(std::uint64_t s) {
   seed_ = s;
   return *this;
 }
+Experiment& Experiment::trace_point(std::string point_name,
+                                    trace::TraceConfig cfg) {
+  trace_point_name_ = std::move(point_name);
+  trace_cfg_ = std::move(cfg);
+  trace_cfg_.enabled = true;
+  return *this;
+}
 
 Sweep Experiment::sweep() const {
   GEMMINI_CONFIG_REQUIRE(!models_.empty(),
@@ -262,11 +277,22 @@ Sweep Experiment::sweep() const {
         }
         for (const Model& m : models_) {
           SweepPoint p{label.empty() ? m.name() : label + "/" + m.name(),
-                       v.cfg, m, multicore_, functional_, seed_, pp, tp};
+                       v.cfg, m, multicore_, functional_, seed_, pp, tp,
+                       /*trace=*/{}};
+          if (!trace_point_name_.empty() && p.name == trace_point_name_) {
+            p.trace = trace_cfg_;
+          }
           sw.add(std::move(p));
         }
       }
     }
+  }
+  if (!trace_point_name_.empty()) {
+    bool found = false;
+    for (const SweepPoint& p : sw.points()) found |= p.trace.enabled;
+    GEMMINI_CONFIG_REQUIRE(found, "sim::Experiment: trace_point '" +
+                                      trace_point_name_ +
+                                      "' matches no sweep point");
   }
   return sw;
 }

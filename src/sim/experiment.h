@@ -35,6 +35,7 @@
 #include "src/sim/report.h"
 #include "src/sim/session.h"
 #include "src/soc/soc.h"
+#include "src/trace/trace.h"
 
 namespace gemmini::sim {
 
@@ -52,6 +53,11 @@ struct SweepPoint {
   std::uint64_t seed = 1;
   std::shared_ptr<const lowering::PlacementPolicy> placement;
   std::shared_ptr<const lowering::TilingPolicy> tiling;
+  /// Cycle-level tracing for this point (disabled by default — tracing a
+  /// whole grid would be enormous; see Experiment::trace_point). When
+  /// enabled, the point's Report carries the bottleneck table and, if
+  /// `trace.export_path` is set, the Perfetto trace.json is written there.
+  trace::TraceConfig trace{};
 };
 
 struct SweepOptions {
@@ -114,6 +120,14 @@ class Experiment {
   Experiment& functional(bool on = true);
   Experiment& seed(std::uint64_t s);
 
+  /// Traces exactly one sweep point (cycle-level events + bottleneck table
+  /// in its Report, trace.json at `cfg.export_path` if set). `point_name`
+  /// must match the point's final label — the same string reports carry in
+  /// Report::point; sweep() throws if no point matches.
+  Experiment& trace_point(std::string point_name,
+                          trace::TraceConfig cfg =
+                              trace::TraceConfig::enabled_default());
+
   /// Expands the grid into a Sweep (configs x models, in axis order).
   Sweep sweep() const;
   /// sweep().run(opts).
@@ -133,6 +147,8 @@ class Experiment {
   bool multicore_ = false;
   bool functional_ = false;
   std::uint64_t seed_ = 1;
+  std::string trace_point_name_;
+  trace::TraceConfig trace_cfg_{};
 };
 
 }  // namespace gemmini::sim

@@ -51,6 +51,66 @@ void write_core(JsonWriter& w, const CoreReport& c) {
   w.end_object();
 }
 
+void write_requestor(JsonWriter& w, const RequestorTraffic& rq) {
+  w.begin_object();
+  w.key("requestor");
+  w.value(static_cast<std::uint64_t>(rq.requestor));
+  w.key("sysbus_bytes");
+  w.value(rq.sysbus_bytes);
+  w.key("sysbus_wait_cycles");
+  w.value(rq.sysbus_wait_cycles);
+  w.key("membus_bytes");
+  w.value(rq.membus_bytes);
+  w.key("membus_wait_cycles");
+  w.value(rq.membus_wait_cycles);
+  w.key("dram_bytes");
+  w.value(rq.dram_bytes);
+  w.key("dram_row_hits");
+  w.value(rq.dram_row_hits);
+  w.key("dram_row_misses");
+  w.value(rq.dram_row_misses);
+  w.end_object();
+}
+
+void write_bottleneck(JsonWriter& w, const trace::LayerBottleneck& l) {
+  w.begin_object();
+  w.key("layer");
+  w.value(static_cast<std::uint64_t>(l.layer));
+  w.key("name");
+  w.value(l.name);
+  w.key("kind");
+  w.value(l.kind);
+  w.key("tag");
+  w.value(l.tag);
+  w.key("span");
+  w.value(l.span);
+  w.key("cpu");
+  w.value(l.cpu);
+  w.key("compute");
+  w.value(l.compute);
+  w.key("translation");
+  w.value(l.translation);
+  w.key("dram");
+  w.value(l.dram);
+  w.key("bus_wait");
+  w.value(l.bus_wait);
+  w.key("dma");
+  w.value(l.dma);
+  w.key("other");
+  w.value(l.other);
+  w.key("macs");
+  w.value(l.macs);
+  w.key("dma_bytes");
+  w.value(l.dma_bytes);
+  w.key("measured_macs_per_cycle");
+  w.value(l.measured_macs_per_cycle);
+  w.key("attainable_macs_per_cycle");
+  w.value(l.attainable_macs_per_cycle);
+  w.key("memory_bound");
+  w.value(l.memory_bound);
+  w.end_object();
+}
+
 void write_report(JsonWriter& w, const Report& r) {
   w.begin_object();
   w.key("point");
@@ -87,7 +147,21 @@ void write_report(JsonWriter& w, const Report& r) {
   w.value(r.substrate.l2_hits);
   w.key("l2_misses");
   w.value(r.substrate.l2_misses);
+  w.key("per_requestor");
+  w.begin_array();
+  for (const RequestorTraffic& rq : r.substrate.per_requestor) {
+    write_requestor(w, rq);
+  }
+  w.end_array();
   w.end_object();
+  w.key("bottlenecks");
+  w.begin_array();
+  for (const trace::LayerBottleneck& l : r.bottlenecks) {
+    write_bottleneck(w, l);
+  }
+  w.end_array();
+  w.key("trace_dropped_events");
+  w.value(r.trace_dropped_events);
   w.key("estimates");
   w.begin_object();
   w.key("area_um2");

@@ -26,6 +26,7 @@
 #include "src/accel/accelerator.h"
 #include "src/base/types.h"
 #include "src/estimate/area_model.h"
+#include "src/trace/bottleneck.h"
 
 namespace gemmini::sim {
 
@@ -55,12 +56,32 @@ struct Estimates {
   friend bool operator==(const Estimates&, const Estimates&) = default;
 };
 
+/// One requestor's share of the shared substrate: bytes moved and wait
+/// cycles eaten on each bus, and DRAM row-buffer behaviour. Requestor ids
+/// 0..cores-1 are the per-core accelerator DMAs; 100 is the shared PTW.
+struct RequestorTraffic {
+  int requestor = -1;
+  std::uint64_t sysbus_bytes = 0;
+  std::uint64_t sysbus_wait_cycles = 0;
+  std::uint64_t membus_bytes = 0;
+  std::uint64_t membus_wait_cycles = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t dram_row_hits = 0;
+  std::uint64_t dram_row_misses = 0;
+
+  friend bool operator==(const RequestorTraffic&, const RequestorTraffic&) =
+      default;
+};
+
 /// Shared-substrate statistics (one memory system per SoC, however many
 /// cores run on it).
 struct SubstrateStats {
   double l2_miss_rate = 0;
   std::uint64_t l2_hits = 0;
   std::uint64_t l2_misses = 0;
+  /// Who actually used the substrate, sorted by requestor id — the raw
+  /// material of the Fig. 9 contention story.
+  std::vector<RequestorTraffic> per_requestor;
 
   friend bool operator==(const SubstrateStats&, const SubstrateStats&) =
       default;
@@ -89,6 +110,14 @@ struct Report {
   std::vector<CoreReport> per_core;
   SubstrateStats substrate;
   Estimates estimates;
+
+  /// Per-layer bottleneck attribution for core 0 — populated only when the
+  /// session was built with tracing (Session::Builder::trace). Empty
+  /// otherwise. For traced multicore runs, other cores' attribution is
+  /// available via Session::bottlenecks(core).
+  std::vector<trace::LayerBottleneck> bottlenecks;
+  /// Trace ring-buffer overflow during this run (0 = complete trace).
+  std::uint64_t trace_dropped_events = 0;
 
   friend bool operator==(const Report&, const Report&) = default;
 

@@ -1,9 +1,11 @@
 #include "src/sim/session.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/codegen/header_gen.h"
 #include "src/model/lowering/pipeline.h"
+#include "src/trace/perfetto.h"
 
 namespace gemmini::sim {
 
@@ -14,21 +16,64 @@ Session Session::Builder::build() const {
     throw ConfigError("sim::Session '" + cfg_.name +
                       "': invalid configuration: " + e.what());
   }
-  return Session(cfg_, functional_, seed_, placement_, tiling_);
+  return Session(cfg_, functional_, seed_, placement_, tiling_, trace_);
 }
 
 Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
                  std::shared_ptr<const lowering::PlacementPolicy> placement,
-                 std::shared_ptr<const lowering::TilingPolicy> tiling)
+                 std::shared_ptr<const lowering::TilingPolicy> tiling,
+                 const trace::TraceConfig& trace_cfg)
     : functional_(functional),
       seed_(seed),
       placement_(placement
                      ? std::move(placement)
                      : std::make_shared<const lowering::DefaultPlacement>()),
       tiling_(tiling ? std::move(tiling)
-                     : std::make_shared<const lowering::HeuristicTiling>()) {
-  soc_ = std::make_unique<Soc>(cfg);
+                     : std::make_shared<const lowering::HeuristicTiling>()),
+      trace_cfg_(trace_cfg) {
+  if (trace_cfg_.enabled) {
+    trace_sink_ =
+        std::make_unique<trace::RingBufferSink>(trace_cfg_.buffer_events);
+    tracer_ = std::make_unique<trace::Tracer>(*trace_sink_);
+  }
+  soc_ = std::make_unique<Soc>(cfg, tracer_.get());
   soc_->set_functional(functional_);
+}
+
+const trace::RingBufferSink& Session::trace_buffer() const {
+  GEMMINI_CHECK_MSG(tracing(),
+                    "trace_buffer(): session was built without .trace()");
+  return *trace_sink_;
+}
+
+trace::PerfettoOptions Session::perfetto_options(int indent) const {
+  trace::PerfettoOptions opts;
+  opts.label = config().name;
+  if (traced_plan_.has_value()) {
+    opts.label += "/" + traced_plan_->model().name();
+  }
+  opts.indent = indent;
+  return opts;
+}
+
+std::string Session::trace_json(int indent) const {
+  return trace::to_perfetto_json(trace_buffer().snapshot(),
+                                 perfetto_options(indent));
+}
+
+bool Session::write_trace(const std::string& path, int indent) const {
+  return trace::write_perfetto_file(path, trace_buffer().snapshot(),
+                                    perfetto_options(indent));
+}
+
+trace::BottleneckReport Session::bottlenecks(unsigned core) const {
+  GEMMINI_CHECK_MSG(tracing(),
+                    "bottlenecks(): session was built without .trace()");
+  GEMMINI_CHECK_MSG(traced_plan_.has_value(),
+                    "bottlenecks(): nothing run in this session yet");
+  return trace::attribute_bottlenecks(trace_sink_->snapshot(), *traced_plan_,
+                                      config().accel, config().mem, core,
+                                      trace_sink_->dropped());
 }
 
 Session& Session::with_policy(
@@ -103,6 +148,41 @@ Report Session::make_report(const Model& model,
   rep.substrate.l2_hits = l2.hits();
   rep.substrate.l2_misses = l2.misses();
 
+  // Merge the per-requestor accounting of both buses and DRAM into one
+  // table, sorted by requestor id for deterministic reports.
+  std::map<int, RequestorTraffic> traffic;
+  for (const Bus::RequestorStats& rs :
+       soc_->memory().system_bus().requestor_stats()) {
+    RequestorTraffic& t = traffic[rs.requestor];
+    t.requestor = rs.requestor;
+    t.sysbus_bytes = rs.bytes;
+    t.sysbus_wait_cycles = rs.wait_cycles;
+  }
+  for (const Bus::RequestorStats& rs :
+       soc_->memory().memory_bus().requestor_stats()) {
+    RequestorTraffic& t = traffic[rs.requestor];
+    t.requestor = rs.requestor;
+    t.membus_bytes = rs.bytes;
+    t.membus_wait_cycles = rs.wait_cycles;
+  }
+  for (const Dram::RequestorStats& rs :
+       soc_->memory().dram().requestor_stats()) {
+    RequestorTraffic& t = traffic[rs.requestor];
+    t.requestor = rs.requestor;
+    t.dram_bytes = rs.bytes;
+    t.dram_row_hits = rs.row_hits;
+    t.dram_row_misses = rs.row_misses;
+  }
+  for (auto& [id, t] : traffic) {
+    rep.substrate.per_requestor.push_back(std::move(t));
+  }
+
+  if (tracing() && traced_plan_.has_value()) {
+    trace::BottleneckReport bn = bottlenecks();
+    rep.bottlenecks = std::move(bn.layers);
+    rep.trace_dropped_events = bn.dropped_events;
+  }
+
   rep.estimates = estimates();
   return rep;
 }
@@ -132,7 +212,9 @@ Plan Session::plan(const Model& model, unsigned core) {
 
 Report Session::run(const Model& model) {
   soc_->reset_all();
+  if (trace_sink_) trace_sink_->clear();
   last_plan_ = build_plan(model, 0);
+  if (tracing()) traced_plan_ = last_plan_;
   last_lowered_ =
       lowering::emit_stream(*last_plan_, config().accel, config().cpu);
   const CoreResult r = soc_->run(last_lowered_.stream);
@@ -149,14 +231,17 @@ Report Session::run(const Plan& plan) {
                         << "; only core-0 plans run standalone (use "
                            "run_multicore for per-core execution)");
   soc_->reset_all();
+  if (trace_sink_) trace_sink_->clear();
   last_lowered_ = lowering::emit_stream(plan, config().accel, config().cpu);
   last_plan_ = plan;
+  if (tracing()) traced_plan_ = plan;
   const CoreResult r = soc_->run(last_lowered_.stream);
   return make_report(plan.model(), {r});
 }
 
 Report Session::run_multicore(const Model& model) {
   soc_->reset_all();
+  if (trace_sink_) trace_sink_->clear();
   std::vector<Plan> plans;
   std::vector<LoweredModel> lowered;
   std::vector<const WorkStream*> streams;
@@ -171,6 +256,7 @@ Report Session::run_multicore(const Model& model) {
   const std::vector<CoreResult> results = soc_->run_parallel(streams);
   last_lowered_ = std::move(lowered.front());
   last_plan_ = std::move(plans.front());
+  if (tracing()) traced_plan_ = last_plan_;
   return make_report(model, results);
 }
 

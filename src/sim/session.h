@@ -47,6 +47,9 @@
 #include "src/sim/plan.h"
 #include "src/sim/report.h"
 #include "src/soc/soc.h"
+#include "src/trace/bottleneck.h"
+#include "src/trace/perfetto.h"
+#include "src/trace/trace.h"
 
 namespace gemmini::sim {
 
@@ -110,6 +113,15 @@ class Session {
       tiling_ = std::move(t);
       return *this;
     }
+    /// Attaches the cycle-level trace recorder (src/trace/): every timed
+    /// component records structured events into a preallocated ring buffer.
+    /// Tracing is observational only — cycle counts are bit-identical on
+    /// and off. Inspect via trace_buffer()/trace_json()/bottlenecks(), or
+    /// through the Report's bottleneck table.
+    Builder& trace(trace::TraceConfig cfg) {
+      trace_ = std::move(cfg);
+      return *this;
+    }
 
     const SocConfig& config() const { return cfg_; }
 
@@ -124,6 +136,7 @@ class Session {
     std::uint64_t seed_ = 1;
     std::shared_ptr<const lowering::PlacementPolicy> placement_;
     std::shared_ptr<const lowering::TilingPolicy> tiling_;
+    trace::TraceConfig trace_{};
   };
 
   static Builder builder() { return Builder{}; }
@@ -194,6 +207,26 @@ class Session {
   /// The generated gemmini_params.h contents.
   std::string params_header() const;
 
+  // ---- Tracing -------------------------------------------------------------
+  /// True iff the session was built with `.trace(...)` and an enabled
+  /// config. The buffer holds the most recent run (run() clears it first).
+  bool tracing() const { return trace_sink_ != nullptr; }
+  const trace::TraceConfig& trace_config() const { return trace_cfg_; }
+  /// The recorded event ring. GEMMINI_CHECKs that tracing is on.
+  const trace::RingBufferSink& trace_buffer() const;
+  /// The most recent run as a Perfetto-loadable trace.json (deterministic:
+  /// equal runs serialize byte-identically).
+  std::string trace_json(int indent = 0) const;
+  /// Writes trace_json to `path`; returns false on I/O failure.
+  bool write_trace(const std::string& path, int indent = 0) const;
+  /// Per-layer bottleneck attribution of the most recent traced *run*, for
+  /// one core (multicore runs record every core's events; attribute each
+  /// core separately — note run_multicore compiles one identical plan per
+  /// core, so the core-0 plan describes every core's layers). Always uses
+  /// the plan that run executed — a later plan() call (which compiles
+  /// without running) cannot mis-attribute the recorded events.
+  trace::BottleneckReport bottlenecks(unsigned core = 0) const;
+
   // ---- Low-level access (the session still owns everything) ---------------
   Soc& soc() { return *soc_; }
   const Soc& soc() const { return *soc_; }
@@ -207,16 +240,27 @@ class Session {
  private:
   Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
           std::shared_ptr<const lowering::PlacementPolicy> placement,
-          std::shared_ptr<const lowering::TilingPolicy> tiling);
+          std::shared_ptr<const lowering::TilingPolicy> tiling,
+          const trace::TraceConfig& trace_cfg);
 
   Plan build_plan(const Model& model, unsigned core);
   Report make_report(const Model& model,
                      const std::vector<CoreResult>& results) const;
+  trace::PerfettoOptions perfetto_options(int indent) const;
 
   bool functional_ = false;
   std::uint64_t seed_ = 1;
   std::shared_ptr<const lowering::PlacementPolicy> placement_;
   std::shared_ptr<const lowering::TilingPolicy> tiling_;
+  trace::TraceConfig trace_cfg_{};
+  // Heap-allocated so the Tracer pointer held by the SoC's components stays
+  // stable across Session moves.
+  std::unique_ptr<trace::RingBufferSink> trace_sink_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  /// The plan behind the events currently in the ring (snapshotted at run
+  /// time; only kept while tracing). last_plan_ is NOT used for
+  /// attribution — plan() overwrites it without touching the buffer.
+  std::optional<Plan> traced_plan_;
   std::unique_ptr<Soc> soc_;
   AreaModel area_model_;
   TimingModel timing_model_;

@@ -28,9 +28,10 @@ SocConfig SocConfig::big_l2() {
   return cfg;
 }
 
-Soc::Soc(const SocConfig& cfg)
+Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer)
     : cfg_(cfg),
-      mem_(cfg.mem),
+      tracer_(tracer),
+      mem_(cfg.mem, tracer),
       frames_(0x8000'0000ull),
       ptw_(cfg.accel.translation.ptw, mem_, RequestorId{100}) {
   cfg_.validate();
@@ -39,7 +40,7 @@ Soc::Soc(const SocConfig& cfg)
         mem_.phys(), frames_,
         /*va_base=*/0x1'0000'0000ull + c * 0x10'0000'0000ull));
     accels_.push_back(std::make_unique<Accelerator>(
-        cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}));
+        cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}, tracer));
   }
 }
 
@@ -53,6 +54,10 @@ void Soc::maybe_os_switch(CoreExec& ce, unsigned core) {
   while (ce.t >= ce.next_os_switch) {
     // The process is preempted: charge the switch cost and flush the
     // accelerator's address-translation state (ASID change).
+    if (tracer_) {
+      tracer_->span(trace::EventKind::kOsSwitch, ce.t,
+                    ce.t + cfg_.os.switch_cost_cycles);
+    }
     ce.t += cfg_.os.switch_cost_cycles;
     ce.result.cycles_by_tag["os"] += cfg_.os.switch_cost_cycles;
     accels_[core]->translation().flush();
@@ -64,11 +69,21 @@ Cycle Soc::advance(CoreExec& ce, unsigned core) {
   if (ce.done()) return kCycleMax;
   Accelerator& accel = *accels_[core];
   const WorkStep& step = ce.stream->steps[ce.step];
+  // Attribution context: everything recorded while this core advances —
+  // including events on shared substrate — belongs to this core and layer.
+  if (tracer_) {
+    tracer_->set_context(static_cast<std::int16_t>(core), step.layer);
+  }
 
   if (step.kind == WorkStep::Kind::kCpu) {
+    const Cycle t0 = ce.t;
     ce.t += step.cpu_cycles;
     ce.result.cpu_cycles += step.cpu_cycles;
     ce.result.cycles_by_tag[step.tag] += step.cpu_cycles;
+    if (tracer_) {
+      tracer_->span(trace::EventKind::kCpuStep, t0, ce.t, step.cpu_cycles);
+      tracer_->span(trace::EventKind::kLayerSpan, t0, ce.t, ce.step);
+    }
     if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
     maybe_os_switch(ce, core);
     ++ce.step;
@@ -88,6 +103,11 @@ Cycle Soc::advance(CoreExec& ce, unsigned core) {
     const Cycle start_t = ce.t;
     ce.t = std::max(ce.t, accel.frontier());
     ce.result.cycles_by_tag[step.tag] += ce.t - start_t;
+    // The whole program ran with ce.t frozen at start_t (only `advance`
+    // moves core time), so [start_t, ce.t] is this step's wall-clock span.
+    if (tracer_) {
+      tracer_->span(trace::EventKind::kLayerSpan, start_t, ce.t, ce.step);
+    }
     if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
     maybe_os_switch(ce, core);
     ce.accel_started = false;
@@ -137,6 +157,7 @@ std::vector<CoreResult> Soc::run_parallel(
     execs[i].result.accel = accels_[i]->report();
     results.push_back(std::move(execs[i].result));
   }
+  if (tracer_) tracer_->clear_context();
   return results;
 }
 

@@ -20,6 +20,7 @@
 #include "src/cpu/cost_model.h"
 #include "src/mem/memsys.h"
 #include "src/runtime/workstream.h"
+#include "src/trace/trace.h"
 #include "src/vm/page_table.h"
 #include "src/vm/ptw.h"
 
@@ -58,7 +59,12 @@ struct CoreResult {
 
 class Soc {
  public:
-  explicit Soc(const SocConfig& cfg);
+  /// `tracer` (may be null = tracing off) is threaded through every timed
+  /// component: both buses, DRAM, L2, each core's accelerator (DMA, exec
+  /// unit, translation) and the SoC-level step/OS accounting. The SoC sets
+  /// the tracer's (core, layer) context before advancing a core, so events
+  /// on shared substrate are attributed to the issuing core.
+  explicit Soc(const SocConfig& cfg, trace::Tracer* tracer = nullptr);
 
   /// Per-core process address space (create one per stream you lower).
   AddressSpace& address_space(unsigned core) { return *spaces_[core]; }
@@ -103,6 +109,7 @@ class Soc {
   void maybe_os_switch(CoreExec& ce, unsigned core);
 
   SocConfig cfg_;
+  trace::Tracer* tracer_;
   MemorySystem mem_;
   FrameAllocator frames_;
   PageTableWalker ptw_;

@@ -1,0 +1,246 @@
+#include "src/trace/bottleneck.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "src/estimate/roofline.h"
+
+namespace gemmini::trace {
+
+namespace {
+
+/// Attribution category, in priority order (lower index wins a cycle both
+/// categories claim). See the header for the rationale.
+enum Category : unsigned {
+  kCatCpu = 0,
+  kCatCompute,
+  kCatTranslation,
+  kCatDram,
+  kCatBusWait,
+  kCatDma,
+  kNumCategories,
+};
+
+constexpr std::array<const char*, kNumCategories + 1> kCategoryNames = {
+    "cpu", "compute", "translation", "dram", "bus_wait", "dma", "other"};
+
+int category_of(EventKind k) {
+  switch (k) {
+    case EventKind::kCpuStep: return kCatCpu;
+    case EventKind::kPreload:
+    case EventKind::kTile: return kCatCompute;
+    case EventKind::kTlbMiss:
+    case EventKind::kPtwWalk: return kCatTranslation;
+    case EventKind::kDramRowHit:
+    case EventKind::kDramRowMiss: return kCatDram;
+    case EventKind::kBusWait: return kCatBusWait;
+    case EventKind::kMvin:
+    case EventKind::kMvout:
+    case EventKind::kDmaBurstRead:
+    case EventKind::kDmaBurstWrite: return kCatDma;
+    default: return -1;  // layer spans, OS noise, hit instants: not a claim
+  }
+}
+
+struct Interval {
+  Cycle begin, end;
+};
+
+/// Sorts and merges an interval list in place (drops empty intervals —
+/// instants claim no time).
+void normalize(std::vector<Interval>& v) {
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin || (a.begin == b.begin && a.end < b.end);
+  });
+  std::size_t out = 0;
+  for (const Interval& iv : v) {
+    if (iv.end <= iv.begin) continue;
+    if (out > 0 && iv.begin <= v[out - 1].end) {
+      v[out - 1].end = std::max(v[out - 1].end, iv.end);
+    } else {
+      v[out++] = iv;
+    }
+  }
+  v.resize(out);
+}
+
+/// Total cycles covered by a normalized list.
+Cycle length(const std::vector<Interval>& v) {
+  Cycle total = 0;
+  for (const Interval& iv : v) total += iv.end - iv.begin;
+  return total;
+}
+
+/// Intersection of a normalized list with a normalized clip region.
+std::vector<Interval> clip(const std::vector<Interval>& v,
+                           const std::vector<Interval>& region) {
+  std::vector<Interval> out;
+  std::size_t r = 0;
+  for (const Interval& iv : v) {
+    while (r < region.size() && region[r].end <= iv.begin) ++r;
+    for (std::size_t j = r; j < region.size() && region[j].begin < iv.end;
+         ++j) {
+      out.push_back({std::max(iv.begin, region[j].begin),
+                     std::min(iv.end, region[j].end)});
+    }
+  }
+  return out;  // already sorted and disjoint
+}
+
+/// Union of two normalized lists (linear merge).
+std::vector<Interval> unite(const std::vector<Interval>& a,
+                            const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+             [](const Interval& x, const Interval& y) {
+               return x.begin < y.begin;
+             });
+  std::size_t w = 0;
+  for (const Interval& iv : out) {
+    if (w > 0 && iv.begin <= out[w - 1].end) {
+      out[w - 1].end = std::max(out[w - 1].end, iv.end);
+    } else {
+      out[w++] = iv;
+    }
+  }
+  out.resize(w);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Cycle>> LayerBottleneck::top_components()
+    const {
+  std::vector<std::pair<std::string, Cycle>> out;
+  const std::array<Cycle, kNumCategories + 1> values = {
+      cpu, compute, translation, dram, bus_wait, dma, other};
+  for (unsigned c = 0; c <= kNumCategories; ++c) {
+    if (values[c] > 0) out.emplace_back(kCategoryNames[c], values[c]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  return out;
+}
+
+BottleneckReport attribute_bottlenecks(const std::vector<TraceEvent>& events,
+                                       const sim::Plan& plan,
+                                       const GemminiConfig& accel,
+                                       const MemSysConfig& mem, unsigned core,
+                                       std::uint64_t dropped) {
+  const std::size_t num_layers = plan.layers.size();
+
+  // Bucket the trace by layer: the layer's step spans, and its claimed
+  // intervals per category.
+  std::vector<std::vector<Interval>> spans(num_layers);
+  std::vector<std::array<std::vector<Interval>, kNumCategories>> claims(
+      num_layers);
+  for (const TraceEvent& e : events) {
+    if (e.core != static_cast<std::int16_t>(core)) continue;
+    if (e.layer < 0 || static_cast<std::size_t>(e.layer) >= num_layers) {
+      continue;
+    }
+    const auto layer = static_cast<std::size_t>(e.layer);
+    if (e.kind == EventKind::kLayerSpan) {
+      spans[layer].push_back({e.begin, e.end});
+    } else if (const int cat = category_of(e.kind); cat >= 0) {
+      claims[layer][cat].push_back({e.begin, e.end});
+    }
+  }
+
+  const RooflineModel roofline(accel, mem);
+  BottleneckReport report;
+  report.dropped_events = dropped;
+
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    normalize(spans[i]);
+    if (spans[i].empty()) continue;  // e.g. the input pseudo-layer
+
+    LayerBottleneck row;
+    row.layer = i;
+    const sim::PlannedLayer& pl = plan.layers[i];
+    row.name = plan.model().layers()[i].name;
+    row.kind = pl.kind;
+    row.tag = pl.tag;
+    row.span = length(spans[i]);
+
+    // Priority attribution by progressive union: clip every category's
+    // claimed intervals to the layer's step spans, then grow a running
+    // union in priority order — each category is credited only the cycles
+    // it adds on top of the higher-priority categories. The components
+    // therefore partition the span exactly, whatever the instrumentation
+    // emitted; the uncovered remainder is "other".
+    std::array<Cycle, kNumCategories> attributed{};
+    std::vector<Interval> acc;
+    Cycle acc_len = 0;
+    for (unsigned c = 0; c < kNumCategories; ++c) {
+      std::vector<Interval>& v = claims[i][c];
+      normalize(v);
+      acc = unite(acc, clip(v, spans[i]));
+      const Cycle new_len = length(acc);
+      attributed[c] = new_len - acc_len;
+      acc_len = new_len;
+    }
+
+    row.cpu = attributed[kCatCpu];
+    row.compute = attributed[kCatCompute];
+    row.translation = attributed[kCatTranslation];
+    row.dram = attributed[kCatDram];
+    row.bus_wait = attributed[kCatBusWait];
+    row.dma = attributed[kCatDma];
+    row.other = row.span - acc_len;
+
+    row.macs = plan.model().layer_macs(i);
+    row.dma_bytes = pl.dma_bytes;
+    if (row.span > 0) {
+      row.measured_macs_per_cycle =
+          static_cast<double>(row.macs) / static_cast<double>(row.span);
+    }
+    const RooflinePoint rp = roofline.evaluate(row.macs, row.dma_bytes);
+    row.attainable_macs_per_cycle = rp.attainable_macs_per_cycle;
+    row.memory_bound = rp.memory_bound;
+
+    report.layers.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string BottleneckReport::to_string() const {
+  std::ostringstream oss;
+  oss << "layer  kind        tag      span         top components"
+         "                            MACs/cyc (attainable)\n";
+  for (const LayerBottleneck& l : layers) {
+    char head[80];
+    std::snprintf(head, sizeof head, "%-6zu %-11s %-8s %-12llu ", l.layer,
+                  l.kind.c_str(), l.tag.c_str(),
+                  static_cast<unsigned long long>(l.span));
+    oss << head;
+    const auto top = l.top_components();
+    std::string comps;
+    for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+      if (i) comps += "  ";
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%s %4.1f%%", top[i].first.c_str(),
+                    l.span == 0 ? 0.0
+                                : 100.0 * static_cast<double>(top[i].second) /
+                                      static_cast<double>(l.span));
+      comps += buf;
+    }
+    comps.resize(std::max<std::size_t>(comps.size(), 42), ' ');
+    char tail[64];
+    std::snprintf(tail, sizeof tail, " %7.2f (%7.2f)%s",
+                  l.measured_macs_per_cycle, l.attainable_macs_per_cycle,
+                  l.memory_bound ? " mem-bound" : "");
+    oss << comps << tail << "\n";
+  }
+  if (dropped_events > 0) {
+    oss << "(ring buffer overflowed: " << dropped_events
+        << " oldest events dropped; early layers may be partial)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gemmini::trace

@@ -1,0 +1,156 @@
+#include "src/trace/perfetto.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/sim/json_writer.h"
+
+namespace gemmini::trace {
+
+namespace {
+
+using sim::detail::JsonWriter;
+
+/// Cores render as Perfetto processes; events recorded outside any core's
+/// context (there should be none in a normal run, but the format must not
+/// lose them) land in a synthetic "substrate" process.
+constexpr std::uint64_t kSubstratePid = 999;
+
+std::uint64_t pid_of(const TraceEvent& e) {
+  return e.core < 0 ? kSubstratePid
+                    : static_cast<std::uint64_t>(e.core);
+}
+
+void write_common(JsonWriter& w, const TraceEvent& e) {
+  w.key("name");
+  w.value(event_kind_name(e.kind));
+  w.key("cat");
+  w.value(unit_name(e.unit));
+  w.key("pid");
+  w.value(pid_of(e));
+  w.key("tid");
+  w.value(static_cast<std::uint64_t>(e.unit));
+  w.key("ts");
+  w.value(e.begin);
+}
+
+void write_args(JsonWriter& w, const TraceEvent& e) {
+  w.key("args");
+  w.begin_object();
+  if (e.layer >= 0) {
+    w.key("layer");
+    w.value(static_cast<std::uint64_t>(e.layer));
+  }
+  if (e.requestor >= 0) {
+    w.key("requestor");
+    w.value(static_cast<std::uint64_t>(e.requestor));
+  }
+  if (e.arg != 0) {
+    w.key("arg");
+    w.value(e.arg);
+  }
+  if (e.arg2 != 0) {
+    w.key("arg2");
+    w.value(static_cast<std::uint64_t>(e.arg2));
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_perfetto_json(const std::vector<TraceEvent>& events,
+                             const PerfettoOptions& opts) {
+  // Collect the (pid, unit) tracks actually present, sorted, so the
+  // metadata block is deterministic and the viewer names every track.
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> tracks;
+  for (const TraceEvent& e : events) {
+    tracks.emplace_back(pid_of(e), static_cast<std::uint8_t>(e.unit));
+  }
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+
+  JsonWriter w(opts.indent);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  if (!opts.label.empty()) {
+    w.key("otherData");
+    w.begin_object();
+    w.key("label");
+    w.value(opts.label);
+    w.end_object();
+  }
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track-naming metadata first: process_name per pid, thread_name per
+  // (pid, unit).
+  std::uint64_t last_pid = ~0ull;
+  for (const auto& [pid, unit] : tracks) {
+    if (pid != last_pid) {
+      last_pid = pid;
+      w.begin_object();
+      w.key("ph");
+      w.value("M");
+      w.key("name");
+      w.value("process_name");
+      w.key("pid");
+      w.value(pid);
+      w.key("args");
+      w.begin_object();
+      w.key("name");
+      w.value(pid == kSubstratePid ? std::string("substrate")
+                                   : "core" + std::to_string(pid));
+      w.end_object();
+      w.end_object();
+    }
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("name");
+    w.value("thread_name");
+    w.key("pid");
+    w.value(pid);
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(unit));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(unit_name(static_cast<Unit>(unit)));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.key("ph");
+    if (e.is_instant()) {
+      w.value("i");
+      write_common(w, e);
+      w.key("s");
+      w.value("t");  // thread-scoped instant
+    } else {
+      w.value("X");
+      write_common(w, e);
+      w.key("dur");
+      w.value(e.end - e.begin);
+    }
+    write_args(w, e);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_perfetto_file(const std::string& path,
+                         const std::vector<TraceEvent>& events,
+                         const PerfettoOptions& opts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_perfetto_json(events, opts) << '\n';
+  return out.good();
+}
+
+}  // namespace gemmini::trace

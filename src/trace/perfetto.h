@@ -1,0 +1,39 @@
+#pragma once
+// Chrome / Perfetto exporter for the trace subsystem.
+//
+// Renders a recorded event stream as the Chrome Trace Event JSON format,
+// which both chrome://tracing and https://ui.perfetto.dev open directly:
+// one process per core (plus a "substrate" process for events recorded
+// outside any core's context), one thread track per hardware unit, complete
+// ("X") events for spans and instant ("i") events for zero-length records.
+// Timestamps are simulated cycles (at the paper's 1 GHz, 1 cycle == 1 ns,
+// so the viewer's nanosecond ruler reads directly in cycles).
+//
+// The writer is built on the sim layer's deterministic JsonWriter: equal
+// event streams always serialize byte-identically, which is what lets tests
+// compare trace.json across repeated sessions and sweep worker threads.
+
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace gemmini::trace {
+
+/// Options for the exporter; `label` becomes the trace-level metadata so a
+/// directory of artifacts stays tellable-apart.
+struct PerfettoOptions {
+  std::string label;   ///< e.g. "<config>/<model>"
+  int indent = 0;      ///< 0 = compact single-line JSON
+};
+
+/// Serializes `events` (record order) as a Perfetto-loadable trace.json.
+std::string to_perfetto_json(const std::vector<TraceEvent>& events,
+                             const PerfettoOptions& opts = {});
+
+/// Writes to_perfetto_json to `path`; returns false on I/O failure.
+bool write_perfetto_file(const std::string& path,
+                         const std::vector<TraceEvent>& events,
+                         const PerfettoOptions& opts = {});
+
+}  // namespace gemmini::trace

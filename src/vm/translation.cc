@@ -3,10 +3,12 @@
 namespace gemmini {
 
 TranslationSystem::TranslationSystem(const TranslationConfig& cfg,
-                                     PageTableWalker& ptw)
+                                     PageTableWalker& ptw,
+                                     trace::Tracer* tracer)
     : cfg_(cfg),
       private_(cfg.private_tlb, "private_tlb", cfg.profile_window),
-      ptw_(ptw) {
+      ptw_(ptw),
+      tracer_(tracer) {
   if (cfg_.l2_tlb_present && cfg_.l2_tlb.entries > 0) {
     l2_.emplace(cfg_.l2_tlb, "l2_tlb", cfg_.profile_window);
   }
@@ -52,13 +54,20 @@ Translation TranslationSystem::translate(const AddressSpace& as, VAddr va,
       }
     }
     if (!filled) {
+      const Cycle walk_start = now;
       const auto walk = ptw_.walk(as, va, now);
       now = walk.done;
       ppn_base = walk.ppn_base;
       out.level = TranslationLevel::kPageWalk;
       if (l2_) l2_->fill(vpn, walk.ppn_base);
+      if (tracer_) {
+        tracer_->span(trace::EventKind::kPtwWalk, walk_start, now);
+      }
     }
     private_.fill(vpn, ppn_base);
+    // The whole miss-resolution window (L2 TLB probe and, on a full miss,
+    // the page walk) is one translation span.
+    if (tracer_) tracer_->span(trace::EventKind::kTlbMiss, t, now);
   }
 
   if (cfg_.filter_registers) {

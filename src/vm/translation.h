@@ -13,6 +13,7 @@
 
 #include "src/base/stats.h"
 #include "src/base/types.h"
+#include "src/trace/trace.h"
 #include "src/vm/page_table.h"
 #include "src/vm/ptw.h"
 #include "src/vm/tlb.h"
@@ -46,8 +47,10 @@ struct Translation {
 class TranslationSystem {
  public:
   /// `ptw` may be shared with other translation systems (multi-core SoCs
-  /// share the single walker, and CPUs contend for it).
-  TranslationSystem(const TranslationConfig& cfg, PageTableWalker& ptw);
+  /// share the single walker, and CPUs contend for it). `tracer` (may be
+  /// null) receives TLB-miss and page-walk spans.
+  TranslationSystem(const TranslationConfig& cfg, PageTableWalker& ptw,
+                    trace::Tracer* tracer = nullptr);
 
   Translation translate(const AddressSpace& as, VAddr va, bool is_write,
                         Cycle t);
@@ -70,6 +73,7 @@ class TranslationSystem {
   Tlb private_;
   std::optional<Tlb> l2_;
   PageTableWalker& ptw_;
+  trace::Tracer* tracer_;
   StatSet stats_;
 
   struct FilterReg {

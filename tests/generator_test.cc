@@ -1,78 +1,86 @@
-// Generator-facade tests: elaboration, run reports, multicore, estimates,
-// and config validation across the template's design space.
+// Facade tests (formerly against the deleted Generator shim, now directly
+// on sim::Session): elaboration, run reports, multicore, estimates, and
+// config validation across the template's design space.
 
 #include <gtest/gtest.h>
 
-#include "src/core/generator.h"
 #include "src/dnn/zoo.h"
+#include "src/sim/session.h"
 
 namespace gemmini {
 namespace {
 
-TEST(GeneratorFacade, RunReportIsConsistent) {
+sim::Session make_session(const SocConfig& cfg) {
+  return sim::Session::builder(cfg).build();
+}
+
+TEST(SessionFacade, RunReportIsConsistent) {
   SocConfig cfg;
   cfg.accel.has_im2col = true;
-  Generator gen(cfg);
-  const RunReport r = gen.run_model(zoo::squeezenet_v11(64));
+  sim::Session session = make_session(cfg);
+  const sim::Report r = session.run(zoo::squeezenet_v11(64));
   EXPECT_GT(r.cycles, 0u);
   EXPECT_GT(r.fps, 0.0);
   EXPECT_NEAR(r.seconds, static_cast<double>(r.cycles) / 1e9, 1e-12);
   EXPECT_GT(r.speedup, 10.0);  // the accelerator must beat a scalar CPU
   EXPECT_GT(r.array_utilization, 0.0);
   EXPECT_LT(r.array_utilization, 1.0);
-  EXPECT_GT(r.accel.macs, 0u);
+  ASSERT_EQ(r.per_core.size(), 1u);
+  EXPECT_GT(r.per_core[0].accel.macs, 0u);
 }
 
-TEST(GeneratorFacade, RunsAreDeterministicAcrossGenerators) {
+TEST(SessionFacade, RunsAreDeterministicAcrossSessions) {
   SocConfig cfg;
   const Model m = zoo::squeezenet_v11(64);
-  Generator g1(cfg), g2(cfg);
-  EXPECT_EQ(g1.run_model(m).cycles, g2.run_model(m).cycles);
+  sim::Session s1 = make_session(cfg), s2 = make_session(cfg);
+  EXPECT_EQ(s1.run(m).cycles, s2.run(m).cycles);
 }
 
-TEST(GeneratorFacade, RepeatRunsNearlyIdentical) {
-  // Re-running on the same generator re-lowers at fresh virtual addresses,
+TEST(SessionFacade, RepeatRunsNearlyIdentical) {
+  // Re-running on the same session re-lowers at fresh virtual addresses,
   // which shifts DRAM bank alignment slightly; cycles must agree to <1%.
   SocConfig cfg;
-  Generator gen(cfg);
+  sim::Session session = make_session(cfg);
   const Model m = zoo::squeezenet_v11(64);
-  const double c1 = static_cast<double>(gen.run_model(m).cycles);
-  const double c2 = static_cast<double>(gen.run_model(m).cycles);
+  const double c1 = static_cast<double>(session.run(m).cycles);
+  const double c2 = static_cast<double>(session.run(m).cycles);
   EXPECT_NEAR(c2 / c1, 1.0, 0.01);
 }
 
-TEST(GeneratorFacade, MulticoreReturnsPerCoreReports) {
+TEST(SessionFacade, MulticoreReturnsPerCoreReports) {
   SocConfig cfg;
   cfg.cores = 2;
-  Generator gen(cfg);
-  const auto reports = gen.run_model_multicore(zoo::squeezenet_v11(64));
-  ASSERT_EQ(reports.size(), 2u);
-  EXPECT_GT(reports[0].cycles, 0u);
-  EXPECT_GT(reports[1].cycles, 0u);
+  sim::Session session = make_session(cfg);
+  const sim::Report r = session.run_multicore(zoo::squeezenet_v11(64));
+  ASSERT_EQ(r.per_core.size(), 2u);
+  EXPECT_GT(r.per_core[0].cycles, 0u);
+  EXPECT_GT(r.per_core[1].cycles, 0u);
 }
 
-TEST(GeneratorFacade, MulticoreContentionSlowsCores) {
+TEST(SessionFacade, MulticoreContentionSlowsCores) {
   const Model m = zoo::squeezenet_v11(64);
   SocConfig one;
-  Generator g1(one);
-  const Cycle solo = g1.run_model(m).cycles;
+  sim::Session s1 = make_session(one);
+  const Cycle solo = s1.run(m).cycles;
   SocConfig two = one;
   two.cores = 2;
-  Generator g2(two);
-  const auto reports = g2.run_model_multicore(m);
-  for (const auto& r : reports) EXPECT_GT(r.cycles, solo);
+  sim::Session s2 = make_session(two);
+  const sim::Report r = s2.run_multicore(m);
+  for (const auto& core : r.per_core) EXPECT_GT(core.cycles, solo);
 }
 
-TEST(GeneratorFacade, EstimatesExposed) {
+TEST(SessionFacade, EstimatesExposed) {
   SocConfig cfg;
-  Generator gen(cfg);
-  EXPECT_GT(gen.area().total_um2, 900000.0);
-  EXPECT_NEAR(gen.fmax_ghz(), 1.89, 0.02);
-  EXPECT_GT(gen.power_mw(), 1.0);
-  EXPECT_NE(gen.params_header().find("#define DIM 16"), std::string::npos);
+  sim::Session session = make_session(cfg);
+  const sim::Estimates est = session.estimates();
+  EXPECT_GT(est.area.total_um2, 900000.0);
+  EXPECT_NEAR(est.fmax_ghz, 1.89, 0.02);
+  EXPECT_GT(est.power_mw, 1.0);
+  EXPECT_NE(session.params_header().find("#define DIM 16"),
+            std::string::npos);
 }
 
-TEST(GeneratorFacade, BiggerArrayFasterOnBigGemms) {
+TEST(SessionFacade, BiggerArrayFasterOnBigGemms) {
   const Model bert = zoo::bert_base(64, 1);
   SocConfig small;
   small.accel.array = SpatialArrayGeometry{8, 8, 1, 1};
@@ -80,8 +88,8 @@ TEST(GeneratorFacade, BiggerArrayFasterOnBigGemms) {
   SocConfig big;
   big.accel.array = SpatialArrayGeometry{32, 32, 1, 1};
   big.accel.has_im2col = true;
-  Generator gs(small), gb(big);
-  EXPECT_GT(gs.run_model(bert).cycles, gb.run_model(bert).cycles);
+  sim::Session gs = make_session(small), gb = make_session(big);
+  EXPECT_GT(gs.run(bert).cycles, gb.run(bert).cycles);
 }
 
 TEST(ConfigValidation, RejectsBrokenTemplates) {

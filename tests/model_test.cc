@@ -5,6 +5,7 @@
 
 #include "src/dnn/zoo.h"
 #include "src/model/graph.h"
+#include "src/model/lowering/pipeline.h"
 #include "src/model/runner.h"
 
 namespace gemmini {
@@ -154,7 +155,7 @@ TEST(Lowering, EmitsStepsForEveryComputeLayer) {
   AddressSpace as(mem.phys(), frames);
   const GemminiConfig cfg = GemminiConfig::paper_default();
   const LoweredModel lowered =
-      lower_model(m, cfg, CpuCostModel::rocket(), as);
+      lowering::compile(m, cfg, CpuCostModel::rocket(), as);
   EXPECT_GT(lowered.stream.steps.size(), m.layers().size());
   EXPECT_GT(lowered.stream.total_instructions(), 0u);
   EXPECT_GT(lowered.weight_bytes, 1000u);
@@ -174,7 +175,7 @@ TEST(Lowering, Im2colUnitRemovesCpuSteps) {
   GemminiConfig cfg = GemminiConfig::paper_default();
   cfg.has_im2col = true;
   const LoweredModel lowered =
-      lower_model(m, cfg, CpuCostModel::rocket(), as);
+      lowering::compile(m, cfg, CpuCostModel::rocket(), as);
   for (const auto& s : lowered.stream.steps) {
     EXPECT_NE(s.tag, "im2col");
   }

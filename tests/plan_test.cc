@@ -1,8 +1,8 @@
 // Staged-lowering-pipeline tests: sim::Plan structure and determinism,
 // pluggable placement/tiling policies (heuristic / exhaustive / manual /
 // cpu-only), plan mutation + re-emission, policy sweeps through
-// sim::Experiment, and the lower_model shim's equivalence with the
-// pipeline it wraps.
+// sim::Experiment, and the one-shot compile()'s equivalence with the
+// staged build_plan + emit_stream composition.
 
 #include <gtest/gtest.h>
 
@@ -348,33 +348,34 @@ TEST(Experiment, PolicySweepIsParallelDeterministic) {
   EXPECT_NE(serial[0].cycles, serial[1].cycles);
 }
 
-// ---- lower_model shim -------------------------------------------------------
+// ---- one-shot compile vs staged composition --------------------------------
 
-TEST(LowerModelShim, MatchesPipelineCompile) {
-  // The deprecated monolithic entry point is a shim over the pipeline: the
-  // emitted stream and layout must be identical to lowering::compile with
-  // default policies.
+TEST(PipelineCompile, MatchesStagedBuildPlanPlusEmission) {
+  // The one-shot compile() entry point must be exactly build_plan followed
+  // by emit_stream — identical stream, layout, and layer stamps.
   const SocConfig cfg = test_config();
   const Model m = zoo::squeezenet_v11(48);
 
   Soc soc_a(cfg), soc_b(cfg);
-  const LoweredModel via_shim =
-      lower_model(m, cfg.accel, cfg.cpu, soc_a.address_space(0));
-  const LoweredModel via_pipeline = lowering::compile(
-      m, cfg.accel, cfg.cpu, soc_b.address_space(0), {});
+  const LoweredModel one_shot =
+      lowering::compile(m, cfg.accel, cfg.cpu, soc_a.address_space(0), {});
+  const sim::Plan plan =
+      lowering::build_plan(m, cfg.accel, soc_b.address_space(0), {});
+  const LoweredModel staged = lowering::emit_stream(plan, cfg.accel, cfg.cpu);
 
-  EXPECT_EQ(via_shim.layer_output, via_pipeline.layer_output);
-  EXPECT_EQ(via_shim.layer_bytes, via_pipeline.layer_bytes);
-  EXPECT_EQ(via_shim.weight_bytes, via_pipeline.weight_bytes);
-  ASSERT_EQ(via_shim.stream.steps.size(), via_pipeline.stream.steps.size());
-  EXPECT_EQ(via_shim.stream.total_instructions(),
-            via_pipeline.stream.total_instructions());
-  for (std::size_t i = 0; i < via_shim.stream.steps.size(); ++i) {
-    EXPECT_EQ(via_shim.stream.steps[i].tag, via_pipeline.stream.steps[i].tag);
-    EXPECT_EQ(via_shim.stream.steps[i].cpu_cycles,
-              via_pipeline.stream.steps[i].cpu_cycles);
-    EXPECT_EQ(via_shim.stream.steps[i].program.size(),
-              via_pipeline.stream.steps[i].program.size());
+  EXPECT_EQ(one_shot.layer_output, staged.layer_output);
+  EXPECT_EQ(one_shot.layer_bytes, staged.layer_bytes);
+  EXPECT_EQ(one_shot.weight_bytes, staged.weight_bytes);
+  ASSERT_EQ(one_shot.stream.steps.size(), staged.stream.steps.size());
+  EXPECT_EQ(one_shot.stream.total_instructions(),
+            staged.stream.total_instructions());
+  for (std::size_t i = 0; i < one_shot.stream.steps.size(); ++i) {
+    EXPECT_EQ(one_shot.stream.steps[i].tag, staged.stream.steps[i].tag);
+    EXPECT_EQ(one_shot.stream.steps[i].layer, staged.stream.steps[i].layer);
+    EXPECT_EQ(one_shot.stream.steps[i].cpu_cycles,
+              staged.stream.steps[i].cpu_cycles);
+    EXPECT_EQ(one_shot.stream.steps[i].program.size(),
+              staged.stream.steps[i].program.size());
   }
 }
 

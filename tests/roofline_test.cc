@@ -55,9 +55,28 @@ TEST(Roofline, PaperLayerTypeOrdering) {
 TEST(Roofline, WiderBusMovesRidgeDown) {
   MemSysConfig wide;
   wide.system_bus.width_bytes = 64;
+  wide.memory_bus.width_bytes = 64;
   wide.dram.channel_width_bytes = 64;
   const RooflineModel m(GemminiConfig::paper_default(), wide);
   EXPECT_DOUBLE_EQ(m.ridge_intensity(), 4.0);
+}
+
+TEST(Roofline, NarrowMemoryBusCapsTheRoof) {
+  // Regression: the roof once took min(system_bus, dram_channel) and
+  // ignored the memory bus — overstating attainable bandwidth whenever the
+  // L2<->DRAM link is the narrowest hop in the chain.
+  MemSysConfig cfg;
+  cfg.system_bus.width_bytes = 64;
+  cfg.dram.channel_width_bytes = 64;
+  cfg.memory_bus.width_bytes = 8;  // the bottleneck link
+  const RooflineModel m(GemminiConfig::paper_default(), cfg);
+  EXPECT_DOUBLE_EQ(m.memory_bytes_per_cycle(), 8.0);
+  EXPECT_DOUBLE_EQ(m.ridge_intensity(), 32.0);
+  // A kernel whose intensity sits between the wrong roof's ridge (4) and
+  // the right one (32) must classify as memory-bound.
+  const auto p = m.evaluate(/*macs=*/16'000'000, /*bytes=*/1'000'000);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.attainable_macs_per_cycle, 16.0 * 8.0);
 }
 
 TEST(Roofline, BiggerArrayMovesRidgeUp) {

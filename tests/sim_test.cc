@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/generator.h"
 #include "src/dnn/zoo.h"
+#include "src/model/lowering/pipeline.h"
 #include "src/sim/experiment.h"
 #include "src/sim/report.h"
 #include "src/sim/session.h"
@@ -135,15 +135,20 @@ TEST(SimSession, MulticoreReportHasPerCoreBreakdown) {
   EXPECT_GT(r.per_core[1].cycles, solo_cycles);
 }
 
-TEST(SimSession, MatchesDeprecatedGeneratorShim) {
-  // The legacy facade is a thin shim over the session; both entry points
-  // must report identical cycles.
+TEST(SimSession, MatchesDirectPipelinePlusSocRun) {
+  // The push-button facade adds nothing to the timing: compiling and
+  // running by hand through the pipeline + SoC reports identical cycles.
   SocConfig cfg;
   cfg.accel.has_im2col = true;
   const Model m = zoo::squeezenet_v11(64);
   sim::Session session = sim::Session::builder(cfg).build();
-  Generator gen(cfg);
-  EXPECT_EQ(session.run(m).cycles, gen.run_model(m).cycles);
+  const Cycle via_session = session.run(m).cycles;
+
+  Soc soc(cfg);
+  const LoweredModel lowered =
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(0), {});
+  const CoreResult r = soc.run(lowered.stream);
+  EXPECT_EQ(via_session, r.finish);
 }
 
 // ---- Report JSON ------------------------------------------------------------
@@ -248,14 +253,14 @@ TEST(SimExperiment, ExplicitConfigsExclusiveWithAxes) {
   EXPECT_THROW(exp.sweep(), ConfigError);
 }
 
-// ---- lower_model single entry point ----------------------------------------
+// ---- pipeline compile entry point ------------------------------------------
 
-TEST(LowerModel, SingleAddressSpaceEntryPoint) {
+TEST(PipelineCompile, SingleAddressSpaceEntryPoint) {
   SocConfig cfg;
   Soc soc(cfg);
   const Model m = zoo::squeezenet_v11(48);
   const LoweredModel lowered =
-      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(0));
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(0), {});
   EXPECT_FALSE(lowered.stream.steps.empty());
   EXPECT_GT(lowered.stream.total_instructions(), 0u);
   EXPECT_EQ(lowered.layer_output.size(), m.layers().size());

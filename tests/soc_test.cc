@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/dnn/zoo.h"
+#include "src/model/lowering/pipeline.h"
 #include "src/model/runner.h"
 #include "src/soc/soc.h"
 
@@ -27,10 +28,10 @@ std::vector<std::int8_t> run_functional(const SocConfig& soc_cfg,
                                         const Model& m, std::uint64_t seed) {
   Soc soc(soc_cfg);
   soc.set_functional(true);
-  LoweringOptions opts;
+  lowering::PipelineOptions opts;
   opts.functional = true;
   opts.seed = seed;
-  const LoweredModel lowered = lower_model(
+  const LoweredModel lowered = lowering::compile(
       m, soc_cfg.accel, soc_cfg.cpu, soc.address_space(0), opts);
   soc.run(lowered.stream);
   const std::size_t out_idx = m.layers().size() - 1;
@@ -105,7 +106,7 @@ TEST(SocTiming, AccelArrivesFasterThanCpuBaseline) {
   SocConfig cfg;
   Soc soc(cfg);
   const LoweredModel lowered =
-      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(0));
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(0));
   const CoreResult r = soc.run(lowered.stream);
   const Cycle baseline = cpu_baseline_cycles(m, cfg.cpu);
   EXPECT_LT(r.finish, baseline);
@@ -116,7 +117,7 @@ TEST(SocTiming, TagsAccountForLayerTypes) {
   SocConfig cfg;
   Soc soc(cfg);
   const LoweredModel lowered =
-      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(0));
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(0));
   const CoreResult r = soc.run(lowered.stream);
   EXPECT_GT(r.cycles_by_tag.at("conv"), 0u);
   EXPECT_GT(r.cycles_by_tag.at("resadd"), 0u);
@@ -132,9 +133,9 @@ TEST(SocTiming, DualCoreSlowerPerStreamThanSingle) {
   cfg.cores = 2;
   Soc soc(cfg);
   const LoweredModel l0 =
-      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(0));
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(0));
   const LoweredModel l1 =
-      lower_model(m, cfg.accel, cfg.cpu, soc.address_space(1));
+      lowering::compile(m, cfg.accel, cfg.cpu, soc.address_space(1));
 
   // Single stream alone...
   const CoreResult alone = soc.run(l0.stream);
@@ -150,7 +151,7 @@ TEST(SocTiming, OsNoiseAddsTimeAndFlushes) {
   SocConfig quiet;
   Soc soc_quiet(quiet);
   const LoweredModel lq =
-      lower_model(m, quiet.accel, quiet.cpu, soc_quiet.address_space(0));
+      lowering::compile(m, quiet.accel, quiet.cpu, soc_quiet.address_space(0));
   const Cycle t_quiet = soc_quiet.run(lq.stream).finish;
 
   SocConfig noisy = quiet;
@@ -158,7 +159,7 @@ TEST(SocTiming, OsNoiseAddsTimeAndFlushes) {
   noisy.os.period_cycles = t_quiet / 8 + 1;
   Soc soc_noisy(noisy);
   const LoweredModel ln =
-      lower_model(m, noisy.accel, noisy.cpu, soc_noisy.address_space(0));
+      lowering::compile(m, noisy.accel, noisy.cpu, soc_noisy.address_space(0));
   const CoreResult rn = soc_noisy.run(ln.stream);
   EXPECT_GT(rn.finish, t_quiet);
   EXPECT_GT(rn.cycles_by_tag.at("os"), 0u);
@@ -173,14 +174,14 @@ TEST(SocTiming, FilterRegistersNeverHurt) {
   plain.accel.translation.l2_tlb_present = false;
   Soc s1(plain);
   const LoweredModel l1 =
-      lower_model(m, plain.accel, plain.cpu, s1.address_space(0));
+      lowering::compile(m, plain.accel, plain.cpu, s1.address_space(0));
   const Cycle t_plain = s1.run(l1.stream).finish;
 
   SocConfig filt = plain;
   filt.accel.translation.filter_registers = true;
   Soc s2(filt);
   const LoweredModel l2 =
-      lower_model(m, filt.accel, filt.cpu, s2.address_space(0));
+      lowering::compile(m, filt.accel, filt.cpu, s2.address_space(0));
   const Cycle t_filt = s2.run(l2.stream).finish;
   EXPECT_LE(t_filt, t_plain);
 }
