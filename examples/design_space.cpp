@@ -88,6 +88,34 @@ int main() {
                 static_cast<unsigned long>(r.cycles));
   }
 
+  std::printf("\nDRAM controller axis (channels x scheduler, FR-FCFS vs "
+              "FCFS):\n");
+  std::printf("%-26s %-12s %-14s\n", "dram/model", "cycles", "row hit rate");
+  SocConfig dram_base;
+  dram_base.accel.has_im2col = true;
+  dram_base.mem.dram.interleave = DramInterleave::kXorFold;
+  dram_base.mem.dram.write_queue_depth = 16;
+  dram_base.mem.dram.write_drain_floor = 4;
+  const auto dram_reports =
+      sim::Experiment(dram_base)
+          .dram_channels({1, 2})
+          .dram_schedulers({DramScheduler::kFcfs, DramScheduler::kFrFcfs})
+          .model(workload)
+          .run();
+  for (const sim::Report& r : dram_reports) {
+    std::uint64_t hits = 0, misses = 0;
+    for (const sim::DramChannelTraffic& ch : r.substrate.dram_channels) {
+      hits += ch.row_hits;
+      misses += ch.row_misses;
+    }
+    std::printf("%-26s %-12lu %13.1f%%\n", r.point.c_str(),
+                static_cast<unsigned long>(r.cycles),
+                hits + misses == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(hits) /
+                          static_cast<double>(hits + misses));
+  }
+
   std::printf("\nDataflow comparison (weight- vs output-stationary):\n");
   for (const Dataflow df :
        {Dataflow::kWeightStationary, Dataflow::kOutputStationary}) {

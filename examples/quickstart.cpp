@@ -38,6 +38,18 @@ int main() {
       sim::Session::builder().accel(cfg).functional().build();
   AddressSpace& as = session.address_space();
 
+  // The shared memory substrate under it: a cycle-driven DRAM controller
+  // (channels x banks, scheduling policy, address interleave). The default
+  // is the golden-cycle configuration — 1 channel, FCFS, no refresh; crank
+  // `mem().dram` for multi-channel FR-FCFS experiments.
+  const DramConfig& dram = session.config().mem.dram;
+  std::printf("Memory: %u-channel DRAM (%u banks/ch, %s scheduler, %s "
+              "interleave), %lu KB L2\n",
+              dram.channels, dram.banks, dram_scheduler_name(dram.scheduler),
+              dram_interleave_name(dram.interleave),
+              static_cast<unsigned long>(
+                  session.config().mem.l2.size_bytes / 1024));
+
   // 3. Allocate and fill matrices in the process's virtual address space.
   const std::uint64_t m = 64, k = 96, n = 48;
   Rng rng(2024);

@@ -20,20 +20,27 @@
 #                                               # the emitted Perfetto
 #                                               # artifact; default out:
 #                                               # trace.json
+#   scripts/run_bench.sh --dram [dram.json]     # additionally runs the DRAM
+#                                               # controller comparison
+#                                               # (FR-FCFS vs FCFS over the
+#                                               # zoo on 2 channels); default
+#                                               # dram out: BENCH_PR5.json
 #
 # Exit is nonzero if the build fails, the harness reports a functional
 # mismatch / insufficient speedup, any golden cycle count differs, (in sweep
 # mode) the parallel sweep's reports are not byte-identical to the serial
 # run, (in plan mode) ExhaustiveTiling models more DMA traffic than the
-# heuristic anywhere, or (in trace mode) tracing perturbs cycle counts /
+# heuristic anywhere, (in trace mode) tracing perturbs cycle counts /
 # bottleneck components fail to sum / the trace.json does not parse or is
-# empty.
+# empty, or (in dram mode) FR-FCFS is slower than FCFS on any zoo model or
+# the golden 1-channel FCFS configuration drifted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SWEEP=0
 PLAN=0
 TRACE=0
+DRAM=0
 if [[ "${1:-}" == "--sweep" ]]; then
   SWEEP=1
   shift
@@ -42,6 +49,9 @@ elif [[ "${1:-}" == "--plan" ]]; then
   shift
 elif [[ "${1:-}" == "--trace" ]]; then
   TRACE=1
+  shift
+elif [[ "${1:-}" == "--dram" ]]; then
+  DRAM=1
   shift
 fi
 
@@ -53,6 +63,9 @@ elif [[ $PLAN == 1 ]]; then
   OUT="${2:-BENCH_PR1.json}"
 elif [[ $TRACE == 1 ]]; then
   TRACE_OUT="${1:-trace.json}"
+  OUT="${2:-BENCH_PR1.json}"
+elif [[ $DRAM == 1 ]]; then
+  DRAM_OUT="${1:-BENCH_PR5.json}"
   OUT="${2:-BENCH_PR1.json}"
 else
   OUT="${1:-BENCH_PR1.json}"
@@ -147,5 +160,36 @@ for name, row in plan.get("models", {}).items():
 if failed:
     sys.exit(1)
 print("tiling-policy comparison ok")
+EOF
+fi
+
+if [[ $DRAM == 1 ]]; then
+  # bench_perf --dram runs the scheduling comparison (FR-FCFS vs FCFS over
+  # the scaled zoo on a 2-channel, write-buffered, refreshed controller) and
+  # already exits nonzero on a regression; this re-validates the artifact.
+  "./$BUILD_DIR/bench_perf" --dram "$DRAM_OUT"
+  python3 - "$DRAM_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    dram = json.load(f)
+failed = False
+if not dram.get("frfcfs_never_slower"):
+    print("FAIL: FR-FCFS slower than FCFS somewhere on the zoo")
+    failed = True
+if not dram.get("golden_unchanged"):
+    print("FAIL: golden 1-channel FCFS configuration drifted")
+    failed = True
+for name, row in dram.get("models", {}).items():
+    fc, fr = row["fcfs_cycles"], row["frfcfs_cycles"]
+    if fr > fc:
+        print(f"SCHED REGRESSION: {name}: frfcfs {fr} > fcfs {fc}")
+        failed = True
+    else:
+        saved = 100.0 * (1.0 - fr / fc) if fc else 0.0
+        print(f"dram ok:    {name}: frfcfs saves {saved:.3f}% cycles")
+if failed:
+    sys.exit(1)
+print("dram scheduling comparison ok")
 EOF
 fi

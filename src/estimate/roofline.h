@@ -27,10 +27,13 @@ class RooflineModel {
   RooflineModel(const GemminiConfig& accel, const MemSysConfig& mem)
       : peak_macs_per_cycle_(accel.array.num_pes()),
         // DRAM traffic crosses the system bus, the memory bus AND the DRAM
-        // channel; the narrowest of the three is the bandwidth roof.
+        // channels; the narrowest hop is the bandwidth roof. The DRAM side
+        // sums over channels — interleaving spreads a stream across all of
+        // them, so aggregate DRAM bandwidth is channels x channel width.
         bytes_per_cycle_(std::min({mem.system_bus.width_bytes,
                                    mem.memory_bus.width_bytes,
-                                   mem.dram.channel_width_bytes})) {}
+                                   mem.dram.channel_width_bytes *
+                                       mem.dram.channels})) {}
 
   double peak_macs_per_cycle() const {
     return static_cast<double>(peak_macs_per_cycle_);

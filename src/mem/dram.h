@@ -1,10 +1,34 @@
 #pragma once
-// DRAM timing model: multiple banks, open-row policy, per-channel bandwidth.
+// Cycle-driven DRAM memory-controller model.
 //
-// Deliberately simple — the paper's results do not depend on DDR protocol
-// minutiae, only on (a) DRAM being far slower than SRAM, (b) row-buffer
-// locality rewarding streaming access, and (c) bounded bandwidth shared by
-// all requestors.
+// The paper's full-SoC argument is that shared-substrate contention is where
+// multicore performance goes — and the DRAM controller is the component that
+// shapes that contention. This model therefore goes beyond a flat latency
+// table: N independent channels selected by a pluggable address-interleaving
+// policy, per-bank state with an open-row policy, a pluggable request
+// scheduler (FCFS baseline, FR-FCFS prioritizing row hits), periodic
+// all-bank refresh windows, and a buffered write queue with a forced
+// drain mode. It still deliberately omits DDR protocol minutiae — what
+// matters is (a) DRAM being far slower than SRAM, (b) row-buffer locality
+// rewarding streaming access, (c) bounded per-channel bandwidth shared by
+// all requestors, and now (d) scheduling and refresh shaping who waits.
+//
+// Backward compatibility is a hard invariant: configured as 1 channel +
+// FCFS + no refresh + write-through (the defaults), the controller's timing
+// math reduces exactly to the original flat model, so the repo's golden
+// cycle counts (309917/1087553/9355595) are bit-identical.
+//
+// Interface contract (unchanged): callers issue accesses in approximately
+// nondecreasing global time and get the completion cycle back synchronously.
+// Reads (`access`) enqueue into their channel and the controller schedules
+// queued requests — buffered writebacks included — under the configured
+// policy until the read completes. Writes (`write`) are fire-and-forget:
+// write-through mode issues them immediately in arrival order; buffered
+// mode queues them until a scheduler pass picks them, the queue fills (a
+// forced write-drain episode), or `drain_writes()` flushes at end of run.
+// Reads may bypass queued writes under FR-FCFS; the functional payload
+// lives in PhysMem, which models the zero-penalty write-queue forwarding
+// real controllers perform.
 
 #include <cstdint>
 #include <vector>
@@ -16,18 +40,68 @@
 
 namespace gemmini {
 
+/// Request scheduling policy of each channel's controller.
+enum class DramScheduler : std::uint8_t {
+  kFcfs,    ///< strict arrival order (the seed model's implicit policy)
+  kFrFcfs,  ///< first-ready: row hits first, then arrival order
+};
+
+/// How physical addresses map to channels.
+enum class DramInterleave : std::uint8_t {
+  kRow,        ///< consecutive rows rotate channels (addr / row_bytes)
+  kCacheline,  ///< consecutive lines rotate channels (addr / interleave_bytes)
+  kXorFold,    ///< XOR-folded line hash — breaks power-of-two stride camping
+};
+
+const char* dram_scheduler_name(DramScheduler s);
+const char* dram_interleave_name(DramInterleave i);
+
 struct DramConfig {
-  unsigned banks = 8;
+  unsigned channels = 1;                ///< independent controllers + buses
+  unsigned banks = 8;                   ///< banks per channel
   std::uint64_t row_bytes = 2048;       ///< open-row granularity
   Cycle row_hit_latency = 30;           ///< CAS only
   Cycle row_miss_latency = 80;          ///< precharge + activate + CAS
-  unsigned channel_width_bytes = 16;    ///< data bus bytes per cycle
+  unsigned channel_width_bytes = 16;    ///< data bus bytes per cycle, per channel
+
+  DramScheduler scheduler = DramScheduler::kFcfs;
+  DramInterleave interleave = DramInterleave::kRow;
+  std::uint64_t interleave_bytes = 64;  ///< kCacheline/kXorFold granularity
+
+  /// All-bank refresh: the first `refresh_latency` cycles of every
+  /// `refresh_interval`-cycle period block the channel and close every open
+  /// row. 0 disables refresh (the seed behaviour).
+  Cycle refresh_interval = 0;
+  Cycle refresh_latency = 0;
+
+  /// Write buffering. 0 = write-through: writebacks issue immediately in
+  /// arrival order (the seed behaviour). >0 = writes queue per channel;
+  /// when the queue reaches the depth the controller force-drains down to
+  /// `write_drain_floor` (a write-drain episode).
+  unsigned write_queue_depth = 0;
+  unsigned write_drain_floor = 0;
 
   void validate() const {
+    GEMMINI_CONFIG_REQUIRE(channels > 0 && channels <= 64,
+                           "DRAM needs 1..64 channels");
     GEMMINI_CONFIG_REQUIRE(banks > 0, "DRAM needs at least one bank");
     GEMMINI_CONFIG_REQUIRE(row_bytes > 0 && (row_bytes & (row_bytes - 1)) == 0,
                            "row_bytes must be a power of two");
+    GEMMINI_CONFIG_REQUIRE(
+        interleave_bytes > 0 &&
+            (interleave_bytes & (interleave_bytes - 1)) == 0,
+        "interleave_bytes must be a power of two");
     GEMMINI_CONFIG_REQUIRE(channel_width_bytes > 0, "channel width > 0");
+    GEMMINI_CONFIG_REQUIRE(
+        refresh_interval == 0 || refresh_interval > refresh_latency,
+        "refresh_interval must exceed refresh_latency (or be 0 = off)");
+    GEMMINI_CONFIG_REQUIRE(refresh_interval > 0 || refresh_latency == 0,
+                           "refresh_latency needs a refresh_interval");
+    GEMMINI_CONFIG_REQUIRE(
+        write_queue_depth == 0 || write_drain_floor < write_queue_depth,
+        "write_drain_floor must be below write_queue_depth");
+    GEMMINI_CONFIG_REQUIRE(write_queue_depth > 0 || write_drain_floor == 0,
+                           "write_drain_floor needs a write_queue_depth");
   }
 };
 
@@ -43,20 +117,36 @@ class Dram {
     std::uint64_t bytes = 0;
     std::uint64_t row_hits = 0;
     std::uint64_t row_misses = 0;
+    /// Per-channel byte split; entries sum to `bytes`.
+    std::vector<std::uint64_t> channel_bytes;
 
     friend bool operator==(const RequestorStats&, const RequestorStats&) =
         default;
   };
 
-  explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr)
-      : cfg_(cfg), tracer_(tracer) {
-    cfg_.validate();
-    banks_.assign(cfg_.banks, Bank{});
-  }
+  /// Per-channel controller statistics (since the last reset_time).
+  struct ChannelStats {
+    unsigned channel = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t row_hits = 0;
+    std::uint64_t row_misses = 0;
+    std::uint64_t refresh_stall_cycles = 0;
+    std::uint64_t queue_wait_cycles = 0;
+    std::uint64_t write_drains = 0;      ///< forced drain episodes
+    std::uint64_t writes_buffered = 0;   ///< writes that entered the queue
 
-  /// XOR-folded bank hash (as in real memory controllers): large-stride
-  /// streams (e.g. three tensors 1 MB apart) spread across banks instead of
-  /// ping-ponging one bank's row buffer.
+    friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
+  };
+
+  explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr);
+
+  /// Which channel services `addr`, under the configured interleave policy.
+  unsigned channel_of(PAddr addr) const;
+
+  /// XOR-folded bank hash within a channel (as in real memory controllers):
+  /// large-stride streams (e.g. three tensors 1 MB apart) spread across
+  /// banks instead of ping-ponging one bank's row buffer.
   unsigned bank_of(PAddr addr) const {
     const std::uint64_t row = addr / cfg_.row_bytes;
     // Fold every row bit down into the bank index so power-of-two strides
@@ -66,83 +156,82 @@ class Dram {
     return static_cast<unsigned>(h % cfg_.banks);
   }
 
-  /// One line-sized access issued at time `t`. Returns completion time.
+  /// One line-sized read issued at time `t`. Enqueues into the channel and
+  /// schedules queued requests under the configured policy until this one
+  /// completes; returns its completion time.
   Cycle access(PAddr addr, std::uint64_t bytes, Cycle t,
-               RequestorId requestor) {
-    const std::uint64_t row = addr / cfg_.row_bytes;
-    const unsigned bank_idx = bank_of(addr);
-    Bank& bank = banks_[bank_idx];
+               RequestorId requestor);
 
-    const bool row_hit = bank.open_valid && bank.open_row == row;
-    const Cycle access_lat =
-        row_hit ? cfg_.row_hit_latency : cfg_.row_miss_latency;
-    stats_.counter(row_hit ? "row_hits" : "row_misses").add();
-    RequestorStats& rs = requestor_slot(requestor.value);
-    rs.accesses += 1;
-    rs.bytes += bytes;
-    (row_hit ? rs.row_hits : rs.row_misses) += 1;
+  /// One line-sized write (L2 writeback drain). Fire-and-forget: in
+  /// write-through mode it issues immediately; in buffered mode it queues,
+  /// force-draining when the queue fills.
+  void write(PAddr addr, std::uint64_t bytes, Cycle t, RequestorId requestor);
 
-    // The bank is busy until its previous access finishes; the shared data
-    // channel serializes only the data *bursts*, so accesses to different
-    // banks overlap their activate/CAS latencies.
-    const Cycle start = t > bank.busy_until ? t : bank.busy_until;
-    const Cycle data_ready = start + access_lat;
-    const Cycle burst_start =
-        data_ready > channel_busy_until_ ? data_ready : channel_busy_until_;
-    const Cycle burst =
-        (bytes + cfg_.channel_width_bytes - 1) / cfg_.channel_width_bytes;
-    const Cycle done = burst_start + burst;
-    // Column commands pipeline on an open row (tCCD), so streaming reads
-    // from the same row proceed at burst rate; only a row miss occupies the
-    // bank for the full precharge+activate window.
-    bank.busy_until = row_hit ? start + kColumnCommandOccupancy
-                              : start + access_lat;
-    bank.open_valid = true;
-    bank.open_row = row;
-    channel_busy_until_ = done;
-    stats_.counter("accesses").add();
-    stats_.counter("bytes").add(bytes);
-    if (tracer_) {
-      tracer_->span(row_hit ? trace::EventKind::kDramRowHit
-                            : trace::EventKind::kDramRowMiss,
-                    start, done, bytes, requestor.value, bank_idx);
-    }
-    return done;
-  }
+  /// Issues every still-buffered write (end of a run, so per-requestor and
+  /// per-channel accounting is conservation-complete: every request that
+  /// entered the controller has been issued and counted).
+  void drain_writes();
 
+  /// Buffered writes currently queued across all channels.
+  std::size_t pending_writes() const;
+
+  const DramConfig& config() const { return cfg_; }
   const StatSet& stats() const { return stats_; }
   /// Per-requestor accounting, in first-seen order, since the last
   /// reset_time (i.e. one Session run).
   const std::vector<RequestorStats>& requestor_stats() const {
     return by_requestor_;
   }
-  void reset_time() {
-    for (auto& b : banks_) b = Bank{};
-    channel_busy_until_ = 0;
-    by_requestor_.clear();
+  /// Per-channel accounting, indexed by channel, since the last reset_time.
+  const std::vector<ChannelStats>& channel_stats() const {
+    return by_channel_;
   }
+  void reset_time();
 
  private:
   struct Bank {
     bool open_valid = false;
     std::uint64_t open_row = 0;
     Cycle busy_until = 0;
+    std::uint64_t refresh_period = 0;  ///< last refresh period observed
   };
 
-  RequestorStats& requestor_slot(int id) {
-    for (RequestorStats& rs : by_requestor_) {
-      if (rs.requestor == id) return rs;
-    }
-    by_requestor_.push_back(RequestorStats{id, 0, 0, 0, 0});
-    return by_requestor_.back();
-  }
+  struct Request {
+    PAddr addr = 0;
+    std::uint64_t bytes = 0;
+    Cycle arrival = 0;
+    int requestor = 0;
+    bool is_write = false;
+    std::uint64_t seq = 0;  ///< global arrival order (FCFS key)
+    std::uint64_t row = 0;
+    unsigned bank = 0;
+  };
+
+  struct Channel {
+    std::vector<Bank> banks;
+    Cycle busy_until = 0;          ///< data bus
+    std::vector<Request> queue;    ///< pending (buffered writes + in-flight read)
+  };
+
+  Request make_request(PAddr addr, std::uint64_t bytes, Cycle t,
+                       RequestorId requestor, bool is_write);
+  /// Index into `ch.queue` of the request the scheduler issues next.
+  std::size_t pick_next(const Channel& ch) const;
+  /// Issues one request on channel `ci` (the old flat model's timing math,
+  /// plus refresh windows); returns its completion time.
+  Cycle issue(unsigned ci, const Request& rq);
+  /// Pops scheduler picks from `ci`'s queue until `target` writes remain.
+  void drain_channel_to(unsigned ci, std::size_t target);
+
+  RequestorStats& requestor_slot(int id);
 
   DramConfig cfg_;
   trace::Tracer* tracer_;
-  std::vector<Bank> banks_;
-  Cycle channel_busy_until_ = 0;
+  std::vector<Channel> channels_;
+  std::uint64_t next_seq_ = 0;
   StatSet stats_;
   std::vector<RequestorStats> by_requestor_;
+  std::vector<ChannelStats> by_channel_;
 };
 
 }  // namespace gemmini

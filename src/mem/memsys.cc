@@ -47,8 +47,11 @@ Cycle MemorySystem::access(PAddr addr, std::uint64_t bytes, bool write,
     if (ca.writeback) {
       // Dirty victim drains to DRAM in the background; it occupies the
       // memory bus and DRAM but does not delay this request's completion.
+      // The DRAM side goes through the controller's write path: issued
+      // immediately in write-through mode, queued (and scheduled against
+      // reads by the channel's policy) when write buffering is on.
       const Cycle wb_at = membus_.transfer(line_done, line, requestor);
-      dram_.access(ca.victim_line, line, wb_at, requestor);
+      dram_.write(ca.victim_line, line, wb_at, requestor);
       stats_.counter("l2_writebacks").add();
     }
     done = std::max(done, line_done);

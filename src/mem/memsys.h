@@ -8,6 +8,12 @@
 // the way. Multiple requestors (host CPUs, per-core accelerator DMAs, the
 // shared PTW) interleave by issuing in global time order; arbitration falls
 // out of the busy-until bookkeeping. Functional payloads live in PhysMem.
+//
+// The DRAM end is a cycle-driven memory controller (src/mem/dram.h):
+// multi-channel, per-bank queues, FCFS/FR-FCFS scheduling, refresh windows
+// and a buffered write queue. L2 refills take its read path; dirty-victim
+// writebacks take its fire-and-forget write path, which buffers when write
+// queueing is configured.
 
 #include <cstdint>
 #include <memory>

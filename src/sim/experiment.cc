@@ -149,6 +149,19 @@ Experiment& Experiment::core_counts(std::vector<unsigned> cores) {
   core_counts_ = std::move(cores);
   return *this;
 }
+Experiment& Experiment::dram_channels(std::vector<unsigned> channels) {
+  dram_channels_ = std::move(channels);
+  return *this;
+}
+Experiment& Experiment::dram_schedulers(std::vector<DramScheduler> schedulers) {
+  dram_schedulers_ = std::move(schedulers);
+  return *this;
+}
+Experiment& Experiment::dram_interleaves(
+    std::vector<DramInterleave> interleaves) {
+  dram_interleaves_ = std::move(interleaves);
+  return *this;
+}
 Experiment& Experiment::configs(std::vector<SocConfig> cfgs) {
   explicit_configs_ = std::move(cfgs);
   return *this;
@@ -189,7 +202,8 @@ Sweep Experiment::sweep() const {
   GEMMINI_CONFIG_REQUIRE(
       explicit_configs_.empty() ||
           (geometries_.empty() && sp_sizes_.empty() && l2_sizes_.empty() &&
-           core_counts_.empty()),
+           core_counts_.empty() && dram_channels_.empty() &&
+           dram_schedulers_.empty() && dram_interleaves_.empty()),
       "sim::Experiment: configs() cannot be combined with per-axis setters");
 
   // Expand the config grid one axis at a time, tagging each variant with
@@ -250,6 +264,25 @@ Sweep Experiment::sweep() const {
           return part;
         },
         core_counts_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.mem.dram.channels = dram_channels_[i];
+          return std::to_string(dram_channels_[i]) + "ch";
+        },
+        dram_channels_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.mem.dram.scheduler = dram_schedulers_[i];
+          return std::string(dram_scheduler_name(dram_schedulers_[i]));
+        },
+        dram_schedulers_.size());
+    expand(
+        [this](SocConfig& cfg, std::size_t i) {
+          cfg.mem.dram.interleave = dram_interleaves_[i];
+          return std::string("il-") +
+                 dram_interleave_name(dram_interleaves_[i]);
+        },
+        dram_interleaves_.size());
   }
 
   // The lowering-policy axes compose with every config axis (they are

@@ -105,6 +105,13 @@ class Experiment {
   Experiment& scratchpad_sizes(std::vector<std::uint64_t> bytes);
   Experiment& l2_sizes(std::vector<std::uint64_t> bytes);
   Experiment& core_counts(std::vector<unsigned> cores);
+  /// DRAM controller axes: channel counts, request schedulers, and address
+  /// interleaving policies (src/mem/dram.h). Like every other per-axis
+  /// setter they expand the cartesian grid; point labels encode the value
+  /// ("2ch", "frfcfs", "il-xor").
+  Experiment& dram_channels(std::vector<unsigned> channels);
+  Experiment& dram_schedulers(std::vector<DramScheduler> schedulers);
+  Experiment& dram_interleaves(std::vector<DramInterleave> interleaves);
   /// Pre-built config variants (e.g. the Fig. 9 Base/BigSP/BigL2 trio);
   /// mutually exclusive with the per-axis setters above.
   Experiment& configs(std::vector<SocConfig> cfgs);
@@ -140,6 +147,9 @@ class Experiment {
   std::vector<std::uint64_t> sp_sizes_;
   std::vector<std::uint64_t> l2_sizes_;
   std::vector<unsigned> core_counts_;
+  std::vector<unsigned> dram_channels_;
+  std::vector<DramScheduler> dram_schedulers_;
+  std::vector<DramInterleave> dram_interleaves_;
   std::vector<SocConfig> explicit_configs_;
   std::vector<std::shared_ptr<const lowering::PlacementPolicy>>
       placement_policies_;

@@ -69,6 +69,33 @@ void write_requestor(JsonWriter& w, const RequestorTraffic& rq) {
   w.value(rq.dram_row_hits);
   w.key("dram_row_misses");
   w.value(rq.dram_row_misses);
+  w.key("dram_channel_bytes");
+  w.begin_array();
+  for (const std::uint64_t b : rq.dram_channel_bytes) w.value(b);
+  w.end_array();
+  w.end_object();
+}
+
+void write_dram_channel(JsonWriter& w, const DramChannelTraffic& ch) {
+  w.begin_object();
+  w.key("channel");
+  w.value(ch.channel);
+  w.key("accesses");
+  w.value(ch.accesses);
+  w.key("bytes");
+  w.value(ch.bytes);
+  w.key("row_hits");
+  w.value(ch.row_hits);
+  w.key("row_misses");
+  w.value(ch.row_misses);
+  w.key("refresh_stall_cycles");
+  w.value(ch.refresh_stall_cycles);
+  w.key("queue_wait_cycles");
+  w.value(ch.queue_wait_cycles);
+  w.key("write_drains");
+  w.value(ch.write_drains);
+  w.key("writes_buffered");
+  w.value(ch.writes_buffered);
   w.end_object();
 }
 
@@ -151,6 +178,12 @@ void write_report(JsonWriter& w, const Report& r) {
   w.begin_array();
   for (const RequestorTraffic& rq : r.substrate.per_requestor) {
     write_requestor(w, rq);
+  }
+  w.end_array();
+  w.key("dram_channels");
+  w.begin_array();
+  for (const DramChannelTraffic& ch : r.substrate.dram_channels) {
+    write_dram_channel(w, ch);
   }
   w.end_array();
   w.end_object();

@@ -68,8 +68,28 @@ struct RequestorTraffic {
   std::uint64_t dram_bytes = 0;
   std::uint64_t dram_row_hits = 0;
   std::uint64_t dram_row_misses = 0;
+  /// Per-DRAM-channel byte split, indexed by channel; sums to `dram_bytes`.
+  std::vector<std::uint64_t> dram_channel_bytes;
 
   friend bool operator==(const RequestorTraffic&, const RequestorTraffic&) =
+      default;
+};
+
+/// One DRAM channel's controller statistics for the run: traffic, row-buffer
+/// behaviour, and the new scheduling-visible states (refresh stalls, queue
+/// waits, forced write drains).
+struct DramChannelTraffic {
+  unsigned channel = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t refresh_stall_cycles = 0;
+  std::uint64_t queue_wait_cycles = 0;
+  std::uint64_t write_drains = 0;
+  std::uint64_t writes_buffered = 0;
+
+  friend bool operator==(const DramChannelTraffic&, const DramChannelTraffic&) =
       default;
 };
 
@@ -82,6 +102,8 @@ struct SubstrateStats {
   /// Who actually used the substrate, sorted by requestor id — the raw
   /// material of the Fig. 9 contention story.
   std::vector<RequestorTraffic> per_requestor;
+  /// One entry per DRAM channel, indexed by channel id.
+  std::vector<DramChannelTraffic> dram_channels;
 
   friend bool operator==(const SubstrateStats&, const SubstrateStats&) =
       default;

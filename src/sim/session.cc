@@ -172,9 +172,29 @@ Report Session::make_report(const Model& model,
     t.dram_bytes = rs.bytes;
     t.dram_row_hits = rs.row_hits;
     t.dram_row_misses = rs.row_misses;
+    t.dram_channel_bytes = rs.channel_bytes;
   }
   for (auto& [id, t] : traffic) {
+    // Requestors that touched a bus but never reached DRAM still report a
+    // (zeroed) per-channel split so the channel-sum invariant holds for
+    // every row.
+    if (t.dram_channel_bytes.empty()) {
+      t.dram_channel_bytes.assign(config().mem.dram.channels, 0);
+    }
     rep.substrate.per_requestor.push_back(std::move(t));
+  }
+  for (const Dram::ChannelStats& cs : soc_->memory().dram().channel_stats()) {
+    DramChannelTraffic ch;
+    ch.channel = cs.channel;
+    ch.accesses = cs.accesses;
+    ch.bytes = cs.bytes;
+    ch.row_hits = cs.row_hits;
+    ch.row_misses = cs.row_misses;
+    ch.refresh_stall_cycles = cs.refresh_stall_cycles;
+    ch.queue_wait_cycles = cs.queue_wait_cycles;
+    ch.write_drains = cs.write_drains;
+    ch.writes_buffered = cs.writes_buffered;
+    rep.substrate.dram_channels.push_back(ch);
   }
 
   if (tracing() && traced_plan_.has_value()) {

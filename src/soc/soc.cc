@@ -149,6 +149,13 @@ std::vector<CoreResult> Soc::run_parallel(
     next_event[best] = advance(execs[best], static_cast<unsigned>(best));
   }
 
+  // Flush any writebacks still buffered in the DRAM controller's write
+  // queues. Their completion feeds back into nothing (cores are done), but
+  // issuing them closes the accounting: every request that entered the
+  // controller during this run is counted in its per-requestor and
+  // per-channel statistics.
+  mem_.dram().drain_writes();
+
   std::vector<CoreResult> results;
   results.reserve(execs.size());
   for (std::size_t i = 0; i < execs.size(); ++i) {

@@ -34,7 +34,10 @@ int category_of(EventKind k) {
     case EventKind::kTlbMiss:
     case EventKind::kPtwWalk: return kCatTranslation;
     case EventKind::kDramRowHit:
-    case EventKind::kDramRowMiss: return kCatDram;
+    case EventKind::kDramRowMiss:
+    case EventKind::kDramRefresh:
+    case EventKind::kDramQueueWait:
+    case EventKind::kDramWriteDrain: return kCatDram;
     case EventKind::kBusWait: return kCatBusWait;
     case EventKind::kMvin:
     case EventKind::kMvout:

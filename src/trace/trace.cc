@@ -37,6 +37,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kL2Miss: return "l2_miss";
     case EventKind::kTlbMiss: return "tlb_miss";
     case EventKind::kPtwWalk: return "ptw_walk";
+    case EventKind::kDramRefresh: return "refresh";
+    case EventKind::kDramQueueWait: return "queue_wait";
+    case EventKind::kDramWriteDrain: return "write_drain";
   }
   return "?";
 }
@@ -55,7 +58,10 @@ Unit event_kind_unit(EventKind k) {
     case EventKind::kBusGrant:
     case EventKind::kBusWait: return Unit::kSystemBus;  // overridden by site
     case EventKind::kDramRowHit:
-    case EventKind::kDramRowMiss: return Unit::kDram;
+    case EventKind::kDramRowMiss:
+    case EventKind::kDramRefresh:
+    case EventKind::kDramQueueWait:
+    case EventKind::kDramWriteDrain: return Unit::kDram;
     case EventKind::kL2Hit:
     case EventKind::kL2Miss: return Unit::kL2;
     case EventKind::kTlbMiss:

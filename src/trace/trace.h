@@ -66,12 +66,15 @@ enum class EventKind : std::uint8_t {
   kTile,        ///< one COMPUTE tile through the array (arg = MACs)
   kBusGrant,    ///< bus occupied by a transfer (arg = bytes)
   kBusWait,     ///< requestor stalled waiting for the bus (arg = bytes)
-  kDramRowHit,  ///< open-row access (arg = bytes, arg2 = bank)
-  kDramRowMiss, ///< precharge+activate access (arg = bytes, arg2 = bank)
+  kDramRowHit,  ///< open-row access (arg = bytes, arg2 = global bank id)
+  kDramRowMiss, ///< precharge+activate access (arg = bytes, arg2 = global bank id)
   kL2Hit,       ///< line hit in the shared cache
   kL2Miss,      ///< line missed (refill charged to DRAM events)
   kTlbMiss,     ///< private-TLB miss, span until resolution
   kPtwWalk,     ///< page-table walk through the shared walker
+  kDramRefresh,   ///< issue stalled in a refresh window (arg2 = global bank)
+  kDramQueueWait, ///< request queued behind a busy bank (arg2 = global bank)
+  kDramWriteDrain, ///< forced write-queue drain episode (arg = bytes, arg2 = channel)
 };
 
 const char* event_kind_name(EventKind k);

@@ -8,6 +8,7 @@
 #include "src/mem/dram.h"
 #include "src/mem/memsys.h"
 #include "src/mem/phys_mem.h"
+#include "src/soc/soc.h"
 
 namespace gemmini {
 namespace {
@@ -194,6 +195,188 @@ TEST(Dram, OpenRowStreamsAtBurstRate) {
     const Cycle done = d.access(i * 64ull, 64, 0, {0});
     EXPECT_LE(done - prev, 8u);  // ~4-cycle bursts
     prev = done;
+  }
+}
+
+TEST(DramConfigValidation, RejectsZeroChannels) {
+  DramConfig bad;
+  bad.channels = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+TEST(DramConfigValidation, RejectsNonPowerOfTwoRows) {
+  DramConfig bad;
+  bad.row_bytes = 3000;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  DramConfig bad2;
+  bad2.interleave_bytes = 48;
+  EXPECT_THROW(bad2.validate(), ConfigError);
+}
+
+TEST(DramConfigValidation, RejectsRefreshIntervalShorterThanLatency) {
+  DramConfig bad;
+  bad.refresh_interval = 50;
+  bad.refresh_latency = 80;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  // A refresh latency with no interval is equally meaningless.
+  DramConfig orphan;
+  orphan.refresh_latency = 10;
+  EXPECT_THROW(orphan.validate(), ConfigError);
+}
+
+TEST(DramConfigValidation, RejectsDrainFloorAtOrAboveDepth) {
+  DramConfig bad;
+  bad.write_queue_depth = 4;
+  bad.write_drain_floor = 4;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  // A drain floor with no write queue would silently degrade to
+  // write-through; reject the half-configured queue instead.
+  DramConfig orphan;
+  orphan.write_drain_floor = 4;
+  EXPECT_THROW(orphan.validate(), ConfigError);
+}
+
+TEST(DramConfigValidation, AcceptsFullControllerConfig) {
+  DramConfig ok;
+  ok.channels = 4;
+  ok.scheduler = DramScheduler::kFrFcfs;
+  ok.interleave = DramInterleave::kXorFold;
+  ok.refresh_interval = 7800;
+  ok.refresh_latency = 280;
+  ok.write_queue_depth = 16;
+  ok.write_drain_floor = 4;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(DramConfigValidation, SocConfigValidateCoversTheDramSection) {
+  // The DRAM knobs must fail at SocConfig::validate (and therefore at
+  // sim::Session::build) rather than deep inside SoC elaboration.
+  SocConfig cfg;
+  cfg.mem.dram.channels = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  SocConfig cfg2;
+  cfg2.mem.dram.refresh_interval = 10;
+  cfg2.mem.dram.refresh_latency = 20;
+  EXPECT_THROW(cfg2.validate(), ConfigError);
+}
+
+TEST(Dram, RefreshStallsIssuesAndClosesRows) {
+  DramConfig cfg;
+  cfg.refresh_interval = 1000;
+  cfg.refresh_latency = 200;
+  Dram d(cfg);
+  // t=0 lands inside the first refresh window: the issue stalls to 200.
+  const Cycle first = d.access(0, 64, 0, {0});
+  EXPECT_GE(first, 200 + cfg.row_miss_latency);
+  EXPECT_GT(d.stats().value("refresh_stall_cycles"), 0u);
+  // Same row, same refresh period: still open, row hit.
+  d.access(64, 64, first, {0});
+  EXPECT_EQ(d.stats().value("row_hits"), 1u);
+  // Next period: the all-bank refresh closed the row, so the same row
+  // misses again.
+  d.access(128, 64, 1500, {0});
+  EXPECT_EQ(d.stats().value("row_misses"), 2u);
+}
+
+TEST(Dram, ChannelInterleaveSpreadsALineStream) {
+  DramConfig cfg;
+  cfg.channels = 2;
+  cfg.interleave = DramInterleave::kCacheline;
+  Dram d(cfg);
+  for (int i = 0; i < 16; ++i) {
+    d.access(static_cast<PAddr>(i) * 64, 64, static_cast<Cycle>(i) * 10, {0});
+  }
+  ASSERT_EQ(d.channel_stats().size(), 2u);
+  EXPECT_EQ(d.channel_stats()[0].accesses, 8u);
+  EXPECT_EQ(d.channel_stats()[1].accesses, 8u);
+  // Per-requestor channel split sums back to the requestor total.
+  const Dram::RequestorStats& rs = d.requestor_stats().front();
+  EXPECT_EQ(rs.channel_bytes.at(0) + rs.channel_bytes.at(1), rs.bytes);
+}
+
+TEST(Dram, TwoChannelsFinishAStreamNoLaterThanOne) {
+  auto last_completion = [](unsigned channels) {
+    DramConfig cfg;
+    cfg.channels = channels;
+    cfg.interleave = DramInterleave::kCacheline;
+    Dram d(cfg);
+    Cycle last = 0;
+    // A back-to-back line stream: bandwidth-bound on one channel.
+    for (int i = 0; i < 64; ++i) {
+      last = std::max(last, d.access(static_cast<PAddr>(i) * 64, 64, 0, {0}));
+    }
+    return last;
+  };
+  EXPECT_LE(last_completion(2), last_completion(1));
+}
+
+TEST(Dram, FrFcfsReadBypassesBufferedRowMissWrites) {
+  DramConfig base;
+  base.write_queue_depth = 8;
+  base.write_drain_floor = 0;
+  // A row that genuinely collides with row 0's bank under the bank hash.
+  Dram probe(base);
+  std::uint64_t other_row = 0;
+  for (std::uint64_t r = 1; r < 4096; ++r) {
+    if (probe.bank_of(r * base.row_bytes) == probe.bank_of(0)) {
+      other_row = r;
+      break;
+    }
+  }
+  ASSERT_NE(other_row, 0u);
+
+  auto read_completion = [&](DramScheduler sched) {
+    DramConfig cfg = base;
+    cfg.scheduler = sched;
+    Dram d(cfg);
+    d.access(0, 64, 0, {0});  // opens row 0
+    // A row-conflicting writeback sits buffered in front of the read.
+    d.write(other_row * cfg.row_bytes, 64, 90, {0});
+    return d.access(64, 64, 100, {0});  // row-0 hit candidate
+  };
+  const Cycle fcfs = read_completion(DramScheduler::kFcfs);
+  const Cycle frfcfs = read_completion(DramScheduler::kFrFcfs);
+  // FCFS services the older row-miss write first; FR-FCFS lets the row-hit
+  // read bypass it.
+  EXPECT_LT(frfcfs, fcfs);
+}
+
+TEST(Dram, WriteQueueForceDrainsAtDepth) {
+  DramConfig cfg;
+  cfg.write_queue_depth = 4;
+  cfg.write_drain_floor = 1;
+  Dram d(cfg);
+  for (int i = 0; i < 3; ++i) {
+    d.write(static_cast<PAddr>(i) * 4096, 64, static_cast<Cycle>(i), {0});
+  }
+  EXPECT_EQ(d.pending_writes(), 3u);
+  EXPECT_EQ(d.stats().value("accesses"), 0u);  // nothing issued yet
+  d.write(3 * 4096, 64, 3, {0});               // hits the depth: drain to 1
+  EXPECT_EQ(d.pending_writes(), 1u);
+  EXPECT_EQ(d.stats().value("write_drains"), 1u);
+  EXPECT_EQ(d.stats().value("writes_buffered"), 4u);
+  EXPECT_EQ(d.stats().value("accesses"), 3u);
+  d.drain_writes();
+  EXPECT_EQ(d.pending_writes(), 0u);
+  EXPECT_EQ(d.stats().value("accesses"), 4u);
+}
+
+TEST(Dram, ResetTimeClearsQueuesAndChannelStats) {
+  DramConfig cfg;
+  cfg.channels = 2;
+  cfg.write_queue_depth = 8;
+  cfg.write_drain_floor = 2;
+  Dram d(cfg);
+  d.access(0, 64, 0, {0});
+  d.write(4096, 64, 10, {1});
+  EXPECT_EQ(d.pending_writes(), 1u);
+  d.reset_time();
+  EXPECT_EQ(d.pending_writes(), 0u);
+  EXPECT_TRUE(d.requestor_stats().empty());
+  ASSERT_EQ(d.channel_stats().size(), 2u);
+  for (const Dram::ChannelStats& cs : d.channel_stats()) {
+    EXPECT_EQ(cs.accesses, 0u);
+    EXPECT_EQ(cs.writes_buffered, 0u);
   }
 }
 

@@ -61,6 +61,30 @@ TEST(Roofline, WiderBusMovesRidgeDown) {
   EXPECT_DOUBLE_EQ(m.ridge_intensity(), 4.0);
 }
 
+TEST(Roofline, DramChannelsSumIntoTheBandwidthRoof) {
+  // The DRAM hop's bandwidth is channels x channel width: interleaving
+  // spreads a stream across every channel, so two 16 B channels match one
+  // 32 B hop. The buses still cap the roof when they are narrower.
+  MemSysConfig two_ch;
+  two_ch.system_bus.width_bytes = 64;
+  two_ch.memory_bus.width_bytes = 64;
+  two_ch.dram.channel_width_bytes = 16;
+  two_ch.dram.channels = 2;
+  const RooflineModel m2(GemminiConfig::paper_default(), two_ch);
+  EXPECT_DOUBLE_EQ(m2.memory_bytes_per_cycle(), 32.0);
+
+  MemSysConfig four_ch = two_ch;
+  four_ch.dram.channels = 4;
+  const RooflineModel m4(GemminiConfig::paper_default(), four_ch);
+  EXPECT_DOUBLE_EQ(m4.memory_bytes_per_cycle(), 64.0);
+
+  // More channels than the memory bus can feed: the bus is the roof.
+  MemSysConfig bus_capped = four_ch;
+  bus_capped.dram.channels = 8;
+  const RooflineModel m8(GemminiConfig::paper_default(), bus_capped);
+  EXPECT_DOUBLE_EQ(m8.memory_bytes_per_cycle(), 64.0);
+}
+
 TEST(Roofline, NarrowMemoryBusCapsTheRoof) {
   // Regression: the roof once took min(system_bus, dram_channel) and
   // ignored the memory bus — overstating attainable bandwidth whenever the

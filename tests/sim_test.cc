@@ -55,6 +55,33 @@ TEST(SimSession, ValidatesOsNoiseModel) {
   EXPECT_NO_THROW(ok.validate());
 }
 
+TEST(SimSession, ValidatesDramControllerAtBuildTime) {
+  // The DRAM section of the SocConfig fails at Session::build() — wrapped
+  // as a ConfigError naming the session — not deep in SoC elaboration.
+  SocConfig zero_channels;
+  zero_channels.mem.dram.channels = 0;
+  EXPECT_THROW(zero_channels.validate(), ConfigError);
+  EXPECT_THROW(sim::Session::builder(zero_channels).build(), ConfigError);
+
+  SocConfig bad_rows;
+  bad_rows.mem.dram.row_bytes = 3000;  // not a power of two
+  EXPECT_THROW(sim::Session::builder(bad_rows).build(), ConfigError);
+
+  SocConfig bad_refresh;
+  bad_refresh.mem.dram.refresh_interval = 50;
+  bad_refresh.mem.dram.refresh_latency = 80;  // longer than the interval
+  EXPECT_THROW(sim::Session::builder(bad_refresh).build(), ConfigError);
+
+  SocConfig ok;
+  ok.mem.dram.channels = 2;
+  ok.mem.dram.scheduler = DramScheduler::kFrFcfs;
+  ok.mem.dram.refresh_interval = 7800;
+  ok.mem.dram.refresh_latency = 280;
+  ok.mem.dram.write_queue_depth = 16;
+  ok.mem.dram.write_drain_floor = 4;
+  EXPECT_NO_THROW(sim::Session::builder(ok).build());
+}
+
 TEST(SimSession, ReportIsConsistent) {
   SocConfig cfg;
   cfg.accel.has_im2col = true;
@@ -238,6 +265,31 @@ TEST(SimExperiment, GridExpansionNamesAxes) {
   EXPECT_EQ(sweep.points()[3].name, "sp256K-c2/squeezenet_v1.1");
   EXPECT_EQ(sweep.points()[3].config.cores, 2u);
   EXPECT_EQ(sweep.points()[3].config.accel.sp_capacity_bytes, 256u << 10);
+}
+
+TEST(SimExperiment, DramAxesExpandGridWithLabels) {
+  sim::Experiment exp;
+  exp.dram_channels({1, 2})
+      .dram_schedulers({DramScheduler::kFcfs, DramScheduler::kFrFcfs})
+      .dram_interleaves({DramInterleave::kXorFold})
+      .model(zoo::squeezenet_v11(48));
+  const sim::Sweep sweep = exp.sweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep.points()[0].name, "1ch-fcfs-il-xor/squeezenet_v1.1");
+  EXPECT_EQ(sweep.points()[3].name, "2ch-frfcfs-il-xor/squeezenet_v1.1");
+  EXPECT_EQ(sweep.points()[3].config.mem.dram.channels, 2u);
+  EXPECT_EQ(sweep.points()[3].config.mem.dram.scheduler,
+            DramScheduler::kFrFcfs);
+  EXPECT_EQ(sweep.points()[3].config.mem.dram.interleave,
+            DramInterleave::kXorFold);
+}
+
+TEST(SimExperiment, DramAxesExclusiveWithExplicitConfigs) {
+  sim::Experiment exp;
+  exp.configs({SocConfig::base_1mb_l2()})
+      .dram_channels({1, 2})
+      .model(zoo::squeezenet_v11(48));
+  EXPECT_THROW(exp.sweep(), ConfigError);
 }
 
 TEST(SimExperiment, RequiresModels) {

@@ -61,6 +61,44 @@ TEST(TraceInvariance, MulticoreCyclesUnchanged) {
   EXPECT_EQ(plain.run_multicore(m).cycles, traced.run_multicore(m).cycles);
 }
 
+TEST(TraceInvariance, MultiChannelRefreshControllerStillObservational) {
+  // The full DRAM controller feature set — 2 channels, XOR-fold interleave,
+  // FR-FCFS, write buffering, periodic refresh — emits the new controller
+  // events (refresh, queue wait, write drain) when traced, and cycle counts
+  // stay bit-identical traced vs untraced.
+  SocConfig cfg = test_config();
+  cfg.mem.dram.channels = 2;
+  cfg.mem.dram.interleave = DramInterleave::kXorFold;
+  cfg.mem.dram.scheduler = DramScheduler::kFrFcfs;
+  cfg.mem.dram.write_queue_depth = 16;
+  cfg.mem.dram.write_drain_floor = 4;
+  cfg.mem.dram.refresh_interval = 7800;
+  cfg.mem.dram.refresh_latency = 280;
+  const Model m = zoo::squeezenet_v11(64);
+
+  sim::Session plain = sim::Session::builder(cfg).build();
+  sim::Session traced = traced_session(cfg);
+  const sim::Report r_plain = plain.run(m);
+  const sim::Report r_traced = traced.run(m);
+  EXPECT_EQ(r_plain.cycles, r_traced.cycles);
+  EXPECT_EQ(r_plain.cycles_by_tag, r_traced.cycles_by_tag);
+  EXPECT_EQ(r_plain.substrate.dram_channels, r_traced.substrate.dram_channels);
+
+  // The controller states show up as trace events on the DRAM unit.
+  bool saw_refresh = false, saw_queue_wait = false;
+  for (const trace::TraceEvent& e : traced.trace_buffer().snapshot()) {
+    saw_refresh |= e.kind == trace::EventKind::kDramRefresh;
+    saw_queue_wait |= e.kind == trace::EventKind::kDramQueueWait;
+    if (e.kind == trace::EventKind::kDramRefresh ||
+        e.kind == trace::EventKind::kDramQueueWait ||
+        e.kind == trace::EventKind::kDramWriteDrain) {
+      EXPECT_EQ(e.unit, trace::Unit::kDram);
+    }
+  }
+  EXPECT_TRUE(saw_refresh);
+  EXPECT_TRUE(saw_queue_wait);
+}
+
 TEST(TraceInvariance, OverflowingBufferStillObservational) {
   // Even when the ring thrashes (drops on almost every record), timing is
   // untouched.
@@ -311,6 +349,49 @@ TEST(RequestorStats, PtwShowsUpAsRequestor100) {
     }
   }
   EXPECT_TRUE(saw_ptw);
+}
+
+TEST(RequestorStats, ChannelCountersSumToTotalsInReport) {
+  SocConfig cfg = test_config();
+  cfg.mem.dram.channels = 2;
+  cfg.mem.dram.interleave = DramInterleave::kXorFold;
+  cfg.mem.dram.scheduler = DramScheduler::kFrFcfs;
+  cfg.mem.dram.write_queue_depth = 16;
+  cfg.mem.dram.write_drain_floor = 4;
+  sim::Session s = sim::Session::builder(cfg).build();
+  const sim::Report r = s.run(zoo::squeezenet_v11(48));
+
+  // Per-requestor: the per-channel byte split sums to the requestor's DRAM
+  // total, for every row (zero-traffic rows report zeroed splits).
+  std::uint64_t requestor_dram_bytes = 0;
+  for (const sim::RequestorTraffic& rq : r.substrate.per_requestor) {
+    ASSERT_EQ(rq.dram_channel_bytes.size(), 2u);
+    EXPECT_EQ(rq.dram_channel_bytes[0] + rq.dram_channel_bytes[1],
+              rq.dram_bytes);
+    requestor_dram_bytes += rq.dram_bytes;
+  }
+
+  // Per-channel: channel rows are indexed, both saw traffic, and their sum
+  // equals both the requestor-side sum and the controller's aggregate.
+  ASSERT_EQ(r.substrate.dram_channels.size(), 2u);
+  std::uint64_t channel_bytes = 0, channel_accesses = 0;
+  for (std::size_t i = 0; i < r.substrate.dram_channels.size(); ++i) {
+    const sim::DramChannelTraffic& ch = r.substrate.dram_channels[i];
+    EXPECT_EQ(ch.channel, i);
+    EXPECT_GT(ch.accesses, 0u);
+    EXPECT_EQ(ch.row_hits + ch.row_misses, ch.accesses);
+    channel_bytes += ch.bytes;
+    channel_accesses += ch.accesses;
+  }
+  EXPECT_EQ(channel_bytes, requestor_dram_bytes);
+  EXPECT_EQ(channel_accesses,
+            s.soc().memory().dram().stats().value("accesses"));
+
+  // And the channel table serializes into the Report JSON.
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"dram_channels\""), std::string::npos);
+  EXPECT_NE(json.find("\"dram_channel_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_cycles\""), std::string::npos);
 }
 
 TEST(RequestorStats, MulticoreSplitsTraffic) {
