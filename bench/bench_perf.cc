@@ -18,6 +18,8 @@
 //                                         # default out: BENCH_PR3.json
 //   $ ./bench_perf --trace [trace.json]   # cycle-level trace mode, default
 //                                         # out: trace.json
+//   $ ./bench_perf --faults [out.json]    # fault-injection resilience gates,
+//                                         # default out: BENCH_PR6.json
 //
 // Trace mode runs the quickstart model (scaled SqueezeNet) twice — once
 // untraced, once with the src/trace/ recorder attached — asserts the cycle
@@ -580,6 +582,117 @@ int run_trace(const std::string& out_path) {
   return ok ? 0 : 1;
 }
 
+// ---- Faults mode: resilience gates -----------------------------------------
+
+int run_faults(const std::string& out_path) {
+  std::printf("=== bench_perf --faults: fault-injection resilience gates ===\n\n");
+
+  // Gate 1: the zero-fault default is bit-identical to the golden cycle
+  // count — both with the fault layer absent (faults.enabled = false, no
+  // injector built) and armed-but-idle (injector built, every rate zero:
+  // no draws, no perturbation).
+  SocConfig golden_cfg = SocConfig::base_1mb_l2();
+  golden_cfg.accel.has_im2col = true;
+  sim::Session plain = sim::Session::builder(golden_cfg).build();
+  const Cycle golden = plain.run(zoo::resnet50(32)).cycles;
+
+  SocConfig armed_cfg = golden_cfg;
+  armed_cfg.faults.enabled = true;
+  armed_cfg.faults.seed = 99;
+  sim::Session armed = sim::Session::builder(armed_cfg).build();
+  const Cycle armed_cycles = armed.run(zoo::resnet50(32)).cycles;
+
+  const bool golden_ok = golden == 9355595u && armed_cycles == golden;
+  std::printf("golden resnet50_slice_32: plain %llu, armed-zero-rate %llu "
+              "(%s)\n",
+              static_cast<unsigned long long>(golden),
+              static_cast<unsigned long long>(armed_cycles),
+              golden_ok ? "bit-identical, unchanged"
+                        : "DIVERGED from 9355595");
+
+  // Gate 2: a seeded ECC-on smoke campaign over single-bit DRAM flips must
+  // correct every flip — corrected > 0 and zero silent data corruption.
+  fault::FaultConfig ecc;
+  ecc.enabled = true;
+  ecc.name = "ecc1b";
+  ecc.seed = 5;
+  ecc.dram_read_flip_rate = 0.02;
+  ecc.dram_flip_bits = 1;
+  ecc.ecc.enabled = true;
+  const unsigned kRuns = 4;
+  const std::vector<sim::Report> campaign =
+      sim::Experiment(SocConfig::base_1mb_l2())
+          .model(zoo::squeezenet_v11(48))
+          .functional()
+          .fault_configs({ecc})
+          .fault_campaign(kRuns)
+          .run({.threads = 2});
+  const sim::ReliabilityReport& rel = campaign.front().reliability;
+  const bool campaign_ok =
+      rel.campaign_runs == kRuns && rel.injection.ecc_corrected > 0 &&
+      rel.injection.ecc_corrected == rel.injection.dram_read_flips &&
+      rel.corrected > 0 && rel.sdc == 0 && rel.detected == 0;
+  std::printf("ecc campaign (%u runs): %llu flips, %llu corrected, "
+              "outcomes m/c/d/s = %u/%u/%u/%u (%s)\n",
+              kRuns,
+              static_cast<unsigned long long>(rel.injection.dram_read_flips),
+              static_cast<unsigned long long>(rel.injection.ecc_corrected),
+              rel.masked, rel.corrected, rel.detected, rel.sdc,
+              campaign_ok ? "all corrected, SDC-free" : "GATE FAILED");
+
+  // Gate 3: fail-soft sweeps — a poisoned point (watchdog budget far too
+  // small) yields an error-status report while the other points complete.
+  sim::Sweep sweep;
+  SocConfig ok_cfg = SocConfig::base_1mb_l2();
+  sweep.add("healthy-a", ok_cfg, zoo::squeezenet_v11(48));
+  SocConfig poisoned = SocConfig::base_1mb_l2();
+  poisoned.name = "poisoned";
+  poisoned.max_cycles = 1000;
+  sweep.add("poisoned", poisoned, zoo::squeezenet_v11(48));
+  SocConfig ok2 = SocConfig::big_l2();
+  sweep.add("healthy-b", ok2, zoo::squeezenet_v11(48));
+  const std::vector<sim::Report> reports = sweep.run({.threads = 2});
+  unsigned ok_points = 0, error_points = 0;
+  for (const sim::Report& r : reports) {
+    if (r.status == "ok" && r.cycles > 0) ++ok_points;
+    if (r.status == "error") ++error_points;
+  }
+  const bool fail_soft_ok =
+      reports.size() == 3 && ok_points == 2 && error_points == 1 &&
+      reports[1].status == "error" &&
+      reports[1].error.find("watchdog") != std::string::npos;
+  std::printf("fail-soft sweep: %u/%zu points ok, %u error (%s)\n",
+              ok_points, reports.size(), error_points,
+              fail_soft_ok ? "poisoned point isolated" : "GATE FAILED");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 6"
+      << ",\n  \"golden_unchanged\": " << (golden_ok ? "true" : "false")
+      << ",\n  \"golden_cycles\": " << golden
+      << ",\n  \"armed_zero_rate_cycles\": " << armed_cycles
+      << ",\n  \"campaign\": {"
+      << "\"runs\": " << rel.campaign_runs
+      << ", \"dram_read_flips\": " << rel.injection.dram_read_flips
+      << ", \"ecc_corrected\": " << rel.injection.ecc_corrected
+      << ", \"masked\": " << rel.masked
+      << ", \"corrected\": " << rel.corrected
+      << ", \"detected\": " << rel.detected
+      << ", \"sdc\": " << rel.sdc
+      << ", \"sdc_rate\": " << rel.sdc_rate
+      << ", \"all_single_bit_corrected\": "
+      << (campaign_ok ? "true" : "false") << "}"
+      << ",\n  \"fail_soft\": {"
+      << "\"points\": " << reports.size()
+      << ", \"ok_points\": " << ok_points
+      << ", \"error_points\": " << error_points
+      << ", \"fail_soft_ok\": " << (fail_soft_ok ? "true" : "false") << "}"
+      << "\n}\n";
+  const bool wrote = out.good();
+  std::printf("%s %s\n", wrote ? "wrote" : "ERROR: could not write",
+              out_path.c_str());
+  return (golden_ok && campaign_ok && fail_soft_ok && wrote) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,6 +700,7 @@ int main(int argc, char** argv) {
   bool plan_mode = false;
   bool trace_mode = false;
   bool dram_mode = false;
+  bool faults_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
@@ -597,17 +711,21 @@ int main(int argc, char** argv) {
       trace_mode = true;
     } else if (std::strcmp(argv[i], "--dram") == 0) {
       dram_mode = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults_mode = true;
     } else {
       out_path = argv[i];
     }
   }
   if (out_path.empty()) {
-    out_path = dram_mode   ? "BENCH_PR5.json"
+    out_path = faults_mode ? "BENCH_PR6.json"
+               : dram_mode   ? "BENCH_PR5.json"
                : trace_mode ? "trace.json"
                : plan_mode ? "BENCH_PR3.json"
                : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
   }
 
+  if (faults_mode) return run_faults(out_path);
   if (dram_mode) return run_dram(out_path);
   if (trace_mode) return run_trace(out_path);
   if (plan_mode) return run_plan_compare(out_path);

@@ -25,6 +25,12 @@
 #                                               # (FR-FCFS vs FCFS over the
 #                                               # zoo on 2 channels); default
 #                                               # dram out: BENCH_PR5.json
+#   scripts/run_bench.sh --faults [faults.json] # additionally runs the
+#                                               # fault-injection resilience
+#                                               # gates (zero-fault golden
+#                                               # identity, ECC smoke
+#                                               # campaign, fail-soft sweep);
+#                                               # default out: BENCH_PR6.json
 #
 # Exit is nonzero if the build fails, the harness reports a functional
 # mismatch / insufficient speedup, any golden cycle count differs, (in sweep
@@ -32,8 +38,11 @@
 # run, (in plan mode) ExhaustiveTiling models more DMA traffic than the
 # heuristic anywhere, (in trace mode) tracing perturbs cycle counts /
 # bottleneck components fail to sum / the trace.json does not parse or is
-# empty, or (in dram mode) FR-FCFS is slower than FCFS on any zoo model or
-# the golden 1-channel FCFS configuration drifted.
+# empty, (in dram mode) FR-FCFS is slower than FCFS on any zoo model or
+# the golden 1-channel FCFS configuration drifted, or (in faults mode) the
+# zero-fault goldens changed, ECC failed to correct every single-bit flip
+# (or any run classified as silent data corruption), or a poisoned sweep
+# point took out the rest of the grid.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +50,7 @@ SWEEP=0
 PLAN=0
 TRACE=0
 DRAM=0
+FAULTS=0
 if [[ "${1:-}" == "--sweep" ]]; then
   SWEEP=1
   shift
@@ -52,6 +62,9 @@ elif [[ "${1:-}" == "--trace" ]]; then
   shift
 elif [[ "${1:-}" == "--dram" ]]; then
   DRAM=1
+  shift
+elif [[ "${1:-}" == "--faults" ]]; then
+  FAULTS=1
   shift
 fi
 
@@ -66,6 +79,9 @@ elif [[ $TRACE == 1 ]]; then
   OUT="${2:-BENCH_PR1.json}"
 elif [[ $DRAM == 1 ]]; then
   DRAM_OUT="${1:-BENCH_PR5.json}"
+  OUT="${2:-BENCH_PR1.json}"
+elif [[ $FAULTS == 1 ]]; then
+  FAULTS_OUT="${1:-BENCH_PR6.json}"
   OUT="${2:-BENCH_PR1.json}"
 else
   OUT="${1:-BENCH_PR1.json}"
@@ -191,5 +207,42 @@ for name, row in dram.get("models", {}).items():
 if failed:
     sys.exit(1)
 print("dram scheduling comparison ok")
+EOF
+fi
+
+if [[ $FAULTS == 1 ]]; then
+  # bench_perf --faults runs the resilience gates and already exits nonzero
+  # on a failure; this re-validates the emitted artifact.
+  "./$BUILD_DIR/bench_perf" --faults "$FAULTS_OUT"
+  python3 - "$FAULTS_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    faults = json.load(f)
+failed = False
+if not faults.get("golden_unchanged"):
+    print("FAIL: zero-fault golden cycle counts changed")
+    failed = True
+camp = faults.get("campaign", {})
+if not camp.get("all_single_bit_corrected"):
+    print("FAIL: ECC did not correct every single-bit DRAM flip")
+    failed = True
+if camp.get("sdc", 1) != 0:
+    print(f"FAIL: {camp.get('sdc')} campaign run(s) classified as SDC "
+          "under single-bit flips with ECC on")
+    failed = True
+if camp.get("corrected", 0) <= 0:
+    print("FAIL: campaign corrected no runs (injection too quiet to gate)")
+    failed = True
+fs = faults.get("fail_soft", {})
+if not fs.get("fail_soft_ok"):
+    print("FAIL: poisoned sweep point lost other points' results")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"faults ok: goldens unchanged; {camp.get('ecc_corrected')} / "
+      f"{camp.get('dram_read_flips')} flips corrected over "
+      f"{camp.get('runs')} runs, 0 SDC; fail-soft sweep kept "
+      f"{fs.get('ok_points')}/{fs.get('points')} healthy points")
 EOF
 fi

@@ -6,15 +6,15 @@ namespace gemmini {
 
 Accelerator::Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
                          PageTableWalker& ptw, RequestorId requestor,
-                         trace::Tracer* tracer)
+                         trace::Tracer* tracer, fault::Injector* injector)
     : cfg_(cfg),
       mem_(mem),
       tracer_(tracer),
-      sp_(cfg_),
-      acc_(cfg_),
-      translation_(cfg_.translation, ptw, tracer),
-      dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer),
-      exec_(cfg_, sp_, acc_),
+      sp_(cfg_, injector),
+      acc_(cfg_, injector),
+      translation_(cfg_.translation, ptw, tracer, injector),
+      dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer, injector),
+      exec_(cfg_, sp_, acc_, injector),
       hazards_(cfg_.sp_rows(), cfg_.acc_rows()),
       rob_(cfg_.rob_entries, 0) {
   cfg_.validate();

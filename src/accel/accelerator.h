@@ -55,7 +55,8 @@ class Accelerator {
   /// subsystems emit.
   Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
               PageTableWalker& ptw, RequestorId requestor,
-              trace::Tracer* tracer = nullptr);
+              trace::Tracer* tracer = nullptr,
+              fault::Injector* injector = nullptr);
 
   /// Functional mode moves real data through PhysMem; timing mode moves only
   /// time (used for full-DNN benchmark sweeps).

@@ -14,19 +14,22 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 
 namespace gemmini {
 
 class Accumulator {
  public:
-  explicit Accumulator(const GemminiConfig& cfg)
+  explicit Accumulator(const GemminiConfig& cfg,
+                       fault::Injector* injector = nullptr)
       : dtype_(cfg.dtype),
         dim_(cfg.dim()),
         rows_(cfg.acc_rows()),
         bank_rows_(rows_ / cfg.acc_banks),
         i32_(dtype_ == DType::kInt8 ? rows_ * dim_ : 0, 0),
         f32_(dtype_ == DType::kFp32 ? rows_ * dim_ : 0, 0.0f),
-        bank_busy_(cfg.acc_banks, 0) {}
+        bank_busy_(cfg.acc_banks, 0),
+        injector_(injector) {}
 
   std::uint64_t rows() const { return rows_; }
   unsigned dim() const { return dim_; }
@@ -64,6 +67,23 @@ class Accumulator {
     for (auto& b : bank_busy_) b = 0;
   }
 
+  /// Fault layer: flip bit `bit` of the 4-byte-per-element region starting
+  /// at `row` (both dtypes store 4-byte accumulator elements).
+  void corrupt_bit(std::uint64_t row, std::uint64_t bit) {
+    const std::uint64_t elem = row * dim_ + bit / 32;
+    std::uint8_t* base = dtype_ == DType::kInt8
+                             ? reinterpret_cast<std::uint8_t*>(i32_.data())
+                             : reinterpret_cast<std::uint8_t*>(f32_.data());
+    GEMMINI_CHECK(elem < rows_ * dim_);
+    base[elem * 4 + (bit / 8) % 4] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+
+  /// Bits covered by `nrows` accumulator rows (for fault-region sizing).
+  std::uint64_t region_bits(std::uint64_t nrows) const {
+    return nrows * dim_ * 4 * 8;
+  }
+
   const StatSet& stats() const { return stats_; }
 
  private:
@@ -74,6 +94,7 @@ class Accumulator {
   std::vector<std::int32_t> i32_;
   std::vector<float> f32_;
   std::vector<Cycle> bank_busy_;
+  fault::Injector* injector_;
   StatSet stats_;
 };
 

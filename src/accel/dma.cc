@@ -1,6 +1,7 @@
 #include "src/accel/dma.h"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "src/base/fixed.h"
@@ -35,8 +36,33 @@ DmaEngine::StreamResult DmaEngine::stream(const AddressSpace& as, VAddr va,
     // until the shared-TLB lookup or page walk resolves — this is why TLB
     // sizing matters so much in the paper's Fig. 8.
     const Translation tr = translation_.translate(as, cur, write, slot);
-    const Cycle req_t = std::max(tr.done, slot);
-    const Cycle done = mem_.access(tr.paddr, chunk, write, req_t, requestor_);
+    Cycle req_t = std::max(tr.done, slot);
+    Cycle done = mem_.access(tr.paddr, chunk, write, req_t, requestor_);
+    // Fault layer: a transfer may time out. Each retry waits out the timeout
+    // plus an exponential backoff, then re-arbitrates the bus for real (the
+    // re-issued access mutates bus/bank state again, charging real cycles).
+    // Exhausting the retry budget aborts the run — a *detected* outcome.
+    if (injector_) {
+      unsigned attempt = 0;
+      while (injector_->draw_dma_timeout()) {
+        const auto& fc = injector_->config();
+        if (attempt >= fc.dma_max_retries) {
+          injector_->note_dma_abort();
+          std::ostringstream oss;
+          oss << "dma: " << (write ? "write" : "read") << " of " << chunk
+              << " bytes at VA 0x" << std::hex << cur << std::dec
+              << " (requestor " << requestor_.value << ") timed out after "
+              << fc.dma_max_retries << " retries (cycle " << req_t << ")";
+          throw RuntimeError(oss.str());
+        }
+        const Cycle lost_at = std::max(done, req_t + fc.dma_timeout_cycles);
+        const Cycle retry_at = lost_at + (fc.dma_retry_backoff << attempt);
+        injector_->note_dma_retry(write, attempt, req_t, retry_at);
+        req_t = retry_at;
+        done = mem_.access(tr.paddr, chunk, write, req_t, requestor_);
+        ++attempt;
+      }
+    }
     inflight_.push_back(done);
     r.done = std::max(r.done, done);
     const bool blocking_miss = tr.level == TranslationLevel::kSharedTlb ||

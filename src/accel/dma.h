@@ -28,14 +28,16 @@ class DmaEngine {
  public:
   DmaEngine(const GemminiConfig& cfg, MemorySystem& mem,
             TranslationSystem& translation, Scratchpad& sp, Accumulator& acc,
-            RequestorId requestor, trace::Tracer* tracer = nullptr)
+            RequestorId requestor, trace::Tracer* tracer = nullptr,
+            fault::Injector* injector = nullptr)
       : cfg_(cfg),
         mem_(mem),
         translation_(translation),
         sp_(sp),
         acc_(acc),
         requestor_(requestor),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        injector_(injector) {}
 
   /// Timing result of a data-movement instruction: `issue_done` is when the
   /// DMA front-end finishes injecting requests (the next MVIN/MVOUT can
@@ -87,6 +89,7 @@ class DmaEngine {
   Accumulator& acc_;
   RequestorId requestor_;
   trace::Tracer* tracer_;
+  fault::Injector* injector_;
   // Reads and writes have independent in-flight windows, mirroring the
   // RTL's separate load/store reservation stations: a backlog of store
   // completions must not stall load issue.

@@ -209,6 +209,25 @@ Cycle ExecUnit::compute(const Instruction& inst, const ExConfigState& ex,
       }
     }
   }
+
+  // Fault layer: a transient error in the array corrupts one bit of the
+  // just-written tile (after the commit, so the flip survives the write).
+  // Draws happen only on functional tile commits, so draw order is fixed
+  // for a given workload.
+  if (injector_) {
+    std::uint64_t bit = 0;
+    if (c_dest_.is_acc()) {
+      if (injector_->draw_exec_tile_error(acc_.region_bits(out_rows), t,
+                                          &bit)) {
+        acc_.corrupt_bit(c_dest_.row(), bit);
+      }
+    } else {
+      if (injector_->draw_exec_tile_error(out_rows * sp_.row_bytes() * 8, t,
+                                          &bit)) {
+        sp_.corrupt_bit(c_dest_.row(), bit);
+      }
+    }
+  }
   return t;
 }
 

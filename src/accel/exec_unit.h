@@ -28,8 +28,9 @@ struct ExConfigState {
 
 class ExecUnit {
  public:
-  ExecUnit(const GemminiConfig& cfg, Scratchpad& sp, Accumulator& acc)
-      : cfg_(cfg), model_(cfg_), sp_(sp), acc_(acc),
+  ExecUnit(const GemminiConfig& cfg, Scratchpad& sp, Accumulator& acc,
+           fault::Injector* injector = nullptr)
+      : cfg_(cfg), model_(cfg_), sp_(sp), acc_(acc), injector_(injector),
         b_t_i8_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0),
         b_t_f32_(static_cast<std::size_t>(cfg.dim()) * cfg.dim(), 0.0f),
         a_row_i8_(cfg.dim(), 0),
@@ -68,6 +69,7 @@ class ExecUnit {
   SpatialArrayModel model_;
   Scratchpad& sp_;
   Accumulator& acc_;
+  fault::Injector* injector_;
 
   // Latched weight tile, stored transposed (bt[c * dim + r]) so COMPUTE's
   // inner dot products are contiguous. Both domains exist; only the config's

@@ -21,6 +21,14 @@ Cycle Scratchpad::reserve(std::uint64_t row, std::uint64_t nrows, Cycle t,
     bank_busy_[b] = done;
   }
   stats_.counter("accesses").add();
+  // Fault layer: an SRAM cell in the reserved region may flip (one draw per
+  // reservation — an access-correlated model, not time-based decay).
+  if (injector_ && nrows > 0) {
+    std::uint64_t bit = 0;
+    if (injector_->draw_sram_flip(false, nrows * row_bytes_ * 8, done, &bit)) {
+      corrupt_bit(row, bit);
+    }
+  }
   return done;
 }
 

@@ -13,17 +13,20 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 
 namespace gemmini {
 
 class Scratchpad {
  public:
-  explicit Scratchpad(const GemminiConfig& cfg)
+  explicit Scratchpad(const GemminiConfig& cfg,
+                      fault::Injector* injector = nullptr)
       : row_bytes_(cfg.sp_row_bytes()),
         rows_(cfg.sp_rows()),
         bank_rows_(cfg.sp_bank_rows()),
         data_(rows_ * row_bytes_, 0),
-        bank_busy_(cfg.sp_banks, 0) {}
+        bank_busy_(cfg.sp_banks, 0),
+        injector_(injector) {}
 
   std::uint64_t rows() const { return rows_; }
   std::uint64_t row_bytes() const { return row_bytes_; }
@@ -48,6 +51,14 @@ class Scratchpad {
   /// Returns the access completion (start after all touched banks free).
   Cycle reserve(std::uint64_t row, std::uint64_t nrows, Cycle t, Cycle cycles);
 
+  /// Fault layer: flip bit `bit` of the region starting at `row` (also used
+  /// by the exec unit for transient tile errors landing in the scratchpad).
+  void corrupt_bit(std::uint64_t row, std::uint64_t bit) {
+    GEMMINI_CHECK(row * row_bytes_ + bit / 8 < data_.size());
+    data_[row * row_bytes_ + bit / 8] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+
   void reset_time() {
     for (auto& b : bank_busy_) b = 0;
   }
@@ -60,6 +71,7 @@ class Scratchpad {
   std::uint64_t bank_rows_;
   std::vector<std::uint8_t> data_;
   std::vector<Cycle> bank_busy_;
+  fault::Injector* injector_;
   StatSet stats_;
 };
 

@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/base/types.h"
+
 namespace gemmini {
 
 /// Thrown when a GemminiConfig / SocConfig / model description is invalid.
@@ -24,6 +26,58 @@ class ConfigError : public std::runtime_error {
 class RuntimeError : public std::runtime_error {
  public:
   explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a Soc run exceeds SocConfig::max_cycles (the watchdog). A
+/// structured error: carries where the run was when the watchdog fired so a
+/// fail-soft sweep can report partial progress instead of just "hung".
+class WatchdogError : public RuntimeError {
+ public:
+  WatchdogError(const std::string& soc_name, Cycle limit, Cycle at,
+                unsigned core, int layer, const std::string& step_tag,
+                std::size_t steps_done, std::size_t steps_total)
+      : RuntimeError(build_message(soc_name, limit, at, core, layer, step_tag,
+                                   steps_done, steps_total)),
+        soc_name_(soc_name),
+        limit_(limit),
+        cycles_(at),
+        core_(core),
+        layer_(layer),
+        step_tag_(step_tag),
+        steps_done_(steps_done),
+        steps_total_(steps_total) {}
+
+  const std::string& soc_name() const { return soc_name_; }
+  Cycle limit() const { return limit_; }
+  Cycle cycles() const { return cycles_; }      ///< simulated time at trip
+  unsigned core() const { return core_; }       ///< core that would advance
+  int layer() const { return layer_; }          ///< in-flight model layer
+  const std::string& step_tag() const { return step_tag_; }
+  std::size_t steps_done() const { return steps_done_; }
+  std::size_t steps_total() const { return steps_total_; }
+
+ private:
+  static std::string build_message(const std::string& soc_name, Cycle limit,
+                                   Cycle at, unsigned core, int layer,
+                                   const std::string& step_tag,
+                                   std::size_t steps_done,
+                                   std::size_t steps_total) {
+    std::ostringstream oss;
+    oss << "watchdog: soc '" << soc_name << "' exceeded max_cycles=" << limit
+        << " (next event at cycle " << at << ") on core " << core
+        << ", layer " << layer << " ('" << step_tag << "'), after "
+        << steps_done << "/" << steps_total << " steps";
+    return oss.str();
+  }
+
+  std::string soc_name_;
+  Cycle limit_;
+  Cycle cycles_;
+  unsigned core_;
+  int layer_;
+  std::string step_tag_;
+  std::size_t steps_done_;
+  std::size_t steps_total_;
 };
 
 namespace detail {

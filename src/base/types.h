@@ -106,4 +106,9 @@ struct RequestorId {
   }
 };
 
+/// The shared page-table walker's requestor id. Cores use their index
+/// (0..cores-1); the single PTW issues memory traffic as this id, which also
+/// lets the fault layer exempt page-table reads from data corruption.
+inline constexpr int kPtwRequestor = 100;
+
 }  // namespace gemmini

@@ -1,0 +1,171 @@
+#include "src/fault/fault.h"
+
+#include "src/mem/phys_mem.h"
+
+namespace gemmini::fault {
+
+namespace {
+// Distinct per-target salts (arbitrary odd constants) so the streams derived
+// from one campaign seed are independent.
+constexpr std::uint64_t kTargetSalt[] = {
+    0x9d5c'74a3'0f1b'e6d1ull,  // kDramRead
+    0x3a8f'21c9'5be7'd043ull,  // kSpSram
+    0xc1d2'e3f4'0516'2735ull,  // kAccSram
+    0x7b61'4d2f'9ea8'c057ull,  // kTranslation
+    0x50e9'8bb1'263c'7f49ull,  // kDmaTimeout
+    0xe4a7'015d'c893'2b6full,  // kExecTile
+};
+static_assert(sizeof(kTargetSalt) / sizeof(kTargetSalt[0]) ==
+              static_cast<unsigned>(Target::kNumTargets));
+
+bool rate_ok(double r) { return r >= 0.0 && r <= 1.0; }
+}  // namespace
+
+void FaultConfig::validate() const {
+  if (!enabled) return;
+  GEMMINI_CONFIG_REQUIRE(rate_ok(dram_read_flip_rate) && rate_ok(sp_flip_rate) &&
+                             rate_ok(acc_flip_rate) &&
+                             rate_ok(translation_fault_rate) &&
+                             rate_ok(dma_timeout_rate) &&
+                             rate_ok(exec_tile_error_rate),
+                         "fault: every rate must lie in [0, 1]");
+  GEMMINI_CONFIG_REQUIRE(dram_flip_bits >= 1 && dram_flip_bits <= 64,
+                         "fault: dram_flip_bits must be in [1, 64], got "
+                             << dram_flip_bits);
+  GEMMINI_CONFIG_REQUIRE(
+      dma_timeout_rate == 0.0 || dma_timeout_cycles > 0,
+      "fault: dma_timeout_cycles must be > 0 when timeouts are enabled");
+  GEMMINI_CONFIG_REQUIRE(
+      translation_fault_rate == 0.0 || translation_fault_penalty > 0,
+      "fault: translation_fault_penalty must be > 0 when faults are enabled");
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& o) {
+  dram_read_flips += o.dram_read_flips;
+  ecc_corrected += o.ecc_corrected;
+  ecc_detected_uncorrectable += o.ecc_detected_uncorrectable;
+  silent_flips += o.silent_flips;
+  ecc_correction_cycles += o.ecc_correction_cycles;
+  sp_flips += o.sp_flips;
+  acc_flips += o.acc_flips;
+  translation_faults += o.translation_faults;
+  translation_fault_cycles += o.translation_fault_cycles;
+  dma_timeouts += o.dma_timeouts;
+  dma_retries += o.dma_retries;
+  dma_retry_cycles += o.dma_retry_cycles;
+  dma_aborts += o.dma_aborts;
+  exec_tile_errors += o.exec_tile_errors;
+  return *this;
+}
+
+Injector::Injector(const FaultConfig& cfg, trace::Tracer* tracer)
+    : cfg_(cfg), tracer_(tracer) {
+  reset();
+}
+
+void Injector::reset() {
+  for (unsigned t = 0; t < static_cast<unsigned>(Target::kNumTargets); ++t) {
+    rng_[t] = Rng(cfg_.seed ^ kTargetSalt[t]);
+  }
+  stats_ = FaultStats{};
+}
+
+void Injector::corrupt_dram(PAddr addr, std::uint64_t bytes, unsigned nbits) {
+  if (phys_ == nullptr || bytes == 0) return;
+  for (unsigned i = 0; i < nbits; ++i) {
+    const std::uint64_t bit = pick(Target::kDramRead, bytes * 8);
+    const PAddr byte_addr = addr + bit / 8;
+    const std::uint8_t old = phys_->read_scalar<std::uint8_t>(byte_addr);
+    phys_->write_scalar<std::uint8_t>(
+        byte_addr, static_cast<std::uint8_t>(old ^ (1u << (bit % 8))));
+  }
+}
+
+Cycle Injector::on_dram_read(PAddr addr, std::uint64_t bytes, Cycle done,
+                             int requestor) {
+  if (!fires(Target::kDramRead, cfg_.dram_read_flip_rate)) return 0;
+  ++stats_.dram_read_flips;
+  if (cfg_.ecc.enabled && cfg_.dram_flip_bits == 1) {
+    // SECDED corrects the single-bit error in flight: no corruption reaches
+    // the requestor, only the correction latency does.
+    ++stats_.ecc_corrected;
+    stats_.ecc_correction_cycles += cfg_.ecc.correction_latency;
+    if (tracer_) {
+      tracer_->span(trace::EventKind::kFaultEccCorrect, done,
+                    done + cfg_.ecc.correction_latency, bytes, requestor);
+    }
+    return cfg_.ecc.correction_latency;
+  }
+  if (cfg_.ecc.enabled) {
+    // Multi-bit: SECDED detects but cannot correct. The bad word persists
+    // and the event is visible to classification via the counter.
+    ++stats_.ecc_detected_uncorrectable;
+  } else {
+    ++stats_.silent_flips;
+  }
+  corrupt_dram(addr, bytes, cfg_.dram_flip_bits);
+  if (tracer_) {
+    tracer_->instant(trace::EventKind::kFaultInject, done, bytes, requestor);
+  }
+  return 0;
+}
+
+bool Injector::draw_sram_flip(bool accumulator, std::uint64_t region_bits,
+                              Cycle at, std::uint64_t* bit) {
+  const Target t = accumulator ? Target::kAccSram : Target::kSpSram;
+  const double rate = accumulator ? cfg_.acc_flip_rate : cfg_.sp_flip_rate;
+  if (!fires(t, rate) || region_bits == 0) return false;
+  *bit = pick(t, region_bits);
+  if (accumulator) {
+    ++stats_.acc_flips;
+  } else {
+    ++stats_.sp_flips;
+  }
+  if (tracer_) {
+    tracer_->instant(trace::EventKind::kFaultInject, at, region_bits);
+  }
+  return true;
+}
+
+Cycle Injector::on_translate(Cycle t) {
+  if (!fires(Target::kTranslation, cfg_.translation_fault_rate)) return 0;
+  ++stats_.translation_faults;
+  stats_.translation_fault_cycles += cfg_.translation_fault_penalty;
+  if (tracer_) {
+    tracer_->span(trace::EventKind::kFaultTransRetry, t,
+                  t + cfg_.translation_fault_penalty);
+  }
+  return cfg_.translation_fault_penalty;
+}
+
+bool Injector::draw_dma_timeout() {
+  if (!fires(Target::kDmaTimeout, cfg_.dma_timeout_rate)) return false;
+  ++stats_.dma_timeouts;
+  return true;
+}
+
+void Injector::note_dma_retry(bool is_write, unsigned attempt, Cycle begin,
+                              Cycle end) {
+  ++stats_.dma_retries;
+  stats_.dma_retry_cycles += end - begin;
+  if (tracer_) {
+    tracer_->span_on(is_write ? trace::Unit::kDmaStore : trace::Unit::kDmaLoad,
+                     trace::EventKind::kFaultDmaRetry, begin, end, attempt);
+  }
+}
+
+bool Injector::draw_exec_tile_error(std::uint64_t region_bits, Cycle at,
+                                    std::uint64_t* bit) {
+  if (!fires(Target::kExecTile, cfg_.exec_tile_error_rate) ||
+      region_bits == 0) {
+    return false;
+  }
+  *bit = pick(Target::kExecTile, region_bits);
+  ++stats_.exec_tile_errors;
+  if (tracer_) {
+    tracer_->instant(trace::EventKind::kFaultInject, at, region_bits);
+  }
+  return true;
+}
+
+}  // namespace gemmini::fault

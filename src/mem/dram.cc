@@ -21,8 +21,9 @@ const char* dram_interleave_name(DramInterleave i) {
   return "?";
 }
 
-Dram::Dram(const DramConfig& cfg, trace::Tracer* tracer)
-    : cfg_(cfg), tracer_(tracer) {
+Dram::Dram(const DramConfig& cfg, trace::Tracer* tracer,
+           fault::Injector* injector)
+    : cfg_(cfg), tracer_(tracer), injector_(injector) {
   cfg_.validate();
   channels_.resize(cfg_.channels);
   for (Channel& ch : channels_) ch.banks.assign(cfg_.banks, Bank{});
@@ -167,6 +168,14 @@ Cycle Dram::issue(unsigned ci, const Request& rq) {
     tracer_->span(row_hit ? trace::EventKind::kDramRowHit
                           : trace::EventKind::kDramRowMiss,
                   start, done, rq.bytes, rq.requestor, global_bank);
+  }
+  // Fault layer: reads on the data path may flip bits; corrected words
+  // extend only this request's completion (the correction pipeline sits
+  // behind the row buffer, so the bank/bus stay on schedule). Page-table
+  // walks are exempt — see src/fault/fault.h.
+  if (injector_ && !rq.is_write && rq.requestor != kPtwRequestor) {
+    return done + injector_->on_dram_read(rq.addr, rq.bytes, done,
+                                          rq.requestor);
   }
   return done;
 }

@@ -36,6 +36,7 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 #include "src/trace/trace.h"
 
 namespace gemmini {
@@ -139,7 +140,10 @@ class Dram {
     friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
   };
 
-  explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr);
+  /// `injector` (may be null) receives read completions on the data path so
+  /// the fault layer can flip bits and charge ECC correction latency.
+  explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr,
+                fault::Injector* injector = nullptr);
 
   /// Which channel services `addr`, under the configured interleave policy.
   unsigned channel_of(PAddr addr) const;
@@ -227,6 +231,7 @@ class Dram {
 
   DramConfig cfg_;
   trace::Tracer* tracer_;
+  fault::Injector* injector_;
   std::vector<Channel> channels_;
   std::uint64_t next_seq_ = 0;
   StatSet stats_;

@@ -4,13 +4,14 @@
 
 namespace gemmini {
 
-MemorySystem::MemorySystem(const MemSysConfig& cfg, trace::Tracer* tracer)
+MemorySystem::MemorySystem(const MemSysConfig& cfg, trace::Tracer* tracer,
+                           fault::Injector* injector)
     : cfg_(cfg),
       tracer_(tracer),
       sysbus_(cfg.system_bus, "sysbus", tracer, trace::Unit::kSystemBus),
       l2_(std::make_unique<Cache>(cfg.l2, "l2")),
       membus_(cfg.memory_bus, "membus", tracer, trace::Unit::kMemoryBus),
-      dram_(cfg.dram, tracer) {
+      dram_(cfg.dram, tracer, injector) {
   cfg_.validate();
 }
 

@@ -45,9 +45,11 @@ struct MemSysConfig {
 class MemorySystem {
  public:
   /// `tracer` (may be null) is shared with both buses and the DRAM model;
-  /// the memory system itself emits the L2 hit/miss events.
+  /// the memory system itself emits the L2 hit/miss events. `injector` (may
+  /// be null) reaches the DRAM read path for fault injection.
   explicit MemorySystem(const MemSysConfig& cfg,
-                        trace::Tracer* tracer = nullptr);
+                        trace::Tracer* tracer = nullptr,
+                        fault::Injector* injector = nullptr);
 
   /// Timing access: `bytes` at physical address `addr`, issued at cycle `t`.
   /// Returns the completion cycle. Splits across cache lines; state (cache

@@ -16,10 +16,131 @@ Sweep& Sweep::add(std::string name, SocConfig config, Model model) {
   return add(SweepPoint{std::move(name), std::move(config), std::move(model),
                         /*multicore=*/false, /*functional=*/false,
                         /*seed=*/1, /*placement=*/nullptr,
-                        /*tiling=*/nullptr, /*trace=*/{}});
+                        /*tiling=*/nullptr, /*trace=*/{},
+                        /*campaign_runs=*/0});
 }
 
+namespace {
+
+Session build_session(const SweepPoint& point, const SocConfig& cfg,
+                      bool with_trace) {
+  return Session::builder(cfg)
+      .functional(point.functional)
+      .seed(point.seed)
+      .placement(point.placement)
+      .tiling(point.tiling)
+      .trace(with_trace ? point.trace : trace::TraceConfig{})
+      .build();
+}
+
+/// Fault campaign for one sweep point: a fault-free golden run supplies the
+/// report (timing, estimates, reference output), then `campaign_runs`
+/// fresh sessions rerun the same workload with fault seeds base+i and each
+/// run is classified against the golden output:
+///
+///   threw                      -> "detected"  (watchdog, DMA abort, ...)
+///   mismatch, ECC flagged any  -> "detected"
+///   mismatch, nothing flagged  -> "sdc"       (silent data corruption)
+///   match, ECC corrected any   -> "corrected"
+///   match otherwise            -> "masked"
+Report run_campaign(const SweepPoint& point) {
+  GEMMINI_CONFIG_REQUIRE(point.config.faults.enabled,
+                         "sweep point '" + point.name +
+                             "': campaign_runs > 0 needs config.faults.enabled");
+  GEMMINI_CONFIG_REQUIRE(point.functional,
+                         "sweep point '" + point.name +
+                             "': fault campaigns compare outputs, so the "
+                             "point must be functional");
+  GEMMINI_CONFIG_REQUIRE(!point.multicore,
+                         "sweep point '" + point.name +
+                             "': fault campaigns are single-core");
+
+  SocConfig golden_cfg = point.config;
+  golden_cfg.faults.enabled = false;
+  Session golden = build_session(point, golden_cfg, /*with_trace=*/true);
+  Report rep = golden.run(point.model);
+  rep.point = point.name;
+
+  const LoweredModel& lowered = golden.last_lowered();
+  std::vector<std::uint8_t> golden_out(lowered.layer_bytes.back());
+  golden.address_space().read_virt(lowered.layer_output.back(),
+                                   golden_out.data(), golden_out.size());
+
+  ReliabilityReport& rel = rep.reliability;
+  rel.enabled = true;
+  rel.seed = point.config.faults.seed;
+  rel.campaign_runs = point.campaign_runs;
+  rel.golden_cycles = rep.cycles;
+
+  unsigned faulty_runs = 0;
+  for (unsigned i = 0; i < point.campaign_runs; ++i) {
+    SocConfig cfg = point.config;
+    cfg.faults.seed = point.config.faults.seed + i;
+    Session session = build_session(point, cfg, /*with_trace=*/false);
+    bool threw = false;
+    try {
+      session.run(point.model);
+    } catch (const std::exception&) {
+      threw = true;
+    }
+    const fault::FaultStats stats = session.soc().fault_injector()->stats();
+    rel.injection += stats;
+    if (stats.total_injected() > 0) ++faulty_runs;
+
+    std::string outcome;
+    if (threw) {
+      outcome = "detected";
+    } else {
+      std::vector<std::uint8_t> out(golden_out.size());
+      session.address_space().read_virt(
+          session.last_lowered().layer_output.back(), out.data(), out.size());
+      if (out != golden_out) {
+        outcome = stats.ecc_detected_uncorrectable > 0 ? "detected" : "sdc";
+      } else {
+        outcome = stats.ecc_corrected > 0 ? "corrected" : "masked";
+      }
+    }
+    if (outcome == "masked") {
+      ++rel.masked;
+    } else if (outcome == "corrected") {
+      ++rel.corrected;
+    } else if (outcome == "detected") {
+      ++rel.detected;
+    } else {
+      ++rel.sdc;
+    }
+    rel.run_outcomes.push_back(std::move(outcome));
+  }
+
+  if (point.campaign_runs > 0) {
+    rel.sdc_rate =
+        static_cast<double>(rel.sdc) / static_cast<double>(point.campaign_runs);
+  }
+  if (faulty_runs > 0) {
+    rel.detection_rate =
+        static_cast<double>(rel.corrected + rel.detected) /
+        static_cast<double>(faulty_runs);
+  }
+  return rep;
+}
+
+/// The fail-soft stand-in for a point whose run threw: the label and the
+/// exception message survive in the point's report slot, the rest stays
+/// default-initialized.
+Report error_report(const SweepPoint& point, std::string message) {
+  Report rep;
+  rep.point = point.name;
+  rep.status = "error";
+  rep.error = std::move(message);
+  rep.config = point.config.name;
+  rep.model = point.model.name();
+  return rep;
+}
+
+}  // namespace
+
 Report Sweep::run_point(const SweepPoint& point) {
+  if (point.campaign_runs > 0) return run_campaign(point);
   Session session = Session::builder(point.config)
                         .functional(point.functional)
                         .seed(point.seed)
@@ -56,26 +177,38 @@ std::vector<Report> Sweep::run(const SweepOptions& opts) const {
   // Dynamic work distribution: workers pull the next unclaimed point. Which
   // worker runs which point is scheduling-dependent; the *result* is not,
   // because every point elaborates its own SoC and writes only its own slot.
-  // Once any point fails, workers stop claiming new points — a failed sweep
-  // aborts promptly instead of simulating the rest of a large grid. The
-  // deterministic-error guarantee survives early abort: points are claimed
-  // in index order and a claimed point always runs to completion, so by the
-  // time any later point sets `failed`, the lowest-indexed failing point
-  // has already been claimed and will record its error.
+  //
+  // Fail-soft (the default): a throwing point becomes an error report in
+  // its own slot and the pool keeps claiming — one poisoned config cannot
+  // lose the other N-1 results, and the report vector is byte-identical at
+  // any thread count because the error text depends only on the point.
+  //
+  // Strict: once any point fails, workers stop claiming new points — a
+  // failed sweep aborts promptly instead of simulating the rest of a large
+  // grid. The deterministic-error guarantee survives early abort: points
+  // are claimed in index order and a claimed point always runs to
+  // completion, so by the time any later point sets `failed`, the
+  // lowest-indexed failing point has already been claimed and will record
+  // its error.
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   auto work = [&]() {
-    while (!failed.load(std::memory_order_relaxed)) {
+    while (!(opts.strict && failed.load(std::memory_order_relaxed))) {
       const std::size_t i = next.fetch_add(1);
       if (i >= points_.size()) break;
       try {
         slots[i] = run_point(points_[i]);
       } catch (const std::exception& e) {
         errors[i] = e.what();
-        failed.store(true, std::memory_order_relaxed);
       } catch (...) {
         errors[i] = "unknown error";
-        failed.store(true, std::memory_order_relaxed);
+      }
+      if (!slots[i].has_value()) {
+        if (opts.strict) {
+          failed.store(true, std::memory_order_relaxed);
+        } else {
+          slots[i] = error_report(points_[i], errors[i]);
+        }
       }
     }
   };
@@ -89,12 +222,14 @@ std::vector<Report> Sweep::run(const SweepOptions& opts) const {
     for (std::thread& t : pool) t.join();
   }
 
-  // Surface the first recorded failure in *point* order, independent of
-  // which thread hit it first.
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (!errors[i].empty()) {
-      throw RuntimeError("sweep point " + std::to_string(i) + " '" +
-                         points_[i].name + "' failed: " + errors[i]);
+  // Strict mode: surface the first recorded failure in *point* order,
+  // independent of which thread hit it first.
+  if (opts.strict) {
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (!slots[i].has_value()) {
+        throw RuntimeError("sweep point " + std::to_string(i) + " '" +
+                           points_[i].name + "' failed: " + errors[i]);
+      }
     }
   }
 
@@ -174,6 +309,18 @@ Experiment& Experiment::placement_policies(
 Experiment& Experiment::tiling_policies(
     std::vector<std::shared_ptr<const lowering::TilingPolicy>> ts) {
   tiling_policies_ = std::move(ts);
+  return *this;
+}
+Experiment& Experiment::fault_configs(std::vector<fault::FaultConfig> fcs) {
+  fault_configs_ = std::move(fcs);
+  return *this;
+}
+Experiment& Experiment::fault_campaign(unsigned runs) {
+  campaign_runs_ = runs;
+  return *this;
+}
+Experiment& Experiment::strict(bool on) {
+  strict_ = on;
   return *this;
 }
 Experiment& Experiment::multicore(bool on) {
@@ -285,6 +432,33 @@ Sweep Experiment::sweep() const {
         dram_interleaves_.size());
   }
 
+  // The fault-model axis composes with every config axis, including
+  // explicit configs: each FaultConfig replaces the variant's `faults`
+  // wholesale, so a disabled entry doubles as a fault-free baseline column.
+  if (!fault_configs_.empty()) {
+    std::vector<Variant> next;
+    next.reserve(variants.size() * fault_configs_.size());
+    for (const Variant& v : variants) {
+      for (std::size_t i = 0; i < fault_configs_.size(); ++i) {
+        Variant nv = v;
+        nv.cfg.faults = fault_configs_[i];
+        std::string part = fault_configs_[i].name.empty()
+                               ? "f" + std::to_string(i)
+                               : fault_configs_[i].name;
+        if (!nv.label.empty()) nv.label += "-";
+        nv.label += part;
+        next.push_back(std::move(nv));
+      }
+    }
+    variants = std::move(next);
+  }
+
+  if (campaign_runs_ > 0) {
+    GEMMINI_CONFIG_REQUIRE(functional_ && !multicore_,
+                           "sim::Experiment: fault_campaign() needs "
+                           "functional() single-core points");
+  }
+
   // The lowering-policy axes compose with every config axis (they are
   // orthogonal to the SocConfig, so they combine with explicit configs
   // too). An unset axis contributes one "default" column with no label.
@@ -311,10 +485,13 @@ Sweep Experiment::sweep() const {
         for (const Model& m : models_) {
           SweepPoint p{label.empty() ? m.name() : label + "/" + m.name(),
                        v.cfg, m, multicore_, functional_, seed_, pp, tp,
-                       /*trace=*/{}};
+                       /*trace=*/{}, /*campaign_runs=*/0};
           if (!trace_point_name_.empty() && p.name == trace_point_name_) {
             p.trace = trace_cfg_;
           }
+          // Campaigns only make sense for fault-enabled points; a baseline
+          // column in the faults axis runs once, normally.
+          if (v.cfg.faults.enabled) p.campaign_runs = campaign_runs_;
           sw.add(std::move(p));
         }
       }
@@ -331,7 +508,9 @@ Sweep Experiment::sweep() const {
 }
 
 std::vector<Report> Experiment::run(const SweepOptions& opts) const {
-  return sweep().run(opts);
+  SweepOptions o = opts;
+  o.strict = o.strict || strict_;
+  return sweep().run(o);
 }
 
 }  // namespace gemmini::sim

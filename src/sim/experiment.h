@@ -58,12 +58,24 @@ struct SweepPoint {
   /// enabled, the point's Report carries the bottleneck table and, if
   /// `trace.export_path` is set, the Perfetto trace.json is written there.
   trace::TraceConfig trace{};
+  /// Fault campaign: > 0 reruns the point N times with fault seeds
+  /// base+0..base+N-1, classifies each run against a fault-free golden run
+  /// (masked / corrected / detected / sdc) and returns one Report whose
+  /// timing numbers are the golden run's and whose `reliability` section
+  /// carries the campaign. Requires `functional` (output comparison),
+  /// single-core, and `config.faults.enabled`.
+  unsigned campaign_runs = 0;
 };
 
 struct SweepOptions {
   /// Worker threads; 0 = one per host hardware thread. Results do not
   /// depend on this value.
   unsigned threads = 0;
+  /// Strict mode restores the historical contract: the first failing point
+  /// (by point order, not thread timing) aborts the whole sweep with a
+  /// RuntimeError. The default is fail-soft — a throwing point yields a
+  /// Report with `status == "error"` while every other point completes.
+  bool strict = false;
 };
 
 class Sweep {
@@ -77,10 +89,13 @@ class Sweep {
   const std::vector<SweepPoint>& points() const { return points_; }
 
   /// Runs every point, fanned across the worker pool, and returns reports
-  /// in point order. A point whose config fails validation (or whose run
-  /// throws) aborts the sweep with the first failing point named; the
-  /// first-failure choice is by point order, not thread timing, so errors
-  /// are deterministic too.
+  /// in point order. Fail-soft by default: a point whose config fails
+  /// validation (or whose run throws) contributes a Report with
+  /// `status == "error"` and the exception message in `error`, and the rest
+  /// of the grid still completes — one poisoned point cannot lose the other
+  /// N-1 results. `opts.strict` restores the abort-on-first-failure
+  /// contract; in both modes the outcome is deterministic across thread
+  /// counts (errors are attributed by point order, not thread timing).
   std::vector<Report> run(const SweepOptions& opts = {}) const;
 
   /// Runs one point exactly as the pool workers would (used by the
@@ -123,6 +138,18 @@ class Experiment {
   Experiment& tiling_policies(
       std::vector<std::shared_ptr<const lowering::TilingPolicy>> ts);
 
+  /// Fault-model axis: one grid column per FaultConfig (composes with every
+  /// other axis, including explicit configs). Point labels use each
+  /// config's `name`, falling back to "f<i>". A disabled entry (e.g. a
+  /// fault-free baseline column) is carried through as-is.
+  Experiment& fault_configs(std::vector<fault::FaultConfig> fcs);
+  /// Runs every fault-enabled point as an N-run seeded campaign (see
+  /// SweepPoint::campaign_runs). Implies nothing for fault-free points.
+  /// Requires functional() and single-core points.
+  Experiment& fault_campaign(unsigned runs);
+  /// Forwarded into SweepOptions::strict by run().
+  Experiment& strict(bool on = true);
+
   Experiment& multicore(bool on = true);
   Experiment& functional(bool on = true);
   Experiment& seed(std::uint64_t s);
@@ -154,6 +181,9 @@ class Experiment {
   std::vector<std::shared_ptr<const lowering::PlacementPolicy>>
       placement_policies_;
   std::vector<std::shared_ptr<const lowering::TilingPolicy>> tiling_policies_;
+  std::vector<fault::FaultConfig> fault_configs_;
+  unsigned campaign_runs_ = 0;
+  bool strict_ = false;
   bool multicore_ = false;
   bool functional_ = false;
   std::uint64_t seed_ = 1;

@@ -138,10 +138,74 @@ void write_bottleneck(JsonWriter& w, const trace::LayerBottleneck& l) {
   w.end_object();
 }
 
+void write_reliability(JsonWriter& w, const ReliabilityReport& rel) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(rel.enabled);
+  w.key("seed");
+  w.value(rel.seed);
+  w.key("campaign_runs");
+  w.value(rel.campaign_runs);
+  w.key("masked");
+  w.value(rel.masked);
+  w.key("corrected");
+  w.value(rel.corrected);
+  w.key("detected");
+  w.value(rel.detected);
+  w.key("sdc");
+  w.value(rel.sdc);
+  w.key("sdc_rate");
+  w.value(rel.sdc_rate);
+  w.key("detection_rate");
+  w.value(rel.detection_rate);
+  w.key("golden_cycles");
+  w.value(rel.golden_cycles);
+  w.key("run_outcomes");
+  w.begin_array();
+  for (const std::string& o : rel.run_outcomes) w.value(o);
+  w.end_array();
+  w.key("injection");
+  w.begin_object();
+  w.key("dram_read_flips");
+  w.value(rel.injection.dram_read_flips);
+  w.key("ecc_corrected");
+  w.value(rel.injection.ecc_corrected);
+  w.key("ecc_detected_uncorrectable");
+  w.value(rel.injection.ecc_detected_uncorrectable);
+  w.key("silent_flips");
+  w.value(rel.injection.silent_flips);
+  w.key("ecc_correction_cycles");
+  w.value(rel.injection.ecc_correction_cycles);
+  w.key("sp_flips");
+  w.value(rel.injection.sp_flips);
+  w.key("acc_flips");
+  w.value(rel.injection.acc_flips);
+  w.key("translation_faults");
+  w.value(rel.injection.translation_faults);
+  w.key("translation_fault_cycles");
+  w.value(rel.injection.translation_fault_cycles);
+  w.key("dma_timeouts");
+  w.value(rel.injection.dma_timeouts);
+  w.key("dma_retries");
+  w.value(rel.injection.dma_retries);
+  w.key("dma_retry_cycles");
+  w.value(rel.injection.dma_retry_cycles);
+  w.key("dma_aborts");
+  w.value(rel.injection.dma_aborts);
+  w.key("exec_tile_errors");
+  w.value(rel.injection.exec_tile_errors);
+  w.end_object();
+  w.end_object();
+}
+
 void write_report(JsonWriter& w, const Report& r) {
   w.begin_object();
   w.key("point");
   w.value(r.point);
+  w.key("status");
+  w.value(r.status);
+  w.key("error");
+  w.value(r.error);
   w.key("config");
   w.value(r.config);
   w.key("model");
@@ -195,6 +259,8 @@ void write_report(JsonWriter& w, const Report& r) {
   w.end_array();
   w.key("trace_dropped_events");
   w.value(r.trace_dropped_events);
+  w.key("reliability");
+  write_reliability(w, r.reliability);
   w.key("estimates");
   w.begin_object();
   w.key("area_um2");

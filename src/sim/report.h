@@ -26,6 +26,7 @@
 #include "src/accel/accelerator.h"
 #include "src/base/types.h"
 #include "src/estimate/area_model.h"
+#include "src/fault/fault.h"
 #include "src/trace/bottleneck.h"
 
 namespace gemmini::sim {
@@ -109,10 +110,38 @@ struct SubstrateStats {
       default;
 };
 
+/// Reliability section of a Report: injection counters for the run (or,
+/// for campaigns, summed over the campaign) plus the campaign's outcome
+/// classification against the fault-free golden run.
+struct ReliabilityReport {
+  bool enabled = false;       ///< fault layer active for this report
+  std::uint64_t seed = 0;     ///< campaign base seed
+  fault::FaultStats injection;
+
+  // Campaign classification (campaign_runs == 0 for plain faulty runs).
+  unsigned campaign_runs = 0;
+  unsigned masked = 0;     ///< output matched golden, nothing corrected
+  unsigned corrected = 0;  ///< output matched golden thanks to ECC
+  unsigned detected = 0;   ///< run threw, or mismatch flagged by ECC
+  unsigned sdc = 0;        ///< silent data corruption: mismatch, no flag
+  double sdc_rate = 0;
+  double detection_rate = 0;  ///< (corrected+detected)/runs among faulty
+  Cycle golden_cycles = 0;    ///< fault-free reference run
+  /// Per-run outcome, in run order ("masked"/"corrected"/"detected"/"sdc").
+  std::vector<std::string> run_outcomes;
+
+  friend bool operator==(const ReliabilityReport&, const ReliabilityReport&) =
+      default;
+};
+
 /// End-to-end result of one experiment (one model on one SoC config).
 struct Report {
   /// Sweep-point label ("" for direct Session runs).
   std::string point;
+  /// "ok", or "error" for a fail-soft sweep point that threw; `error` then
+  /// carries the exception message and the rest of the report is empty.
+  std::string status = "ok";
+  std::string error;
   std::string config;  ///< SocConfig::name
   std::string model;   ///< Model::name()
   unsigned cores = 0;  ///< cores that actually ran a stream
@@ -140,6 +169,10 @@ struct Report {
   std::vector<trace::LayerBottleneck> bottlenecks;
   /// Trace ring-buffer overflow during this run (0 = complete trace).
   std::uint64_t trace_dropped_events = 0;
+
+  /// Fault-injection counters and campaign classification; `enabled` is
+  /// false (and the section all-zero) for fault-free runs.
+  ReliabilityReport reliability;
 
   friend bool operator==(const Report&, const Report&) = default;
 

@@ -197,10 +197,20 @@ Report Session::make_report(const Model& model,
     rep.substrate.dram_channels.push_back(ch);
   }
 
-  if (tracing() && traced_plan_.has_value()) {
-    trace::BottleneckReport bn = bottlenecks();
-    rep.bottlenecks = std::move(bn.layers);
-    rep.trace_dropped_events = bn.dropped_events;
+  if (tracing()) {
+    // Drop accounting is exact and surfaces even when nothing could be
+    // attributed (e.g. a fault storm wrapped the ring before a plan ran).
+    rep.trace_dropped_events = trace_sink_->dropped();
+    if (traced_plan_.has_value()) {
+      trace::BottleneckReport bn = bottlenecks();
+      rep.bottlenecks = std::move(bn.layers);
+    }
+  }
+
+  if (const fault::Injector* inj = soc_->fault_injector()) {
+    rep.reliability.enabled = true;
+    rep.reliability.seed = config().faults.seed;
+    rep.reliability.injection = inj->stats();
   }
 
   rep.estimates = estimates();

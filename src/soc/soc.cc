@@ -31,16 +31,21 @@ SocConfig SocConfig::big_l2() {
 Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer)
     : cfg_(cfg),
       tracer_(tracer),
-      mem_(cfg.mem, tracer),
+      injector_(cfg.faults.enabled
+                    ? std::make_unique<fault::Injector>(cfg.faults, tracer)
+                    : nullptr),
+      mem_(cfg.mem, tracer, injector_.get()),
       frames_(0x8000'0000ull),
-      ptw_(cfg.accel.translation.ptw, mem_, RequestorId{100}) {
+      ptw_(cfg.accel.translation.ptw, mem_, RequestorId{kPtwRequestor}) {
   cfg_.validate();
+  if (injector_) injector_->attach_phys(&mem_.phys());
   for (unsigned c = 0; c < cfg_.cores; ++c) {
     spaces_.push_back(std::make_unique<AddressSpace>(
         mem_.phys(), frames_,
         /*va_base=*/0x1'0000'0000ull + c * 0x10'0000'0000ull));
     accels_.push_back(std::make_unique<Accelerator>(
-        cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}, tracer));
+        cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}, tracer,
+        injector_.get()));
   }
 }
 
@@ -146,6 +151,18 @@ std::vector<CoreResult> Soc::run_parallel(
       }
     }
     if (best == streams.size()) break;
+    // Watchdog: a hang (livelocked hazards, a pathological config) shows up
+    // as simulated time racing past the budget. Throw a structured error
+    // naming where the run was instead of spinning forever.
+    if (cfg_.max_cycles != 0 && best_t != kCycleMax &&
+        best_t > cfg_.max_cycles) {
+      const CoreExec& ce = execs[best];
+      const WorkStep& step = ce.stream->steps[ce.step];
+      if (tracer_) tracer_->clear_context();
+      throw WatchdogError(cfg_.name, cfg_.max_cycles, best_t,
+                          static_cast<unsigned>(best), step.layer, step.tag,
+                          ce.step, ce.stream->steps.size());
+    }
     next_event[best] = advance(execs[best], static_cast<unsigned>(best));
   }
 
@@ -172,6 +189,9 @@ void Soc::reset_time() {
   mem_.reset_time();
   ptw_.reset_time();
   for (auto& a : accels_) a->reset_time();
+  // Re-seed the fault streams so repeated runs of one Session draw the same
+  // fault sequence (campaign repeatability).
+  if (injector_) injector_->reset();
 }
 
 void Soc::reset_all() {

@@ -18,6 +18,7 @@
 #include "src/accel/accelerator.h"
 #include "src/arch/config.h"
 #include "src/cpu/cost_model.h"
+#include "src/fault/fault.h"
 #include "src/mem/memsys.h"
 #include "src/runtime/workstream.h"
 #include "src/trace/trace.h"
@@ -33,14 +34,25 @@ struct SocConfig {
   CpuCostModel cpu = CpuCostModel::rocket();
   MemSysConfig mem{};
   OsNoiseModel os{};
+  /// Seeded fault-injection campaign config; disabled (the default) builds
+  /// no injector at all, so the zero-fault timing is bit-identical.
+  fault::FaultConfig faults{};
+  /// Watchdog: a run whose next event exceeds this cycle count throws a
+  /// structured WatchdogError instead of spinning. 0 = no watchdog.
+  Cycle max_cycles = 0;
 
   void validate() const {
     GEMMINI_CONFIG_REQUIRE(cores >= 1 && cores <= 16,
                            "1..16 cores supported");
+    GEMMINI_CONFIG_REQUIRE(
+        max_cycles == 0 || !os.enabled ||
+            max_cycles > os.switch_cost_cycles,
+        "max_cycles must exceed the OS switch cost (or be 0 = no watchdog)");
     accel.validate();
     cpu.validate();
     mem.validate();
     os.validate();
+    faults.validate();
   }
 
   /// The Fig. 9 configurations.
@@ -72,6 +84,10 @@ class Soc {
   MemorySystem& memory() { return mem_; }
   PageTableWalker& ptw() { return ptw_; }
   const SocConfig& config() const { return cfg_; }
+
+  /// The fault injector, or nullptr when cfg.faults.enabled is false.
+  fault::Injector* fault_injector() { return injector_.get(); }
+  const fault::Injector* fault_injector() const { return injector_.get(); }
 
   void set_functional(bool functional);
 
@@ -110,6 +126,9 @@ class Soc {
 
   SocConfig cfg_;
   trace::Tracer* tracer_;
+  /// Built before mem_ / the accelerators so it can be threaded through
+  /// their constructors; null when faults are disabled.
+  std::unique_ptr<fault::Injector> injector_;
   MemorySystem mem_;
   FrameAllocator frames_;
   PageTableWalker ptw_;

@@ -43,7 +43,10 @@ int category_of(EventKind k) {
     case EventKind::kMvout:
     case EventKind::kDmaBurstRead:
     case EventKind::kDmaBurstWrite: return kCatDma;
-    default: return -1;  // layer spans, OS noise, hit instants: not a claim
+    case EventKind::kFaultEccCorrect: return kCatDram;
+    case EventKind::kFaultDmaRetry: return kCatDma;
+    case EventKind::kFaultTransRetry: return kCatTranslation;
+    default: return -1;  // layer spans, OS noise, fault instants: not a claim
   }
 }
 

@@ -40,6 +40,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kDramRefresh: return "refresh";
     case EventKind::kDramQueueWait: return "queue_wait";
     case EventKind::kDramWriteDrain: return "write_drain";
+    case EventKind::kFaultInject: return "fault";
+    case EventKind::kFaultEccCorrect: return "ecc_correct";
+    case EventKind::kFaultDmaRetry: return "dma_retry";
+    case EventKind::kFaultTransRetry: return "trans_retry";
   }
   return "?";
 }
@@ -66,6 +70,10 @@ Unit event_kind_unit(EventKind k) {
     case EventKind::kL2Miss: return Unit::kL2;
     case EventKind::kTlbMiss:
     case EventKind::kPtwWalk: return Unit::kTranslation;
+    case EventKind::kFaultInject: return Unit::kSoc;  // overridden by site
+    case EventKind::kFaultEccCorrect: return Unit::kDram;
+    case EventKind::kFaultDmaRetry: return Unit::kDmaLoad;  // overridden by site
+    case EventKind::kFaultTransRetry: return Unit::kTranslation;
   }
   return Unit::kSoc;
 }

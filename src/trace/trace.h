@@ -75,6 +75,10 @@ enum class EventKind : std::uint8_t {
   kDramRefresh,   ///< issue stalled in a refresh window (arg2 = global bank)
   kDramQueueWait, ///< request queued behind a busy bank (arg2 = global bank)
   kDramWriteDrain, ///< forced write-queue drain episode (arg = bytes, arg2 = channel)
+  kFaultInject,    ///< instant: a fault was injected (arg = site payload)
+  kFaultEccCorrect, ///< span: ECC correction latency on a DRAM read (arg = bytes)
+  kFaultDmaRetry,  ///< span: a timed-out DMA chunk re-issuing (arg = attempt)
+  kFaultTransRetry, ///< span: transient translation fault penalty
 };
 
 const char* event_kind_name(EventKind k);

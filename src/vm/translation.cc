@@ -4,11 +4,13 @@ namespace gemmini {
 
 TranslationSystem::TranslationSystem(const TranslationConfig& cfg,
                                      PageTableWalker& ptw,
-                                     trace::Tracer* tracer)
+                                     trace::Tracer* tracer,
+                                     fault::Injector* injector)
     : cfg_(cfg),
       private_(cfg.private_tlb, "private_tlb", cfg.profile_window),
       ptw_(ptw),
-      tracer_(tracer) {
+      tracer_(tracer),
+      injector_(injector) {
   if (cfg_.l2_tlb_present && cfg_.l2_tlb.entries > 0) {
     l2_.emplace(cfg_.l2_tlb, "l2_tlb", cfg_.profile_window);
   }
@@ -19,6 +21,11 @@ Translation TranslationSystem::translate(const AddressSpace& as, VAddr va,
   const std::uint64_t vpn = page_number(va);
   Translation out;
   stats_.counter("requests").add();
+
+  // Fault layer: a transient translation fault (parity error in the TLB
+  // lookup, dropped walk response) is retried after a fixed penalty — the
+  // access still translates correctly, it just arrives later.
+  if (injector_) t += injector_->on_translate(t);
 
   // Filter registers: zero-latency bypass when the same page repeats within
   // the read (or write) stream. Crucially this also *skips* the TLB lookup,

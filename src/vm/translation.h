@@ -13,6 +13,7 @@
 
 #include "src/base/stats.h"
 #include "src/base/types.h"
+#include "src/fault/fault.h"
 #include "src/trace/trace.h"
 #include "src/vm/page_table.h"
 #include "src/vm/ptw.h"
@@ -50,7 +51,8 @@ class TranslationSystem {
   /// share the single walker, and CPUs contend for it). `tracer` (may be
   /// null) receives TLB-miss and page-walk spans.
   TranslationSystem(const TranslationConfig& cfg, PageTableWalker& ptw,
-                    trace::Tracer* tracer = nullptr);
+                    trace::Tracer* tracer = nullptr,
+                    fault::Injector* injector = nullptr);
 
   Translation translate(const AddressSpace& as, VAddr va, bool is_write,
                         Cycle t);
@@ -74,6 +76,7 @@ class TranslationSystem {
   std::optional<Tlb> l2_;
   PageTableWalker& ptw_;
   trace::Tracer* tracer_;
+  fault::Injector* injector_;
   StatSet stats_;
 
   struct FilterReg {

@@ -246,9 +246,18 @@ TEST(SimSweep, InvalidPointFailsDeterministically) {
   bad.accel.rob_entries = 0;
   sweep.add("ok", ok, zoo::squeezenet_v11(48));
   sweep.add("bad", bad, zoo::squeezenet_v11(48));
+  // Fail-soft default: the invalid point becomes an error report, the
+  // valid one still completes.
+  const auto reports = sweep.run({.threads = 2});
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].status, "ok");
+  EXPECT_GT(reports[0].cycles, 0u);
+  EXPECT_EQ(reports[1].status, "error");
+  EXPECT_NE(reports[1].error.find("ROB"), std::string::npos);
+  // Strict opt-in restores the historical abort, named by point order.
   try {
-    sweep.run({.threads = 2});
-    FAIL() << "sweep should have thrown";
+    sweep.run({.threads = 2, .strict = true});
+    FAIL() << "strict sweep should have thrown";
   } catch (const RuntimeError& e) {
     EXPECT_NE(std::string(e.what()).find("bad"), std::string::npos);
   }
