@@ -20,6 +20,9 @@
 //                                         # out: trace.json
 //   $ ./bench_perf --faults [out.json]    # fault-injection resilience gates,
 //                                         # default out: BENCH_PR6.json
+//   $ ./bench_perf --serve [out.json]     # serving-layer tail-latency and
+//                                         # goodput gates, default out:
+//                                         # BENCH_PR7.json
 //
 // Trace mode runs the quickstart model (scaled SqueezeNet) twice — once
 // untraced, once with the src/trace/ recorder attached — asserts the cycle
@@ -693,6 +696,125 @@ int run_faults(const std::string& out_path) {
   return (golden_ok && campaign_ok && fail_soft_ok && wrote) ? 0 : 1;
 }
 
+// ---- Serve mode: tail-latency / goodput gates ------------------------------
+
+int run_serve(const std::string& out_path) {
+  std::printf("=== bench_perf --serve: serving-layer latency gates ===\n\n");
+
+  // 2-core SoC serving the scaled SqueezeNet as a single request class.
+  SocConfig cfg = SocConfig::base_1mb_l2();
+  cfg.accel.has_im2col = true;
+  cfg.cores = 2;
+  const Model model = zoo::squeezenet_v11(48);
+
+  // Gate 1: at offered load -> 0 one request's latency is *exactly* the
+  // single-inference Session::run cycle count — the serving layer adds no
+  // hidden cost.
+  sim::Session probe = sim::Session::builder(cfg).build();
+  const Cycle cold = probe.run(model).cycles;
+  serve::ServeSpec identity_spec;
+  identity_spec.enabled = true;
+  identity_spec.classes.push_back(serve::RequestClass{model.name(), model});
+  identity_spec.arrivals.kind = serve::ArrivalKind::kFixed;
+  identity_spec.arrivals.requests_per_mcycle = 0.001;
+  identity_spec.arrivals.horizon_cycles = 2'000'000'000;
+  identity_spec.arrivals.max_requests = 1;
+  serve::Server identity_server(cfg, identity_spec);
+  const sim::ServerStats id_stats = identity_server.run().server;
+  const bool identity_ok =
+      id_stats.completed == 1 && id_stats.p50 == cold && id_stats.max_latency == cold;
+  std::printf("identity: Session::run %llu cycles, served request p50 %llu "
+              "(%s)\n",
+              static_cast<unsigned long long>(cold),
+              static_cast<unsigned long long>(id_stats.p50),
+              identity_ok ? "exact" : "DIVERGED");
+
+  // The goodput-vs-offered-load curve: 3 loads around the 2-core capacity
+  // under the size-capped batching policy with a bounded admission queue.
+  const double capacity = 2.0 * 1e6 / static_cast<double>(cold);
+  const std::vector<double> loads = {0.25 * capacity, 1.0 * capacity,
+                                     2.0 * capacity};
+  serve::ServeSpec spec;
+  spec.enabled = true;
+  spec.arrivals.horizon_cycles = 50 * cold;
+  spec.arrivals.seed = 9;
+  spec.scheduler.policy = serve::ServePolicy::kBatch;
+  spec.scheduler.max_batch = 4;
+  spec.scheduler.admission_capacity = 64;
+
+  sim::Experiment exp(cfg);
+  exp.model(model).serve(spec).offered_loads(loads);
+
+  // Gate 2: the sweep is byte-identical across worker thread counts.
+  const std::vector<sim::Report> serial = exp.run({.threads = 1});
+  const std::vector<sim::Report> parallel = exp.run({.threads = 4});
+  const bool deterministic =
+      sim::reports_to_json(serial, 2) == sim::reports_to_json(parallel, 2);
+
+  // Gate 3: percentiles ordered at every load; goodput bounded by both the
+  // offered load and the calibrated capacity (10% slack for switch costs),
+  // and saturating — not tracking — the offered rate at overload.
+  bool percentiles_ok = true;
+  bool goodput_ok = true;
+  std::printf("\n%-24s %10s %12s %12s %12s %10s %6s %6s\n", "point",
+              "offered", "p50", "p95", "p99", "goodput", "shed", "miss");
+  for (const sim::Report& r : serial) {
+    const sim::ServerStats& st = r.server;
+    percentiles_ok = percentiles_ok && st.completed > 0 && st.p50 <= st.p95 &&
+                     st.p95 <= st.p99 && st.p99 <= st.max_latency;
+    goodput_ok = goodput_ok &&
+                 st.goodput_per_mcycle <= st.offered_per_mcycle + 1e-9 &&
+                 st.goodput_per_mcycle <= capacity * 1.10;
+    std::printf("%-24s %10.3f %12llu %12llu %12llu %10.3f %6llu %6llu\n",
+                r.point.c_str(), st.offered_per_mcycle,
+                static_cast<unsigned long long>(st.p50),
+                static_cast<unsigned long long>(st.p95),
+                static_cast<unsigned long long>(st.p99),
+                st.goodput_per_mcycle,
+                static_cast<unsigned long long>(st.shed),
+                static_cast<unsigned long long>(st.deadline_misses));
+  }
+  const sim::ServerStats& over = serial.back().server;
+  goodput_ok = goodput_ok && over.goodput_per_mcycle < over.offered_per_mcycle;
+  std::printf("\ncapacity %.3f req/Mcyc; percentiles %s, goodput %s, "
+              "reports %s\n",
+              capacity, percentiles_ok ? "ordered" : "OUT OF ORDER",
+              goodput_ok ? "bounded" : "UNBOUNDED",
+              deterministic ? "byte-identical" : "DIVERGED");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 7"
+      << ",\n  \"policy\": \"" << spec.scheduler.label() << "\""
+      << ",\n  \"cores\": " << cfg.cores
+      << ",\n  \"model\": \"" << model.name() << "\""
+      << ",\n  \"session_cycles\": " << cold
+      << ",\n  \"capacity_per_mcycle\": " << capacity
+      << ",\n  \"identity_exact\": " << (identity_ok ? "true" : "false")
+      << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n  \"percentiles_ok\": " << (percentiles_ok ? "true" : "false")
+      << ",\n  \"goodput_bounded\": " << (goodput_ok ? "true" : "false")
+      << ",\n  \"loads\": [\n";
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const sim::ServerStats& st = serial[i].server;
+    out << "    {\"point\": \"" << serial[i].point << "\""
+        << ", \"offered_per_mcycle\": " << st.offered_per_mcycle
+        << ", \"p50\": " << st.p50 << ", \"p95\": " << st.p95
+        << ", \"p99\": " << st.p99 << ", \"p999\": " << st.p999
+        << ", \"goodput_per_mcycle\": " << st.goodput_per_mcycle
+        << ", \"shed\": " << st.shed
+        << ", \"deadline_misses\": " << st.deadline_misses << "}"
+        << (i + 1 < serial.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  const bool wrote = out.good();
+  std::printf("%s %s\n", wrote ? "wrote" : "ERROR: could not write",
+              out_path.c_str());
+  return (identity_ok && deterministic && percentiles_ok && goodput_ok &&
+          wrote)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -701,6 +823,7 @@ int main(int argc, char** argv) {
   bool trace_mode = false;
   bool dram_mode = false;
   bool faults_mode = false;
+  bool serve_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
@@ -713,18 +836,22 @@ int main(int argc, char** argv) {
       dram_mode = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       faults_mode = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_mode = true;
     } else {
       out_path = argv[i];
     }
   }
   if (out_path.empty()) {
-    out_path = faults_mode ? "BENCH_PR6.json"
+    out_path = serve_mode  ? "BENCH_PR7.json"
+               : faults_mode ? "BENCH_PR6.json"
                : dram_mode   ? "BENCH_PR5.json"
                : trace_mode ? "trace.json"
                : plan_mode ? "BENCH_PR3.json"
                : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
   }
 
+  if (serve_mode) return run_serve(out_path);
   if (faults_mode) return run_faults(out_path);
   if (dram_mode) return run_dram(out_path);
   if (trace_mode) return run_trace(out_path);

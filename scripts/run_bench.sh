@@ -1,96 +1,72 @@
 #!/usr/bin/env bash
 # Builds Release, runs the perf harness, and diffs the simulated cycle counts
 # against scripts/golden_cycles.json so perf PRs cannot silently change
-# timing semantics. Usage:
+# timing semantics. One dispatcher, one suite per invocation:
 #
-#   scripts/run_bench.sh [out.json]             # default out: BENCH_PR1.json
-#   scripts/run_bench.sh --sweep [sweep.json]   # additionally runs the
-#                                               # parallel-sweep mode via the
-#                                               # sim::Sweep API; default
-#                                               # sweep out: BENCH_PR2.json
-#   scripts/run_bench.sh --plan [plan.json]     # additionally runs the
-#                                               # tiling-policy comparison
-#                                               # (HeuristicTiling vs
-#                                               # ExhaustiveTiling over the
-#                                               # scaled model zoo); default
-#                                               # plan out: BENCH_PR3.json
-#   scripts/run_bench.sh --trace [trace.json]   # additionally runs the
-#                                               # cycle-level trace mode
-#                                               # (src/trace/) and validates
-#                                               # the emitted Perfetto
-#                                               # artifact; default out:
-#                                               # trace.json
-#   scripts/run_bench.sh --dram [dram.json]     # additionally runs the DRAM
-#                                               # controller comparison
-#                                               # (FR-FCFS vs FCFS over the
-#                                               # zoo on 2 channels); default
-#                                               # dram out: BENCH_PR5.json
-#   scripts/run_bench.sh --faults [faults.json] # additionally runs the
-#                                               # fault-injection resilience
-#                                               # gates (zero-fault golden
-#                                               # identity, ECC smoke
-#                                               # campaign, fail-soft sweep);
-#                                               # default out: BENCH_PR6.json
+#   scripts/run_bench.sh [--suite <name>] [suite-out.json] [perf-out.json]
 #
-# Exit is nonzero if the build fails, the harness reports a functional
-# mismatch / insufficient speedup, any golden cycle count differs, (in sweep
-# mode) the parallel sweep's reports are not byte-identical to the serial
-# run, (in plan mode) ExhaustiveTiling models more DMA traffic than the
-# heuristic anywhere, (in trace mode) tracing perturbs cycle counts /
-# bottleneck components fail to sum / the trace.json does not parse or is
-# empty, (in dram mode) FR-FCFS is slower than FCFS on any zoo model or
-# the golden 1-channel FCFS configuration drifted, or (in faults mode) the
-# zero-fault goldens changed, ECC failed to correct every single-bit flip
-# (or any run classified as silent data corruption), or a poisoned sweep
-# point took out the rest of the grid.
+# Suites (the golden-cycle diff of the default perf harness ALWAYS runs
+# first, whatever the suite):
+#
+#   perf    default harness only: kernel A/B + simulator throughput,
+#           default out BENCH_PR1.json
+#   sweep   parallel design-space sweep via sim::Sweep (byte-identity of
+#           parallel vs serial reports), default out BENCH_PR2.json
+#   plan    tiling-policy comparison, HeuristicTiling vs ExhaustiveTiling
+#           over the scaled model zoo, default out BENCH_PR3.json
+#   trace   cycle-level trace mode (src/trace/), validates the Perfetto
+#           artifact, default out trace.json
+#   dram    DRAM controller comparison, FR-FCFS vs FCFS on 2 channels,
+#           default out BENCH_PR5.json
+#   faults  fault-injection resilience gates (zero-fault golden identity,
+#           ECC smoke campaign, fail-soft sweep), default out BENCH_PR6.json
+#   serve   serving-layer gates (load->0 identity vs Session::run, ordered
+#           tail percentiles, goodput saturating below calibrated capacity,
+#           byte-identical reports across worker threads), default out
+#           BENCH_PR7.json
+#
+# The pre-dispatcher spellings still work as aliases:
+#   scripts/run_bench.sh --sweep [out.json]   ==  --suite sweep [out.json]
+#   (same for --plan / --trace / --dram / --faults / --serve)
+#
+# Exit is nonzero if the build fails, any golden cycle count differs, the
+# harness reports a gate failure, or the suite's artifact fails validation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SWEEP=0
-PLAN=0
-TRACE=0
-DRAM=0
-FAULTS=0
-if [[ "${1:-}" == "--sweep" ]]; then
-  SWEEP=1
-  shift
-elif [[ "${1:-}" == "--plan" ]]; then
-  PLAN=1
-  shift
-elif [[ "${1:-}" == "--trace" ]]; then
-  TRACE=1
-  shift
-elif [[ "${1:-}" == "--dram" ]]; then
-  DRAM=1
-  shift
-elif [[ "${1:-}" == "--faults" ]]; then
-  FAULTS=1
-  shift
-fi
+SUITE=perf
+case "${1:-}" in
+  --suite)
+    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve)}"
+    shift 2
+    ;;
+  --sweep|--plan|--trace|--dram|--faults|--serve)
+    SUITE="${1#--}"  # legacy alias: --sweep == --suite sweep
+    shift
+    ;;
+esac
 
-if [[ $SWEEP == 1 ]]; then
-  SWEEP_OUT="${1:-BENCH_PR2.json}"
-  OUT="${2:-BENCH_PR1.json}"
-elif [[ $PLAN == 1 ]]; then
-  PLAN_OUT="${1:-BENCH_PR3.json}"
-  OUT="${2:-BENCH_PR1.json}"
-elif [[ $TRACE == 1 ]]; then
-  TRACE_OUT="${1:-trace.json}"
-  OUT="${2:-BENCH_PR1.json}"
-elif [[ $DRAM == 1 ]]; then
-  DRAM_OUT="${1:-BENCH_PR5.json}"
-  OUT="${2:-BENCH_PR1.json}"
-elif [[ $FAULTS == 1 ]]; then
-  FAULTS_OUT="${1:-BENCH_PR6.json}"
-  OUT="${2:-BENCH_PR1.json}"
-else
-  OUT="${1:-BENCH_PR1.json}"
-fi
+case "$SUITE" in
+  perf)   SUITE_OUT="" ;;
+  sweep)  SUITE_OUT="${1:-BENCH_PR2.json}"; shift || true ;;
+  plan)   SUITE_OUT="${1:-BENCH_PR3.json}"; shift || true ;;
+  trace)  SUITE_OUT="${1:-trace.json}";     shift || true ;;
+  dram)   SUITE_OUT="${1:-BENCH_PR5.json}"; shift || true ;;
+  faults) SUITE_OUT="${1:-BENCH_PR6.json}"; shift || true ;;
+  serve)  SUITE_OUT="${1:-BENCH_PR7.json}"; shift || true ;;
+  *)
+    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve)" >&2
+    exit 2
+    ;;
+esac
+OUT="${1:-BENCH_PR1.json}"
 BUILD_DIR=build-bench
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_perf
 
+# The golden-cycle gate runs for every suite: no PR may move the pinned
+# timing of the seed workloads, whatever else it adds.
 "./$BUILD_DIR/bench_perf" "$OUT"
 
 python3 - "$OUT" scripts/golden_cycles.json <<'EOF'
@@ -118,9 +94,13 @@ if failed:
 print("all golden cycle counts match")
 EOF
 
-if [[ $SWEEP == 1 ]]; then
-  "./$BUILD_DIR/bench_perf" --sweep "$SWEEP_OUT"
-  python3 - "$SWEEP_OUT" <<'EOF'
+case "$SUITE" in
+
+perf) ;;  # golden diff above is the whole suite
+
+sweep)
+  "./$BUILD_DIR/bench_perf" --sweep "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -132,13 +112,13 @@ points = sweep.get("sweep", [])
 print(f"sweep ok: {len(points)} points on {sweep.get('threads')} threads, "
       "parallel reports byte-identical to serial")
 EOF
-fi
+  ;;
 
-if [[ $TRACE == 1 ]]; then
+trace)
   # bench_perf --trace already asserts cycle invariance and component sums;
   # this validates the artifact itself parses and is non-empty.
-  "./$BUILD_DIR/bench_perf" --trace "$TRACE_OUT"
-  python3 - "$TRACE_OUT" <<'EOF'
+  "./$BUILD_DIR/bench_perf" --trace "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -152,11 +132,11 @@ tracks = {(e.get("pid"), e.get("tid")) for e in spans}
 print(f"trace ok: {len(events)} events ({len(spans)} spans) across "
       f"{len(tracks)} core x unit tracks")
 EOF
-fi
+  ;;
 
-if [[ $PLAN == 1 ]]; then
-  "./$BUILD_DIR/bench_perf" --plan "$PLAN_OUT"
-  python3 - "$PLAN_OUT" <<'EOF'
+plan)
+  "./$BUILD_DIR/bench_perf" --plan "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -177,14 +157,14 @@ if failed:
     sys.exit(1)
 print("tiling-policy comparison ok")
 EOF
-fi
+  ;;
 
-if [[ $DRAM == 1 ]]; then
+dram)
   # bench_perf --dram runs the scheduling comparison (FR-FCFS vs FCFS over
   # the scaled zoo on a 2-channel, write-buffered, refreshed controller) and
   # already exits nonzero on a regression; this re-validates the artifact.
-  "./$BUILD_DIR/bench_perf" --dram "$DRAM_OUT"
-  python3 - "$DRAM_OUT" <<'EOF'
+  "./$BUILD_DIR/bench_perf" --dram "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -208,13 +188,13 @@ if failed:
     sys.exit(1)
 print("dram scheduling comparison ok")
 EOF
-fi
+  ;;
 
-if [[ $FAULTS == 1 ]]; then
+faults)
   # bench_perf --faults runs the resilience gates and already exits nonzero
   # on a failure; this re-validates the emitted artifact.
-  "./$BUILD_DIR/bench_perf" --faults "$FAULTS_OUT"
-  python3 - "$FAULTS_OUT" <<'EOF'
+  "./$BUILD_DIR/bench_perf" --faults "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -245,4 +225,47 @@ print(f"faults ok: goldens unchanged; {camp.get('ecc_corrected')} / "
       f"{camp.get('runs')} runs, 0 SDC; fail-soft sweep kept "
       f"{fs.get('ok_points')}/{fs.get('points')} healthy points")
 EOF
-fi
+  ;;
+
+serve)
+  # bench_perf --serve runs the serving-layer gates and already exits
+  # nonzero on a failure; this re-validates the emitted artifact.
+  "./$BUILD_DIR/bench_perf" --serve "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    serve = json.load(f)
+failed = False
+for gate in ("identity_exact", "deterministic", "percentiles_ok",
+             "goodput_bounded"):
+    if not serve.get(gate):
+        print(f"FAIL: serve gate '{gate}' failed")
+        failed = True
+loads = serve.get("loads", [])
+if len(loads) < 3:
+    print(f"FAIL: expected >= 3 offered loads, got {len(loads)}")
+    failed = True
+cap = serve.get("capacity_per_mcycle", 0.0)
+for row in loads:
+    p50, p95, p99 = row["p50"], row["p95"], row["p99"]
+    if not (p50 <= p95 <= p99):
+        print(f"FAIL: {row['point']}: p50 {p50} / p95 {p95} / p99 {p99} "
+              "out of order")
+        failed = True
+    good, offered = row["goodput_per_mcycle"], row["offered_per_mcycle"]
+    if good > offered + 1e-9 or good > cap * 1.10:
+        print(f"FAIL: {row['point']}: goodput {good} exceeds offered "
+              f"{offered} or capacity {cap}")
+        failed = True
+    else:
+        print(f"serve ok:   {row['point']}: offered {offered:.3f}, "
+              f"p99 {p99}, goodput {good:.3f} req/Mcyc")
+if failed:
+    sys.exit(1)
+print(f"serving-layer gates ok: goodput saturates below the calibrated "
+      f"{cap:.3f} req/Mcyc capacity")
+EOF
+  ;;
+
+esac

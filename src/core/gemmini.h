@@ -37,6 +37,9 @@
 #include "src/runtime/kernels_accel.h"
 #include "src/runtime/matmul.h"
 #include "src/runtime/tiling.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/server.h"
+#include "src/serve/traffic.h"
 #include "src/sim/experiment.h"
 #include "src/sim/plan.h"
 #include "src/sim/report.h"

@@ -187,6 +187,7 @@ Cycle Dram::access(PAddr addr, std::uint64_t bytes, Cycle t,
   const Request rq = make_request(addr, bytes, t, requestor, false);
   const std::uint64_t my_seq = rq.seq;
   ch.queue.push_back(rq);
+  note_queue_depth(ci, t);
   // Schedule queued requests (buffered writebacks included) until this read
   // completes. Requests the policy leaves behind (e.g. row-miss writes a
   // FR-FCFS read bypassed) stay queued for a later pass or drain.
@@ -194,6 +195,7 @@ Cycle Dram::access(PAddr addr, std::uint64_t bytes, Cycle t,
     const std::size_t i = pick_next(ch);
     const Request cur = ch.queue[i];
     ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(i));
+    note_queue_depth(ci, cur.arrival);
     const Cycle done = issue(ci, cur);
     if (cur.seq == my_seq) return done;
   }
@@ -210,6 +212,7 @@ void Dram::write(PAddr addr, std::uint64_t bytes, Cycle t,
     return;
   }
   ch.queue.push_back(rq);
+  note_queue_depth(ci, t);
   ChannelStats& cs = by_channel_[ci];
   cs.writes_buffered += 1;
   stats_.counter("writes_buffered").add();
@@ -224,6 +227,7 @@ void Dram::write(PAddr addr, std::uint64_t bytes, Cycle t,
       const std::size_t i = pick_next(ch);
       const Request cur = ch.queue[i];
       ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(i));
+      note_queue_depth(ci, t);
       drained_bytes += cur.bytes;
       last_done = std::max(last_done, issue(ci, cur));
     }
@@ -241,9 +245,18 @@ void Dram::drain_writes() {
       const std::size_t i = pick_next(ch);
       const Request cur = ch.queue[i];
       ch.queue.erase(ch.queue.begin() + static_cast<std::ptrdiff_t>(i));
+      note_queue_depth(ci, cur.arrival);
       issue(ci, cur);
     }
   }
+}
+
+void Dram::note_queue_depth(unsigned ci, Cycle t) {
+  Channel& ch = channels_[ci];
+  ch.depth.record(t, static_cast<double>(ch.queue.size()));
+  ChannelStats& cs = by_channel_[ci];
+  cs.avg_queue_depth = ch.depth.mean();
+  cs.max_queue_depth = ch.depth.max();
 }
 
 std::size_t Dram::pending_writes() const {
@@ -257,6 +270,7 @@ void Dram::reset_time() {
     for (Bank& b : ch.banks) b = Bank{};
     ch.busy_until = 0;
     ch.queue.clear();
+    ch.depth.reset();
   }
   next_seq_ = 0;
   by_requestor_.clear();

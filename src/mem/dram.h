@@ -136,6 +136,10 @@ class Dram {
     std::uint64_t queue_wait_cycles = 0;
     std::uint64_t write_drains = 0;      ///< forced drain episodes
     std::uint64_t writes_buffered = 0;   ///< writes that entered the queue
+    /// Time-weighted request-queue depth (base::TimeWeighted over enqueue /
+    /// dequeue events); observational only — scheduling is unaffected.
+    double avg_queue_depth = 0;
+    double max_queue_depth = 0;
 
     friend bool operator==(const ChannelStats&, const ChannelStats&) = default;
   };
@@ -215,6 +219,7 @@ class Dram {
     std::vector<Bank> banks;
     Cycle busy_until = 0;          ///< data bus
     std::vector<Request> queue;    ///< pending (buffered writes + in-flight read)
+    TimeWeighted depth;            ///< queue-depth accumulator (observational)
   };
 
   Request make_request(PAddr addr, std::uint64_t bytes, Cycle t,
@@ -226,6 +231,9 @@ class Dram {
   Cycle issue(unsigned ci, const Request& rq);
   /// Pops scheduler picks from `ci`'s queue until `target` writes remain.
   void drain_channel_to(unsigned ci, std::size_t target);
+  /// Records the channel's current queue depth at time `t` into the
+  /// time-weighted accumulator and mirrors mean/max into ChannelStats.
+  void note_queue_depth(unsigned ci, Cycle t);
 
   RequestorStats& requestor_slot(int id);
 

@@ -1,0 +1,261 @@
+#include "src/serve/traffic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace gemmini::serve {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kFixed: return "fixed";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+void ArrivalConfig::validate() const {
+  if (kind != ArrivalKind::kTrace) {
+    GEMMINI_CONFIG_REQUIRE(requests_per_mcycle > 0,
+                           "serve::ArrivalConfig: requests_per_mcycle must be "
+                           "> 0 (got " << requests_per_mcycle << ")");
+    GEMMINI_CONFIG_REQUIRE(horizon_cycles > 0 || max_requests > 0,
+                           "serve::ArrivalConfig: set horizon_cycles or "
+                           "max_requests, otherwise no request ever arrives");
+  } else {
+    GEMMINI_CONFIG_REQUIRE(!trace_path.empty(),
+                           "serve::ArrivalConfig: kTrace needs trace_path");
+  }
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig cfg,
+                               std::vector<RequestClass> classes)
+    : cfg_(std::move(cfg)), classes_(std::move(classes)) {
+  cfg_.validate();
+  GEMMINI_CONFIG_REQUIRE(!classes_.empty(),
+                         "serve::ArrivalProcess: at least one request class");
+  for (const RequestClass& c : classes_) {
+    GEMMINI_CONFIG_REQUIRE(c.weight > 0, "serve::ArrivalProcess: class '"
+                                             << c.name
+                                             << "' needs weight > 0");
+    total_weight_ += c.weight;
+  }
+}
+
+unsigned ArrivalProcess::pick_class(double u) const {
+  double acc = 0;
+  for (unsigned i = 0; i < classes_.size(); ++i) {
+    acc += classes_[i].weight / total_weight_;
+    if (u < acc) return i;
+  }
+  return static_cast<unsigned>(classes_.size() - 1);
+}
+
+std::vector<Request> ArrivalProcess::generate() const {
+  if (cfg_.kind == ArrivalKind::kTrace) return load_trace(cfg_.trace_path);
+
+  std::vector<Request> out;
+  Rng rng(cfg_.seed);
+  const double mean_gap = 1e6 / cfg_.requests_per_mcycle;  // cycles
+  Cycle t = 0;
+  std::uint64_t id = 0;
+  while (true) {
+    Cycle gap;
+    if (cfg_.kind == ArrivalKind::kPoisson) {
+      // Exponential inter-arrival; 1 - u keeps log's argument in (0, 1].
+      const double u = rng.next_double();
+      gap = static_cast<Cycle>(std::llround(-std::log(1.0 - u) * mean_gap));
+    } else {
+      gap = static_cast<Cycle>(std::llround(mean_gap));
+    }
+    if (gap == 0) gap = 1;  // open-loop, but one request per cycle at most
+    t += gap;
+    if (cfg_.horizon_cycles > 0 && t >= cfg_.horizon_cycles) break;
+    if (cfg_.max_requests > 0 && id >= cfg_.max_requests) break;
+    Request r;
+    r.id = id++;
+    r.cls = classes_.size() == 1 ? 0 : pick_class(rng.next_double());
+    r.arrival = t;
+    const Cycle rel = classes_[r.cls].deadline_cycles;
+    r.deadline = rel == 0 ? 0 : t + rel;
+    out.push_back(r);
+    if (cfg_.max_requests > 0 && id >= cfg_.max_requests) break;
+  }
+  return out;
+}
+
+std::string ArrivalProcess::to_json(const std::vector<Request>& requests) const {
+  std::ostringstream oss;
+  oss << "[\n";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    oss << "  {\"id\": " << r.id << ", \"class\": " << r.cls;
+    if (r.cls < classes_.size()) {
+      oss << ", \"name\": \"" << classes_[r.cls].name << "\"";
+    }
+    oss << ", \"arrival\": " << r.arrival << ", \"deadline\": " << r.deadline
+        << "}";
+    if (i + 1 < requests.size()) oss << ",";
+    oss << "\n";
+  }
+  oss << "]\n";
+  return oss.str();
+}
+
+namespace {
+
+/// Minimal recursive-descent reader for the trace format: an array of flat
+/// objects whose values are unsigned integers or strings. Tolerates
+/// arbitrary whitespace; rejects anything else with a position-tagged error.
+class TraceParser {
+ public:
+  explicit TraceParser(const std::string& text) : s_(text) {}
+
+  std::vector<Request> parse() {
+    std::vector<Request> out;
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(parse_object());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+      skip_ws();
+    }
+    return out;
+  }
+
+ private:
+  Request parse_object() {
+    Request r;
+    bool saw_arrival = false;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      fail("empty request object");
+    }
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '"') {
+        parse_string();  // "name" — informational, indices bind
+      } else {
+        const std::uint64_t v = parse_number();
+        if (key == "id") {
+          r.id = v;
+        } else if (key == "class") {
+          r.cls = static_cast<unsigned>(v);
+        } else if (key == "arrival") {
+          r.arrival = v;
+          saw_arrival = true;
+        } else if (key == "deadline") {
+          r.deadline = v;
+        }  // unknown numeric keys are ignored (forward compatibility)
+      }
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+      skip_ws();
+    }
+    if (!saw_arrival) fail("request object without \"arrival\"");
+    return r;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') fail("escapes are not supported in traces");
+      out += s_[pos_++];
+    }
+    expect('"');
+    return out;
+  }
+
+  std::uint64_t parse_number() {
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      fail("expected an unsigned integer");
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_++] - '0');
+    }
+    return v;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char next() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw RuntimeError("serve: arrival-trace parse error at byte " +
+                       std::to_string(pos_) + ": " + why);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Request> ArrivalProcess::from_json(const std::string& text) const {
+  std::vector<Request> out = TraceParser(text).parse();
+  for (Request& r : out) {
+    if (r.cls >= classes_.size()) {
+      throw RuntimeError("serve: trace request " + std::to_string(r.id) +
+                         " names class index " + std::to_string(r.cls) +
+                         " but only " + std::to_string(classes_.size()) +
+                         " classes are configured");
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                   : a.id < b.id;
+                   });
+  return out;
+}
+
+void ArrivalProcess::save_trace(const std::string& path,
+                                const std::vector<Request>& requests) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("serve: cannot open trace for writing: " + path);
+  f << to_json(requests);
+  if (!f.good())
+    throw RuntimeError("serve: short write saving trace: " + path);
+}
+
+std::vector<Request> ArrivalProcess::load_trace(const std::string& path) const {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw RuntimeError("serve: cannot open arrival trace: " + path);
+  std::ostringstream oss;
+  oss << f.rdbuf();
+  return from_json(oss.str());
+}
+
+}  // namespace gemmini::serve

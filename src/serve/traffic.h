@@ -1,0 +1,106 @@
+#pragma once
+// serve::ArrivalProcess — deterministic open-loop request traffic.
+//
+// The serving layer drives the SoC with *traffic* rather than one
+// inference: a seeded arrival process emits a timestamped request stream
+// drawn from a mix of request classes (each class is a model-zoo network
+// with a weight and a latency deadline). Three generators are supported:
+//
+//   * kPoisson — open-loop Poisson arrivals at `requests_per_mcycle`
+//     (exponential inter-arrival times from the seeded xoshiro Rng);
+//   * kFixed   — fixed-interval arrivals at the same configured rate;
+//   * kTrace   — replay of a previously captured (or hand-written) JSON
+//     trace, so measured traffic can be re-simulated bit-exactly.
+//
+// Everything is simulated-clock: timestamps are SoC cycles derived only
+// from the config and the seed, never from wall time, so a given
+// (config, seed) pair always yields the byte-identical request stream.
+// Streams round-trip through JSON (`save_trace`/`load_trace`), which is
+// also how the trace-driven generator feeds back in.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/model/graph.h"
+
+namespace gemmini::serve {
+
+/// One request class: a network from the model zoo plus its share of the
+/// traffic mix and its latency SLO. `deadline_cycles == 0` means no
+/// deadline (never counted as a miss).
+struct RequestClass {
+  std::string name;
+  Model model;
+  double weight = 1.0;
+  Cycle deadline_cycles = 0;  ///< relative to arrival; 0 = no SLO
+};
+
+/// One request in the generated stream. `deadline` is absolute (arrival +
+/// the class's deadline_cycles), 0 when the class has no SLO.
+struct Request {
+  std::uint64_t id = 0;
+  unsigned cls = 0;  ///< index into the class list
+  Cycle arrival = 0;
+  Cycle deadline = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kFixed, kTrace };
+
+const char* arrival_kind_name(ArrivalKind k);
+
+/// Generator configuration. Rates are requests per *mega*cycle (at the
+/// paper's 1 GHz clock, 1 request/Mcycle == 1000 QPS), which keeps typical
+/// serving loads in a human-readable 0.1..100 range.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double requests_per_mcycle = 1.0;
+  Cycle horizon_cycles = 10'000'000;  ///< generate arrivals in [0, horizon)
+  std::uint64_t max_requests = 0;     ///< hard cap; 0 = horizon only
+  std::uint64_t seed = 1;
+  std::string trace_path;  ///< kTrace: JSON file to replay
+
+  void validate() const;
+};
+
+/// Generates (or replays) a request stream over a class mix.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig cfg, std::vector<RequestClass> classes);
+
+  const ArrivalConfig& config() const { return cfg_; }
+  const std::vector<RequestClass>& classes() const { return classes_; }
+
+  /// The full request stream, sorted by (arrival, id). Deterministic: the
+  /// same config + classes always yield the same stream. kTrace reads
+  /// config().trace_path (throws RuntimeError on I/O or parse errors).
+  std::vector<Request> generate() const;
+
+  /// Serializes a request stream as a JSON array (the kTrace input format).
+  /// Class names are embedded (informational; `cls` indices bind).
+  std::string to_json(const std::vector<Request>& requests) const;
+  /// Parses a JSON request stream; inverse of to_json. Classes with an
+  /// out-of-range `cls` index throw RuntimeError.
+  std::vector<Request> from_json(const std::string& text) const;
+
+  /// to_json to a file; throws RuntimeError on I/O failure.
+  void save_trace(const std::string& path,
+                  const std::vector<Request>& requests) const;
+  /// Reads and parses a trace file; throws RuntimeError on failure.
+  std::vector<Request> load_trace(const std::string& path) const;
+
+ private:
+  /// Weighted class pick from one uniform draw (stable ordering).
+  unsigned pick_class(double u) const;
+
+  ArrivalConfig cfg_;
+  std::vector<RequestClass> classes_;
+  double total_weight_ = 0;
+};
+
+}  // namespace gemmini::serve

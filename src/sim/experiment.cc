@@ -140,6 +140,15 @@ Report error_report(const SweepPoint& point, std::string message) {
 }  // namespace
 
 Report Sweep::run_point(const SweepPoint& point) {
+  if (point.serve.enabled) {
+    serve::Server server(
+        point.config, point.serve,
+        serve::Server::Options{point.functional, point.seed, point.placement,
+                               point.tiling});
+    Report rep = server.run();
+    rep.point = point.name;
+    return rep;
+  }
   if (point.campaign_runs > 0) return run_campaign(point);
   Session session = Session::builder(point.config)
                         .functional(point.functional)
@@ -319,6 +328,19 @@ Experiment& Experiment::fault_campaign(unsigned runs) {
   campaign_runs_ = runs;
   return *this;
 }
+Experiment& Experiment::serve(serve::ServeSpec spec) {
+  serve_spec_ = std::move(spec);
+  serve_spec_.enabled = true;
+  return *this;
+}
+Experiment& Experiment::offered_loads(std::vector<double> loads) {
+  offered_loads_ = std::move(loads);
+  return *this;
+}
+Experiment& Experiment::serve_policies(std::vector<serve::ServeConfig> policies) {
+  serve_policies_ = std::move(policies);
+  return *this;
+}
 Experiment& Experiment::strict(bool on) {
   strict_ = on;
   return *this;
@@ -457,6 +479,63 @@ Sweep Experiment::sweep() const {
     GEMMINI_CONFIG_REQUIRE(functional_ && !multicore_,
                            "sim::Experiment: fault_campaign() needs "
                            "functional() single-core points");
+    GEMMINI_CONFIG_REQUIRE(!serve_spec_.enabled,
+                           "sim::Experiment: fault_campaign() and serve() are "
+                           "mutually exclusive (serving runs classify faulty "
+                           "requests as error responses instead)");
+  }
+  GEMMINI_CONFIG_REQUIRE(
+      serve_spec_.enabled || (offered_loads_.empty() && serve_policies_.empty()),
+      "sim::Experiment: offered_loads()/serve_policies() need serve()");
+  for (const double l : offered_loads_) {
+    GEMMINI_CONFIG_REQUIRE(l > 0, "sim::Experiment: offered_loads entries "
+                                  "must be > 0 requests/Mcycle (got "
+                                      << l << ")");
+  }
+
+  // Serving axes: (offered load x scheduler policy), expanded around every
+  // config/policy column below. A single unlabeled column keeps the
+  // ServeSpec's own rate/scheduler when an axis is unset.
+  struct ServeVariant {
+    double load = 0;  ///< 0 = keep spec rate
+    serve::ServeConfig scheduler{};
+    std::string label;
+  };
+  std::vector<ServeVariant> serve_variants;
+  if (serve_spec_.enabled) {
+    std::vector<std::pair<double, std::string>> loads;
+    if (offered_loads_.empty()) {
+      loads.push_back({0.0, ""});
+    } else {
+      for (const double l : offered_loads_) {
+        std::ostringstream oss;
+        oss << "load" << l;
+        loads.push_back({l, oss.str()});
+      }
+    }
+    std::vector<std::pair<serve::ServeConfig, std::string>> pols;
+    if (serve_policies_.empty()) {
+      pols.push_back({serve_spec_.scheduler, ""});
+    } else {
+      for (const serve::ServeConfig& sc : serve_policies_) {
+        pols.push_back({sc, sc.label()});
+      }
+    }
+    for (const auto& [load, load_label] : loads) {
+      for (const auto& [sc, sc_label] : pols) {
+        ServeVariant sv;
+        sv.load = load;
+        sv.scheduler = sc;
+        sv.label = load_label;
+        if (!sc_label.empty()) {
+          if (!sv.label.empty()) sv.label += "-";
+          sv.label += sc_label;
+        }
+        serve_variants.push_back(std::move(sv));
+      }
+    }
+  } else {
+    serve_variants.push_back({});
   }
 
   // The lowering-policy axes compose with every config axis (they are
@@ -482,17 +561,35 @@ Sweep Experiment::sweep() const {
           if (!label.empty()) label += "-";
           label += part;
         }
-        for (const Model& m : models_) {
-          SweepPoint p{label.empty() ? m.name() : label + "/" + m.name(),
-                       v.cfg, m, multicore_, functional_, seed_, pp, tp,
-                       /*trace=*/{}, /*campaign_runs=*/0};
-          if (!trace_point_name_.empty() && p.name == trace_point_name_) {
-            p.trace = trace_cfg_;
+        for (const ServeVariant& sv : serve_variants) {
+          std::string serve_label = label;
+          if (!sv.label.empty()) {
+            if (!serve_label.empty()) serve_label += "-";
+            serve_label += sv.label;
           }
-          // Campaigns only make sense for fault-enabled points; a baseline
-          // column in the faults axis runs once, normally.
-          if (v.cfg.faults.enabled) p.campaign_runs = campaign_runs_;
-          sw.add(std::move(p));
+          for (const Model& m : models_) {
+            SweepPoint p{serve_label.empty() ? m.name()
+                                             : serve_label + "/" + m.name(),
+                         v.cfg, m, multicore_, functional_, seed_, pp, tp,
+                         /*trace=*/{}, /*campaign_runs=*/0};
+            if (!trace_point_name_.empty() && p.name == trace_point_name_) {
+              p.trace = trace_cfg_;
+            }
+            // Campaigns only make sense for fault-enabled points; a baseline
+            // column in the faults axis runs once, normally.
+            if (v.cfg.faults.enabled) p.campaign_runs = campaign_runs_;
+            if (serve_spec_.enabled) {
+              serve::ServeSpec sp = serve_spec_;
+              if (sv.load > 0) sp.arrivals.requests_per_mcycle = sv.load;
+              sp.scheduler = sv.scheduler;
+              if (sp.classes.empty()) {
+                sp.classes.push_back(serve::RequestClass{
+                    m.name(), m, 1.0, sp.default_deadline_cycles});
+              }
+              p.serve = std::move(sp);
+            }
+            sw.add(std::move(p));
+          }
         }
       }
     }

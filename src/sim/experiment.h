@@ -32,6 +32,7 @@
 
 #include "src/model/graph.h"
 #include "src/model/lowering/policy.h"
+#include "src/serve/server.h"
 #include "src/sim/report.h"
 #include "src/sim/session.h"
 #include "src/soc/soc.h"
@@ -65,6 +66,11 @@ struct SweepPoint {
   /// carries the campaign. Requires `functional` (output comparison),
   /// single-core, and `config.faults.enabled`.
   unsigned campaign_runs = 0;
+  /// Serving scenario: when `serve.enabled`, the point runs serve::Server
+  /// (open-loop traffic + scheduler) instead of one inference, and the
+  /// Report's `server` section carries the traffic statistics. `model` is
+  /// then the default request class when `serve.classes` is empty.
+  serve::ServeSpec serve{};
 };
 
 struct SweepOptions {
@@ -147,6 +153,20 @@ class Experiment {
   /// SweepPoint::campaign_runs). Implies nothing for fault-free points.
   /// Requires functional() and single-core points.
   Experiment& fault_campaign(unsigned runs);
+  /// Serving scenario (src/serve/): every point runs serve::Server with
+  /// this spec instead of a single inference. When `spec.classes` is
+  /// empty, each point serves its own model as a single request class
+  /// (deadline = spec.default_deadline_cycles). Composes with every config
+  /// axis; mutually exclusive with fault_campaign().
+  Experiment& serve(serve::ServeSpec spec);
+  /// Serving axis: one grid column per offered load (requests per
+  /// megacycle), overriding the ServeSpec's arrival rate. Labels encode
+  /// the value ("load2.5"). Requires serve().
+  Experiment& offered_loads(std::vector<double> loads);
+  /// Serving axis: one grid column per scheduler policy, overriding the
+  /// ServeSpec's scheduler. Labels use ServeConfig::label() ("fifo",
+  /// "edf", "batch4"). Requires serve().
+  Experiment& serve_policies(std::vector<serve::ServeConfig> policies);
   /// Forwarded into SweepOptions::strict by run().
   Experiment& strict(bool on = true);
 
@@ -182,6 +202,9 @@ class Experiment {
       placement_policies_;
   std::vector<std::shared_ptr<const lowering::TilingPolicy>> tiling_policies_;
   std::vector<fault::FaultConfig> fault_configs_;
+  serve::ServeSpec serve_spec_{};
+  std::vector<double> offered_loads_;
+  std::vector<serve::ServeConfig> serve_policies_;
   unsigned campaign_runs_ = 0;
   bool strict_ = false;
   bool multicore_ = false;

@@ -96,6 +96,100 @@ void write_dram_channel(JsonWriter& w, const DramChannelTraffic& ch) {
   w.value(ch.write_drains);
   w.key("writes_buffered");
   w.value(ch.writes_buffered);
+  w.key("avg_queue_depth");
+  w.value(ch.avg_queue_depth);
+  w.key("max_queue_depth");
+  w.value(ch.max_queue_depth);
+  w.end_object();
+}
+
+void write_latency_block(JsonWriter& w, Cycle p50, Cycle p95, Cycle p99,
+                         Cycle p999, Cycle max_latency, double mean_latency) {
+  w.key("p50");
+  w.value(p50);
+  w.key("p95");
+  w.value(p95);
+  w.key("p99");
+  w.value(p99);
+  w.key("p999");
+  w.value(p999);
+  w.key("max_latency");
+  w.value(max_latency);
+  w.key("mean_latency");
+  w.value(mean_latency);
+}
+
+void write_serve_class(JsonWriter& w, const ServeClassStats& c) {
+  w.begin_object();
+  w.key("name");
+  w.value(c.name);
+  w.key("offered");
+  w.value(c.offered);
+  w.key("shed");
+  w.value(c.shed);
+  w.key("completed");
+  w.value(c.completed);
+  w.key("errors");
+  w.value(c.errors);
+  w.key("deadline_misses");
+  w.value(c.deadline_misses);
+  write_latency_block(w, c.p50, c.p95, c.p99, c.p999, c.max_latency,
+                      c.mean_latency);
+  w.end_object();
+}
+
+void write_bottleneck(JsonWriter& w, const trace::LayerBottleneck& l);
+
+void write_server(JsonWriter& w, const ServerStats& s) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(s.enabled);
+  w.key("policy");
+  w.value(s.policy);
+  w.key("arrival");
+  w.value(s.arrival);
+  w.key("offered_per_mcycle");
+  w.value(s.offered_per_mcycle);
+  w.key("offered");
+  w.value(s.offered);
+  w.key("admitted");
+  w.value(s.admitted);
+  w.key("shed");
+  w.value(s.shed);
+  w.key("completed");
+  w.value(s.completed);
+  w.key("errors");
+  w.value(s.errors);
+  w.key("deadline_misses");
+  w.value(s.deadline_misses);
+  w.key("good");
+  w.value(s.good);
+  w.key("goodput_per_mcycle");
+  w.value(s.goodput_per_mcycle);
+  w.key("preemptions");
+  w.value(s.preemptions);
+  w.key("context_switches");
+  w.value(s.context_switches);
+  w.key("batches");
+  w.value(s.batches);
+  w.key("makespan");
+  w.value(s.makespan);
+  write_latency_block(w, s.p50, s.p95, s.p99, s.p999, s.max_latency,
+                      s.mean_latency);
+  w.key("avg_queue_depth");
+  w.value(s.avg_queue_depth);
+  w.key("max_queue_depth");
+  w.value(s.max_queue_depth);
+  w.key("per_class");
+  w.begin_array();
+  for (const ServeClassStats& c : s.per_class) write_serve_class(w, c);
+  w.end_array();
+  w.key("miss_bottlenecks");
+  w.begin_array();
+  for (const trace::LayerBottleneck& l : s.miss_bottlenecks) {
+    write_bottleneck(w, l);
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -261,6 +355,8 @@ void write_report(JsonWriter& w, const Report& r) {
   w.value(r.trace_dropped_events);
   w.key("reliability");
   write_reliability(w, r.reliability);
+  w.key("server");
+  write_server(w, r.server);
   w.key("estimates");
   w.begin_object();
   w.key("area_um2");

@@ -89,6 +89,9 @@ struct DramChannelTraffic {
   std::uint64_t queue_wait_cycles = 0;
   std::uint64_t write_drains = 0;
   std::uint64_t writes_buffered = 0;
+  /// Time-weighted request-queue depth (gemmini::TimeWeighted; observational).
+  double avg_queue_depth = 0;
+  double max_queue_depth = 0;
 
   friend bool operator==(const DramChannelTraffic&, const DramChannelTraffic&) =
       default;
@@ -134,6 +137,63 @@ struct ReliabilityReport {
       default;
 };
 
+/// Per-request-class slice of a serving run (one class = one zoo model with
+/// a weight and a deadline; see serve::RequestClass).
+struct ServeClassStats {
+  std::string name;
+  std::uint64_t offered = 0;    ///< arrivals of this class
+  std::uint64_t shed = 0;       ///< rejected at admission (queue full)
+  std::uint64_t completed = 0;  ///< finished with an ok response
+  std::uint64_t errors = 0;     ///< finished with an error response (faults)
+  std::uint64_t deadline_misses = 0;  ///< completed-ok past their deadline
+  Cycle p50 = 0, p95 = 0, p99 = 0, p999 = 0, max_latency = 0;
+  double mean_latency = 0;
+
+  friend bool operator==(const ServeClassStats&, const ServeClassStats&) =
+      default;
+};
+
+/// Serving section of a Report — filled only by serve::Server runs (the
+/// `enabled` flag is false and the section all-zero otherwise). Latency
+/// percentiles are exact (nearest-rank over every stored sample), queue
+/// depth is time-weighted over the admission queue, and goodput counts only
+/// in-deadline ok responses. All times are simulated cycles.
+struct ServerStats {
+  bool enabled = false;
+  std::string policy;             ///< "fifo" / "edf" / "batchN"
+  std::string arrival;            ///< "poisson" / "fixed" / "trace"
+  double offered_per_mcycle = 0;  ///< configured (or measured) arrival rate
+  std::uint64_t offered = 0;      ///< total arrivals
+  std::uint64_t admitted = 0;     ///< offered - shed
+  std::uint64_t shed = 0;         ///< rejected at admission
+  std::uint64_t completed = 0;    ///< ok responses
+  std::uint64_t errors = 0;       ///< error responses (fault-layer aborts)
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t good = 0;         ///< ok responses inside their deadline
+  double goodput_per_mcycle = 0;  ///< good / makespan
+  std::uint64_t preemptions = 0;
+  std::uint64_t context_switches = 0;  ///< OS switch costs charged
+  std::uint64_t batches = 0;           ///< dispatches with > 1 request
+  Cycle makespan = 0;             ///< last completion time
+
+  // Exact end-to-end latency percentiles over ok responses (arrival ->
+  // completion, queueing included).
+  Cycle p50 = 0, p95 = 0, p99 = 0, p999 = 0, max_latency = 0;
+  double mean_latency = 0;
+
+  // Time-weighted admission-queue depth over the run.
+  double avg_queue_depth = 0;
+  double max_queue_depth = 0;
+
+  std::vector<ServeClassStats> per_class;
+
+  /// Bottleneck attribution for the first deadline-missing request's model,
+  /// captured through a traced re-run (serve::ServeSpec::trace_missed).
+  std::vector<trace::LayerBottleneck> miss_bottlenecks;
+
+  friend bool operator==(const ServerStats&, const ServerStats&) = default;
+};
+
 /// End-to-end result of one experiment (one model on one SoC config).
 struct Report {
   /// Sweep-point label ("" for direct Session runs).
@@ -173,6 +233,10 @@ struct Report {
   /// Fault-injection counters and campaign classification; `enabled` is
   /// false (and the section all-zero) for fault-free runs.
   ReliabilityReport reliability;
+
+  /// Serving-layer statistics; `enabled` is false (and the section
+  /// all-zero) for single-inference runs.
+  ServerStats server;
 
   friend bool operator==(const Report&, const Report&) = default;
 

@@ -194,6 +194,8 @@ Report Session::make_report(const Model& model,
     ch.queue_wait_cycles = cs.queue_wait_cycles;
     ch.write_drains = cs.write_drains;
     ch.writes_buffered = cs.writes_buffered;
+    ch.avg_queue_depth = cs.avg_queue_depth;
+    ch.max_queue_depth = cs.max_queue_depth;
     rep.substrate.dram_channels.push_back(ch);
   }
 

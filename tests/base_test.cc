@@ -132,6 +132,58 @@ TEST(Stats, TimeSeriesEmptyWindowsRateZero) {
   EXPECT_DOUBLE_EQ(ts.rate(9), 1.0);
 }
 
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<Cycle> s = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  // Nearest-rank: rank = ceil(q/100 * N), 1-based.
+  EXPECT_EQ(percentile_sorted(s, 50.0), 50u);
+  EXPECT_EQ(percentile_sorted(s, 90.0), 90u);
+  EXPECT_EQ(percentile_sorted(s, 95.0), 100u);  // ceil(9.5) = 10th
+  EXPECT_EQ(percentile_sorted(s, 99.0), 100u);
+  EXPECT_EQ(percentile_sorted(s, 100.0), 100u);
+  EXPECT_EQ(percentile_sorted(s, 0.0), 10u);
+  EXPECT_EQ(percentile_sorted(std::vector<Cycle>{}, 50.0), 0u);
+  EXPECT_EQ(percentile_sorted(std::vector<Cycle>{7}, 99.9), 7u);
+  // The unsorted convenience sorts a copy.
+  EXPECT_EQ(percentile(std::vector<Cycle>{30, 10, 20}, 50.0), 20u);
+}
+
+TEST(Stats, PercentileIsExactNotInterpolated) {
+  // 1000 samples 1..1000: every quantile is an actual sample.
+  std::vector<Cycle> s(1000);
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = i + 1;
+  EXPECT_EQ(percentile_sorted(s, 50.0), 500u);
+  EXPECT_EQ(percentile_sorted(s, 99.0), 990u);
+  EXPECT_EQ(percentile_sorted(s, 99.9), 999u);
+}
+
+TEST(Stats, TimeWeightedMeanAndMax) {
+  TimeWeighted tw;
+  EXPECT_TRUE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  // Value 2 over [0,10), 4 over [10,30), 0 over [30,40).
+  tw.record(0, 2.0);
+  tw.record(10, 4.0);
+  tw.record(30, 0.0);
+  tw.finish(40);
+  EXPECT_DOUBLE_EQ(tw.mean(), (2.0 * 10 + 4.0 * 20) / 40.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 4.0);
+  EXPECT_EQ(tw.duration(), 40u);
+  tw.reset();
+  EXPECT_TRUE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.max(), 0.0);
+}
+
+TEST(Stats, TimeWeightedZeroDurationAndOutOfOrder) {
+  TimeWeighted tw;
+  tw.record(5, 3.0);
+  // No time has passed: mean falls back to the current value.
+  EXPECT_DOUBLE_EQ(tw.mean(), 3.0);
+  // Out-of-order samples carry zero weight but still update max.
+  tw.record(3, 9.0);
+  tw.finish(5);
+  EXPECT_DOUBLE_EQ(tw.max(), 9.0);
+}
+
 TEST(Types, PageArithmetic) {
   EXPECT_EQ(page_number(0x12345), 0x12ull);
   EXPECT_EQ(page_offset(0x12345), 0x345ull);
