@@ -24,10 +24,13 @@
 #           tail percentiles, goodput saturating below calibrated capacity,
 #           byte-identical reports across worker threads), default out
 #           BENCH_PR7.json
+#   llm     KV-cache-resident decode gates (batch-1 decode gains more from
+#           FR-FCFS than every conv-zoo model, cycles-per-token strictly
+#           improves 1->2->4 DRAM channels), default out BENCH_PR8.json
 #
 # The pre-dispatcher spellings still work as aliases:
 #   scripts/run_bench.sh --sweep [out.json]   ==  --suite sweep [out.json]
-#   (same for --plan / --trace / --dram / --faults / --serve)
+#   (same for --plan / --trace / --dram / --faults / --serve / --llm)
 #
 # Exit is nonzero if the build fails, any golden cycle count differs, the
 # harness reports a gate failure, or the suite's artifact fails validation.
@@ -37,10 +40,10 @@ cd "$(dirname "$0")/.."
 SUITE=perf
 case "${1:-}" in
   --suite)
-    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve)}"
+    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve|llm)}"
     shift 2
     ;;
-  --sweep|--plan|--trace|--dram|--faults|--serve)
+  --sweep|--plan|--trace|--dram|--faults|--serve|--llm)
     SUITE="${1#--}"  # legacy alias: --sweep == --suite sweep
     shift
     ;;
@@ -54,8 +57,9 @@ case "$SUITE" in
   dram)   SUITE_OUT="${1:-BENCH_PR5.json}"; shift || true ;;
   faults) SUITE_OUT="${1:-BENCH_PR6.json}"; shift || true ;;
   serve)  SUITE_OUT="${1:-BENCH_PR7.json}"; shift || true ;;
+  llm)    SUITE_OUT="${1:-BENCH_PR8.json}"; shift || true ;;
   *)
-    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve)" >&2
+    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve|llm)" >&2
     exit 2
     ;;
 esac
@@ -265,6 +269,44 @@ if failed:
     sys.exit(1)
 print(f"serving-layer gates ok: goodput saturates below the calibrated "
       f"{cap:.3f} req/Mcyc capacity")
+EOF
+  ;;
+
+llm)
+  # bench_perf --llm runs the decode gates (golden identity, scheduler gain
+  # vs the conv zoo, channel scaling) and already exits nonzero on a
+  # failure; this re-validates the emitted artifact.
+  "./$BUILD_DIR/bench_perf" --llm "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    llm = json.load(f)
+failed = False
+for gate in ("golden_unchanged", "llm_gains_most", "channels_monotone"):
+    if not llm.get(gate):
+        print(f"FAIL: llm gate '{gate}' failed")
+        failed = True
+row = llm.get("llm", {})
+llm_gain = row.get("gain_pct", 0.0)
+for name, m in llm.get("models", {}).items():
+    conv = m.get("gain_pct", 0.0)
+    if llm_gain <= conv:
+        print(f"FAIL: {name}: conv gain {conv:.3f}% >= decode gain "
+              f"{llm_gain:.3f}%")
+        failed = True
+    else:
+        print(f"llm ok:     {name}: conv gain {conv:.3f}% < decode "
+              f"{llm_gain:.3f}%")
+cpt = llm.get("channel_cycles_per_token", [])
+if len(cpt) != 3 or not (cpt[0] > cpt[1] > cpt[2]):
+    print(f"FAIL: cycles-per-token not strictly decreasing over channels: "
+          f"{cpt}")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"llm decode gates ok: {llm.get('decode')} saves {llm_gain:.3f}% "
+      f"cycles/token under FR-FCFS; channels 1->2->4 give {cpt}")
 EOF
   ;;
 

@@ -90,6 +90,7 @@ void Accelerator::exec_one(const Instruction& inst) {
     case Opcode::kConfigLd: {
       ld_[inst.ld_channel].stride = inst.stride_bytes;
       ld_[inst.ld_channel].scale = inst.ld_scale;
+      ld_[inst.ld_channel].int4 = inst.ld_int4;
       stats_.counter("config").add();
       break;
     }
@@ -109,7 +110,7 @@ void Accelerator::exec_one(const Instruction& inst) {
       const auto& ch = ld_[inst.ld_channel];
       const DmaEngine::XferResult xr =
           dma_.mvin(*as_, inst.dram_addr, ch.stride, ch.scale, inst.local,
-                    inst.rows, inst.cols, start, functional_);
+                    inst.rows, inst.cols, start, functional_, ch.int4);
       // Dependents wait for the data; the load pipe itself frees as soon as
       // the last request has issued (the DMA is pipelined across MVINs).
       hazards_.record_write(acc_dst, inst.local.row(), inst.rows,

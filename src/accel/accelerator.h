@@ -114,6 +114,7 @@ class Accelerator {
   struct LdChannel {
     std::uint64_t stride = 0;
     float scale = 1.0f;
+    bool int4 = false;
   };
   std::array<LdChannel, 3> ld_{};
   std::uint64_t st_stride_ = 0;

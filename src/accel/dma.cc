@@ -85,11 +85,18 @@ DmaEngine::XferResult DmaEngine::mvin(const AddressSpace& as, VAddr dram,
                                       std::uint64_t stride_bytes, float scale,
                                       LocalAddr dst, unsigned rows,
                                       unsigned cols, Cycle start,
-                                      bool functional) {
+                                      bool functional, bool int4) {
   GEMMINI_CHECK_MSG(!dst.is_garbage(), "mvin needs a destination");
   GEMMINI_CHECK_MSG(cols <= cfg_.dim(), "mvin cols " << cols << " > dim");
+  GEMMINI_CHECK_MSG(!int4 || (!dst.is_acc() && cfg_.dtype == DType::kInt8),
+                    "int4 mvin dequantizes into the int8 scratchpad");
   const std::size_t elem = cfg_.input_bytes();
-  const std::uint64_t row_bytes = static_cast<std::uint64_t>(cols) * elem;
+  // DRAM-side row width: packed int4 rows carry two elements per byte, so
+  // the memory system (and the row-hit behavior under study) sees half the
+  // traffic of the equivalent int8 load.
+  const std::uint64_t row_bytes =
+      int4 ? (static_cast<std::uint64_t>(cols) + 1) / 2
+           : static_cast<std::uint64_t>(cols) * elem;
 
   stats_.counter("mvins").add();
   Cycle issue = start;
@@ -174,6 +181,24 @@ DmaEngine::XferResult DmaEngine::mvin(const AddressSpace& as, VAddr dram,
           acc_.write_row_f32(dst.row() + r, wide.data(), cols,
                              dst.accumulate());
         }
+      }
+    } else if (int4) {
+      // Unpack two's-complement nibbles (low nibble first) and sign-extend
+      // into the int8 scratchpad row.
+      for (unsigned r = 0; r < rows; ++r) {
+        const std::uint8_t* src =
+            buf_data + static_cast<std::size_t>(r) * row_bytes;
+        std::uint8_t* row = sp_.row_ptr(dst.row() + r);
+        for (unsigned c = 0; c < cols; ++c) {
+          const std::uint8_t nib =
+              (c & 1) ? static_cast<std::uint8_t>(src[c >> 1] >> 4)
+                      : static_cast<std::uint8_t>(src[c >> 1] & 0xF);
+          std::int8_t v = static_cast<std::int8_t>(
+              static_cast<std::int8_t>(nib << 4) >> 4);
+          if (scale != 1.0f) v = scale_i8(v, scale);
+          row[c] = static_cast<std::uint8_t>(v);
+        }
+        std::fill(row + cols, row + sp_.row_bytes(), 0);
       }
     } else if (cfg_.dtype == DType::kInt8 && scale != 1.0f) {
       for (unsigned r = 0; r < rows; ++r) {

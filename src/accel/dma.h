@@ -50,10 +50,14 @@ class DmaEngine {
 
   /// Executes an MVIN: rows x cols elements from DRAM (row stride
   /// `stride_bytes`, scaled by `scale`) into consecutive local rows starting
-  /// at `dst`.
+  /// at `dst`. With `int4`, each DRAM row holds (cols+1)/2 bytes of packed
+  /// two's-complement nibbles (low nibble first) that are sign-extended to
+  /// int8 on the way into the scratchpad — dequant-on-mvin, so the array
+  /// computes in int8 while DRAM traffic halves.
   XferResult mvin(const AddressSpace& as, VAddr dram,
                   std::uint64_t stride_bytes, float scale, LocalAddr dst,
-                  unsigned rows, unsigned cols, Cycle start, bool functional);
+                  unsigned rows, unsigned cols, Cycle start, bool functional,
+                  bool int4 = false);
 
   /// Executes an MVOUT: rows x cols elements from local rows starting at
   /// `src` to DRAM. Accumulator sources pass through the read-out pipeline

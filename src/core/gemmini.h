@@ -28,6 +28,7 @@
 #include "src/estimate/power_model.h"
 #include "src/estimate/timing_model.h"
 #include "src/isa/isa.h"
+#include "src/llm/decode.h"
 #include "src/model/graph.h"
 #include "src/model/lowering/pipeline.h"
 #include "src/model/lowering/policy.h"

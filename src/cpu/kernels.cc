@@ -393,6 +393,18 @@ void resadd_i8(const TensorI8& a, const TensorI8& b, TensorI8& out,
   }
 }
 
+void unpack_int4_matrix(const std::uint8_t* packed, std::uint64_t k,
+                        std::uint64_t n, TensorI8& out) {
+  GEMMINI_CHECK(out.rank() == 2 && out.size() == k * n);
+  const std::uint64_t row_bytes = (n + 1) / 2;
+  for (std::uint64_t r = 0; r < k; ++r) {
+    const std::uint8_t* row = packed + r * row_bytes;
+    for (std::uint64_t c = 0; c < n; ++c) {
+      out[r * n + c] = unpack_int4(row, c);
+    }
+  }
+}
+
 void softmax_f32(const TensorF32& in, TensorF32& out) {
   GEMMINI_CHECK(in.rank() == 2 && out.shape() == in.shape());
   const std::size_t rows = in.dim(0), cols = in.dim(1);

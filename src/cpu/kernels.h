@@ -90,6 +90,20 @@ inline unsigned conv_out_dim(unsigned in, unsigned k, unsigned stride,
   return (in + 2 * padding - k) / stride + 1;
 }
 
+/// Sign-extends one packed int4 nibble (low nibble first within each byte).
+/// This is the DMA's dequant-on-mvin rule; the int4 difftests unpack with it.
+inline std::int8_t unpack_int4(const std::uint8_t* packed, std::size_t idx) {
+  const std::uint8_t nib = (idx & 1)
+                               ? static_cast<std::uint8_t>(packed[idx >> 1] >> 4)
+                               : static_cast<std::uint8_t>(packed[idx >> 1] & 0xF);
+  return static_cast<std::int8_t>(static_cast<std::int8_t>(nib << 4) >> 4);
+}
+
+/// Unpacks a [k x n] packed-int4 weight matrix (row stride ceil(n/2) bytes)
+/// into an int8 tensor — the reference dequant oracle.
+void unpack_int4_matrix(const std::uint8_t* packed, std::uint64_t k,
+                        std::uint64_t n, TensorI8& out);
+
 // ---- Float kernels used for CPU-resident BERT ops -------------------------
 void softmax_f32(const TensorF32& in, TensorF32& out);     // rows of a matrix
 void layernorm_f32(const TensorF32& in, TensorF32& out);   // per row

@@ -67,13 +67,14 @@ Instruction make_config_ex(Dataflow df, Activation act, unsigned out_shift,
 }
 
 Instruction make_config_ld(std::uint64_t stride_bytes, float scale,
-                           unsigned channel) {
+                           unsigned channel, bool int4) {
   GEMMINI_CHECK(channel < 3);
   Instruction i;
   i.op = Opcode::kConfigLd;
   i.stride_bytes = stride_bytes;
   i.ld_scale = scale;
   i.ld_channel = static_cast<std::uint8_t>(channel);
+  i.ld_int4 = int4;
   return i;
 }
 
@@ -169,7 +170,9 @@ RoccCommand encode(const Instruction& inst) {
       c.funct = kFunctConfig;
       std::uint32_t scale_bits;
       std::memcpy(&scale_bits, &inst.ld_scale, sizeof(scale_bits));
-      c.rs1 = kConfigLd | (static_cast<std::uint64_t>(inst.ld_channel) << 3) |
+      c.rs1 = kConfigLd |
+              (static_cast<std::uint64_t>(inst.ld_int4 ? 1 : 0) << 2) |
+              (static_cast<std::uint64_t>(inst.ld_channel) << 3) |
               (static_cast<std::uint64_t>(scale_bits) << 32);
       c.rs2 = inst.stride_bytes;
       break;
@@ -231,6 +234,7 @@ Instruction decode(const RoccCommand& c) {
         i.out_shift = static_cast<std::uint8_t>(c.rs2 & 0xFF);
       } else if (sel == kConfigLd) {
         i.op = Opcode::kConfigLd;
+        i.ld_int4 = ((c.rs1 >> 2) & 1) != 0;
         i.ld_channel = static_cast<std::uint8_t>((c.rs1 >> 3) & 0x3);
         const std::uint32_t scale_bits =
             static_cast<std::uint32_t>(c.rs1 >> 32);
@@ -304,7 +308,7 @@ std::string Instruction::to_string() const {
       break;
     case Opcode::kConfigLd:
       oss << " ch=" << int(ld_channel) << " stride=" << stride_bytes
-          << " scale=" << ld_scale;
+          << " scale=" << ld_scale << (ld_int4 ? " int4" : "");
       break;
     case Opcode::kConfigSt:
       oss << " stride=" << stride_bytes;

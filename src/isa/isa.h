@@ -101,6 +101,7 @@ struct Instruction {
   bool a_transpose = false;                         // CONFIG_EX (transposer)
   std::uint64_t stride_bytes = 0;                   // CONFIG_LD / CONFIG_ST
   float ld_scale = 1.0f;                            // CONFIG_LD
+  bool ld_int4 = false;                             // CONFIG_LD (packed int4)
   std::uint16_t pool_window = 0;                    // CONFIG_ST (0 = off)
   std::uint16_t pool_stride = 0;                    // CONFIG_ST
 
@@ -110,8 +111,11 @@ struct Instruction {
 /// Builder helpers — the runtime uses these to emit programs.
 Instruction make_config_ex(Dataflow df, Activation act, unsigned out_shift,
                            bool a_transpose = false);
+/// `int4` marks the channel as moving packed int4 data: DRAM rows are
+/// (cols+1)/2 bytes of two-nibble pairs, sign-extended to int8 on the way
+/// into the scratchpad (dequant-on-mvin).
 Instruction make_config_ld(std::uint64_t stride_bytes, float scale = 1.0f,
-                           unsigned channel = 0);
+                           unsigned channel = 0, bool int4 = false);
 Instruction make_config_st(std::uint64_t stride_bytes,
                            unsigned pool_window = 0, unsigned pool_stride = 0);
 Instruction make_mvin(VAddr dram, LocalAddr dst, unsigned rows, unsigned cols,

@@ -225,13 +225,14 @@ int ModelBuilder::dwconv(unsigned k, unsigned stride, unsigned padding,
 }
 
 int ModelBuilder::dense(std::uint64_t out_features, Activation act,
-                        int from) {
+                        int from, bool int4_weights) {
   LayerSpec s;
   s.kind = LayerKind::kDense;
   s.name = "dense" + std::to_string(layers_.size());
   s.out_features = out_features;
   s.act = act;
   s.input = from;
+  s.int4_weights = int4_weights;
   return push(std::move(s));
 }
 

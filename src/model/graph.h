@@ -66,6 +66,9 @@ struct LayerSpec {
   unsigned kh = 1, kw = 1, oc = 0, stride = 1, padding = 0;
   // Dense: output features (input features inferred).
   std::uint64_t out_features = 0;
+  /// Dense only: weights stored as packed int4 nibbles in DRAM,
+  /// sign-extended to int8 on MVIN (halves weight footprint and traffic).
+  bool int4_weights = false;
   // Pool.
   unsigned window = 2, pool_stride = 2, pool_padding = 0;
 
@@ -120,7 +123,7 @@ class ModelBuilder {
   int dwconv(unsigned k, unsigned stride, unsigned padding,
              Activation act = Activation::kRelu, int from = -1);
   int dense(std::uint64_t out_features, Activation act = Activation::kNone,
-            int from = -1);
+            int from = -1, bool int4_weights = false);
   int maxpool(unsigned window, unsigned stride, unsigned padding = 0,
               int from = -1);
   int global_avgpool(int from = -1);

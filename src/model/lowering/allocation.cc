@@ -96,8 +96,24 @@ void allocate_buffers(sim::Plan& plan, const GemminiConfig& cfg,
                 ? in_shape.cols
                 : static_cast<std::uint64_t>(in_shape.h) * in_shape.w *
                       in_shape.c;
-        pl.weights.va = alloc_weights(in_features * l.out_features);
-        pl.weights.bytes = padded_bytes(in_features * l.out_features, cfg);
+        if (l.int4_weights) {
+          // Packed nibble storage: each of the k weight rows occupies
+          // ceil(n/2) bytes. The random packed bytes ARE the int4 weights;
+          // the reference oracle unpacks the same nibbles.
+          const std::uint64_t packed =
+              in_features * ((l.out_features + 1) / 2);
+          plan.weight_bytes += packed;
+          pl.weights.va = as.alloc(padded_bytes(packed, cfg));
+          pl.weights.bytes = padded_bytes(packed, cfg);
+          if (plan.functional) {
+            std::vector<std::int8_t> buf(packed);
+            for (auto& v : buf) v = rng.next_int8();
+            as.write_virt(pl.weights.va, buf.data(), buf.size());
+          }
+        } else {
+          pl.weights.va = alloc_weights(in_features * l.out_features);
+          pl.weights.bytes = padded_bytes(in_features * l.out_features, cfg);
+        }
         if (l.has_bias) {
           pl.bias.va = alloc_weights(l.out_features);
           pl.bias.bytes = padded_bytes(l.out_features, cfg);
@@ -114,7 +130,7 @@ void allocate_buffers(sim::Plan& plan, const GemminiConfig& cfg,
     if (pl.has_matmul && pl.target == LayerTarget::kAccel) {
       pl.dma_bytes = pl.matmul.count *
                      modeled_dma_bytes(cfg, pl.matmul.dims, pl.matmul.tile,
-                                       pl.bias.va != 0);
+                                       pl.bias.va != 0, l.int4_weights);
     }
   }
 }

@@ -195,10 +195,17 @@ LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
             const std::uint64_t n = l.out_features;
             const unsigned shift = pl.out_shift;
             const Activation act = l.act;
+            const bool int4 = l.int4_weights;
             step.post_fixup = [=](const AddressSpace& vas) {
               TensorI8 a({rows, in_features}), b({in_features, n});
               vas.read_virt(in_va, a.data(), a.size());
-              vas.read_virt(w_va, b.data(), b.size());
+              if (int4) {
+                std::vector<std::uint8_t> packed(in_features * ((n + 1) / 2));
+                vas.read_virt(w_va, packed.data(), packed.size());
+                ref::unpack_int4_matrix(packed.data(), in_features, n, b);
+              } else {
+                vas.read_virt(w_va, b.data(), b.size());
+              }
               std::vector<std::int32_t> bias;
               if (b_va) bias = read_bias(vas, b_va, n);
               TensorI8 c({rows, n});
@@ -221,6 +228,7 @@ LoweredModel emit_stream(const sim::Plan& plan, const GemminiConfig& cfg,
         p.out_shift = pl.out_shift;
         p.act = l.act;
         p.tile = pl.matmul.tile;
+        p.b_int4 = l.int4_weights;
         out.stream.add_cpu("other", cpu.dispatch_cycles());
         out.stream.add_accel("matmul", emit_tiled_matmul(cfg, p));
         break;

@@ -15,10 +15,17 @@ Program emit_tiled_matmul(const GemminiConfig& cfg, const MatmulParams& p) {
 
   const unsigned dim = cfg.dim();
   const std::size_t elem = cfg.input_bytes();
+  if (p.b_int4) {
+    GEMMINI_CHECK_MSG(cfg.dtype == DType::kInt8,
+                      "int4 weights require an int8 instantiation");
+    GEMMINI_CHECK_MSG(dim % 2 == 0, "int4 weights require an even DIM");
+  }
   const std::uint64_t a_stride =
       p.a_row_stride_bytes ? p.a_row_stride_bytes : p.k * elem;
+  // Packed int4 B rows carry two elements per byte.
   const std::uint64_t b_stride =
-      p.b_row_stride_bytes ? p.b_row_stride_bytes : p.n * elem;
+      p.b_row_stride_bytes ? p.b_row_stride_bytes
+                           : (p.b_int4 ? (p.n + 1) / 2 : p.n * elem);
   const std::uint64_t c_stride =
       p.c_row_stride_bytes ? p.c_row_stride_bytes : p.n * elem;
 
@@ -50,7 +57,7 @@ Program emit_tiled_matmul(const GemminiConfig& cfg, const MatmulParams& p) {
   prog.reserve(64);
   prog.push_back(make_config_ex(p.dataflow, p.act, p.out_shift));
   prog.push_back(make_config_ld(a_stride, 1.0f, 0));
-  prog.push_back(make_config_ld(b_stride, 1.0f, 1));
+  prog.push_back(make_config_ld(b_stride, 1.0f, 1, p.b_int4));
   if (p.bias) prog.push_back(make_config_ld(0, 1.0f, 2));  // broadcast row
   prog.push_back(make_config_st(c_stride));
 
@@ -114,7 +121,8 @@ Program emit_tiled_matmul(const GemminiConfig& cfg, const MatmulParams& p) {
             const unsigned pcols = static_cast<unsigned>(
                 std::min<std::uint64_t>(dim, p.n - (j0 + jb) * dim));
             const VAddr va = p.b + (k0 + kk) * dim * b_stride +
-                             (j0 + jb) * dim * elem;
+                             (p.b_int4 ? (j0 + jb) * dim * elem / 2
+                                       : (j0 + jb) * dim * elem);
             prog.push_back(make_mvin(
                 va,
                 LocalAddr::sp_row(

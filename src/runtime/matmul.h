@@ -32,6 +32,11 @@ struct MatmulParams {
   unsigned out_shift = 0;
   Activation act = Activation::kNone;
   Dataflow dataflow = Dataflow::kWeightStationary;
+  /// B holds packed int4 weights (two two's-complement nibbles per byte,
+  /// low nibble first). The DMA sign-extends to int8 on MVIN, so the
+  /// arithmetic is unchanged but B's DRAM traffic halves. Requires an int8
+  /// instantiation; a dense packed row is (n+1)/2 bytes.
+  bool b_int4 = false;
   /// Manual tile override (validated against the budget); nullopt = auto.
   std::optional<TileShape> tile;
 };

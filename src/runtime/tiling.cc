@@ -62,7 +62,7 @@ TileShape choose_tiles(const GemminiConfig& cfg, const MatmulDims& dims) {
 
 std::uint64_t modeled_dma_bytes(const GemminiConfig& cfg,
                                 const MatmulDims& dims, const TileShape& tile,
-                                bool has_bias) {
+                                bool has_bias, bool b_int4) {
   const std::uint64_t dim = cfg.dim();
   const std::uint64_t elem = cfg.input_bytes();
   const auto blocks = [dim](std::uint64_t x) {
@@ -75,7 +75,9 @@ std::uint64_t modeled_dma_bytes(const GemminiConfig& cfg,
   // prows x pcols window, so one full pass over A or B moves m*k or k*n
   // elements regardless of edge tiles.
   const std::uint64_t a_bytes = dims.m * dims.k * elem * j_passes;
-  const std::uint64_t b_bytes = dims.k * dims.n * elem * i_passes;
+  const std::uint64_t b_bytes =
+      b_int4 ? dims.k * ((dims.n + 1) / 2) * i_passes
+             : dims.k * dims.n * elem * i_passes;
   const std::uint64_t bias_bytes = has_bias ? dims.m * dims.n * elem : 0;
   const std::uint64_t c_bytes = dims.m * dims.n * elem;
   return a_bytes + b_bytes + bias_bytes + c_bytes;

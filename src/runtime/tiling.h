@@ -62,8 +62,10 @@ void validate_tiles(const GemminiConfig& cfg, const TileShape& tile);
 /// drained once. This is the objective the search-based tiling policy
 /// minimizes (tile selection under the scratchpad/accumulator budget is a
 /// multi-dimensional knapsack; the traffic model is its value function).
+/// With `b_int4`, B is stored as packed nibbles and each B row moves
+/// ceil(n/2) bytes instead of n*elem.
 std::uint64_t modeled_dma_bytes(const GemminiConfig& cfg,
                                 const MatmulDims& dims, const TileShape& tile,
-                                bool has_bias = false);
+                                bool has_bias = false, bool b_int4 = false);
 
 }  // namespace gemmini

@@ -112,6 +112,9 @@ sim::Report Server::run() {
   std::vector<std::vector<Cycle>> cls_samples(nclasses);
   double latency_sum = 0;
   std::vector<double> cls_latency_sum(nclasses, 0.0);
+  // Per-token latency samples (latency / tokens) for decode requests only.
+  std::vector<std::vector<Cycle>> cls_tok_samples(nclasses);
+  std::vector<double> cls_tok_sum(nclasses, 0.0);
   std::set<std::uint64_t> errored;  ///< request ids whose faulty run threw
   bool have_miss = false;
   unsigned miss_cls = 0;
@@ -152,6 +155,13 @@ sim::Report Server::run() {
       cls_samples[r.cls].push_back(lat);
       latency_sum += static_cast<double>(lat);
       cls_latency_sum[r.cls] += static_cast<double>(lat);
+      if (r.tokens > 0) {
+        const Cycle per_tok = lat / r.tokens;
+        cls_tok_samples[r.cls].push_back(per_tok);
+        cls_tok_sum[r.cls] += static_cast<double>(per_tok);
+        st.tokens += r.tokens;
+        cs.tokens += r.tokens;
+      }
       ++st.completed;
       ++cs.completed;
       if (r.deadline != 0 && t > r.deadline) {
@@ -193,15 +203,23 @@ sim::Report Server::run() {
         for (const ServeScheduler::Pending& p : batch) {
           auto [err, cycles] = run_faulty(p.req);
           if (err) errored.insert(p.req.id);
-          sum += cycles;
+          // Decode requests pay `tokens` extra warm per-token passes on
+          // top of the (possibly faulty) prefill run.
+          sum += cycles + p.req.tokens * cal[p.req.cls].warm;
         }
         const double f = contention_factor(cal[batch[0].req.cls], busy_after);
         base = static_cast<Cycle>(
             std::llround(static_cast<double>(sum) * f));
       } else {
         const Calibration& k = cal[batch[0].req.cls];
-        const Cycle solo =
-            k.cold + static_cast<Cycle>(batch.size() - 1) * k.warm;
+        // cold prefill + warm tail of the batch + one warm pass per
+        // generated token (decode classes; tokens == 0 for single-shot
+        // requests recovers the plain inference cost exactly).
+        Cycle tokens = 0;
+        for (const ServeScheduler::Pending& p : batch) tokens += p.req.tokens;
+        const Cycle solo = k.cold +
+                           static_cast<Cycle>(batch.size() - 1) * k.warm +
+                           tokens * k.warm;
         const double f = contention_factor(k, busy_after);
         base = static_cast<Cycle>(
             std::llround(static_cast<double>(solo) * f));
@@ -308,6 +326,13 @@ sim::Report Server::run() {
     cs.max_latency = s.empty() ? 0 : s.back();
     cs.mean_latency =
         s.empty() ? 0.0 : cls_latency_sum[i] / static_cast<double>(s.size());
+    std::vector<Cycle>& ts = cls_tok_samples[i];
+    std::sort(ts.begin(), ts.end());
+    cs.p50_per_token = percentile_sorted(ts, 50.0);
+    cs.p95_per_token = percentile_sorted(ts, 95.0);
+    cs.p99_per_token = percentile_sorted(ts, 99.0);
+    cs.mean_per_token =
+        ts.empty() ? 0.0 : cls_tok_sum[i] / static_cast<double>(ts.size());
   }
   st.avg_queue_depth = sched.depth_stat().mean();
   st.max_queue_depth = sched.depth_stat().max();

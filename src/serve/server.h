@@ -15,10 +15,12 @@
 // contended bound). The discrete-event serving loop then composes those
 // calibrated numbers:
 //
-//   * a dispatch of batch size B costs cold + (B-1)*warm — warmth exists
-//     only within a batch, because every batch boundary is a context
-//     switch and the OS switch model flushes accelerator translation
-//     state (src/cpu/cost_model.h);
+//   * a dispatch of batch size B costs cold + (B-1)*warm, plus one warm
+//     pass per generated token for decode-class requests (Request::tokens;
+//     single-shot requests have tokens == 0 and the formula reduces to the
+//     plain inference cost) — warmth exists only within a batch, because
+//     every batch boundary is a context switch and the OS switch model
+//     flushes accelerator translation state (src/cpu/cost_model.h);
 //   * every dispatch on a core that ran something before charges the OS
 //     model's switch_cost_cycles (the first dispatch on an idle SoC is
 //     free, which is what makes a single request at offered load -> 0

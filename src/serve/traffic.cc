@@ -81,6 +81,7 @@ std::vector<Request> ArrivalProcess::generate() const {
     r.arrival = t;
     const Cycle rel = classes_[r.cls].deadline_cycles;
     r.deadline = rel == 0 ? 0 : t + rel;
+    r.tokens = classes_[r.cls].decode ? classes_[r.cls].decode_tokens : 0;
     out.push_back(r);
     if (cfg_.max_requests > 0 && id >= cfg_.max_requests) break;
   }
@@ -97,7 +98,7 @@ std::string ArrivalProcess::to_json(const std::vector<Request>& requests) const 
       oss << ", \"name\": \"" << classes_[r.cls].name << "\"";
     }
     oss << ", \"arrival\": " << r.arrival << ", \"deadline\": " << r.deadline
-        << "}";
+        << ", \"tokens\": " << r.tokens << "}";
     if (i + 1 < requests.size()) oss << ",";
     oss << "\n";
   }
@@ -162,6 +163,8 @@ class TraceParser {
           saw_arrival = true;
         } else if (key == "deadline") {
           r.deadline = v;
+        } else if (key == "tokens") {
+          r.tokens = v;
         }  // unknown numeric keys are ignored (forward compatibility)
       }
       skip_ws();

@@ -37,6 +37,13 @@ struct RequestClass {
   Model model;
   double weight = 1.0;
   Cycle deadline_cycles = 0;  ///< relative to arrival; 0 = no SLO
+
+  /// Decode mode: requests of this class are autoregressive generations.
+  /// Service cost = one cold (prefill) pass plus `decode_tokens` warm
+  /// per-token passes of the calibrated model; the server reports
+  /// per-token latency percentiles for the class.
+  bool decode = false;
+  std::uint64_t decode_tokens = 0;  ///< generated tokens per request
 };
 
 /// One request in the generated stream. `deadline` is absolute (arrival +
@@ -46,6 +53,8 @@ struct Request {
   unsigned cls = 0;  ///< index into the class list
   Cycle arrival = 0;
   Cycle deadline = 0;
+  /// Tokens to generate (decode classes; 0 for single-inference classes).
+  std::uint64_t tokens = 0;
 
   friend bool operator==(const Request&, const Request&) = default;
 };

@@ -140,6 +140,23 @@ Report error_report(const SweepPoint& point, std::string message) {
 }  // namespace
 
 Report Sweep::run_point(const SweepPoint& point) {
+  if (point.llm.has_value()) {
+    Session session = Session::builder(point.config)
+                          .functional(point.functional)
+                          .seed(point.seed)
+                          .trace(point.trace)
+                          .build();
+    Report rep = llm::run_decode(session, *point.llm);
+    rep.point = point.name;
+    if (session.tracing() && !point.trace.export_path.empty()) {
+      if (!session.write_trace(point.trace.export_path)) {
+        throw RuntimeError("sweep point '" + point.name +
+                           "': could not write trace to " +
+                           point.trace.export_path);
+      }
+    }
+    return rep;
+  }
   if (point.serve.enabled) {
     serve::Server server(
         point.config, point.serve,
@@ -333,6 +350,26 @@ Experiment& Experiment::serve(serve::ServeSpec spec) {
   serve_spec_.enabled = true;
   return *this;
 }
+Experiment& Experiment::llm(llm::DecodeConfig base) {
+  llm_base_ = std::move(base);
+  return *this;
+}
+Experiment& Experiment::llm_batches(std::vector<unsigned> batches) {
+  llm_batches_ = std::move(batches);
+  return *this;
+}
+Experiment& Experiment::llm_kv_layouts(std::vector<llm::KvLayout> layouts) {
+  llm_layouts_ = std::move(layouts);
+  return *this;
+}
+Experiment& Experiment::llm_decode_steps(std::vector<std::uint64_t> steps) {
+  llm_steps_ = std::move(steps);
+  return *this;
+}
+Experiment& Experiment::llm_int4(std::vector<bool> int4) {
+  llm_int4_ = std::move(int4);
+  return *this;
+}
 Experiment& Experiment::offered_loads(std::vector<double> loads) {
   offered_loads_ = std::move(loads);
   return *this;
@@ -366,8 +403,22 @@ Experiment& Experiment::trace_point(std::string point_name,
 }
 
 Sweep Experiment::sweep() const {
-  GEMMINI_CONFIG_REQUIRE(!models_.empty(),
-                         "sim::Experiment: add at least one model");
+  GEMMINI_CONFIG_REQUIRE(!models_.empty() || llm_base_.has_value(),
+                         "sim::Experiment: add at least one model (or llm())");
+  GEMMINI_CONFIG_REQUIRE(models_.empty() || !llm_base_.has_value(),
+                         "sim::Experiment: llm() replaces the model list; do "
+                         "not combine it with model()/models()");
+  GEMMINI_CONFIG_REQUIRE(
+      llm_base_.has_value() || (llm_batches_.empty() && llm_layouts_.empty() &&
+                                llm_steps_.empty() && llm_int4_.empty()),
+      "sim::Experiment: llm_batches()/llm_kv_layouts()/llm_decode_steps()/"
+      "llm_int4() need llm()");
+  if (llm_base_.has_value()) {
+    GEMMINI_CONFIG_REQUIRE(!serve_spec_.enabled && campaign_runs_ == 0 &&
+                               !multicore_,
+                           "sim::Experiment: llm() is a single-core workload "
+                           "and excludes serve() and fault_campaign()");
+  }
   GEMMINI_CONFIG_REQUIRE(
       explicit_configs_.empty() ||
           (geometries_.empty() && sp_sizes_.empty() && l2_sizes_.empty() &&
@@ -538,6 +589,47 @@ Sweep Experiment::sweep() const {
     serve_variants.push_back({});
   }
 
+  // Workload list: either the explicit model list or the llm decode grid
+  // (batch x layout x steps x int4 around the llm() base config); an unset
+  // llm axis keeps the base value. The proxy model's name — the decode
+  // config's label — becomes the point's model label.
+  struct WorkloadItem {
+    Model model;
+    std::optional<llm::DecodeConfig> llm;
+  };
+  std::vector<WorkloadItem> workloads;
+  if (llm_base_.has_value()) {
+    const std::vector<unsigned> batches =
+        llm_batches_.empty() ? std::vector<unsigned>{llm_base_->batch}
+                             : llm_batches_;
+    const std::vector<llm::KvLayout> layouts =
+        llm_layouts_.empty() ? std::vector<llm::KvLayout>{llm_base_->kv_layout}
+                             : llm_layouts_;
+    const std::vector<std::uint64_t> steps =
+        llm_steps_.empty() ? std::vector<std::uint64_t>{llm_base_->decode_steps}
+                           : llm_steps_;
+    const std::vector<bool> int4s =
+        llm_int4_.empty() ? std::vector<bool>{llm_base_->int4_weights}
+                          : llm_int4_;
+    for (const unsigned b : batches) {
+      for (const llm::KvLayout layout : layouts) {
+        for (const std::uint64_t t : steps) {
+          for (const bool i4 : int4s) {
+            llm::DecodeConfig c = *llm_base_;
+            c.batch = b;
+            c.kv_layout = layout;
+            c.decode_steps = t;
+            c.int4_weights = i4;
+            c.validate();
+            workloads.push_back({llm::proxy_model(c), std::move(c)});
+          }
+        }
+      }
+    }
+  } else {
+    for (const Model& m : models_) workloads.push_back({m, std::nullopt});
+  }
+
   // The lowering-policy axes compose with every config axis (they are
   // orthogonal to the SocConfig, so they combine with explicit configs
   // too). An unset axis contributes one "default" column with no label.
@@ -567,11 +659,13 @@ Sweep Experiment::sweep() const {
             if (!serve_label.empty()) serve_label += "-";
             serve_label += sv.label;
           }
-          for (const Model& m : models_) {
+          for (const WorkloadItem& w : workloads) {
+            const Model& m = w.model;
             SweepPoint p{serve_label.empty() ? m.name()
                                              : serve_label + "/" + m.name(),
                          v.cfg, m, multicore_, functional_, seed_, pp, tp,
                          /*trace=*/{}, /*campaign_runs=*/0};
+            p.llm = w.llm;
             if (!trace_point_name_.empty() && p.name == trace_point_name_) {
               p.trace = trace_cfg_;
             }

@@ -27,9 +27,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/llm/decode.h"
 #include "src/model/graph.h"
 #include "src/model/lowering/policy.h"
 #include "src/serve/server.h"
@@ -71,6 +73,10 @@ struct SweepPoint {
   /// Report's `server` section carries the traffic statistics. `model` is
   /// then the default request class when `serve.classes` is empty.
   serve::ServeSpec serve{};
+  /// LLM decode workload: when set, the point runs llm::run_decode (the
+  /// KV-cache-resident WorkStream) instead of lowering `model` through the
+  /// graph IR; `model` is the decode proxy model (labels / CPU baseline).
+  std::optional<llm::DecodeConfig> llm;
 };
 
 struct SweepOptions {
@@ -159,6 +165,19 @@ class Experiment {
   /// (deadline = spec.default_deadline_cycles). Composes with every config
   /// axis; mutually exclusive with fault_campaign().
   Experiment& serve(serve::ServeSpec spec);
+  /// LLM decode workload (src/llm/): every point runs the autoregressive
+  /// decode WorkStream built from this base config instead of a graph-IR
+  /// inference; the proxy model supplies point labels. Composes with every
+  /// config axis (DRAM channels/schedulers, geometry, ...); mutually
+  /// exclusive with model()/models(), serve() and fault_campaign().
+  Experiment& llm(llm::DecodeConfig base);
+  /// LLM axes (require llm()): one grid column per value, overriding the
+  /// base decode config. Labels come from DecodeConfig::label(), which
+  /// encodes batch ("b4"), decode steps ("t8"), layout and int4.
+  Experiment& llm_batches(std::vector<unsigned> batches);
+  Experiment& llm_kv_layouts(std::vector<llm::KvLayout> layouts);
+  Experiment& llm_decode_steps(std::vector<std::uint64_t> steps);
+  Experiment& llm_int4(std::vector<bool> int4);
   /// Serving axis: one grid column per offered load (requests per
   /// megacycle), overriding the ServeSpec's arrival rate. Labels encode
   /// the value ("load2.5"). Requires serve().
@@ -205,6 +224,11 @@ class Experiment {
   serve::ServeSpec serve_spec_{};
   std::vector<double> offered_loads_;
   std::vector<serve::ServeConfig> serve_policies_;
+  std::optional<llm::DecodeConfig> llm_base_;
+  std::vector<unsigned> llm_batches_;
+  std::vector<llm::KvLayout> llm_layouts_;
+  std::vector<std::uint64_t> llm_steps_;
+  std::vector<bool> llm_int4_;
   unsigned campaign_runs_ = 0;
   bool strict_ = false;
   bool multicore_ = false;

@@ -135,6 +135,16 @@ void write_serve_class(JsonWriter& w, const ServeClassStats& c) {
   w.value(c.deadline_misses);
   write_latency_block(w, c.p50, c.p95, c.p99, c.p999, c.max_latency,
                       c.mean_latency);
+  w.key("tokens");
+  w.value(c.tokens);
+  w.key("p50_per_token");
+  w.value(c.p50_per_token);
+  w.key("p95_per_token");
+  w.value(c.p95_per_token);
+  w.key("p99_per_token");
+  w.value(c.p99_per_token);
+  w.key("mean_per_token");
+  w.value(c.mean_per_token);
   w.end_object();
 }
 
@@ -174,6 +184,8 @@ void write_server(JsonWriter& w, const ServerStats& s) {
   w.value(s.batches);
   w.key("makespan");
   w.value(s.makespan);
+  w.key("tokens");
+  w.value(s.tokens);
   write_latency_block(w, s.p50, s.p95, s.p99, s.p999, s.max_latency,
                       s.mean_latency);
   w.key("avg_queue_depth");
@@ -229,6 +241,54 @@ void write_bottleneck(JsonWriter& w, const trace::LayerBottleneck& l) {
   w.value(l.attainable_macs_per_cycle);
   w.key("memory_bound");
   w.value(l.memory_bound);
+  w.end_object();
+}
+
+void write_layer_intensity(JsonWriter& w, const LayerIntensity& li) {
+  w.begin_object();
+  w.key("name");
+  w.value(li.name);
+  w.key("macs");
+  w.value(li.macs);
+  w.key("dram_bytes");
+  w.value(li.dram_bytes);
+  w.key("macs_per_byte");
+  w.value(li.macs_per_byte);
+  w.end_object();
+}
+
+void write_llm(JsonWriter& w, const LlmStats& l) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(l.enabled);
+  w.key("kv_layout");
+  w.value(l.kv_layout);
+  w.key("batch");
+  w.value(l.batch);
+  w.key("layers");
+  w.value(l.layers);
+  w.key("heads");
+  w.value(l.heads);
+  w.key("hidden");
+  w.value(l.hidden);
+  w.key("prompt_tokens");
+  w.value(l.prompt_tokens);
+  w.key("decode_steps");
+  w.value(l.decode_steps);
+  w.key("tokens");
+  w.value(l.tokens);
+  w.key("prefill_cycles");
+  w.value(l.prefill_cycles);
+  w.key("decode_cycles");
+  w.value(l.decode_cycles);
+  w.key("cycles_per_token");
+  w.value(l.cycles_per_token);
+  w.key("kv_cache_bytes");
+  w.value(l.kv_cache_bytes);
+  w.key("weight_bytes");
+  w.value(l.weight_bytes);
+  w.key("int4_weights");
+  w.value(l.int4_weights);
   w.end_object();
 }
 
@@ -320,6 +380,12 @@ void write_report(JsonWriter& w, const Report& r) {
   w.value(r.array_utilization);
   w.key("cycles_by_tag");
   write_tags(w, r.cycles_by_tag);
+  w.key("layer_intensity");
+  w.begin_array();
+  for (const LayerIntensity& li : r.layer_intensity) {
+    write_layer_intensity(w, li);
+  }
+  w.end_array();
   w.key("per_core");
   w.begin_array();
   for (const CoreReport& c : r.per_core) write_core(w, c);
@@ -332,6 +398,8 @@ void write_report(JsonWriter& w, const Report& r) {
   w.value(r.substrate.l2_hits);
   w.key("l2_misses");
   w.value(r.substrate.l2_misses);
+  w.key("dram_row_hit_rate");
+  w.value(r.substrate.dram_row_hit_rate);
   w.key("per_requestor");
   w.begin_array();
   for (const RequestorTraffic& rq : r.substrate.per_requestor) {
@@ -355,6 +423,8 @@ void write_report(JsonWriter& w, const Report& r) {
   w.value(r.trace_dropped_events);
   w.key("reliability");
   write_reliability(w, r.reliability);
+  w.key("llm");
+  write_llm(w, r.llm);
   w.key("server");
   write_server(w, r.server);
   w.key("estimates");

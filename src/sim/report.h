@@ -103,6 +103,10 @@ struct SubstrateStats {
   double l2_miss_rate = 0;
   std::uint64_t l2_hits = 0;
   std::uint64_t l2_misses = 0;
+  /// Aggregate DRAM row-buffer hit rate over every channel (hits /
+  /// (hits + misses); 0 when DRAM was never touched). The one-number
+  /// compute- vs memory-boundedness signal for decode workloads.
+  double dram_row_hit_rate = 0;
   /// Who actually used the substrate, sorted by requestor id — the raw
   /// material of the Fig. 9 contention story.
   std::vector<RequestorTraffic> per_requestor;
@@ -137,6 +141,42 @@ struct ReliabilityReport {
       default;
 };
 
+/// Per-layer compute-vs-traffic profile: useful MACs per byte of modeled
+/// DRAM traffic. Populated from the compile plan for graph-IR runs and
+/// from the workload generator's accounting for LLM decode runs, so
+/// compute- vs memory-boundedness is visible without exporting a trace.
+struct LayerIntensity {
+  std::string name;
+  std::uint64_t macs = 0;
+  std::uint64_t dram_bytes = 0;  ///< modeled DMA traffic of the layer
+  double macs_per_byte = 0;      ///< 0 when the layer moves no DRAM bytes
+
+  friend bool operator==(const LayerIntensity&, const LayerIntensity&) =
+      default;
+};
+
+/// LLM decode section of a Report — filled only by llm::run_decode (the
+/// `enabled` flag is false and the section all-zero otherwise).
+struct LlmStats {
+  bool enabled = false;
+  std::string kv_layout;  ///< "head-major" / "token-major"
+  unsigned batch = 0;
+  unsigned layers = 0;
+  unsigned heads = 0;
+  std::uint64_t hidden = 0;
+  std::uint64_t prompt_tokens = 0;  ///< prefill length per batch element
+  std::uint64_t decode_steps = 0;   ///< autoregressive steps per element
+  std::uint64_t tokens = 0;         ///< generated tokens = steps * batch
+  Cycle prefill_cycles = 0;  ///< cycles tagged "prefill"
+  Cycle decode_cycles = 0;   ///< cycles tagged "decode"
+  double cycles_per_token = 0;  ///< decode_cycles / tokens (warm rate)
+  std::uint64_t kv_cache_bytes = 0;  ///< DRAM-resident KV footprint
+  std::uint64_t weight_bytes = 0;    ///< packed weight footprint
+  bool int4_weights = false;
+
+  friend bool operator==(const LlmStats&, const LlmStats&) = default;
+};
+
 /// Per-request-class slice of a serving run (one class = one zoo model with
 /// a weight and a deadline; see serve::RequestClass).
 struct ServeClassStats {
@@ -148,6 +188,12 @@ struct ServeClassStats {
   std::uint64_t deadline_misses = 0;  ///< completed-ok past their deadline
   Cycle p50 = 0, p95 = 0, p99 = 0, p999 = 0, max_latency = 0;
   double mean_latency = 0;
+
+  // Decode classes only: completed tokens and exact per-token latency
+  // percentiles (request latency / its token count, over ok responses).
+  std::uint64_t tokens = 0;
+  Cycle p50_per_token = 0, p95_per_token = 0, p99_per_token = 0;
+  double mean_per_token = 0;
 
   friend bool operator==(const ServeClassStats&, const ServeClassStats&) =
       default;
@@ -175,6 +221,9 @@ struct ServerStats {
   std::uint64_t context_switches = 0;  ///< OS switch costs charged
   std::uint64_t batches = 0;           ///< dispatches with > 1 request
   Cycle makespan = 0;             ///< last completion time
+
+  /// Decode tokens completed across every class (0 for non-decode mixes).
+  std::uint64_t tokens = 0;
 
   // Exact end-to-end latency percentiles over ok responses (arrival ->
   // completion, queueing included).
@@ -218,9 +267,17 @@ struct Report {
   /// Summed over cores — the Fig. 9 per-layer-type accounting.
   std::map<std::string, Cycle> cycles_by_tag;
 
+  /// Per-layer arithmetic intensity (MACs / modeled DRAM byte), in layer
+  /// order. Empty for workloads without per-layer accounting.
+  std::vector<LayerIntensity> layer_intensity;
+
   std::vector<CoreReport> per_core;
   SubstrateStats substrate;
   Estimates estimates;
+
+  /// LLM decode statistics; `enabled` is false (and the section all-zero)
+  /// for non-decode runs.
+  LlmStats llm;
 
   /// Per-layer bottleneck attribution for core 0 — populated only when the
   /// session was built with tracing (Session::Builder::trace). Empty

@@ -9,6 +9,29 @@
 
 namespace gemmini::sim {
 
+namespace {
+
+// MACs per modeled DRAM byte, per layer, straight off the compile record.
+std::vector<LayerIntensity> plan_layer_intensity(const Plan& plan) {
+  const Model& model = plan.model();
+  std::vector<LayerIntensity> out;
+  for (std::size_t i = 1; i < plan.layers.size(); ++i) {
+    LayerIntensity li;
+    li.name = model.layers()[i].name;
+    li.macs = model.layer_macs(i);
+    li.dram_bytes = plan.layers[i].dma_bytes;
+    if (li.macs == 0 && li.dram_bytes == 0) continue;
+    li.macs_per_byte = li.dram_bytes == 0
+                           ? 0.0
+                           : static_cast<double>(li.macs) /
+                                 static_cast<double>(li.dram_bytes);
+    out.push_back(std::move(li));
+  }
+  return out;
+}
+
+}  // namespace
+
 Session Session::Builder::build() const {
   try {
     cfg_.validate();
@@ -107,9 +130,15 @@ std::string Session::params_header() const {
 
 Report Session::make_report(const Model& model,
                             const std::vector<CoreResult>& results) const {
+  return make_report(model.name(), cpu_baseline_cycles(model, config().cpu),
+                     results);
+}
+
+Report Session::make_report(const std::string& model_name, Cycle cpu_baseline,
+                            const std::vector<CoreResult>& results) const {
   Report rep;
   rep.config = config().name;
-  rep.model = model.name();
+  rep.model = model_name;
   rep.cores = static_cast<unsigned>(results.size());
 
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -134,7 +163,7 @@ Report Session::make_report(const Model& model,
   rep.seconds = static_cast<double>(rep.cycles) /
                 (config().accel.clock_ghz * 1e9);
   rep.fps = rep.seconds > 0 ? 1.0 / rep.seconds : 0.0;
-  rep.cpu_baseline = cpu_baseline_cycles(model, config().cpu);
+  rep.cpu_baseline = cpu_baseline;
   rep.speedup = rep.cycles == 0
                     ? 0.0
                     : static_cast<double>(rep.cpu_baseline) /
@@ -198,6 +227,16 @@ Report Session::make_report(const Model& model,
     ch.max_queue_depth = cs.max_queue_depth;
     rep.substrate.dram_channels.push_back(ch);
   }
+  std::uint64_t row_hits = 0, row_misses = 0;
+  for (const DramChannelTraffic& ch : rep.substrate.dram_channels) {
+    row_hits += ch.row_hits;
+    row_misses += ch.row_misses;
+  }
+  rep.substrate.dram_row_hit_rate =
+      (row_hits + row_misses) == 0
+          ? 0.0
+          : static_cast<double>(row_hits) /
+                static_cast<double>(row_hits + row_misses);
 
   if (tracing()) {
     // Drop accounting is exact and surfaces even when nothing could be
@@ -250,7 +289,9 @@ Report Session::run(const Model& model) {
   last_lowered_ =
       lowering::emit_stream(*last_plan_, config().accel, config().cpu);
   const CoreResult r = soc_->run(last_lowered_.stream);
-  return make_report(model, {r});
+  Report rep = make_report(model, {r});
+  rep.layer_intensity = plan_layer_intensity(*last_plan_);
+  return rep;
 }
 
 Report Session::run(const Plan& plan) {
@@ -268,7 +309,21 @@ Report Session::run(const Plan& plan) {
   last_plan_ = plan;
   if (tracing()) traced_plan_ = plan;
   const CoreResult r = soc_->run(last_lowered_.stream);
-  return make_report(plan.model(), {r});
+  Report rep = make_report(plan.model(), {r});
+  rep.layer_intensity = plan_layer_intensity(plan);
+  return rep;
+}
+
+Report Session::run_stream(const WorkStream& stream,
+                           const std::string& model_name, Cycle cpu_baseline) {
+  // reset_all keeps PhysMem contents and AddressSpace allocations — only
+  // timing and cache state restart, so buffers the caller materialized
+  // before this call are still live (and the caches are cold, as for any
+  // other run).
+  soc_->reset_all();
+  if (trace_sink_) trace_sink_->clear();
+  const CoreResult r = soc_->run(stream);
+  return make_report(model_name, cpu_baseline, {r});
 }
 
 Report Session::run_multicore(const Model& model) {
@@ -289,7 +344,9 @@ Report Session::run_multicore(const Model& model) {
   last_lowered_ = std::move(lowered.front());
   last_plan_ = std::move(plans.front());
   if (tracing()) traced_plan_ = last_plan_;
-  return make_report(model, results);
+  Report rep = make_report(model, results);
+  rep.layer_intensity = plan_layer_intensity(*last_plan_);
+  return rep;
 }
 
 }  // namespace gemmini::sim

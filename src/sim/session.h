@@ -182,6 +182,16 @@ class Session {
   /// finish (slowest core); per-core detail is in `per_core`.
   Report run_multicore(const Model& model);
 
+  /// Runs a caller-assembled WorkStream on core 0 and wraps the result in a
+  /// full Report (per-core counters, substrate, estimates). Timing and cache
+  /// state are reset first, but address-space allocations and functional
+  /// memory contents are kept — workload generators (src/llm/) allocate and
+  /// materialize buffers against address_space(0), then hand the stream
+  /// here. `model_name` labels the report; `cpu_baseline` (0 = unknown)
+  /// feeds the speedup headline.
+  Report run_stream(const WorkStream& stream, const std::string& model_name,
+                    Cycle cpu_baseline = 0);
+
   // ---- Introspection -------------------------------------------------------
   /// The SoC's validated config is the single source of truth.
   const SocConfig& config() const { return soc_->config(); }
@@ -245,6 +255,8 @@ class Session {
 
   Plan build_plan(const Model& model, unsigned core);
   Report make_report(const Model& model,
+                     const std::vector<CoreResult>& results) const;
+  Report make_report(const std::string& model_name, Cycle cpu_baseline,
                      const std::vector<CoreResult>& results) const;
   trace::PerfettoOptions perfetto_options(int indent) const;
 

@@ -101,6 +101,18 @@ TEST(RoccEncoding, ConfigLdPreservesScale) {
   EXPECT_EQ(r.ld_channel, 2);
 }
 
+TEST(RoccEncoding, ConfigLdInt4RoundTrip) {
+  // The packed-int4 flag must survive encode/decode alongside the other
+  // CONFIG_LD fields, and default to off when not requested.
+  const Instruction i = make_config_ld(512, 1.0f, 1, /*int4=*/true);
+  const Instruction r = roundtrip(i);
+  EXPECT_EQ(r.op, Opcode::kConfigLd);
+  EXPECT_EQ(r.stride_bytes, 512u);
+  EXPECT_EQ(r.ld_channel, 1);
+  EXPECT_TRUE(r.ld_int4);
+  EXPECT_FALSE(roundtrip(make_config_ld(512, 1.0f, 1)).ld_int4);
+}
+
 TEST(RoccEncoding, ConfigStPooling) {
   const Instruction i = make_config_st(2048, 3, 2);
   const Instruction r = roundtrip(i);

@@ -151,6 +151,48 @@ TEST(ArrivalProcess, MalformedTraceThrows) {
                RuntimeError);
 }
 
+TEST(ArrivalProcess, DecodeTraceRoundTripsBitExact) {
+  serve::ArrivalConfig cfg;
+  cfg.requests_per_mcycle = 8.0;
+  cfg.horizon_cycles = 2'000'000;
+  cfg.seed = 9;
+  std::vector<serve::RequestClass> classes;
+  classes.push_back(serve::RequestClass{"conv", tiny_model("conv"), 1.0,
+                                        40'000});
+  serve::RequestClass llm{"llm", tiny_model("llm"), 1.0, 0};
+  llm.decode = true;
+  llm.decode_tokens = 16;
+  classes.push_back(llm);
+  serve::ArrivalProcess proc(cfg, classes);
+  const auto orig = proc.generate();
+  ASSERT_FALSE(orig.empty());
+  // Decode requests carry the class token budget; single-shot ones carry 0.
+  bool saw_decode = false;
+  for (const serve::Request& r : orig) {
+    EXPECT_EQ(r.tokens, r.cls == 1 ? 16u : 0u);
+    saw_decode |= r.cls == 1;
+  }
+  EXPECT_TRUE(saw_decode);
+  // The tokens field survives serialization: request equality AND the JSON
+  // text itself round-trip bit-exactly.
+  const std::string json = proc.to_json(orig);
+  EXPECT_NE(json.find("\"tokens\": 16"), std::string::npos);
+  const auto back = proc.from_json(json);
+  EXPECT_EQ(back, orig);
+  EXPECT_EQ(proc.to_json(back), json);
+}
+
+TEST(ArrivalProcess, MalformedTokensFieldThrows) {
+  serve::ArrivalConfig cfg;
+  serve::ArrivalProcess proc(cfg, {serve::RequestClass{"t", tiny_model(), 1.0,
+                                                       0}});
+  // Negative and fractional token counts are rejected, not truncated.
+  EXPECT_THROW(proc.from_json("[{\"arrival\": 5, \"tokens\": -3}]"),
+               RuntimeError);
+  EXPECT_THROW(proc.from_json("[{\"arrival\": 5, \"tokens\": 1.5}]"),
+               RuntimeError);
+}
+
 // ---- Scheduler --------------------------------------------------------------
 
 TEST(ServeScheduler, FifoOrderAndBoundedAdmission) {
@@ -222,6 +264,55 @@ TEST(Server, SingleRequestReducesToSessionLatency) {
   EXPECT_EQ(rep.server.p50, session_lat);
   EXPECT_EQ(rep.server.max_latency, session_lat);
   EXPECT_EQ(rep.server.p50, rep.server.p999);
+}
+
+// ---- Server: decode classes -------------------------------------------------
+
+TEST(Server, DecodeRequestsAddTokensAndPerTokenTails) {
+  const Model m = tiny_model();
+  SocConfig cfg;
+  const Cycle cold = session_cycles(cfg, m);
+
+  auto make_spec = [&](bool decode) {
+    serve::ServeSpec spec = one_class_spec(m);
+    if (decode) {
+      spec.classes[0].decode = true;
+      spec.classes[0].decode_tokens = 16;
+    }
+    spec.arrivals.kind = serve::ArrivalKind::kFixed;
+    spec.arrivals.requests_per_mcycle = 0.001;  // no queueing
+    spec.arrivals.horizon_cycles = 2'000'000'000;
+    spec.arrivals.max_requests = 1;
+    return spec;
+  };
+
+  serve::Server plain_server(cfg, make_spec(false));
+  const sim::Report plain = plain_server.run();
+  serve::Server decode_server(cfg, make_spec(true));
+  const sim::Report dec = decode_server.run();
+
+  // Single-shot serving is unchanged: the load -> 0 identity still holds
+  // and no token statistics appear.
+  EXPECT_EQ(plain.server.p50, cold);
+  EXPECT_EQ(plain.server.tokens, 0u);
+  EXPECT_EQ(plain.server.per_class[0].tokens, 0u);
+  EXPECT_EQ(plain.server.per_class[0].p50_per_token, 0u);
+
+  // The decode request generated 16 tokens: latency grows by 16 warm
+  // per-token passes and the per-token percentiles are exact.
+  const sim::ServerStats& st = dec.server;
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.tokens, 16u);
+  EXPECT_EQ(st.per_class[0].tokens, 16u);
+  EXPECT_GT(st.p50, cold);
+  const Cycle warm = (st.p50 - cold) / 16;
+  EXPECT_GT(warm, 0u);
+  EXPECT_LE(warm, cold);
+  EXPECT_EQ(st.per_class[0].p50_per_token, st.p50 / 16);
+  EXPECT_EQ(st.per_class[0].p50_per_token, st.per_class[0].p95_per_token);
+  EXPECT_EQ(st.per_class[0].p95_per_token, st.per_class[0].p99_per_token);
+  EXPECT_DOUBLE_EQ(st.per_class[0].mean_per_token,
+                   static_cast<double>(st.p50 / 16));
 }
 
 // ---- Server: percentiles and saturation -------------------------------------

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "src/model/lowering/policy.h"
 #include "src/runtime/matmul.h"
 #include "src/runtime/tiling.h"
 
@@ -157,6 +158,59 @@ TEST(ValidateTiles, ManualTileRejectedAtEmission) {
   // The same shape within budget is accepted.
   p.tile = TileShape{1, 1, 1};
   EXPECT_NO_THROW(emit_tiled_matmul(cfg, p));
+}
+
+// ---- GEMV shapes (LLM decode: m = 1, weight-dominated) ----------------------
+
+TEST(ChooseTiles, GemvSingleRowStagesAlongK) {
+  // Decode-step matmuls are 1 x K x N: one A row, weights dominating the
+  // staged bytes. The tile must stay at i = 1 and spend the A/B budget on
+  // K depth instead.
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  for (const MatmulDims dims :
+       {MatmulDims{1, 256, 256}, MatmulDims{1, 256, 1024},
+        MatmulDims{1, 4096, 64}, MatmulDims{1, 64, 16384}}) {
+    const TileShape t = choose_tiles(cfg, dims);
+    EXPECT_EQ(t.i, 1u) << dims.k << "x" << dims.n;
+    EXPECT_GE(t.k, 1u);
+    EXPECT_LE(static_cast<std::uint64_t>(t.k) * t.j, b.max_b_blocks);
+    EXPECT_NO_THROW(validate_tiles(cfg, t));
+  }
+}
+
+TEST(ChooseTiles, GemvKFarAboveScratchpadSaturatesBudget) {
+  // A reduction dimension orders of magnitude past the scratchpad: the
+  // heuristic must clamp K at the binding A/B budget, not overflow it.
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const TileBudget b = tile_budget(cfg);
+  const MatmulDims dims{1, 10'000'000, 16};
+  const TileShape t = choose_tiles(cfg, dims);
+  EXPECT_EQ(t.i, 1u);
+  EXPECT_EQ(t.j, 1u);
+  // With i = j = 1 the only constraint on K is the A|B staging budget, and
+  // the greedy growth runs it to the edge.
+  EXPECT_EQ(t.k, std::min(b.max_a_blocks, b.max_b_blocks));
+  EXPECT_NO_THROW(validate_tiles(cfg, t));
+}
+
+TEST(ExhaustiveTiling, NeverWorseThanHeuristicOnGemv) {
+  // The search policy's feasible set contains the heuristic's tile, so on
+  // the decode-shaped matmuls its modeled traffic can only be <=.
+  const GemminiConfig cfg = GemminiConfig::paper_default();
+  const lowering::HeuristicTiling heuristic;
+  const lowering::ExhaustiveTiling exhaustive;
+  for (const MatmulDims dims :
+       {MatmulDims{1, 256, 256}, MatmulDims{1, 1024, 4096},
+        MatmulDims{1, 4096, 1024}, MatmulDims{8, 256, 1024},
+        MatmulDims{1, 10'000'000, 16}}) {
+    const TileShape th = heuristic.choose(cfg, 0, dims);
+    const TileShape te = exhaustive.choose(cfg, 0, dims);
+    EXPECT_LE(modeled_dma_bytes(cfg, dims, te, false),
+              modeled_dma_bytes(cfg, dims, th, false))
+        << dims.m << "x" << dims.k << "x" << dims.n;
+    EXPECT_NO_THROW(validate_tiles(cfg, te));
+  }
 }
 
 TEST(ModeledDmaBytes, CountsPassesExactly) {
