@@ -27,6 +27,11 @@
 //                                         # (scheduler gain vs the conv zoo,
 //                                         # channel scaling), default out:
 //                                         # BENCH_PR8.json
+//   $ ./bench_perf --metrics [out.json]   # telemetry gates (metrics-off
+//                                         # golden-cycle identity, <= 5%
+//                                         # metrics-on overhead, exact
+//                                         # sampler reconciliation), default
+//                                         # out: BENCH_PR9.json
 //
 // Trace mode runs the quickstart model (scaled SqueezeNet) twice — once
 // untraced, once with the src/trace/ recorder attached — asserts the cycle
@@ -966,6 +971,151 @@ int run_llm(const std::string& out_path) {
   return (golden_ok && llm_gains_most && channels_monotone && wrote) ? 0 : 1;
 }
 
+// ---- Telemetry gates (--metrics) -------------------------------------------
+
+int run_metrics(const std::string& out_path) {
+  std::printf("=== bench_perf --metrics: telemetry gates ===\n\n");
+
+  metrics::MetricsConfig sampled = metrics::MetricsConfig::enabled_default();
+
+  // Gate 1: the golden workloads are cycle-identical with the registry and
+  // sampler attached — metrics are observational only.
+  auto resnet_run = [&](bool with_metrics, double* wall) {
+    SocConfig cfg = SocConfig::base_1mb_l2();
+    cfg.accel.has_im2col = true;
+    auto b = sim::Session::builder(cfg);
+    if (with_metrics) b.metrics(sampled);
+    sim::Session s = b.build();
+    const double t0 = now_ms();
+    const sim::Report r = s.run(zoo::resnet50(32));
+    if (wall != nullptr) *wall = std::min(*wall, now_ms() - t0);
+    return r;
+  };
+
+  auto matmul_cycles = [&](bool with_metrics) {
+    Rng rng(7);
+    TensorI8 a({320, 320}), b({320, 320});
+    a.randomize(rng);
+    b.randomize(rng);
+    auto builder = sim::Session::builder()
+                       .accel(GemminiConfig::paper_default())
+                       .functional(true);
+    if (with_metrics) builder.metrics(sampled);
+    sim::Session s = builder.build();
+    MatmulParams p;
+    p.a = upload_bytes(s, a.data(), a.size());
+    p.b = upload_bytes(s, b.data(), b.size());
+    p.c = s.address_space().alloc(320 * 320 + 8192);
+    p.m = p.k = p.n = 320;
+    p.out_shift = 7;
+    p.act = Activation::kRelu;
+    const Program prog = emit_tiled_matmul(s.config().accel, p);
+    return s.accelerator().run(prog, s.address_space());
+  };
+
+  const Cycle matmul_off = matmul_cycles(false);
+  const Cycle matmul_on = matmul_cycles(true);
+  const bool matmul_ok = matmul_off == 309917u && matmul_on == matmul_off;
+  std::printf("accel_tiled_matmul   off %llu  on %llu  (%s)\n",
+              static_cast<unsigned long long>(matmul_off),
+              static_cast<unsigned long long>(matmul_on),
+              matmul_ok ? "identical" : "DIVERGED");
+
+  // Best-of-3 walls for the overhead gate; cycle identity checked on every
+  // rep. The resnet slice is the heaviest golden workload, so its wall is
+  // the one a grid sweep would pay.
+  double wall_off = 1e300, wall_on = 1e300;
+  Cycle resnet_off = 0, resnet_on = 0;
+  sim::Report metered_report;
+  for (int rep = 0; rep < 3; ++rep) {
+    resnet_off = resnet_run(false, &wall_off).cycles;
+    metered_report = resnet_run(true, &wall_on);
+    resnet_on = metered_report.cycles;
+  }
+  const bool resnet_ok = resnet_off == 9355595u && resnet_on == resnet_off;
+  const double overhead_pct = 100.0 * (wall_on / wall_off - 1.0);
+  const bool overhead_ok = overhead_pct <= 5.0;
+  std::printf("resnet50_slice_32    off %llu  on %llu  (%s)\n",
+              static_cast<unsigned long long>(resnet_off),
+              static_cast<unsigned long long>(resnet_on),
+              resnet_ok ? "identical" : "DIVERGED");
+  std::printf("metrics-on overhead  %.2f%% (off %.1f ms, on %.1f ms, %s)\n",
+              overhead_pct, wall_off, wall_on,
+              overhead_ok ? "<= 5%" : "EXCEEDS 5%");
+
+  // Gate 2: the reconciliation invariant on the metered resnet run — every
+  // sampled counter's timeline sums exactly to its end-of-run total, and
+  // every timeline spans the full window count.
+  const sim::MetricsReport& mr = metered_report.metrics;
+  bool reconciled = mr.enabled && mr.windows > 0;
+  std::size_t checked = 0;
+  for (const auto& [name, timeline] : mr.counter_timelines) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : timeline) total += d;
+    const auto it = mr.counters.find(name);
+    reconciled = reconciled && it != mr.counters.end() &&
+                 total == it->second && timeline.size() == mr.windows;
+    ++checked;
+  }
+  for (const auto& [name, timeline] : mr.gauge_timelines) {
+    reconciled = reconciled && timeline.size() == mr.windows;
+  }
+  std::printf("sampler reconciliation: %zu counter timelines over %zu "
+              "windows (%s)\n",
+              checked, mr.windows, reconciled ? "exact" : "MISMATCH");
+
+  // Gate 3: the decode workload's KV-footprint gauge timeline is
+  // non-decreasing and lands exactly on the configured cache size.
+  llm::DecodeConfig decode;
+  decode.hidden = 256;
+  decode.heads = 4;
+  decode.prompt_tokens = 64;
+  decode.decode_steps = 8;
+  metrics::MetricsConfig decode_cfg = sampled;
+  decode_cfg.sample_interval_cycles = 20000;
+  sim::Session decode_session =
+      sim::Session::builder().metrics(decode_cfg).build();
+  const sim::Report decode_report = llm::run_decode(decode_session, decode);
+  bool kv_ok = decode_report.metrics.gauge_timelines.count("llm.kv_bytes") > 0;
+  if (kv_ok) {
+    const auto& tl = decode_report.metrics.gauge_timelines.at("llm.kv_bytes");
+    for (std::size_t i = 1; i < tl.size(); ++i) {
+      kv_ok = kv_ok && tl[i - 1] <= tl[i];
+    }
+    kv_ok = kv_ok && !tl.empty() &&
+            tl.back() ==
+                static_cast<double>(decode_report.llm.kv_cache_bytes);
+  }
+  std::printf("decode kv-footprint timeline: %s\n\n",
+              kv_ok ? "monotone, reconciles with kv_cache_bytes"
+                    : "BROKEN");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 9"
+      << ",\n  \"matmul_cycles_off\": " << matmul_off
+      << ",\n  \"matmul_cycles_on\": " << matmul_on
+      << ",\n  \"resnet_cycles_off\": " << resnet_off
+      << ",\n  \"resnet_cycles_on\": " << resnet_on
+      << ",\n  \"golden_identical\": "
+      << (matmul_ok && resnet_ok ? "true" : "false")
+      << ",\n  \"wall_ms_off\": " << wall_off
+      << ",\n  \"wall_ms_on\": " << wall_on
+      << ",\n  \"overhead_pct\": " << overhead_pct
+      << ",\n  \"overhead_within_5pct\": " << (overhead_ok ? "true" : "false")
+      << ",\n  \"sampler_windows\": " << mr.windows
+      << ",\n  \"counter_timelines\": " << checked
+      << ",\n  \"timelines_reconcile\": " << (reconciled ? "true" : "false")
+      << ",\n  \"kv_timeline_monotone\": " << (kv_ok ? "true" : "false")
+      << "\n}\n";
+  const bool wrote = out.good();
+  std::printf("%s %s\n", wrote ? "wrote" : "ERROR: could not write",
+              out_path.c_str());
+  return (matmul_ok && resnet_ok && overhead_ok && reconciled && kv_ok &&
+          wrote)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -976,6 +1126,7 @@ int main(int argc, char** argv) {
   bool faults_mode = false;
   bool serve_mode = false;
   bool llm_mode = false;
+  bool metrics_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
@@ -992,12 +1143,15 @@ int main(int argc, char** argv) {
       serve_mode = true;
     } else if (std::strcmp(argv[i], "--llm") == 0) {
       llm_mode = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_mode = true;
     } else {
       out_path = argv[i];
     }
   }
   if (out_path.empty()) {
-    out_path = llm_mode    ? "BENCH_PR8.json"
+    out_path = metrics_mode ? "BENCH_PR9.json"
+               : llm_mode    ? "BENCH_PR8.json"
                : serve_mode  ? "BENCH_PR7.json"
                : faults_mode ? "BENCH_PR6.json"
                : dram_mode   ? "BENCH_PR5.json"
@@ -1006,6 +1160,7 @@ int main(int argc, char** argv) {
                : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
   }
 
+  if (metrics_mode) return run_metrics(out_path);
   if (llm_mode) return run_llm(out_path);
   if (serve_mode) return run_serve(out_path);
   if (faults_mode) return run_faults(out_path);

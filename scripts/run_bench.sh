@@ -27,10 +27,15 @@
 #   llm     KV-cache-resident decode gates (batch-1 decode gains more from
 #           FR-FCFS than every conv-zoo model, cycles-per-token strictly
 #           improves 1->2->4 DRAM channels), default out BENCH_PR8.json
+#   metrics telemetry gates (metrics-off golden-cycle identity, metrics-on
+#           wall overhead <= 5%, exact sampler/counter reconciliation,
+#           monotone decode KV-footprint timeline), default out
+#           BENCH_PR9.json
 #
 # The pre-dispatcher spellings still work as aliases:
 #   scripts/run_bench.sh --sweep [out.json]   ==  --suite sweep [out.json]
-#   (same for --plan / --trace / --dram / --faults / --serve / --llm)
+#   (same for --plan / --trace / --dram / --faults / --serve / --llm /
+#   --metrics)
 #
 # Exit is nonzero if the build fails, any golden cycle count differs, the
 # harness reports a gate failure, or the suite's artifact fails validation.
@@ -40,10 +45,10 @@ cd "$(dirname "$0")/.."
 SUITE=perf
 case "${1:-}" in
   --suite)
-    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve|llm)}"
+    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve|llm|metrics)}"
     shift 2
     ;;
-  --sweep|--plan|--trace|--dram|--faults|--serve|--llm)
+  --sweep|--plan|--trace|--dram|--faults|--serve|--llm|--metrics)
     SUITE="${1#--}"  # legacy alias: --sweep == --suite sweep
     shift
     ;;
@@ -58,8 +63,9 @@ case "$SUITE" in
   faults) SUITE_OUT="${1:-BENCH_PR6.json}"; shift || true ;;
   serve)  SUITE_OUT="${1:-BENCH_PR7.json}"; shift || true ;;
   llm)    SUITE_OUT="${1:-BENCH_PR8.json}"; shift || true ;;
+  metrics) SUITE_OUT="${1:-BENCH_PR9.json}"; shift || true ;;
   *)
-    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve|llm)" >&2
+    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve|llm|metrics)" >&2
     exit 2
     ;;
 esac
@@ -307,6 +313,41 @@ if failed:
     sys.exit(1)
 print(f"llm decode gates ok: {llm.get('decode')} saves {llm_gain:.3f}% "
       f"cycles/token under FR-FCFS; channels 1->2->4 give {cpt}")
+EOF
+  ;;
+
+metrics)
+  # bench_perf --metrics runs the telemetry gates (golden identity with the
+  # registry attached, <= 5% metrics-on overhead, exact sampler/counter
+  # reconciliation, monotone decode KV timeline) and already exits nonzero
+  # on a failure; this re-validates the emitted artifact.
+  "./$BUILD_DIR/bench_perf" --metrics "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    metrics = json.load(f)
+failed = False
+for gate in ("golden_identical", "overhead_within_5pct",
+             "timelines_reconcile", "kv_timeline_monotone"):
+    if not metrics.get(gate):
+        print(f"FAIL: metrics gate '{gate}' failed")
+        failed = True
+for name, want in (("matmul", 309917), ("resnet", 9355595)):
+    off, on = metrics.get(f"{name}_cycles_off"), metrics.get(f"{name}_cycles_on")
+    if off != want or on != want:
+        print(f"FAIL: {name}: off {off} / on {on}, golden {want}")
+        failed = True
+    else:
+        print(f"metrics ok: {name}: {want} cycles with metrics off and on")
+if metrics.get("counter_timelines", 0) <= 0 or metrics.get("sampler_windows", 0) <= 0:
+    print("FAIL: sampler produced no timelines")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"telemetry gates ok: {metrics.get('counter_timelines')} counter "
+      f"timelines over {metrics.get('sampler_windows')} windows reconcile "
+      f"exactly; overhead {metrics.get('overhead_pct'):.2f}% <= 5%")
 EOF
   ;;
 

@@ -6,18 +6,26 @@ namespace gemmini {
 
 Accelerator::Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
                          PageTableWalker& ptw, RequestorId requestor,
-                         trace::Tracer* tracer, fault::Injector* injector)
+                         trace::Tracer* tracer, fault::Injector* injector,
+                         metrics::Metrics* metrics)
     : cfg_(cfg),
       mem_(mem),
       tracer_(tracer),
       sp_(cfg_, injector),
       acc_(cfg_, injector),
-      translation_(cfg_.translation, ptw, tracer, injector),
-      dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer, injector),
+      translation_(cfg_.translation, ptw, tracer, injector, metrics,
+                   requestor.value),
+      dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer, injector,
+           metrics),
       exec_(cfg_, sp_, acc_, injector),
       hazards_(cfg_.sp_rows(), cfg_.acc_rows()),
       rob_(cfg_.rob_entries, 0) {
   cfg_.validate();
+  if (metrics != nullptr) {
+    const std::string p = "core" + std::to_string(requestor.value);
+    m_macs_ = &metrics->registry().counter(p + ".exec.macs");
+    m_tiles_ = &metrics->registry().counter(p + ".exec.tiles");
+  }
 }
 
 void Accelerator::start(const Program* prog, const AddressSpace* as,
@@ -190,6 +198,10 @@ void Accelerator::exec_one(const Instruction& inst) {
       if (tracer_) {
         tracer_->span(trace::EventKind::kTile, start, end,
                       report_.macs - macs_before);
+      }
+      if (m_macs_ != nullptr) {
+        m_macs_->add(report_.macs - macs_before);
+        m_tiles_->add();
       }
       if (!inst.local.is_garbage()) {
         hazards_.record_read(false, inst.local.row(), inst.rows, end);

@@ -52,11 +52,14 @@ class Accelerator {
   /// `ptw` is shared SoC-wide (single walker, as in the paper's edge SoC).
   /// `tracer` (may be null) receives instruction-level spans (MVIN/MVOUT,
   /// preloads, compute tiles) plus everything the owned DMA/translation
-  /// subsystems emit.
+  /// subsystems emit. `metrics` (may be null) registers this core's
+  /// counters ("core<N>.exec.*", and via the owned DMA/translation,
+  /// "core<N>.dma.*" / "core<N>.tlb.*") keyed by `requestor`.
   Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
               PageTableWalker& ptw, RequestorId requestor,
               trace::Tracer* tracer = nullptr,
-              fault::Injector* injector = nullptr);
+              fault::Injector* injector = nullptr,
+              metrics::Metrics* metrics = nullptr);
 
   /// Functional mode moves real data through PhysMem; timing mode moves only
   /// time (used for full-DNN benchmark sweeps).
@@ -101,6 +104,8 @@ class Accelerator {
   GemminiConfig cfg_;
   MemorySystem& mem_;
   trace::Tracer* tracer_;
+  metrics::Counter* m_macs_ = nullptr;
+  metrics::Counter* m_tiles_ = nullptr;
   bool functional_ = true;
 
   Scratchpad sp_;

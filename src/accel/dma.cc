@@ -78,6 +78,9 @@ DmaEngine::StreamResult DmaEngine::stream(const AddressSpace& as, VAddr va,
                         : trace::EventKind::kDmaBurstRead,
                   issue, r.done, bytes, requestor_.value);
   }
+  if (m_load_bytes_ != nullptr) {
+    (write ? m_store_bytes_ : m_load_bytes_)->add(bytes);
+  }
   return r;
 }
 

@@ -19,6 +19,7 @@
 #include "src/base/types.h"
 #include "src/isa/isa.h"
 #include "src/mem/memsys.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 #include "src/vm/translation.h"
 
@@ -29,7 +30,8 @@ class DmaEngine {
   DmaEngine(const GemminiConfig& cfg, MemorySystem& mem,
             TranslationSystem& translation, Scratchpad& sp, Accumulator& acc,
             RequestorId requestor, trace::Tracer* tracer = nullptr,
-            fault::Injector* injector = nullptr)
+            fault::Injector* injector = nullptr,
+            metrics::Metrics* metrics = nullptr)
       : cfg_(cfg),
         mem_(mem),
         translation_(translation),
@@ -37,7 +39,13 @@ class DmaEngine {
         acc_(acc),
         requestor_(requestor),
         tracer_(tracer),
-        injector_(injector) {}
+        injector_(injector) {
+    if (metrics != nullptr) {
+      const std::string p = "core" + std::to_string(requestor.value);
+      m_load_bytes_ = &metrics->registry().counter(p + ".dma.load_bytes");
+      m_store_bytes_ = &metrics->registry().counter(p + ".dma.store_bytes");
+    }
+  }
 
   /// Timing result of a data-movement instruction: `issue_done` is when the
   /// DMA front-end finishes injecting requests (the next MVIN/MVOUT can
@@ -94,6 +102,8 @@ class DmaEngine {
   RequestorId requestor_;
   trace::Tracer* tracer_;
   fault::Injector* injector_;
+  metrics::Counter* m_load_bytes_ = nullptr;
+  metrics::Counter* m_store_bytes_ = nullptr;
   // Reads and writes have independent in-flight windows, mirroring the
   // RTL's separate load/store reservation stations: a backlog of store
   // completions must not stall load issue.

@@ -33,8 +33,11 @@ T percentile_sorted(const std::vector<T>& sorted, double q) {
   if (q >= 100.0) return sorted.back();
   // ceil(q/100 * N) without <cmath>; the epsilon keeps ranks that are
   // integers in exact arithmetic (99.9% of 1000 = 999) from being pushed
-  // up a rank by binary rounding of q/100.
-  const double exact = q / 100.0 * static_cast<double>(sorted.size()) - 1e-9;
+  // up a rank by binary rounding of q/100. For tiny positive q the epsilon
+  // can drag `exact` below zero, and casting a negative double to an
+  // unsigned type is undefined — clamp first.
+  double exact = q / 100.0 * static_cast<double>(sorted.size()) - 1e-9;
+  if (exact < 0.0) exact = 0.0;
   std::size_t rank = static_cast<std::size_t>(exact);
   if (static_cast<double>(rank) < exact) ++rank;
   if (rank == 0) rank = 1;
@@ -58,7 +61,8 @@ T percentile(std::vector<T> samples, double q) {
 class TimeWeighted {
  public:
   void record(Cycle t, double value) {
-    if (!started_) {
+    const bool first = !started_;
+    if (first) {
       started_ = true;
       start_ = last_t_ = t;
     } else if (t > last_t_) {
@@ -66,7 +70,9 @@ class TimeWeighted {
       last_t_ = t;
     }
     value_ = value;
-    if (value > max_) max_ = value;
+    // The first observation seeds the max unconditionally — an
+    // all-negative series must not report the initializer 0.
+    if (first || value > max_) max_ = value;
   }
 
   /// Extends the integral to time `t` holding the current value (e.g. the

@@ -295,6 +295,17 @@ class WorkloadBuilder {
     return buf + b * cfg_.prompt_tokens * cols * elem();
   }
 
+  /// Stamps the most recent step so the SoC sets the "llm.kv_bytes" gauge
+  /// (occupied KV-cache footprint after `tokens` cached tokens) when the
+  /// step completes — the gauge's sampled timeline is the per-token
+  /// cache-growth curve.
+  void stamp_kv_gauge(std::uint64_t tokens) {
+    WorkStep& s = w_.stream.steps.back();
+    s.metric_gauge = "llm.kv_bytes";
+    s.metric_value = static_cast<double>(2 * cfg_.batch * tokens *
+                                         cfg_.hidden * elem() * cfg_.layers);
+  }
+
   void prefill() {
     decoding_ = false;
     const char* tag = "prefill";
@@ -343,6 +354,7 @@ class WorkloadBuilder {
         matmul(tag, l, kFfn, down, true);
       }
     }
+    stamp_kv_gauge(P);
   }
 
   void decode() {
@@ -393,6 +405,7 @@ class WorkloadBuilder {
         matmul(tag, l, kFfn, proj(ffn_buf_, w2_[l], x_buf_, F, H, xa_stride),
                true);
       }
+      stamp_kv_gauge(t + 1);
     }
   }
 

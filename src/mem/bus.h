@@ -20,6 +20,7 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace gemmini {
@@ -46,9 +47,18 @@ class Bus {
 
   explicit Bus(const BusConfig& cfg, std::string name = "bus",
                trace::Tracer* tracer = nullptr,
-               trace::Unit unit = trace::Unit::kSystemBus)
-      : cfg_(cfg), name_(std::move(name)), tracer_(tracer), unit_(unit) {
+               trace::Unit unit = trace::Unit::kSystemBus,
+               metrics::Metrics* metrics = nullptr)
+      : cfg_(cfg),
+        name_(std::move(name)),
+        tracer_(tracer),
+        metrics_(metrics),
+        unit_(unit) {
     cfg_.validate();
+    if (metrics_ != nullptr) {
+      m_bytes_ = &metrics_->registry().counter(name_ + ".bytes");
+      m_wait_ = &metrics_->registry().counter(name_ + ".wait_cycles");
+    }
   }
 
   /// Requests the bus at time `t` for a `bytes`-byte transfer. Returns the
@@ -57,13 +67,18 @@ class Bus {
     const Cycle occupancy =
         (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
     const Cycle start = t > busy_until_ ? t : busy_until_;
-    RequestorStats& rs = requestor_slot(requestor.value);
+    const std::size_t ri = requestor_index(requestor.value);
+    RequestorStats& rs = by_requestor_[ri];
     if (start > t) {
       stats_.counter("wait_cycles").add(start - t);
       rs.wait_cycles += start - t;
       if (tracer_) {
         tracer_->span_on(unit_, trace::EventKind::kBusWait, t, start, bytes,
                          requestor.value);
+      }
+      if (m_wait_ != nullptr) {
+        m_wait_->add(start - t);
+        m_req_wait_[ri]->add(start - t);
       }
     }
     busy_until_ = start + occupancy;
@@ -76,6 +91,10 @@ class Bus {
       tracer_->span_on(unit_, trace::EventKind::kBusGrant, start, busy_until_,
                        bytes, requestor.value);
     }
+    if (m_bytes_ != nullptr) {
+      m_bytes_->add(bytes);
+      m_req_bytes_[ri]->add(bytes);
+    }
     return busy_until_;
   }
 
@@ -86,6 +105,10 @@ class Bus {
   void reset_time() {
     busy_until_ = 0;
     by_requestor_.clear();
+    // Registry entries survive; the handle vectors are rebuilt as
+    // requestors reappear (counter() returns the same node).
+    m_req_bytes_.clear();
+    m_req_wait_.clear();
   }
 
   const BusConfig& config() const { return cfg_; }
@@ -104,23 +127,35 @@ class Bus {
   }
 
  private:
-  RequestorStats& requestor_slot(int id) {
+  std::size_t requestor_index(int id) {
     // A handful of requestors per SoC (cores + PTW): linear scan beats any
     // map on this hot path.
-    for (RequestorStats& rs : by_requestor_) {
-      if (rs.requestor == id) return rs;
+    for (std::size_t i = 0; i < by_requestor_.size(); ++i) {
+      if (by_requestor_[i].requestor == id) return i;
     }
     by_requestor_.push_back(RequestorStats{id, 0, 0, 0});
-    return by_requestor_.back();
+    if (metrics_ != nullptr) {
+      const std::string p = name_ + ".req" + std::to_string(id);
+      m_req_bytes_.push_back(&metrics_->registry().counter(p + ".bytes"));
+      m_req_wait_.push_back(
+          &metrics_->registry().counter(p + ".wait_cycles"));
+    }
+    return by_requestor_.size() - 1;
   }
 
   BusConfig cfg_;
   std::string name_;
   trace::Tracer* tracer_;
+  metrics::Metrics* metrics_;
+  metrics::Counter* m_bytes_ = nullptr;
+  metrics::Counter* m_wait_ = nullptr;
   trace::Unit unit_;
   Cycle busy_until_ = 0;
   StatSet stats_;
   std::vector<RequestorStats> by_requestor_;
+  /// Parallel to by_requestor_ (only populated when metrics are on).
+  std::vector<metrics::Counter*> m_req_bytes_;
+  std::vector<metrics::Counter*> m_req_wait_;
 };
 
 }  // namespace gemmini

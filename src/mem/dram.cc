@@ -22,13 +22,25 @@ const char* dram_interleave_name(DramInterleave i) {
 }
 
 Dram::Dram(const DramConfig& cfg, trace::Tracer* tracer,
-           fault::Injector* injector)
-    : cfg_(cfg), tracer_(tracer), injector_(injector) {
+           fault::Injector* injector, metrics::Metrics* metrics)
+    : cfg_(cfg), tracer_(tracer), injector_(injector), metrics_(metrics) {
   cfg_.validate();
   channels_.resize(cfg_.channels);
   for (Channel& ch : channels_) ch.banks.assign(cfg_.banks, Bank{});
   by_channel_.resize(cfg_.channels);
   for (unsigned c = 0; c < cfg_.channels; ++c) by_channel_[c].channel = c;
+  if (metrics_ != nullptr) {
+    metrics::Registry& reg = metrics_->registry();
+    m_channels_.resize(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+      const std::string p = "dram.ch" + std::to_string(c);
+      m_channels_[c].accesses = &reg.counter(p + ".accesses");
+      m_channels_[c].bytes = &reg.counter(p + ".bytes");
+      m_channels_[c].row_hits = &reg.counter(p + ".row_hits");
+      m_channels_[c].row_misses = &reg.counter(p + ".row_misses");
+      m_channels_[c].queue_depth = &reg.gauge(p + ".queue_depth");
+    }
+  }
 }
 
 unsigned Dram::channel_of(PAddr addr) const {
@@ -143,11 +155,21 @@ Cycle Dram::issue(unsigned ci, const Request& rq) {
   cs.accesses += 1;
   cs.bytes += rq.bytes;
   (row_hit ? cs.row_hits : cs.row_misses) += 1;
-  RequestorStats& rs = requestor_slot(rq.requestor);
+  const std::size_t ri = requestor_index(rq.requestor);
+  RequestorStats& rs = by_requestor_[ri];
   rs.accesses += 1;
   rs.bytes += rq.bytes;
   rs.channel_bytes[ci] += rq.bytes;
   (row_hit ? rs.row_hits : rs.row_misses) += 1;
+  if (metrics_ != nullptr) {
+    const ChannelMetrics& cm = m_channels_[ci];
+    cm.accesses->add();
+    cm.bytes->add(rq.bytes);
+    (row_hit ? cm.row_hits : cm.row_misses)->add();
+    const RequestorMetrics& rm = m_requestors_[ri];
+    rm.bytes->add(rq.bytes);
+    (row_hit ? rm.row_hits : rm.row_misses)->add();
+  }
 
   // The channel's data bus serializes only the data *bursts*, so accesses
   // to different banks overlap their activate/CAS latencies; column
@@ -257,6 +279,9 @@ void Dram::note_queue_depth(unsigned ci, Cycle t) {
   ChannelStats& cs = by_channel_[ci];
   cs.avg_queue_depth = ch.depth.mean();
   cs.max_queue_depth = ch.depth.max();
+  if (metrics_ != nullptr) {
+    m_channels_[ci].queue_depth->set(static_cast<double>(ch.queue.size()));
+  }
 }
 
 std::size_t Dram::pending_writes() const {
@@ -274,19 +299,29 @@ void Dram::reset_time() {
   }
   next_seq_ = 0;
   by_requestor_.clear();
+  m_requestors_.clear();
   for (unsigned c = 0; c < cfg_.channels; ++c) {
     by_channel_[c] = ChannelStats{};
     by_channel_[c].channel = c;
   }
 }
 
-Dram::RequestorStats& Dram::requestor_slot(int id) {
-  for (RequestorStats& rs : by_requestor_) {
-    if (rs.requestor == id) return rs;
+std::size_t Dram::requestor_index(int id) {
+  for (std::size_t i = 0; i < by_requestor_.size(); ++i) {
+    if (by_requestor_[i].requestor == id) return i;
   }
   by_requestor_.push_back(RequestorStats{id, 0, 0, 0, 0, {}});
   by_requestor_.back().channel_bytes.assign(cfg_.channels, 0);
-  return by_requestor_.back();
+  if (metrics_ != nullptr) {
+    metrics::Registry& reg = metrics_->registry();
+    const std::string p = "dram.req" + std::to_string(id);
+    RequestorMetrics rm;
+    rm.bytes = &reg.counter(p + ".bytes");
+    rm.row_hits = &reg.counter(p + ".row_hits");
+    rm.row_misses = &reg.counter(p + ".row_misses");
+    m_requestors_.push_back(rm);
+  }
+  return by_requestor_.size() - 1;
 }
 
 }  // namespace gemmini

@@ -5,14 +5,21 @@
 namespace gemmini {
 
 MemorySystem::MemorySystem(const MemSysConfig& cfg, trace::Tracer* tracer,
-                           fault::Injector* injector)
+                           fault::Injector* injector,
+                           metrics::Metrics* metrics)
     : cfg_(cfg),
       tracer_(tracer),
-      sysbus_(cfg.system_bus, "sysbus", tracer, trace::Unit::kSystemBus),
+      sysbus_(cfg.system_bus, "sysbus", tracer, trace::Unit::kSystemBus,
+              metrics),
       l2_(std::make_unique<Cache>(cfg.l2, "l2")),
-      membus_(cfg.memory_bus, "membus", tracer, trace::Unit::kMemoryBus),
-      dram_(cfg.dram, tracer, injector) {
+      membus_(cfg.memory_bus, "membus", tracer, trace::Unit::kMemoryBus,
+              metrics),
+      dram_(cfg.dram, tracer, injector, metrics) {
   cfg_.validate();
+  if (metrics != nullptr) {
+    m_l2_hits_ = &metrics->registry().counter("l2.hits");
+    m_l2_misses_ = &metrics->registry().counter("l2.misses");
+  }
 }
 
 Cycle MemorySystem::access(PAddr addr, std::uint64_t bytes, bool write,
@@ -36,6 +43,9 @@ Cycle MemorySystem::access(PAddr addr, std::uint64_t bytes, bool write,
       tracer_->instant(ca.hit ? trace::EventKind::kL2Hit
                               : trace::EventKind::kL2Miss,
                        at_l2, in_line, requestor.value);
+    }
+    if (m_l2_hits_ != nullptr) {
+      (ca.hit ? m_l2_hits_ : m_l2_misses_)->add();
     }
     Cycle line_done = at_l2 + cfg_.l2.hit_latency;
     if (!ca.hit) {

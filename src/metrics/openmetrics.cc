@@ -1,0 +1,95 @@
+#include "src/metrics/openmetrics.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace gemmini::metrics {
+
+namespace {
+
+std::string sanitize(const std::string& prefix, const std::string& name) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_double(std::string& out, double v) {
+  if (v != v) {  // NaN has no OpenMetrics representation worth keeping
+    out.append("0");
+    return;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+std::string to_openmetrics(const Registry& reg, const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, c] : reg.counters()) {
+    const std::string n = sanitize(prefix, name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total ";
+    append_u64(out, c.value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    const std::string n = sanitize(prefix, name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    append_double(out, g.value());
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    const std::string n = sanitize(prefix, name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      out += n + "_bucket{le=\"";
+      if (i + 1 == buckets.size()) {
+        out += "+Inf";
+      } else {
+        append_u64(out, h.upper_bound(i));
+      }
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += n + "_sum ";
+    append_u64(out, h.sum());
+    out.push_back('\n');
+    out += n + "_count ";
+    append_u64(out, h.count());
+    out.push_back('\n');
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+bool write_openmetrics(const Registry& reg, const std::string& path,
+                       const std::string& prefix) {
+  const std::string doc = to_openmetrics(reg, prefix);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok && written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace gemmini::metrics

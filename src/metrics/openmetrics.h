@@ -1,0 +1,29 @@
+#pragma once
+// OpenMetrics / Prometheus text-exposition writer for a metrics::Registry.
+//
+// Renders the registry as the text format a Prometheus scrape endpoint
+// serves: `# TYPE` headers, `_total`-suffixed counters, plain gauges, and
+// cumulative `_bucket{le="..."}`/`_sum`/`_count` histogram series, ending
+// with `# EOF`. Metric names are sanitized (dots and other non-identifier
+// characters become underscores) and prefixed, so `dram.ch0.row_hits`
+// exports as `gemmini_dram_ch0_row_hits_total`.
+//
+// The document is deterministic: the registry is name-ordered and doubles
+// use shortest-round-trip formatting, so equal registries serialize
+// byte-identically — the same contract as sim::Report JSON.
+
+#include <string>
+
+#include "src/metrics/metrics.h"
+
+namespace gemmini::metrics {
+
+/// The registry as one OpenMetrics text document.
+std::string to_openmetrics(const Registry& reg,
+                           const std::string& prefix = "gemmini");
+
+/// Writes to_openmetrics(reg) to `path`; returns false on I/O failure.
+bool write_openmetrics(const Registry& reg, const std::string& path,
+                       const std::string& prefix = "gemmini");
+
+}  // namespace gemmini::metrics

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 
 #include "src/base/stats.h"
+#include "src/metrics/openmetrics.h"
+#include "src/trace/perfetto.h"
 
 namespace gemmini::serve {
 
@@ -100,6 +103,36 @@ sim::Report Server::run() {
 
   ServeScheduler sched(spec_.scheduler);
 
+  // Serving-layer telemetry: its own collector (the calibration/per-request
+  // Sessions inside are throwaway probes — metering them would double-count
+  // traffic), driven on the event-loop clock, which is non-decreasing.
+  std::unique_ptr<metrics::Metrics> met;
+  metrics::Gauge* g_queue = nullptr;
+  metrics::Gauge* g_inflight = nullptr;
+  metrics::Counter* c_offered = nullptr;
+  metrics::Counter* c_admitted = nullptr;
+  metrics::Counter* c_shed = nullptr;
+  metrics::Counter* c_completed = nullptr;
+  metrics::Counter* c_errors = nullptr;
+  metrics::Counter* c_misses = nullptr;
+  metrics::Counter* c_preemptions = nullptr;
+  if (opts_.metrics.enabled) {
+    met = std::make_unique<metrics::Metrics>(opts_.metrics);
+    met->begin_run();
+    metrics::Registry& reg = met->registry();
+    g_queue = &reg.gauge("serve.queue_depth");
+    g_inflight = &reg.gauge("serve.inflight");
+    c_offered = &reg.counter("serve.offered");
+    c_admitted = &reg.counter("serve.admitted");
+    c_shed = &reg.counter("serve.shed");
+    c_completed = &reg.counter("serve.completed");
+    c_errors = &reg.counter("serve.errors");
+    c_misses = &reg.counter("serve.deadline_misses");
+    c_preemptions = &reg.counter("serve.preemptions");
+  }
+  // Per-request lifecycle spans, keyed (and later reported) by id.
+  std::map<std::uint64_t, sim::RequestSpan> spans;
+
   struct CoreState {
     bool busy = false;
     Cycle busy_until = 0;
@@ -145,9 +178,14 @@ sim::Report Server::run() {
     for (const ServeScheduler::Pending& p : c.batch) {
       const Request& r = p.req;
       sim::ServeClassStats& cs = st.per_class[r.cls];
+      sim::RequestSpan& sp = spans[r.id];
+      sp.complete = t;
+      sp.core = static_cast<unsigned>(ci);
       if (faulty && errored.count(r.id) != 0) {
         ++st.errors;
         ++cs.errors;
+        if (c_errors != nullptr) c_errors->add();
+        sp.ok = false;
         continue;
       }
       const Cycle lat = t - r.arrival;
@@ -164,9 +202,12 @@ sim::Report Server::run() {
       }
       ++st.completed;
       ++cs.completed;
+      if (c_completed != nullptr) c_completed->add();
       if (r.deadline != 0 && t > r.deadline) {
         ++st.deadline_misses;
         ++cs.deadline_misses;
+        sp.deadline_miss = true;
+        if (c_misses != nullptr) c_misses->add();
         if (!have_miss) {
           have_miss = true;
           miss_cls = r.cls;
@@ -237,6 +278,15 @@ sim::Report Server::run() {
       c.busy = true;
       c.batch = std::move(batch);
       c.busy_until = t + sw + (base > 0 ? base : 1);
+      for (const ServeScheduler::Pending& p : c.batch) {
+        spans[p.req.id].dispatch = t;
+      }
+    }
+    if (g_queue != nullptr) {
+      g_queue->set(static_cast<double>(sched.depth()));
+      std::size_t inflight = 0;
+      for (const CoreState& c : cores) inflight += c.batch.size();
+      g_inflight->set(static_cast<double>(inflight));
     }
   };
 
@@ -265,11 +315,13 @@ sim::Report Server::run() {
     const Cycle rem = c.busy_until > t ? c.busy_until - t : 1;
     for (ServeScheduler::Pending& p : c.batch) {
       p.remaining = rem;
+      spans[p.req.id].preemptions += 1;
       sched.requeue(std::move(p), t);
     }
     c.batch.clear();
     c.busy = false;
     ++st.preemptions;
+    if (c_preemptions != nullptr) c_preemptions->add();
   };
 
   // Discrete-event loop: at each step handle the earliest event;
@@ -287,18 +339,32 @@ sim::Report Server::run() {
     }
     const Cycle ta = ai < requests.size() ? requests[ai].arrival : kCycleMax;
     if (tc == kCycleMax && ta == kCycleMax) break;
+    if (met) met->advance_to(tc <= ta ? tc : ta);
     if (tc <= ta) {
       complete_core(ci, tc);
       dispatch_idle(tc);
     } else {
       const Request& r = requests[ai++];
       ++st.per_class[r.cls].offered;
+      if (c_offered != nullptr) c_offered->add();
+      sim::RequestSpan& sp = spans[r.id];
+      sp.id = r.id;
+      sp.cls = r.cls;
+      sp.arrival = r.arrival;
       if (!sched.admit(r, ta)) {
         ++st.shed;
         ++st.per_class[r.cls].shed;
-      } else if (spec_.scheduler.policy == ServePolicy::kEdf &&
-                 spec_.scheduler.preempt && r.deadline != 0) {
-        maybe_preempt(r, ta);
+        sp.shed = true;
+        sp.ok = false;
+        sp.dispatch = ta;
+        sp.complete = ta;
+        if (c_shed != nullptr) c_shed->add();
+      } else {
+        if (c_admitted != nullptr) c_admitted->add();
+        if (spec_.scheduler.policy == ServePolicy::kEdf &&
+            spec_.scheduler.preempt && r.deadline != 0) {
+          maybe_preempt(r, ta);
+        }
       }
       dispatch_idle(ta);
     }
@@ -337,6 +403,18 @@ sim::Report Server::run() {
   st.avg_queue_depth = sched.depth_stat().mean();
   st.max_queue_depth = sched.depth_stat().max();
   st.shed = sched.shed_count();
+
+  st.spans.reserve(spans.size());
+  for (auto& [id, sp] : spans) st.spans.push_back(std::move(sp));
+
+  if (met) {
+    met->finish_run(st.makespan);
+    rep.metrics = sim::snapshot_metrics(*met);
+    if (!opts_.metrics.export_path.empty()) {
+      metrics::write_openmetrics(met->registry(),
+                                 opts_.metrics.export_path);
+    }
+  }
 
   if (spec_.arrivals.kind == ArrivalKind::kTrace) {
     const Cycle span = requests.empty() ? 0 : requests.back().arrival + 1;
@@ -387,6 +465,47 @@ sim::Report Server::run() {
     rep.reliability.seed = config_.faults.seed;
   }
   return rep;
+}
+
+std::string request_trace_json(const sim::Report& rep, int indent) {
+  trace::PerfettoOptions opts;
+  opts.label = rep.config + "/" + rep.model;
+  opts.indent = indent;
+  opts.requests.reserve(rep.server.spans.size());
+  for (const sim::RequestSpan& sp : rep.server.spans) {
+    trace::RequestTrackSpan r;
+    r.id = sp.id;
+    r.cls = sp.cls < rep.server.per_class.size()
+                ? rep.server.per_class[sp.cls].name
+                : std::to_string(sp.cls);
+    r.arrival = sp.arrival;
+    r.dispatch = sp.dispatch;
+    r.complete = sp.complete;
+    r.core = sp.core;
+    r.preemptions = sp.preemptions;
+    r.shed = sp.shed;
+    r.deadline_miss = sp.deadline_miss;
+    opts.requests.push_back(std::move(r));
+  }
+  // Sampled serving timelines ride along as counter tracks so the request
+  // spans can be read against queue depth and in-flight batch size.
+  if (rep.metrics.enabled && rep.metrics.sample_interval > 0) {
+    for (const auto& [name, tl] : rep.metrics.counter_timelines) {
+      trace::CounterTrack ct;
+      ct.name = name;
+      ct.interval = rep.metrics.sample_interval;
+      ct.values.assign(tl.begin(), tl.end());
+      opts.counters.push_back(std::move(ct));
+    }
+    for (const auto& [name, tl] : rep.metrics.gauge_timelines) {
+      trace::CounterTrack ct;
+      ct.name = name;
+      ct.interval = rep.metrics.sample_interval;
+      ct.values = tl;
+      opts.counters.push_back(std::move(ct));
+    }
+  }
+  return trace::to_perfetto_json({}, opts);
 }
 
 }  // namespace gemmini::serve

@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "src/metrics/metrics.h"
 #include "src/serve/scheduler.h"
 #include "src/serve/traffic.h"
 #include "src/sim/report.h"
@@ -81,6 +82,12 @@ struct ServerOptions {
   std::uint64_t seed = 1;
   std::shared_ptr<const lowering::PlacementPolicy> placement;
   std::shared_ptr<const lowering::TilingPolicy> tiling;
+  /// Serving-layer telemetry: "serve.*" counters plus the queue-depth and
+  /// in-flight-batch gauges, sampled on the event-loop clock when
+  /// `sample_interval_cycles > 0`. Lands in Report::metrics. Per-request
+  /// spans (ServerStats::spans) are always recorded — they cost one map
+  /// entry per request, not a hot-path branch.
+  metrics::MetricsConfig metrics{};
 };
 
 class Server {
@@ -115,5 +122,12 @@ class Server {
   ServeSpec spec_;
   Options opts_;
 };
+
+/// Renders a serve report's per-request spans — and, when the report
+/// carries sampled metric timelines, those as counter tracks — as a
+/// Perfetto-loadable trace.json. Deterministic: equal reports serialize
+/// byte-identically, so request tracks round-trip across sessions and
+/// sweep worker threads.
+std::string request_trace_json(const sim::Report& rep, int indent = 0);
 
 }  // namespace gemmini::serve

@@ -30,6 +30,7 @@ Session build_session(const SweepPoint& point, const SocConfig& cfg,
       .placement(point.placement)
       .tiling(point.tiling)
       .trace(with_trace ? point.trace : trace::TraceConfig{})
+      .metrics(point.metrics)
       .build();
 }
 
@@ -145,6 +146,7 @@ Report Sweep::run_point(const SweepPoint& point) {
                           .functional(point.functional)
                           .seed(point.seed)
                           .trace(point.trace)
+                          .metrics(point.metrics)
                           .build();
     Report rep = llm::run_decode(session, *point.llm);
     rep.point = point.name;
@@ -161,7 +163,7 @@ Report Sweep::run_point(const SweepPoint& point) {
     serve::Server server(
         point.config, point.serve,
         serve::Server::Options{point.functional, point.seed, point.placement,
-                               point.tiling});
+                               point.tiling, point.metrics});
     Report rep = server.run();
     rep.point = point.name;
     return rep;
@@ -173,6 +175,7 @@ Report Sweep::run_point(const SweepPoint& point) {
                         .placement(point.placement)
                         .tiling(point.tiling)
                         .trace(point.trace)
+                        .metrics(point.metrics)
                         .build();
   Report rep = point.multicore ? session.run_multicore(point.model)
                                : session.run(point.model);
@@ -399,6 +402,11 @@ Experiment& Experiment::trace_point(std::string point_name,
   trace_point_name_ = std::move(point_name);
   trace_cfg_ = std::move(cfg);
   trace_cfg_.enabled = true;
+  return *this;
+}
+Experiment& Experiment::metrics(metrics::MetricsConfig cfg) {
+  metrics_cfg_ = std::move(cfg);
+  metrics_cfg_.enabled = true;
   return *this;
 }
 
@@ -666,6 +674,7 @@ Sweep Experiment::sweep() const {
                          v.cfg, m, multicore_, functional_, seed_, pp, tp,
                          /*trace=*/{}, /*campaign_runs=*/0};
             p.llm = w.llm;
+            p.metrics = metrics_cfg_;
             if (!trace_point_name_.empty() && p.name == trace_point_name_) {
               p.trace = trace_cfg_;
             }

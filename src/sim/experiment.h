@@ -77,6 +77,12 @@ struct SweepPoint {
   /// KV-cache-resident WorkStream) instead of lowering `model` through the
   /// graph IR; `model` is the decode proxy model (labels / CPU baseline).
   std::optional<llm::DecodeConfig> llm;
+  /// Telemetry for this point: the metric registry (and, when
+  /// `sample_interval_cycles > 0`, the cycle-windowed sampler) rides every
+  /// run path — Session, serve::Server, llm decode — and lands in the
+  /// point's Report::metrics. Observational only; cheap enough to leave on
+  /// for a whole grid (merge with sim::merge_metrics afterwards).
+  metrics::MetricsConfig metrics{};
 };
 
 struct SweepOptions {
@@ -201,6 +207,11 @@ class Experiment {
                           trace::TraceConfig cfg =
                               trace::TraceConfig::enabled_default());
 
+  /// Telemetry for *every* sweep point (unlike trace_point, metrics are
+  /// cheap enough to leave on grid-wide); see SweepPoint::metrics.
+  Experiment& metrics(metrics::MetricsConfig cfg =
+                          metrics::MetricsConfig::enabled_default());
+
   /// Expands the grid into a Sweep (configs x models, in axis order).
   Sweep sweep() const;
   /// sweep().run(opts).
@@ -236,6 +247,7 @@ class Experiment {
   std::uint64_t seed_ = 1;
   std::string trace_point_name_;
   trace::TraceConfig trace_cfg_{};
+  metrics::MetricsConfig metrics_cfg_{};
 };
 
 }  // namespace gemmini::sim

@@ -1,5 +1,7 @@
 #include "src/sim/report.h"
 
+#include <algorithm>
+
 #include "src/sim/json_writer.h"
 
 namespace gemmini::sim {
@@ -150,6 +152,31 @@ void write_serve_class(JsonWriter& w, const ServeClassStats& c) {
 
 void write_bottleneck(JsonWriter& w, const trace::LayerBottleneck& l);
 
+void write_request_span(JsonWriter& w, const RequestSpan& sp) {
+  w.begin_object();
+  w.key("id");
+  w.value(sp.id);
+  w.key("class");
+  w.value(static_cast<std::uint64_t>(sp.cls));
+  w.key("arrival");
+  w.value(sp.arrival);
+  w.key("dispatch");
+  w.value(sp.dispatch);
+  w.key("complete");
+  w.value(sp.complete);
+  w.key("core");
+  w.value(static_cast<std::uint64_t>(sp.core));
+  w.key("preemptions");
+  w.value(static_cast<std::uint64_t>(sp.preemptions));
+  w.key("shed");
+  w.value(sp.shed);
+  w.key("ok");
+  w.value(sp.ok);
+  w.key("deadline_miss");
+  w.value(sp.deadline_miss);
+  w.end_object();
+}
+
 void write_server(JsonWriter& w, const ServerStats& s) {
   w.begin_object();
   w.key("enabled");
@@ -202,6 +229,73 @@ void write_server(JsonWriter& w, const ServerStats& s) {
     write_bottleneck(w, l);
   }
   w.end_array();
+  w.key("spans");
+  w.begin_array();
+  for (const RequestSpan& sp : s.spans) write_request_span(w, sp);
+  w.end_array();
+  w.end_object();
+}
+
+void write_metrics(JsonWriter& w, const MetricsReport& m) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(m.enabled);
+  w.key("sample_interval");
+  w.value(m.sample_interval);
+  w.key("windows");
+  w.value(m.windows);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : m.counters) {
+    w.key(name.c_str());
+    w.value(v);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : m.gauges) {
+    w.key(name.c_str());
+    w.value(v);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : m.histograms) {
+    w.key(name.c_str());
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    w.key("min");
+    w.value(h.min);
+    w.key("max");
+    w.value(h.max);
+    w.key("buckets");
+    w.begin_array();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("counter_timelines");
+  w.begin_object();
+  for (const auto& [name, tl] : m.counter_timelines) {
+    w.key(name.c_str());
+    w.begin_array();
+    for (const std::uint64_t v : tl) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.key("gauge_timelines");
+  w.begin_object();
+  for (const auto& [name, tl] : m.gauge_timelines) {
+    w.key(name.c_str());
+    w.begin_array();
+    for (const double v : tl) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
   w.end_object();
 }
 
@@ -427,6 +521,8 @@ void write_report(JsonWriter& w, const Report& r) {
   write_llm(w, r.llm);
   w.key("server");
   write_server(w, r.server);
+  w.key("metrics");
+  write_metrics(w, r.metrics);
   w.key("estimates");
   w.begin_object();
   w.key("area_um2");
@@ -470,6 +566,86 @@ std::string reports_to_json(const std::vector<Report>& reports, int indent) {
   for (const Report& r : reports) write_report(w, r);
   w.end_array();
   return w.str();
+}
+
+MetricsReport snapshot_metrics(const metrics::Metrics& m) {
+  MetricsReport out;
+  out.enabled = true;
+  out.sample_interval = m.config().sample_interval_cycles;
+  const metrics::Registry& reg = m.registry();
+  for (const auto& [name, c] : reg.counters()) out.counters[name] = c.value();
+  for (const auto& [name, g] : reg.gauges()) out.gauges[name] = g.value();
+  for (const auto& [name, h] : reg.histograms()) {
+    HistogramReport hr;
+    hr.count = h.count();
+    hr.sum = h.sum();
+    hr.min = h.min();
+    hr.max = h.max();
+    hr.buckets = h.buckets();
+    out.histograms[name] = std::move(hr);
+  }
+  const metrics::TimeSeriesSampler& s = m.sampler();
+  out.windows = s.windows();
+  for (const auto& [name, cs] : s.counter_series()) {
+    out.counter_timelines[name] = cs.deltas;
+  }
+  for (const auto& [name, gs] : s.gauge_series()) {
+    out.gauge_timelines[name] = gs;
+  }
+  return out;
+}
+
+std::string metrics_to_json(const MetricsReport& m, int indent) {
+  JsonWriter w(indent);
+  write_metrics(w, m);
+  return w.str();
+}
+
+MetricsReport merge_metrics(const std::vector<Report>& reports) {
+  MetricsReport out;
+  for (const Report& r : reports) {
+    const MetricsReport& m = r.metrics;
+    if (!m.enabled) continue;
+    out.enabled = true;
+    if (out.sample_interval == 0) out.sample_interval = m.sample_interval;
+    out.windows = std::max(out.windows, m.windows);
+    for (const auto& [name, v] : m.counters) out.counters[name] += v;
+    for (const auto& [name, v] : m.gauges) {
+      auto [it, inserted] = out.gauges.try_emplace(name, v);
+      if (!inserted) it->second = std::max(it->second, v);
+    }
+    for (const auto& [name, h] : m.histograms) {
+      HistogramReport& acc = out.histograms[name];
+      if (acc.count == 0) {
+        acc.min = h.min;
+        acc.max = h.max;
+      } else if (h.count > 0) {
+        acc.min = std::min(acc.min, h.min);
+        acc.max = std::max(acc.max, h.max);
+      }
+      acc.count += h.count;
+      acc.sum += h.sum;
+      if (acc.buckets.size() < h.buckets.size()) {
+        acc.buckets.resize(h.buckets.size(), 0);
+      }
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        acc.buckets[i] += h.buckets[i];
+      }
+    }
+    for (const auto& [name, tl] : m.counter_timelines) {
+      auto& acc = out.counter_timelines[name];
+      if (acc.size() < tl.size()) acc.resize(tl.size(), 0);
+      for (std::size_t i = 0; i < tl.size(); ++i) acc[i] += tl[i];
+    }
+    for (const auto& [name, tl] : m.gauge_timelines) {
+      auto& acc = out.gauge_timelines[name];
+      if (acc.size() < tl.size()) acc.resize(tl.size(), 0.0);
+      for (std::size_t i = 0; i < tl.size(); ++i) {
+        acc[i] = std::max(acc[i], tl[i]);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace gemmini::sim

@@ -27,6 +27,7 @@
 #include "src/base/types.h"
 #include "src/estimate/area_model.h"
 #include "src/fault/fault.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/bottleneck.h"
 
 namespace gemmini::sim {
@@ -199,6 +200,26 @@ struct ServeClassStats {
       default;
 };
 
+/// One request's lifecycle through the serving layer: admit -> queue ->
+/// dispatch -> run -> complete, with the deadline verdict. Recorded for
+/// every offered request (shed requests carry `shed = true` and collapse
+/// dispatch/complete onto the arrival time). The raw material for the
+/// Perfetto request tracks (serve::request_trace_json).
+struct RequestSpan {
+  std::uint64_t id = 0;
+  unsigned cls = 0;  ///< index into ServerStats::per_class
+  Cycle arrival = 0;
+  Cycle dispatch = 0;  ///< start of the completing dispatch
+  Cycle complete = 0;
+  unsigned core = 0;  ///< core that completed it (0 for shed)
+  unsigned preemptions = 0;
+  bool shed = false;
+  bool ok = true;
+  bool deadline_miss = false;
+
+  friend bool operator==(const RequestSpan&, const RequestSpan&) = default;
+};
+
 /// Serving section of a Report — filled only by serve::Server runs (the
 /// `enabled` flag is false and the section all-zero otherwise). Latency
 /// percentiles are exact (nearest-rank over every stored sample), queue
@@ -240,7 +261,44 @@ struct ServerStats {
   /// captured through a traced re-run (serve::ServeSpec::trace_missed).
   std::vector<trace::LayerBottleneck> miss_bottlenecks;
 
+  /// Per-request lifecycle spans, in request-id (arrival) order.
+  std::vector<RequestSpan> spans;
+
   friend bool operator==(const ServerStats&, const ServerStats&) = default;
+};
+
+/// One histogram's summary in a Report: log2 buckets (bucket 0 = zeros,
+/// bucket i = values of bit width i, last = overflow) plus the moments.
+struct HistogramReport {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+
+  friend bool operator==(const HistogramReport&, const HistogramReport&) =
+      default;
+};
+
+/// Metrics section of a Report — the end-of-run registry totals plus, when
+/// the sampler was armed, the cycle-windowed timelines. Invariants the
+/// tests and bench gate on: for every counter timeline, the element sum
+/// equals the counter's total exactly; for every gauge timeline, the last
+/// sample equals the gauge's final value.
+struct MetricsReport {
+  bool enabled = false;
+  Cycle sample_interval = 0;  ///< 0 = sampler off (totals only)
+  std::uint64_t windows = 0;  ///< samples per timeline (incl. final partial)
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramReport> histograms;
+  /// Per-window counter deltas (length == windows).
+  std::map<std::string, std::vector<std::uint64_t>> counter_timelines;
+  /// Gauge value at each window boundary (length == windows).
+  std::map<std::string, std::vector<double>> gauge_timelines;
+
+  friend bool operator==(const MetricsReport&, const MetricsReport&) =
+      default;
 };
 
 /// End-to-end result of one experiment (one model on one SoC config).
@@ -295,6 +353,10 @@ struct Report {
   /// all-zero) for single-inference runs.
   ServerStats server;
 
+  /// Telemetry section; `enabled` is false (and the section empty) unless
+  /// the session/server was built with metrics.
+  MetricsReport metrics;
+
   friend bool operator==(const Report&, const Report&) = default;
 
   /// Deterministic JSON (stable key order, round-trippable doubles). Two
@@ -305,5 +367,21 @@ struct Report {
 /// Serializes a whole sweep: a JSON array of reports, in point order.
 std::string reports_to_json(const std::vector<Report>& reports,
                             int indent = 0);
+
+/// The metrics section alone, serialized exactly as it appears inside
+/// Report::to_json (deterministic). Lets tests and bench compare merged
+/// telemetry without dragging the whole report along.
+std::string metrics_to_json(const MetricsReport& m, int indent = 0);
+
+/// Snapshots a live metrics collector into the Report shape: registry
+/// totals plus the sampler's timelines (empty when sampling is off).
+MetricsReport snapshot_metrics(const metrics::Metrics& m);
+
+/// Deterministic accumulate of the metrics sections of `reports`, in point
+/// order: counters, histograms and counter timelines sum (timelines
+/// element-wise, zero-padded to the longest); gauges and gauge timelines
+/// take the element-wise max. Byte-identical output however many worker
+/// threads produced the reports, because point order is thread-invariant.
+MetricsReport merge_metrics(const std::vector<Report>& reports);
 
 }  // namespace gemmini::sim

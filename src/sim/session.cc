@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/codegen/header_gen.h"
+#include "src/metrics/openmetrics.h"
 #include "src/model/lowering/pipeline.h"
 #include "src/trace/perfetto.h"
 
@@ -39,13 +40,15 @@ Session Session::Builder::build() const {
     throw ConfigError("sim::Session '" + cfg_.name +
                       "': invalid configuration: " + e.what());
   }
-  return Session(cfg_, functional_, seed_, placement_, tiling_, trace_);
+  return Session(cfg_, functional_, seed_, placement_, tiling_, trace_,
+                 metrics_);
 }
 
 Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
                  std::shared_ptr<const lowering::PlacementPolicy> placement,
                  std::shared_ptr<const lowering::TilingPolicy> tiling,
-                 const trace::TraceConfig& trace_cfg)
+                 const trace::TraceConfig& trace_cfg,
+                 const metrics::MetricsConfig& metrics_cfg)
     : functional_(functional),
       seed_(seed),
       placement_(placement
@@ -59,7 +62,10 @@ Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
         std::make_unique<trace::RingBufferSink>(trace_cfg_.buffer_events);
     tracer_ = std::make_unique<trace::Tracer>(*trace_sink_);
   }
-  soc_ = std::make_unique<Soc>(cfg, tracer_.get());
+  if (metrics_cfg.enabled) {
+    metrics_ = std::make_unique<metrics::Metrics>(metrics_cfg);
+  }
+  soc_ = std::make_unique<Soc>(cfg, tracer_.get(), metrics_.get());
   soc_->set_functional(functional_);
 }
 
@@ -76,7 +82,45 @@ trace::PerfettoOptions Session::perfetto_options(int indent) const {
     opts.label += "/" + traced_plan_->model().name();
   }
   opts.indent = indent;
+  // When the sampler ran, its timelines ride along as counter tracks
+  // beside the cycle-level span tracks (name-ordered: deterministic).
+  if (metrics_ && metrics_->sampling()) {
+    const metrics::TimeSeriesSampler& s = metrics_->sampler();
+    for (const auto& [name, cs] : s.counter_series()) {
+      trace::CounterTrack ct;
+      ct.name = name;
+      ct.interval = s.interval();
+      ct.values.assign(cs.deltas.begin(), cs.deltas.end());
+      opts.counters.push_back(std::move(ct));
+    }
+    for (const auto& [name, gs] : s.gauge_series()) {
+      trace::CounterTrack ct;
+      ct.name = name;
+      ct.interval = s.interval();
+      ct.values = gs;
+      opts.counters.push_back(std::move(ct));
+    }
+  }
   return opts;
+}
+
+metrics::Metrics& Session::metrics() const {
+  GEMMINI_CHECK_MSG(metering(),
+                    "metrics(): session was built without .metrics()");
+  return *metrics_;
+}
+
+std::string Session::openmetrics() const {
+  GEMMINI_CHECK_MSG(metering(),
+                    "openmetrics(): session was built without .metrics()");
+  return metrics::to_openmetrics(metrics_->registry());
+}
+
+bool Session::write_openmetrics(const std::string& path) const {
+  GEMMINI_CHECK_MSG(
+      metering(),
+      "write_openmetrics(): session was built without .metrics()");
+  return metrics::write_openmetrics(metrics_->registry(), path);
 }
 
 std::string Session::trace_json(int indent) const {
@@ -252,6 +296,14 @@ Report Session::make_report(const std::string& model_name, Cycle cpu_baseline,
     rep.reliability.enabled = true;
     rep.reliability.seed = config().faults.seed;
     rep.reliability.injection = inj->stats();
+  }
+
+  if (metrics_) {
+    rep.metrics = snapshot_metrics(*metrics_);
+    if (!metrics_->config().export_path.empty()) {
+      metrics::write_openmetrics(metrics_->registry(),
+                                 metrics_->config().export_path);
+    }
   }
 
   rep.estimates = estimates();

@@ -41,6 +41,7 @@
 #include "src/estimate/area_model.h"
 #include "src/estimate/power_model.h"
 #include "src/estimate/timing_model.h"
+#include "src/metrics/metrics.h"
 #include "src/model/graph.h"
 #include "src/model/lowering/policy.h"
 #include "src/model/runner.h"
@@ -122,6 +123,16 @@ class Session {
       trace_ = std::move(cfg);
       return *this;
     }
+    /// Attaches the metrics registry (src/metrics/): counters, gauges and
+    /// histograms collected by every timed component, plus (when
+    /// `cfg.sample_interval_cycles > 0`) cycle-windowed timelines. Like
+    /// tracing, metrics are observational only — cycle counts are
+    /// bit-identical on and off. Results land in Report::metrics, the
+    /// openmetrics() text endpoint, and Perfetto counter tracks.
+    Builder& metrics(metrics::MetricsConfig cfg) {
+      metrics_ = std::move(cfg);
+      return *this;
+    }
 
     const SocConfig& config() const { return cfg_; }
 
@@ -137,6 +148,7 @@ class Session {
     std::shared_ptr<const lowering::PlacementPolicy> placement_;
     std::shared_ptr<const lowering::TilingPolicy> tiling_;
     trace::TraceConfig trace_{};
+    metrics::MetricsConfig metrics_{};
   };
 
   static Builder builder() { return Builder{}; }
@@ -237,6 +249,18 @@ class Session {
   /// without running) cannot mis-attribute the recorded events.
   trace::BottleneckReport bottlenecks(unsigned core = 0) const;
 
+  // ---- Metrics -------------------------------------------------------------
+  /// True iff the session was built with `.metrics(...)` and an enabled
+  /// config. The registry holds the most recent run (runs reset it first).
+  bool metering() const { return metrics_ != nullptr; }
+  /// The live metrics collector. GEMMINI_CHECKs that metering is on.
+  metrics::Metrics& metrics() const;
+  /// The most recent run's registry rendered as OpenMetrics/Prometheus
+  /// exposition text (deterministic). GEMMINI_CHECKs that metering is on.
+  std::string openmetrics() const;
+  /// Writes openmetrics() to `path`; returns false on I/O failure.
+  bool write_openmetrics(const std::string& path) const;
+
   // ---- Low-level access (the session still owns everything) ---------------
   Soc& soc() { return *soc_; }
   const Soc& soc() const { return *soc_; }
@@ -251,7 +275,8 @@ class Session {
   Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
           std::shared_ptr<const lowering::PlacementPolicy> placement,
           std::shared_ptr<const lowering::TilingPolicy> tiling,
-          const trace::TraceConfig& trace_cfg);
+          const trace::TraceConfig& trace_cfg,
+          const metrics::MetricsConfig& metrics_cfg);
 
   Plan build_plan(const Model& model, unsigned core);
   Report make_report(const Model& model,
@@ -269,6 +294,9 @@ class Session {
   // stable across Session moves.
   std::unique_ptr<trace::RingBufferSink> trace_sink_;
   std::unique_ptr<trace::Tracer> tracer_;
+  // Heap-allocated for the same reason as the Tracer: components cache
+  // Counter*/Gauge* handles into the registry, which must survive moves.
+  std::unique_ptr<metrics::Metrics> metrics_;
   /// The plan behind the events currently in the ring (snapshotted at run
   /// time; only kept while tracing). last_plan_ is NOT used for
   /// attribution — plan() overwrites it without touching the buffer.

@@ -28,13 +28,15 @@ SocConfig SocConfig::big_l2() {
   return cfg;
 }
 
-Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer)
+Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer,
+         metrics::Metrics* metrics)
     : cfg_(cfg),
       tracer_(tracer),
+      metrics_(metrics),
       injector_(cfg.faults.enabled
                     ? std::make_unique<fault::Injector>(cfg.faults, tracer)
                     : nullptr),
-      mem_(cfg.mem, tracer, injector_.get()),
+      mem_(cfg.mem, tracer, injector_.get(), metrics),
       frames_(0x8000'0000ull),
       ptw_(cfg.accel.translation.ptw, mem_, RequestorId{kPtwRequestor}) {
   cfg_.validate();
@@ -45,7 +47,7 @@ Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer)
         /*va_base=*/0x1'0000'0000ull + c * 0x10'0000'0000ull));
     accels_.push_back(std::make_unique<Accelerator>(
         cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}, tracer,
-        injector_.get()));
+        injector_.get(), metrics));
   }
 }
 
@@ -89,6 +91,14 @@ Cycle Soc::advance(CoreExec& ce, unsigned core) {
       tracer_->span(trace::EventKind::kCpuStep, t0, ce.t, step.cpu_cycles);
       tracer_->span(trace::EventKind::kLayerSpan, t0, ce.t, ce.step);
     }
+    if (metrics_) {
+      metrics_->registry()
+          .histogram("step_cycles." + step.tag)
+          .record(step.cpu_cycles);
+      if (!step.metric_gauge.empty()) {
+        metrics_->registry().gauge(step.metric_gauge).set(step.metric_value);
+      }
+    }
     if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
     maybe_os_switch(ce, core);
     ++ce.step;
@@ -112,6 +122,14 @@ Cycle Soc::advance(CoreExec& ce, unsigned core) {
     // moves core time), so [start_t, ce.t] is this step's wall-clock span.
     if (tracer_) {
       tracer_->span(trace::EventKind::kLayerSpan, start_t, ce.t, ce.step);
+    }
+    if (metrics_) {
+      metrics_->registry()
+          .histogram("step_cycles." + step.tag)
+          .record(ce.t - start_t);
+      if (!step.metric_gauge.empty()) {
+        metrics_->registry().gauge(step.metric_gauge).set(step.metric_value);
+      }
     }
     if (functional_ && step.post_fixup) step.post_fixup(*spaces_[core]);
     maybe_os_switch(ce, core);
@@ -138,6 +156,7 @@ std::vector<CoreResult> Soc::run_parallel(
     execs[i].next_os_switch = cfg_.os.period_cycles;
     accels_[i]->reset_report();
   }
+  if (metrics_) metrics_->begin_run();
 
   // Event-merge loop: always advance the core with the earliest next event.
   while (true) {
@@ -163,6 +182,10 @@ std::vector<CoreResult> Soc::run_parallel(
                           static_cast<unsigned>(best), step.layer, step.tag,
                           ce.step, ce.stream->steps.size());
     }
+    // Close any sampler windows the frontier has passed before issuing the
+    // work that starts at best_t; the frontier is non-decreasing, so window
+    // attribution is deterministic.
+    if (metrics_) metrics_->advance_to(best_t);
     next_event[best] = advance(execs[best], static_cast<unsigned>(best));
   }
 
@@ -175,12 +198,17 @@ std::vector<CoreResult> Soc::run_parallel(
 
   std::vector<CoreResult> results;
   results.reserve(execs.size());
+  Cycle soc_finish = 0;
   for (std::size_t i = 0; i < execs.size(); ++i) {
     execs[i].result.finish =
         std::max(execs[i].t, accels_[i]->frontier());
+    soc_finish = std::max(soc_finish, execs[i].result.finish);
     execs[i].result.accel = accels_[i]->report();
     results.push_back(std::move(execs[i].result));
   }
+  // The final (partial) sampler window closes after drain_writes() above,
+  // so every counter's timeline sums exactly to its end-of-run total.
+  if (metrics_) metrics_->finish_run(soc_finish);
   if (tracer_) tracer_->clear_context();
   return results;
 }

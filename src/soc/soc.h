@@ -20,6 +20,7 @@
 #include "src/cpu/cost_model.h"
 #include "src/fault/fault.h"
 #include "src/mem/memsys.h"
+#include "src/metrics/metrics.h"
 #include "src/runtime/workstream.h"
 #include "src/trace/trace.h"
 #include "src/vm/page_table.h"
@@ -76,7 +77,12 @@ class Soc {
   /// unit, translation) and the SoC-level step/OS accounting. The SoC sets
   /// the tracer's (core, layer) context before advancing a core, so events
   /// on shared substrate are attributed to the issuing core.
-  explicit Soc(const SocConfig& cfg, trace::Tracer* tracer = nullptr);
+  /// `metrics` follows the same contract (null = metrics off, observational
+  /// only): components register their counters/gauges at construction and
+  /// the SoC drives the TimeSeriesSampler from the event-merge frontier,
+  /// which is non-decreasing — so timelines are deterministic.
+  explicit Soc(const SocConfig& cfg, trace::Tracer* tracer = nullptr,
+               metrics::Metrics* metrics = nullptr);
 
   /// Per-core process address space (create one per stream you lower).
   AddressSpace& address_space(unsigned core) { return *spaces_[core]; }
@@ -88,6 +94,10 @@ class Soc {
   /// The fault injector, or nullptr when cfg.faults.enabled is false.
   fault::Injector* fault_injector() { return injector_.get(); }
   const fault::Injector* fault_injector() const { return injector_.get(); }
+
+  /// The attached metrics handle, or nullptr when metrics are off.
+  metrics::Metrics* metrics() { return metrics_; }
+  const metrics::Metrics* metrics() const { return metrics_; }
 
   void set_functional(bool functional);
 
@@ -126,6 +136,7 @@ class Soc {
 
   SocConfig cfg_;
   trace::Tracer* tracer_;
+  metrics::Metrics* metrics_;
   /// Built before mem_ / the accelerators so it can be threaded through
   /// their constructors; null when faults are disabled.
   std::unique_ptr<fault::Injector> injector_;

@@ -15,6 +15,10 @@ using sim::detail::JsonWriter;
 /// context (there should be none in a normal run, but the format must not
 /// lose them) land in a synthetic "substrate" process.
 constexpr std::uint64_t kSubstratePid = 999;
+/// Synthetic processes for the optional extra tracks: sampled metric
+/// counters and per-request serving spans.
+constexpr std::uint64_t kMetricsPid = 998;
+constexpr std::uint64_t kRequestsPid = 997;
 
 std::uint64_t pid_of(const TraceEvent& e) {
   return e.core < 0 ? kSubstratePid
@@ -32,6 +36,120 @@ void write_common(JsonWriter& w, const TraceEvent& e) {
   w.value(static_cast<std::uint64_t>(e.unit));
   w.key("ts");
   w.value(e.begin);
+}
+
+void write_process_name(JsonWriter& w, std::uint64_t pid, const char* name) {
+  w.begin_object();
+  w.key("ph");
+  w.value("M");
+  w.key("name");
+  w.value("process_name");
+  w.key("pid");
+  w.value(pid);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.end_object();
+  w.end_object();
+}
+
+/// Counter tracks: one "C" event per sample window, plotted at the window's
+/// start cycle. Perfetto keys counter series by (pid, name), so no tid.
+void write_counter_tracks(JsonWriter& w,
+                          const std::vector<CounterTrack>& tracks) {
+  write_process_name(w, kMetricsPid, "metrics");
+  for (const CounterTrack& ct : tracks) {
+    for (std::size_t i = 0; i < ct.values.size(); ++i) {
+      w.begin_object();
+      w.key("ph");
+      w.value("C");
+      w.key("name");
+      w.value(ct.name);
+      w.key("pid");
+      w.value(kMetricsPid);
+      w.key("ts");
+      w.value(static_cast<Cycle>(i) * ct.interval);
+      w.key("args");
+      w.begin_object();
+      w.key("value");
+      w.value(ct.values[i]);
+      w.end_object();
+      w.end_object();
+    }
+  }
+}
+
+void write_request_span(JsonWriter& w, const RequestTrackSpan& r,
+                        const char* name, Cycle begin, Cycle end) {
+  w.begin_object();
+  w.key("ph");
+  w.value(begin == end ? "i" : "X");
+  w.key("name");
+  w.value(name);
+  w.key("cat");
+  w.value("request");
+  w.key("pid");
+  w.value(kRequestsPid);
+  w.key("tid");
+  w.value(r.id);
+  w.key("ts");
+  w.value(begin);
+  if (begin == end) {
+    w.key("s");
+    w.value("t");
+  } else {
+    w.key("dur");
+    w.value(end - begin);
+  }
+  w.key("args");
+  w.begin_object();
+  w.key("id");
+  w.value(r.id);
+  w.key("class");
+  w.value(r.cls);
+  w.key("core");
+  w.value(static_cast<std::uint64_t>(r.core));
+  w.key("preemptions");
+  w.value(static_cast<std::uint64_t>(r.preemptions));
+  w.key("deadline_miss");
+  w.value(r.deadline_miss);
+  w.end_object();
+  w.end_object();
+}
+
+/// Request tracks: one thread per request id under the "requests" process;
+/// a "queue" span (arrival -> dispatch) and a "run" span (dispatch ->
+/// complete) per admitted request, an instant for shed ones.
+void write_request_tracks(JsonWriter& w,
+                          const std::vector<RequestTrackSpan>& reqs) {
+  write_process_name(w, kRequestsPid, "requests");
+  for (const RequestTrackSpan& r : reqs) {
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("name");
+    w.value("thread_name");
+    w.key("pid");
+    w.value(kRequestsPid);
+    w.key("tid");
+    w.value(r.id);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("req" + std::to_string(r.id));
+    w.end_object();
+    w.end_object();
+  }
+  for (const RequestTrackSpan& r : reqs) {
+    if (r.shed) {
+      write_request_span(w, r, "shed", r.arrival, r.arrival);
+      continue;
+    }
+    write_request_span(w, r, "queue", r.arrival, r.dispatch);
+    write_request_span(w, r, r.deadline_miss ? "run(miss)" : "run",
+                       r.dispatch, r.complete);
+  }
 }
 
 void write_args(JsonWriter& w, const TraceEvent& e) {
@@ -138,6 +256,9 @@ std::string to_perfetto_json(const std::vector<TraceEvent>& events,
     write_args(w, e);
     w.end_object();
   }
+
+  if (!opts.counters.empty()) write_counter_tracks(w, opts.counters);
+  if (!opts.requests.empty()) write_request_tracks(w, opts.requests);
 
   w.end_array();
   w.end_object();

@@ -20,11 +20,41 @@
 
 namespace gemmini::trace {
 
+/// A sampled metric timeline rendered as a Perfetto counter track ("C"
+/// events under the synthetic "metrics" process, pid 998): value[i] is
+/// plotted at ts = i * interval. The metrics subsystem's TimeSeriesSampler
+/// produces these; sim::Session wires them in automatically.
+struct CounterTrack {
+  std::string name;            ///< metric name, e.g. "dram.ch0.row_hits"
+  Cycle interval = 0;          ///< window width in cycles
+  std::vector<double> values;  ///< one sample per window
+};
+
+/// One serving request's lifecycle, rendered as its own thread track under
+/// the synthetic "requests" process (pid 997): a "queue" span from arrival
+/// to dispatch and a "run" span from dispatch to completion (deadline
+/// misses flagged in args); shed requests render as an instant.
+struct RequestTrackSpan {
+  std::uint64_t id = 0;
+  std::string cls;  ///< request-class name
+  Cycle arrival = 0;
+  Cycle dispatch = 0;
+  Cycle complete = 0;
+  unsigned core = 0;
+  unsigned preemptions = 0;
+  bool shed = false;
+  bool deadline_miss = false;
+};
+
 /// Options for the exporter; `label` becomes the trace-level metadata so a
-/// directory of artifacts stays tellable-apart.
+/// directory of artifacts stays tellable-apart. The `counters` and
+/// `requests` tracks are optional extras — when both are empty the output
+/// is byte-identical to what this exporter has always produced.
 struct PerfettoOptions {
   std::string label;   ///< e.g. "<config>/<model>"
   int indent = 0;      ///< 0 = compact single-line JSON
+  std::vector<CounterTrack> counters;
+  std::vector<RequestTrackSpan> requests;
 };
 
 /// Serializes `events` (record order) as a Perfetto-loadable trace.json.

@@ -5,7 +5,8 @@ namespace gemmini {
 TranslationSystem::TranslationSystem(const TranslationConfig& cfg,
                                      PageTableWalker& ptw,
                                      trace::Tracer* tracer,
-                                     fault::Injector* injector)
+                                     fault::Injector* injector,
+                                     metrics::Metrics* metrics, int core)
     : cfg_(cfg),
       private_(cfg.private_tlb, "private_tlb", cfg.profile_window),
       ptw_(ptw),
@@ -13,6 +14,12 @@ TranslationSystem::TranslationSystem(const TranslationConfig& cfg,
       injector_(injector) {
   if (cfg_.l2_tlb_present && cfg_.l2_tlb.entries > 0) {
     l2_.emplace(cfg_.l2_tlb, "l2_tlb", cfg_.profile_window);
+  }
+  if (metrics != nullptr && core >= 0) {
+    const std::string p = "core" + std::to_string(core) + ".tlb";
+    m_hits_ = &metrics->registry().counter(p + ".hits");
+    m_misses_ = &metrics->registry().counter(p + ".misses");
+    m_filter_hits_ = &metrics->registry().counter(p + ".filter_hits");
   }
 }
 
@@ -34,6 +41,7 @@ Translation TranslationSystem::translate(const AddressSpace& as, VAddr va,
     FilterReg& f = is_write ? write_filter_ : read_filter_;
     if (f.valid && f.vpn == vpn) {
       stats_.counter("filter_hits").add();
+      if (m_filter_hits_ != nullptr) m_filter_hits_->add();
       out.paddr = f.ppn_base | page_offset(va);
       out.done = t;  // 0-cycle hit
       out.level = TranslationLevel::kFilterRegister;
@@ -47,7 +55,9 @@ Translation TranslationSystem::translate(const AddressSpace& as, VAddr va,
     now += cfg_.private_tlb.hit_latency;
     ppn_base = *ppn;
     out.level = TranslationLevel::kPrivateTlb;
+    if (m_hits_ != nullptr) m_hits_->add();
   } else {
+    if (m_misses_ != nullptr) m_misses_->add();
     now += cfg_.private_tlb.hit_latency;  // discover the miss first
     bool filled = false;
     if (l2_) {

@@ -14,6 +14,7 @@
 #include "src/base/stats.h"
 #include "src/base/types.h"
 #include "src/fault/fault.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 #include "src/vm/page_table.h"
 #include "src/vm/ptw.h"
@@ -49,10 +50,14 @@ class TranslationSystem {
  public:
   /// `ptw` may be shared with other translation systems (multi-core SoCs
   /// share the single walker, and CPUs contend for it). `tracer` (may be
-  /// null) receives TLB-miss and page-walk spans.
+  /// null) receives TLB-miss and page-walk spans. `metrics` (may be null)
+  /// registers "core<core>.tlb.{hits,misses,filter_hits}"; the translation
+  /// system has no RequestorId of its own, so the owning accelerator passes
+  /// its core index (`core` < 0 skips registration).
   TranslationSystem(const TranslationConfig& cfg, PageTableWalker& ptw,
                     trace::Tracer* tracer = nullptr,
-                    fault::Injector* injector = nullptr);
+                    fault::Injector* injector = nullptr,
+                    metrics::Metrics* metrics = nullptr, int core = -1);
 
   Translation translate(const AddressSpace& as, VAddr va, bool is_write,
                         Cycle t);
@@ -77,6 +82,9 @@ class TranslationSystem {
   PageTableWalker& ptw_;
   trace::Tracer* tracer_;
   fault::Injector* injector_;
+  metrics::Counter* m_hits_ = nullptr;
+  metrics::Counter* m_misses_ = nullptr;
+  metrics::Counter* m_filter_hits_ = nullptr;
   StatSet stats_;
 
   struct FilterReg {

@@ -184,6 +184,56 @@ TEST(Stats, TimeWeightedZeroDurationAndOutOfOrder) {
   EXPECT_DOUBLE_EQ(tw.max(), 9.0);
 }
 
+TEST(Stats, PercentileEmptyAndClamped) {
+  // Empty vectors return a value-initialized T for every q, including the
+  // out-of-range ones.
+  const std::vector<Cycle> empty;
+  EXPECT_EQ(percentile_sorted(empty, 0.0), 0u);
+  EXPECT_EQ(percentile_sorted(empty, 50.0), 0u);
+  EXPECT_EQ(percentile_sorted(empty, 100.0), 0u);
+  EXPECT_EQ(percentile_sorted(empty, -5.0), 0u);
+  EXPECT_EQ(percentile_sorted(empty, 250.0), 0u);
+  // q outside [0, 100] clamps to min/max on non-empty input.
+  const std::vector<Cycle> s = {10, 20, 30};
+  EXPECT_EQ(percentile_sorted(s, -1.0), 10u);
+  EXPECT_EQ(percentile_sorted(s, 101.0), 30u);
+}
+
+TEST(Stats, PercentileTinyPositiveQuantile) {
+  // A tiny positive q must land on the first sample (rank clamps to 1) —
+  // the ceil's guard epsilon cannot drag the rank computation negative.
+  const std::vector<Cycle> s = {10, 20, 30, 40};
+  EXPECT_EQ(percentile_sorted(s, 1e-12), 10u);
+  EXPECT_EQ(percentile_sorted(s, 1e-3), 10u);
+}
+
+TEST(Stats, TimeWeightedUnstartedAndZeroElapsed) {
+  TimeWeighted tw;
+  // Never recorded: everything reports zero.
+  EXPECT_TRUE(tw.empty());
+  EXPECT_DOUBLE_EQ(tw.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 0.0);
+  EXPECT_EQ(tw.duration(), 0u);
+  // All records at one instant: zero elapsed time, mean == current value.
+  tw.record(100, 7.0);
+  tw.record(100, 9.0);
+  tw.finish(100);
+  EXPECT_EQ(tw.duration(), 0u);
+  EXPECT_DOUBLE_EQ(tw.mean(), 9.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 9.0);
+}
+
+TEST(Stats, TimeWeightedAllNegativeMax) {
+  // The first observation seeds the max: an all-negative series must not
+  // report the zero initializer.
+  TimeWeighted tw;
+  tw.record(0, -5.0);
+  tw.record(10, -2.0);
+  tw.finish(20);
+  EXPECT_DOUBLE_EQ(tw.max(), -2.0);
+  EXPECT_DOUBLE_EQ(tw.mean(), (-5.0 * 10 + -2.0 * 10) / 20.0);
+}
+
 TEST(Types, PageArithmetic) {
   EXPECT_EQ(page_number(0x12345), 0x12ull);
   EXPECT_EQ(page_offset(0x12345), 0x345ull);
