@@ -32,6 +32,12 @@
 //                                         # metrics-on overhead, exact
 //                                         # sampler reconciliation), default
 //                                         # out: BENCH_PR9.json
+//   $ ./bench_perf --energy [out.json]    # energy gates (meter-on golden-
+//                                         # cycle identity, exact power-
+//                                         # timeline reconciliation, FR-FCFS
+//                                         # DRAM-energy win, search-vs-
+//                                         # exhaustive optimum), default
+//                                         # out: BENCH_PR10.json
 //
 // Trace mode runs the quickstart model (scaled SqueezeNet) twice — once
 // untraced, once with the src/trace/ recorder attached — asserts the cycle
@@ -1116,6 +1122,267 @@ int run_metrics(const std::string& out_path) {
              : 1;
 }
 
+// ---- Energy gates (--energy) -----------------------------------------------
+
+int run_energy(const std::string& out_path) {
+  std::printf("=== bench_perf --energy: command-level energy gates ===\n\n");
+
+  const energy::EnergyConfig priced = energy::EnergyConfig::enabled_default();
+
+  // Gate 1: the golden workloads are cycle-identical with the meter
+  // attached — energy metering is observational only, like trace/metrics.
+  auto matmul_cycles = [&](bool with_energy) {
+    Rng rng(7);
+    TensorI8 a({320, 320}), b({320, 320});
+    a.randomize(rng);
+    b.randomize(rng);
+    auto builder = sim::Session::builder()
+                       .accel(GemminiConfig::paper_default())
+                       .functional(true);
+    if (with_energy) builder.energy(priced);
+    sim::Session s = builder.build();
+    MatmulParams p;
+    p.a = upload_bytes(s, a.data(), a.size());
+    p.b = upload_bytes(s, b.data(), b.size());
+    p.c = s.address_space().alloc(320 * 320 + 8192);
+    p.m = p.k = p.n = 320;
+    p.out_shift = 7;
+    p.act = Activation::kRelu;
+    const Program prog = emit_tiled_matmul(s.config().accel, p);
+    return s.accelerator().run(prog, s.address_space());
+  };
+
+  auto conv_cycles = [&](bool with_energy) {
+    Rng rng(11);
+    ConvShape shape;
+    shape.ih = shape.iw = 56;
+    shape.ic = shape.oc = 64;
+    shape.kh = shape.kw = 3;
+    shape.stride = 1;
+    shape.padding = 1;
+    TensorI8 in({1, shape.ih, shape.iw, shape.ic});
+    TensorI8 w({static_cast<std::size_t>(shape.patch_cols()), shape.oc});
+    in.randomize(rng);
+    w.randomize(rng);
+    GemminiConfig cfg = GemminiConfig::paper_default();
+    cfg.has_im2col = true;
+    auto builder =
+        sim::Session::builder().accel(std::move(cfg)).functional(true);
+    if (with_energy) builder.energy(priced);
+    sim::Session s = builder.build();
+    ConvBuffers buf;
+    buf.input = upload_bytes(s, in.data(), in.size());
+    buf.weights = upload_bytes(s, w.data(), w.size());
+    buf.output = s.address_space().alloc(shape.out_rows() * shape.oc + 8192);
+    buf.im2col_scratch = s.address_space().alloc(shape.im2col_bytes(1) + 8192);
+    const ConvPlan plan =
+        emit_conv(s.config().accel, shape, buf, 7, Activation::kRelu);
+    return s.accelerator().run(plan.program, s.address_space());
+  };
+
+  auto resnet_run = [&](bool with_energy) {
+    SocConfig cfg = SocConfig::base_1mb_l2();
+    cfg.accel.has_im2col = true;
+    auto b = sim::Session::builder(cfg).functional(true).seed(7);
+    if (with_energy) {
+      b.energy(priced);
+      b.metrics(metrics::MetricsConfig::enabled_default());
+    }
+    sim::Session s = b.build();
+    return s.run(zoo::resnet50(32));
+  };
+
+  const Cycle matmul_off = matmul_cycles(false);
+  const Cycle matmul_on = matmul_cycles(true);
+  const Cycle conv_off = conv_cycles(false);
+  const Cycle conv_on = conv_cycles(true);
+  const Cycle resnet_off = resnet_run(false).cycles;
+  const sim::Report metered = resnet_run(true);
+  const Cycle resnet_on = metered.cycles;
+  const bool golden_ok = matmul_off == 309917u && matmul_on == matmul_off &&
+                         conv_off == 1087553u && conv_on == conv_off &&
+                         resnet_off == 9355595u && resnet_on == resnet_off;
+  std::printf("accel_tiled_matmul   off %llu  on %llu\n",
+              static_cast<unsigned long long>(matmul_off),
+              static_cast<unsigned long long>(matmul_on));
+  std::printf("accel_conv3x3        off %llu  on %llu\n",
+              static_cast<unsigned long long>(conv_off),
+              static_cast<unsigned long long>(conv_on));
+  std::printf("resnet50_slice_32    off %llu  on %llu\n",
+              static_cast<unsigned long long>(resnet_off),
+              static_cast<unsigned long long>(resnet_on));
+  std::printf("golden cycles with meter attached: %s\n\n",
+              golden_ok ? "identical" : "DIVERGED");
+
+  // Gate 2: the power timeline on the metered resnet run integrates
+  // exactly to the end-of-run total — integer-femtojoule accounting makes
+  // this an equality, not a tolerance check.
+  const sim::EnergyReport& er = metered.energy;
+  std::uint64_t window_sum = 0;
+  for (const std::uint64_t w : er.window_fj) window_sum += w;
+  const bool timeline_ok = er.enabled && !er.window_fj.empty() &&
+                           window_sum == er.total_fj &&
+                           er.window_fj.size() == metered.metrics.windows;
+  std::printf("power timeline: %zu windows, sum %llu fJ vs total %llu fJ "
+              "(%s)\n",
+              er.window_fj.size(),
+              static_cast<unsigned long long>(window_sum),
+              static_cast<unsigned long long>(er.total_fj),
+              timeline_ok ? "exact" : "MISMATCH");
+  std::printf("resnet energy: %.3f mJ, avg %.3f W, EDP %.3f uJs\n\n",
+              er.total_j * 1e3, er.avg_power_watts,
+              er.edp_joule_seconds * 1e6);
+
+  // Gate 3: FR-FCFS must not spend more DRAM energy than FCFS on any zoo
+  // model under the contended 2-channel config — row hits skip the
+  // ACT/PRE pair, and the shorter run buys fewer refresh periods, so the
+  // scheduler that wins cycles must also win joules.
+  SocConfig contended = SocConfig::base_1mb_l2();
+  contended.accel.has_im2col = true;
+  contended.mem.dram.channels = 2;
+  contended.mem.dram.interleave = DramInterleave::kXorFold;
+  contended.mem.dram.write_queue_depth = 16;
+  contended.mem.dram.write_drain_floor = 4;
+  contended.mem.dram.refresh_interval = 7800;
+  contended.mem.dram.refresh_latency = 280;
+
+  auto dram_fj = [&](SocConfig cfg, const Model& m, Cycle* cycles) {
+    sim::Session s =
+        sim::Session::builder(std::move(cfg)).energy(priced).build();
+    const sim::Report r = s.run(m);
+    *cycles = r.cycles;
+    return r.energy.dram_fj;
+  };
+
+  bool sched_ok = true;
+  std::printf("%-18s %16s %16s\n", "model", "fcfs dram fJ", "frfcfs dram fJ");
+  struct SchedRow {
+    std::string model;
+    std::uint64_t fcfs_fj = 0, frfcfs_fj = 0;
+  };
+  std::vector<SchedRow> sched_rows;
+  for (const Model& m : zoo::all_paper_models_scaled()) {
+    SocConfig fcfs = contended;
+    fcfs.mem.dram.scheduler = DramScheduler::kFcfs;
+    SocConfig fr = contended;
+    fr.mem.dram.scheduler = DramScheduler::kFrFcfs;
+    Cycle c_fcfs = 0, c_fr = 0;
+    SchedRow row;
+    row.model = m.name();
+    row.fcfs_fj = dram_fj(fcfs, m, &c_fcfs);
+    row.frfcfs_fj = dram_fj(fr, m, &c_fr);
+    sched_ok = sched_ok && row.frfcfs_fj <= row.fcfs_fj && c_fr <= c_fcfs;
+    std::printf("%-18s %16llu %16llu\n", row.model.c_str(),
+                static_cast<unsigned long long>(row.fcfs_fj),
+                static_cast<unsigned long long>(row.frfcfs_fj));
+    sched_rows.push_back(std::move(row));
+  }
+  std::printf("FR-FCFS %s FCFS on DRAM energy for every zoo model\n\n",
+              sched_ok ? "<=" : "EXCEEDS");
+
+  // Gate 4: the successive-halving search picks the same winner as an
+  // exhaustive full-fidelity sweep, with and without a power budget that
+  // splits the grid.
+  sim::Experiment ex(SocConfig::base_1mb_l2());
+  ex.model(zoo::squeezenet_v11(48))
+      .functional(true)
+      .dram_channels({1, 2})
+      .dram_schedulers({DramScheduler::kFcfs, DramScheduler::kFrFcfs})
+      .energy(priced);
+
+  const std::vector<sim::Report> grid = ex.run();
+  std::size_t best_idx = grid.size();
+  double best_edp = 0;
+  double min_w = 1e300, max_w = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].status != "ok") continue;
+    min_w = std::min(min_w, grid[i].energy.avg_power_watts);
+    max_w = std::max(max_w, grid[i].energy.avg_power_watts);
+    if (best_idx == grid.size() ||
+        grid[i].energy.edp_joule_seconds < best_edp) {
+      best_idx = i;
+      best_edp = grid[i].energy.edp_joule_seconds;
+    }
+  }
+
+  sim::SearchSpec spec;
+  spec.objective = sim::SearchSpec::Objective::kEdp;
+  const sim::SearchResult unconstrained = ex.search(spec);
+  const bool search_ok = best_idx < grid.size() && unconstrained.found &&
+                         unconstrained.best_point == grid[best_idx].point;
+  std::printf("search (EDP): %s in %zu evaluations vs exhaustive %s over "
+              "%zu full runs (%s)\n",
+              unconstrained.best_point.c_str(), unconstrained.evaluations,
+              best_idx < grid.size() ? grid[best_idx].point.c_str() : "-",
+              grid.size(), search_ok ? "match" : "MISMATCH");
+
+  // Budget between the grid's power extremes: the search must pick the
+  // exhaustive feasible optimum, not the infeasible global one.
+  const double budget = (min_w + max_w) / 2.0;
+  std::size_t best_feasible = grid.size();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].status != "ok" ||
+        grid[i].energy.avg_power_watts > budget) {
+      continue;
+    }
+    if (best_feasible == grid.size() ||
+        grid[i].energy.edp_joule_seconds <
+            grid[best_feasible].energy.edp_joule_seconds) {
+      best_feasible = i;
+    }
+  }
+  spec.power_budget_watts = budget;
+  const sim::SearchResult budgeted = ex.search(spec);
+  const bool budget_ok =
+      best_feasible == grid.size()
+          ? !budgeted.found
+          : budgeted.found &&
+                budgeted.best_point == grid[best_feasible].point;
+  std::printf("search (EDP, %.3f W budget): %s vs exhaustive feasible %s "
+              "(%s)\n\n",
+              budget, budgeted.found ? budgeted.best_point.c_str() : "none",
+              best_feasible < grid.size() ? grid[best_feasible].point.c_str()
+                                          : "none",
+              budget_ok ? "match" : "MISMATCH");
+
+  std::ofstream out(out_path);
+  out << "{\n  \"pr\": 10"
+      << ",\n  \"matmul_cycles_off\": " << matmul_off
+      << ",\n  \"matmul_cycles_on\": " << matmul_on
+      << ",\n  \"conv_cycles_off\": " << conv_off
+      << ",\n  \"conv_cycles_on\": " << conv_on
+      << ",\n  \"resnet_cycles_off\": " << resnet_off
+      << ",\n  \"resnet_cycles_on\": " << resnet_on
+      << ",\n  \"golden_identical\": " << (golden_ok ? "true" : "false")
+      << ",\n  \"resnet_total_fj\": " << er.total_fj
+      << ",\n  \"resnet_avg_power_watts\": " << er.avg_power_watts
+      << ",\n  \"timeline_windows\": " << er.window_fj.size()
+      << ",\n  \"timeline_reconciles\": " << (timeline_ok ? "true" : "false")
+      << ",\n  \"frfcfs_dram_energy_never_worse\": "
+      << (sched_ok ? "true" : "false")
+      << ",\n  \"scheduler_dram_fj\": {";
+  for (std::size_t i = 0; i < sched_rows.size(); ++i) {
+    out << (i == 0 ? "" : ",") << "\n    \"" << sched_rows[i].model
+        << "\": {\"fcfs\": " << sched_rows[i].fcfs_fj
+        << ", \"frfcfs\": " << sched_rows[i].frfcfs_fj << "}";
+  }
+  out << "\n  }"
+      << ",\n  \"search_best_point\": \"" << unconstrained.best_point << "\""
+      << ",\n  \"search_evaluations\": " << unconstrained.evaluations
+      << ",\n  \"search_matches_exhaustive\": "
+      << (search_ok ? "true" : "false")
+      << ",\n  \"search_power_budget_watts\": " << budget
+      << ",\n  \"search_budget_matches_exhaustive\": "
+      << (budget_ok ? "true" : "false") << "\n}\n";
+  const bool wrote = out.good();
+  std::printf("%s %s\n", wrote ? "wrote" : "ERROR: could not write",
+              out_path.c_str());
+  return (golden_ok && timeline_ok && sched_ok && search_ok && budget_ok &&
+          wrote)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1127,6 +1394,7 @@ int main(int argc, char** argv) {
   bool serve_mode = false;
   bool llm_mode = false;
   bool metrics_mode = false;
+  bool energy_mode = false;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep") == 0) {
@@ -1145,12 +1413,15 @@ int main(int argc, char** argv) {
       llm_mode = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics_mode = true;
+    } else if (std::strcmp(argv[i], "--energy") == 0) {
+      energy_mode = true;
     } else {
       out_path = argv[i];
     }
   }
   if (out_path.empty()) {
-    out_path = metrics_mode ? "BENCH_PR9.json"
+    out_path = energy_mode  ? "BENCH_PR10.json"
+               : metrics_mode ? "BENCH_PR9.json"
                : llm_mode    ? "BENCH_PR8.json"
                : serve_mode  ? "BENCH_PR7.json"
                : faults_mode ? "BENCH_PR6.json"
@@ -1160,6 +1431,7 @@ int main(int argc, char** argv) {
                : sweep_mode ? "BENCH_PR2.json" : "BENCH_PR1.json";
   }
 
+  if (energy_mode) return run_energy(out_path);
   if (metrics_mode) return run_metrics(out_path);
   if (llm_mode) return run_llm(out_path);
   if (serve_mode) return run_serve(out_path);

@@ -31,11 +31,16 @@
 #           wall overhead <= 5%, exact sampler/counter reconciliation,
 #           monotone decode KV-footprint timeline), default out
 #           BENCH_PR9.json
+#   energy  command-level energy gates (meter-on golden-cycle identity,
+#           exact power-timeline reconciliation, FR-FCFS never spends more
+#           DRAM energy than FCFS, successive-halving search matches the
+#           exhaustive optimum with and without a power budget), default
+#           out BENCH_PR10.json
 #
 # The pre-dispatcher spellings still work as aliases:
 #   scripts/run_bench.sh --sweep [out.json]   ==  --suite sweep [out.json]
 #   (same for --plan / --trace / --dram / --faults / --serve / --llm /
-#   --metrics)
+#   --metrics / --energy)
 #
 # Exit is nonzero if the build fails, any golden cycle count differs, the
 # harness reports a gate failure, or the suite's artifact fails validation.
@@ -45,10 +50,10 @@ cd "$(dirname "$0")/.."
 SUITE=perf
 case "${1:-}" in
   --suite)
-    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve|llm|metrics)}"
+    SUITE="${2:?--suite needs a name (perf|sweep|plan|trace|dram|faults|serve|llm|metrics|energy)}"
     shift 2
     ;;
-  --sweep|--plan|--trace|--dram|--faults|--serve|--llm|--metrics)
+  --sweep|--plan|--trace|--dram|--faults|--serve|--llm|--metrics|--energy)
     SUITE="${1#--}"  # legacy alias: --sweep == --suite sweep
     shift
     ;;
@@ -64,8 +69,9 @@ case "$SUITE" in
   serve)  SUITE_OUT="${1:-BENCH_PR7.json}"; shift || true ;;
   llm)    SUITE_OUT="${1:-BENCH_PR8.json}"; shift || true ;;
   metrics) SUITE_OUT="${1:-BENCH_PR9.json}"; shift || true ;;
+  energy) SUITE_OUT="${1:-BENCH_PR10.json}"; shift || true ;;
   *)
-    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve|llm|metrics)" >&2
+    echo "unknown suite '$SUITE' (want perf|sweep|plan|trace|dram|faults|serve|llm|metrics|energy)" >&2
     exit 2
     ;;
 esac
@@ -348,6 +354,49 @@ if failed:
 print(f"telemetry gates ok: {metrics.get('counter_timelines')} counter "
       f"timelines over {metrics.get('sampler_windows')} windows reconcile "
       f"exactly; overhead {metrics.get('overhead_pct'):.2f}% <= 5%")
+EOF
+  ;;
+
+energy)
+  # bench_perf --energy runs the energy gates (golden identity with the
+  # meter attached, exact window->total power-timeline reconciliation,
+  # FR-FCFS DRAM-energy win, search-vs-exhaustive optimum) and already
+  # exits nonzero on a failure; this re-validates the emitted artifact.
+  "./$BUILD_DIR/bench_perf" --energy "$SUITE_OUT"
+  python3 - "$SUITE_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    energy = json.load(f)
+failed = False
+for gate in ("golden_identical", "timeline_reconciles",
+             "frfcfs_dram_energy_never_worse", "search_matches_exhaustive",
+             "search_budget_matches_exhaustive"):
+    if not energy.get(gate):
+        print(f"FAIL: energy gate '{gate}' failed")
+        failed = True
+for name, want in (("matmul", 309917), ("conv", 1087553),
+                   ("resnet", 9355595)):
+    off, on = energy.get(f"{name}_cycles_off"), energy.get(f"{name}_cycles_on")
+    if off != want or on != want:
+        print(f"FAIL: {name}: off {off} / on {on}, golden {want}")
+        failed = True
+    else:
+        print(f"energy ok:  {name}: {want} cycles with the meter off and on")
+for name, row in energy.get("scheduler_dram_fj", {}).items():
+    fc, fr = row["fcfs"], row["frfcfs"]
+    if fr > fc:
+        print(f"ENERGY REGRESSION: {name}: frfcfs {fr} fJ > fcfs {fc} fJ")
+        failed = True
+if energy.get("resnet_total_fj", 0) <= 0 or energy.get("timeline_windows", 0) <= 0:
+    print("FAIL: metered run produced no energy or no timeline")
+    failed = True
+if failed:
+    sys.exit(1)
+print(f"energy gates ok: {energy.get('resnet_total_fj')} fJ over "
+      f"{energy.get('timeline_windows')} windows reconciles exactly; "
+      f"search picked {energy.get('search_best_point')} in "
+      f"{energy.get('search_evaluations')} evaluations")
 EOF
   ;;
 

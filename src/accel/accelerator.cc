@@ -7,16 +7,21 @@ namespace gemmini {
 Accelerator::Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
                          PageTableWalker& ptw, RequestorId requestor,
                          trace::Tracer* tracer, fault::Injector* injector,
-                         metrics::Metrics* metrics)
+                         metrics::Metrics* metrics,
+                         energy::EnergyMeter* energy)
     : cfg_(cfg),
       mem_(mem),
       tracer_(tracer),
-      sp_(cfg_, injector),
-      acc_(cfg_, injector),
+      sp_(cfg_, injector,
+          energy != nullptr ? energy->sp_hook(requestor.value)
+                            : energy::SramEnergy{}),
+      acc_(cfg_, injector,
+           energy != nullptr ? energy->acc_hook(requestor.value)
+                             : energy::SramEnergy{}),
       translation_(cfg_.translation, ptw, tracer, injector, metrics,
                    requestor.value),
       dma_(cfg_, mem_, translation_, sp_, acc_, requestor, tracer, injector,
-           metrics),
+           metrics, energy),
       exec_(cfg_, sp_, acc_, injector),
       hazards_(cfg_.sp_rows(), cfg_.acc_rows()),
       rob_(cfg_.rob_entries, 0) {
@@ -25,6 +30,10 @@ Accelerator::Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
     const std::string p = "core" + std::to_string(requestor.value);
     m_macs_ = &metrics->registry().counter(p + ".exec.macs");
     m_tiles_ = &metrics->registry().counter(p + ".exec.tiles");
+  }
+  if (energy != nullptr) {
+    e_exec_fj_ = &energy->core_counter(requestor.value, "exec");
+    mac_fj_ = energy->mac_fj();
   }
 }
 
@@ -202,6 +211,9 @@ void Accelerator::exec_one(const Instruction& inst) {
       if (m_macs_ != nullptr) {
         m_macs_->add(report_.macs - macs_before);
         m_tiles_->add();
+      }
+      if (e_exec_fj_ != nullptr) {
+        e_exec_fj_->add((report_.macs - macs_before) * mac_fj_);
       }
       if (!inst.local.is_garbage()) {
         hazards_.record_read(false, inst.local.row(), inst.rows, end);

@@ -54,12 +54,15 @@ class Accelerator {
   /// preloads, compute tiles) plus everything the owned DMA/translation
   /// subsystems emit. `metrics` (may be null) registers this core's
   /// counters ("core<N>.exec.*", and via the owned DMA/translation,
-  /// "core<N>.dma.*" / "core<N>.tlb.*") keyed by `requestor`.
+  /// "core<N>.dma.*" / "core<N>.tlb.*") keyed by `requestor`. `energy` (may
+  /// be null) prices this core's exec MACs, DMA bytes, and scratchpad /
+  /// accumulator row accesses ("energy.core<N>.*").
   Accelerator(const GemminiConfig& cfg, MemorySystem& mem,
               PageTableWalker& ptw, RequestorId requestor,
               trace::Tracer* tracer = nullptr,
               fault::Injector* injector = nullptr,
-              metrics::Metrics* metrics = nullptr);
+              metrics::Metrics* metrics = nullptr,
+              energy::EnergyMeter* energy = nullptr);
 
   /// Functional mode moves real data through PhysMem; timing mode moves only
   /// time (used for full-DNN benchmark sweeps).
@@ -106,6 +109,8 @@ class Accelerator {
   trace::Tracer* tracer_;
   metrics::Counter* m_macs_ = nullptr;
   metrics::Counter* m_tiles_ = nullptr;
+  metrics::Counter* e_exec_fj_ = nullptr;
+  std::uint64_t mac_fj_ = 0;
   bool functional_ = true;
 
   Scratchpad sp_;

@@ -14,14 +14,18 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/energy/energy.h"
 #include "src/fault/fault.h"
 
 namespace gemmini {
 
 class Accumulator {
  public:
+  /// `energy` (default-constructed = off) charges the per-row SRAM price
+  /// on every reserve.
   explicit Accumulator(const GemminiConfig& cfg,
-                       fault::Injector* injector = nullptr)
+                       fault::Injector* injector = nullptr,
+                       energy::SramEnergy energy = {})
       : dtype_(cfg.dtype),
         dim_(cfg.dim()),
         rows_(cfg.acc_rows()),
@@ -29,7 +33,8 @@ class Accumulator {
         i32_(dtype_ == DType::kInt8 ? rows_ * dim_ : 0, 0),
         f32_(dtype_ == DType::kFp32 ? rows_ * dim_ : 0, 0.0f),
         bank_busy_(cfg.acc_banks, 0),
-        injector_(injector) {}
+        injector_(injector),
+        energy_(energy) {}
 
   std::uint64_t rows() const { return rows_; }
   unsigned dim() const { return dim_; }
@@ -95,6 +100,7 @@ class Accumulator {
   std::vector<float> f32_;
   std::vector<Cycle> bank_busy_;
   fault::Injector* injector_;
+  energy::SramEnergy energy_;
   StatSet stats_;
 };
 

@@ -31,7 +31,8 @@ class DmaEngine {
             TranslationSystem& translation, Scratchpad& sp, Accumulator& acc,
             RequestorId requestor, trace::Tracer* tracer = nullptr,
             fault::Injector* injector = nullptr,
-            metrics::Metrics* metrics = nullptr)
+            metrics::Metrics* metrics = nullptr,
+            energy::EnergyMeter* energy = nullptr)
       : cfg_(cfg),
         mem_(mem),
         translation_(translation),
@@ -44,6 +45,10 @@ class DmaEngine {
       const std::string p = "core" + std::to_string(requestor.value);
       m_load_bytes_ = &metrics->registry().counter(p + ".dma.load_bytes");
       m_store_bytes_ = &metrics->registry().counter(p + ".dma.store_bytes");
+    }
+    if (energy != nullptr) {
+      e_dma_fj_ = &energy->core_counter(requestor.value, "dma");
+      dma_byte_fj_ = energy->dma_byte_fj();
     }
   }
 
@@ -104,6 +109,8 @@ class DmaEngine {
   fault::Injector* injector_;
   metrics::Counter* m_load_bytes_ = nullptr;
   metrics::Counter* m_store_bytes_ = nullptr;
+  metrics::Counter* e_dma_fj_ = nullptr;
+  std::uint64_t dma_byte_fj_ = 0;
   // Reads and writes have independent in-flight windows, mirroring the
   // RTL's separate load/store reservation stations: a backlog of store
   // completions must not stall load issue.

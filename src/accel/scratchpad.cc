@@ -21,6 +21,7 @@ Cycle Scratchpad::reserve(std::uint64_t row, std::uint64_t nrows, Cycle t,
     bank_busy_[b] = done;
   }
   stats_.counter("accesses").add();
+  energy_.charge_rows(nrows);
   // Fault layer: an SRAM cell in the reserved region may flip (one draw per
   // reservation — an access-correlated model, not time-based decay).
   if (injector_ && nrows > 0) {

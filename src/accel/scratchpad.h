@@ -13,20 +13,25 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/energy/energy.h"
 #include "src/fault/fault.h"
 
 namespace gemmini {
 
 class Scratchpad {
  public:
+  /// `energy` (default-constructed = off) charges the per-row SRAM price
+  /// on every reserve.
   explicit Scratchpad(const GemminiConfig& cfg,
-                      fault::Injector* injector = nullptr)
+                      fault::Injector* injector = nullptr,
+                      energy::SramEnergy energy = {})
       : row_bytes_(cfg.sp_row_bytes()),
         rows_(cfg.sp_rows()),
         bank_rows_(cfg.sp_bank_rows()),
         data_(rows_ * row_bytes_, 0),
         bank_busy_(cfg.sp_banks, 0),
-        injector_(injector) {}
+        injector_(injector),
+        energy_(energy) {}
 
   std::uint64_t rows() const { return rows_; }
   std::uint64_t row_bytes() const { return row_bytes_; }
@@ -72,6 +77,7 @@ class Scratchpad {
   std::vector<std::uint8_t> data_;
   std::vector<Cycle> bank_busy_;
   fault::Injector* injector_;
+  energy::SramEnergy energy_;
   StatSet stats_;
 };
 

@@ -1,0 +1,47 @@
+#include "src/energy/energy.h"
+
+namespace gemmini::energy {
+
+EnergyMeter::EnergyMeter(const EnergyConfig& cfg, double static_mw,
+                         double clock_ghz, metrics::Registry& reg)
+    : cfg_(cfg),
+      static_mw_(static_mw),
+      clock_ghz_(clock_ghz > 0 ? clock_ghz : 1.0),
+      reg_(reg) {
+  cfg_.validate();
+  const EnergyPrices& p = cfg_.prices;
+  act_fj_ = to_fj(p.dram_act_pj);
+  pre_fj_ = to_fj(p.dram_pre_pj);
+  rd_fj_ = to_fj(p.dram_rd_pj);
+  wr_fj_ = to_fj(p.dram_wr_pj);
+  ref_fj_ = to_fj(p.dram_ref_pj);
+  io_byte_fj_ = to_fj(p.dram_io_pj_per_byte);
+  mac_fj_ = to_fj(p.exec_mac_pj);
+  dma_byte_fj_ = to_fj(p.dma_pj_per_byte);
+  sp_row_fj_ = to_fj(p.sp_row_pj);
+  acc_row_fj_ = to_fj(p.acc_row_pj);
+  // Static power as an fJ/cycle rate: mW / GHz == pJ/cycle, quantized once
+  // so that (rate x cycles) sums are exact integers like everything else.
+  static_fj_per_cycle_ = to_fj(static_mw_ / clock_ghz_);
+
+  dram_act_ = &reg_.counter("energy.dram.act_fj");
+  dram_pre_ = &reg_.counter("energy.dram.pre_fj");
+  dram_rd_ = &reg_.counter("energy.dram.rd_fj");
+  dram_wr_ = &reg_.counter("energy.dram.wr_fj");
+  dram_ref_ = &reg_.counter("energy.dram.ref_fj");
+  dram_io_ = &reg_.counter("energy.dram.io_fj");
+}
+
+void EnergyMeter::attach_dram(unsigned channels) {
+  for (unsigned i = static_cast<unsigned>(dram_ch_.size()); i < channels; ++i) {
+    dram_ch_.push_back(
+        &reg_.counter("energy.dram.ch" + std::to_string(i) + ".fj"));
+  }
+}
+
+metrics::Counter& EnergyMeter::core_counter(int core, const char* what) {
+  return reg_.counter("energy.core" + std::to_string(core) + "." + what +
+                      "_fj");
+}
+
+}  // namespace gemmini::energy

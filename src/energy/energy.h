@@ -1,0 +1,240 @@
+#pragma once
+// energy:: — command-level energy metering for the simulated SoC.
+//
+// The estimate layer (src/estimate/power_model.h) prices *static* power from
+// the instantiation alone; this subsystem prices *behaviour*: every DRAM
+// column command, row activate/precharge, refresh period, DMA byte, exec MAC
+// and scratchpad/accumulator row access carries a configured picojoule
+// price, so a row-thrashing schedule and a row-friendly one no longer cost
+// the same joules.
+//
+// The meter is "price the existing counters": it rides the metrics registry
+// (src/metrics/metrics.h) exactly like every other instrument. Components
+// take a possibly-null `energy::EnergyMeter*` as a trailing constructor
+// parameter, cache the Counter* handles and quantized prices they need at
+// construction, and guard each hot-path charge with one null check — a null
+// meter means "energy off" and costs nothing but that branch. Metering is
+// observational only: it never feeds back into timing, so golden cycle
+// counts are bit-identical on and off.
+//
+// Accounting is *integer femtojoules*. Config prices are doubles in pJ for
+// ergonomics, but each is quantized exactly once (at meter construction) to
+// a uint64 femtojoule rate; all accumulation is then integer counter
+// arithmetic. That makes every derived number — totals, per-channel splits,
+// per-window power timelines — bit-exact from end-of-run counters, so
+// cross-point merging and the sampler reconciliation invariant
+// (sum(window deltas) == total) hold exactly, not approximately.
+//
+// Registry names (all values in fJ):
+//   energy.dram.{act,pre,rd,wr,ref,io}_fj   per-command-kind totals
+//   energy.dram.ch<N>.fj                    per-channel totals
+//   energy.core<N>.{exec,dma,sp,acc}_fj     per-core component totals
+// Invariant: sum over kinds == sum over channels (both sides count every
+// DRAM command exactly once).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/metrics/metrics.h"
+
+namespace gemmini::energy {
+
+/// Per-event energy prices, in picojoules. All default to zero, so a
+/// default-constructed price table meters nothing (and `EnergyConfig` with
+/// zero prices is exactly as if energy were never enabled — the
+/// zero-overhead-off contract extends to the report bytes).
+struct EnergyPrices {
+  // DRAM command-level prices, applied in the controller's issue path.
+  double dram_act_pj = 0.0;  ///< row activate (charged per row miss)
+  double dram_pre_pj = 0.0;  ///< row precharge (charged per row miss)
+  double dram_rd_pj = 0.0;   ///< read column command
+  double dram_wr_pj = 0.0;   ///< write column command
+  double dram_ref_pj = 0.0;  ///< all-bank refresh, per channel per period
+  double dram_io_pj_per_byte = 0.0;  ///< data-bus transfer, per byte
+
+  // Accelerator-side per-access prices.
+  double exec_mac_pj = 0.0;       ///< per int8 MAC retired by the array
+  double dma_pj_per_byte = 0.0;   ///< DMA engine + NoC, per byte streamed
+  double sp_row_pj = 0.0;         ///< scratchpad SRAM, per row touched
+  double acc_row_pj = 0.0;        ///< accumulator SRAM, per row touched
+
+  /// Static (leakage + clock tree) power. `static_mw > 0` is an explicit
+  /// override in milliwatts; otherwise `static_from_model` derives it from
+  /// estimate::PowerModel::accelerator_mw for the session's config. Both
+  /// off (the defaults) means no static charge.
+  bool static_from_model = false;
+  double static_mw = 0.0;
+
+  /// True when any price would ever charge energy.
+  bool any() const {
+    return dram_act_pj > 0 || dram_pre_pj > 0 || dram_rd_pj > 0 ||
+           dram_wr_pj > 0 || dram_ref_pj > 0 || dram_io_pj_per_byte > 0 ||
+           exec_mac_pj > 0 || dma_pj_per_byte > 0 || sp_row_pj > 0 ||
+           acc_row_pj > 0 || static_from_model || static_mw > 0;
+  }
+
+  /// DDR4-class defaults (order-of-magnitude honest, not vendor-calibrated):
+  /// ~1 nJ activate+precharge pair, ~10 pJ column commands, ~5 pJ/byte IO,
+  /// sub-pJ on-chip events, static from the estimate-layer power model.
+  static EnergyPrices ddr4_default() {
+    EnergyPrices p;
+    p.dram_act_pj = 600.0;
+    p.dram_pre_pj = 400.0;
+    p.dram_rd_pj = 10.0;
+    p.dram_wr_pj = 12.0;
+    p.dram_ref_pj = 2000.0;
+    p.dram_io_pj_per_byte = 5.0;
+    p.exec_mac_pj = 0.2;
+    p.dma_pj_per_byte = 1.0;
+    p.sp_row_pj = 4.0;
+    p.acc_row_pj = 8.0;
+    p.static_from_model = true;
+    return p;
+  }
+
+  void validate() const {
+    GEMMINI_CONFIG_REQUIRE(
+        dram_act_pj >= 0 && dram_pre_pj >= 0 && dram_rd_pj >= 0 &&
+            dram_wr_pj >= 0 && dram_ref_pj >= 0 && dram_io_pj_per_byte >= 0 &&
+            exec_mac_pj >= 0 && dma_pj_per_byte >= 0 && sp_row_pj >= 0 &&
+            acc_row_pj >= 0 && static_mw >= 0,
+        "energy prices must be non-negative");
+  }
+};
+
+struct EnergyConfig {
+  bool enabled = false;
+  EnergyPrices prices{};
+
+  /// A meter is only built when this is true: enabled with an all-zero
+  /// price table is exactly "off", which is what makes the zero-price
+  /// report byte-identical to a session built without energy at all.
+  bool active() const { return enabled && prices.any(); }
+
+  static EnergyConfig enabled_default() {
+    EnergyConfig cfg;
+    cfg.enabled = true;
+    cfg.prices = EnergyPrices::ddr4_default();
+    return cfg;
+  }
+
+  void validate() const { prices.validate(); }
+};
+
+/// The per-row SRAM charge hook handed to Scratchpad/Accumulator: a cached
+/// counter handle plus the quantized per-row price. Null handle = energy
+/// off; `charge_rows` is then the one predictable branch.
+struct SramEnergy {
+  metrics::Counter* fj = nullptr;
+  std::uint64_t row_fj = 0;
+
+  void charge_rows(std::uint64_t nrows) const {
+    if (fj != nullptr) fj->add(nrows * row_fj);
+  }
+};
+
+/// The meter threaded through the timed stack (Soc -> MemorySystem -> Dram,
+/// Accelerator -> DmaEngine / Scratchpad / Accumulator). Owns nothing: all
+/// accumulation lands in the shared metrics registry, so run-reset
+/// (Registry::reset) and sampler timelines come for free.
+class EnergyMeter {
+ public:
+  /// Quantizes a picojoule price to integer femtojoules, once.
+  static std::uint64_t to_fj(double pj) {
+    return pj <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(pj * 1000.0));
+  }
+
+  /// `static_mw` is the *resolved* static power (override or model-derived;
+  /// the session computes it, because only the session sees the config and
+  /// the power model). `clock_ghz` converts it to an fJ/cycle rate and
+  /// backs the fJ->watts conversions.
+  EnergyMeter(const EnergyConfig& cfg, double static_mw, double clock_ghz,
+              metrics::Registry& reg);
+
+  const EnergyConfig& config() const { return cfg_; }
+  double clock_ghz() const { return clock_ghz_; }
+  double static_mw() const { return static_mw_; }
+  std::uint64_t static_fj_per_cycle() const { return static_fj_per_cycle_; }
+
+  /// fJ -> watts over a span of cycles at the meter's clock:
+  /// W = fJ * 1e-15 / (cycles / (GHz * 1e9)) = fJ * GHz * 1e-6 / cycles.
+  double watts(std::uint64_t fj, Cycle cycles) const {
+    if (cycles == 0) return 0.0;
+    return static_cast<double>(fj) * clock_ghz_ * 1e-6 /
+           static_cast<double>(cycles);
+  }
+
+  // ---- DRAM hooks (src/mem/dram.cc) ---------------------------------------
+  /// Creates the per-channel counters; called from the Dram constructor so
+  /// channel handles exist before the first access.
+  void attach_dram(unsigned channels);
+
+  /// One column command on `channel`: RD or WR plus per-byte IO, plus an
+  /// ACT+PRE pair when the row buffer missed.
+  void dram_command(unsigned channel, bool row_hit, bool is_write,
+                    std::uint64_t bytes) {
+    std::uint64_t fj = bytes * io_byte_fj_;
+    dram_io_->add(bytes * io_byte_fj_);
+    if (is_write) {
+      dram_wr_->add(wr_fj_);
+      fj += wr_fj_;
+    } else {
+      dram_rd_->add(rd_fj_);
+      fj += rd_fj_;
+    }
+    if (!row_hit) {
+      dram_act_->add(act_fj_);
+      dram_pre_->add(pre_fj_);
+      fj += act_fj_ + pre_fj_;
+    }
+    dram_ch_[channel]->add(fj);
+  }
+
+  /// `periods` newly-entered refresh periods on `channel` (all-bank
+  /// refresh; the controller meters each period once, event-driven).
+  void dram_refresh(unsigned channel, std::uint64_t periods) {
+    const std::uint64_t fj = periods * ref_fj_;
+    dram_ref_->add(fj);
+    dram_ch_[channel]->add(fj);
+  }
+
+  // ---- Core-side hooks ----------------------------------------------------
+  std::uint64_t mac_fj() const { return mac_fj_; }
+  std::uint64_t dma_byte_fj() const { return dma_byte_fj_; }
+
+  /// The per-core counter "energy.core<N>.<what>_fj", created on demand
+  /// (components call this once, at construction, and cache the handle).
+  metrics::Counter& core_counter(int core, const char* what);
+
+  SramEnergy sp_hook(int core) {
+    return SramEnergy{&core_counter(core, "sp"), sp_row_fj_};
+  }
+  SramEnergy acc_hook(int core) {
+    return SramEnergy{&core_counter(core, "acc"), acc_row_fj_};
+  }
+
+ private:
+  EnergyConfig cfg_;
+  double static_mw_;
+  double clock_ghz_;
+  metrics::Registry& reg_;
+
+  // Quantized price table (fJ).
+  std::uint64_t act_fj_, pre_fj_, rd_fj_, wr_fj_, ref_fj_, io_byte_fj_;
+  std::uint64_t mac_fj_, dma_byte_fj_, sp_row_fj_, acc_row_fj_;
+  std::uint64_t static_fj_per_cycle_;
+
+  // Cached handles (registry nodes are stable across reset()).
+  metrics::Counter* dram_act_;
+  metrics::Counter* dram_pre_;
+  metrics::Counter* dram_rd_;
+  metrics::Counter* dram_wr_;
+  metrics::Counter* dram_ref_;
+  metrics::Counter* dram_io_;
+  std::vector<metrics::Counter*> dram_ch_;
+};
+
+}  // namespace gemmini::energy

@@ -501,6 +501,11 @@ sim::Report run_decode(sim::Session& session, const DecodeConfig& cfg) {
   rep.llm.kv_cache_bytes = w.kv_cache_bytes;
   rep.llm.weight_bytes = w.weight_bytes;
   rep.llm.int4_weights = cfg.int4_weights;
+  if (rep.energy.enabled && rep.llm.tokens > 0) {
+    rep.energy.energy_per_token_pj =
+        static_cast<double>(rep.energy.total_fj) / 1000.0 /
+        static_cast<double>(rep.llm.tokens);
+  }
   return rep;
 }
 

@@ -22,9 +22,15 @@ const char* dram_interleave_name(DramInterleave i) {
 }
 
 Dram::Dram(const DramConfig& cfg, trace::Tracer* tracer,
-           fault::Injector* injector, metrics::Metrics* metrics)
-    : cfg_(cfg), tracer_(tracer), injector_(injector), metrics_(metrics) {
+           fault::Injector* injector, metrics::Metrics* metrics,
+           energy::EnergyMeter* energy)
+    : cfg_(cfg),
+      tracer_(tracer),
+      injector_(injector),
+      metrics_(metrics),
+      energy_(energy) {
   cfg_.validate();
+  if (energy_ != nullptr) energy_->attach_dram(cfg_.channels);
   channels_.resize(cfg_.channels);
   for (Channel& ch : channels_) ch.banks.assign(cfg_.banks, Bank{});
   by_channel_.resize(cfg_.channels);
@@ -144,6 +150,12 @@ Cycle Dram::issue(unsigned ci, const Request& rq) {
       bank.open_valid = false;
       bank.refresh_period = period;
     }
+    // Energy: charge each refresh period the channel has entered exactly
+    // once (period p means p + 1 windows so far, including period 0's).
+    if (energy_ != nullptr && period + 1 > ch.ref_periods_metered) {
+      energy_->dram_refresh(ci, period + 1 - ch.ref_periods_metered);
+      ch.ref_periods_metered = period + 1;
+    }
   }
 
   const bool row_hit = bank.open_valid && bank.open_row == rq.row;
@@ -169,6 +181,9 @@ Cycle Dram::issue(unsigned ci, const Request& rq) {
     const RequestorMetrics& rm = m_requestors_[ri];
     rm.bytes->add(rq.bytes);
     (row_hit ? rm.row_hits : rm.row_misses)->add();
+  }
+  if (energy_ != nullptr) {
+    energy_->dram_command(ci, row_hit, rq.is_write, rq.bytes);
   }
 
   // The channel's data bus serializes only the data *bursts*, so accesses
@@ -296,6 +311,7 @@ void Dram::reset_time() {
     ch.busy_until = 0;
     ch.queue.clear();
     ch.depth.reset();
+    ch.ref_periods_metered = 0;
   }
   next_seq_ = 0;
   by_requestor_.clear();

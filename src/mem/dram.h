@@ -36,6 +36,7 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/energy/energy.h"
 #include "src/fault/fault.h"
 #include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
@@ -149,10 +150,13 @@ class Dram {
   /// the fault layer can flip bits and charge ECC correction latency.
   /// `metrics` (may be null) registers per-channel counters/gauges
   /// ("dram.ch<N>.*") at construction and per-requestor counters
-  /// ("dram.req<id>.*") lazily as requestors appear.
+  /// ("dram.req<id>.*") lazily as requestors appear. `energy` (may be null)
+  /// prices each issued command (RD/WR + IO, ACT+PRE on row misses, REF per
+  /// refresh period) into the registry — observational only.
   explicit Dram(const DramConfig& cfg, trace::Tracer* tracer = nullptr,
                 fault::Injector* injector = nullptr,
-                metrics::Metrics* metrics = nullptr);
+                metrics::Metrics* metrics = nullptr,
+                energy::EnergyMeter* energy = nullptr);
 
   /// Which channel services `addr`, under the configured interleave policy.
   unsigned channel_of(PAddr addr) const;
@@ -225,6 +229,9 @@ class Dram {
     Cycle busy_until = 0;          ///< data bus
     std::vector<Request> queue;    ///< pending (buffered writes + in-flight read)
     TimeWeighted depth;            ///< queue-depth accumulator (observational)
+    /// Refresh periods already charged to the energy meter (count of
+    /// periods entered, so period `p` charges `p + 1 - metered` on entry).
+    std::uint64_t ref_periods_metered = 0;
   };
 
   Request make_request(PAddr addr, std::uint64_t bytes, Cycle t,
@@ -261,6 +268,7 @@ class Dram {
   trace::Tracer* tracer_;
   fault::Injector* injector_;
   metrics::Metrics* metrics_;
+  energy::EnergyMeter* energy_;
   std::vector<Channel> channels_;
   std::uint64_t next_seq_ = 0;
   StatSet stats_;

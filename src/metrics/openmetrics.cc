@@ -2,22 +2,73 @@
 
 #include <charconv>
 #include <cstdio>
+#include <set>
 
 namespace gemmini::metrics {
 
-namespace {
-
-std::string sanitize(const std::string& prefix, const std::string& name) {
-  std::string out = prefix;
-  out.reserve(prefix.size() + 1 + name.size());
-  out.push_back('_');
-  for (char c : name) {
+std::string sanitize_metric_name(const std::string& prefix,
+                                 const std::string& name) {
+  std::string joined = prefix;
+  if (!joined.empty()) joined.push_back('_');
+  joined += name;
+  std::string out;
+  out.reserve(joined.size() + 1);
+  for (const char c : joined) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+                    (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
   }
   return out;
 }
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Document-global exported-name allocator: first claimant keeps the
+/// sanitized name, later distinct registry names that collapse onto it get
+/// "_2", "_3", ... (re-checked against the claimed set, so a literal
+/// "x_2" in the registry cannot be shadowed either).
+class NameTable {
+ public:
+  explicit NameTable(const std::string& prefix) : prefix_(prefix) {}
+
+  std::string claim(const std::string& raw) {
+    const std::string base = sanitize_metric_name(prefix_, raw);
+    std::string n = base;
+    unsigned suffix = 2;
+    while (!used_.insert(n).second) {
+      n = base + "_" + std::to_string(suffix++);
+    }
+    return n;
+  }
+
+ private:
+  std::string prefix_;
+  std::set<std::string> used_;
+};
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[24];
@@ -39,22 +90,23 @@ void append_double(std::string& out, double v) {
 
 std::string to_openmetrics(const Registry& reg, const std::string& prefix) {
   std::string out;
+  NameTable names(prefix);
   for (const auto& [name, c] : reg.counters()) {
-    const std::string n = sanitize(prefix, name);
+    const std::string n = names.claim(name);
     out += "# TYPE " + n + " counter\n";
     out += n + "_total ";
     append_u64(out, c.value());
     out.push_back('\n');
   }
   for (const auto& [name, g] : reg.gauges()) {
-    const std::string n = sanitize(prefix, name);
+    const std::string n = names.claim(name);
     out += "# TYPE " + n + " gauge\n";
     out += n + " ";
     append_double(out, g.value());
     out.push_back('\n');
   }
   for (const auto& [name, h] : reg.histograms()) {
-    const std::string n = sanitize(prefix, name);
+    const std::string n = names.claim(name);
     out += "# TYPE " + n + " histogram\n";
     std::uint64_t cumulative = 0;
     const auto& buckets = h.buckets();

@@ -8,6 +8,15 @@
 // characters become underscores) and prefixed, so `dram.ch0.row_hits`
 // exports as `gemmini_dram_ch0_row_hits_total`.
 //
+// Sanitization is strict: only `[a-zA-Z0-9_]` survives (anything else —
+// dots, colons, spaces, UTF-8 — becomes '_'), a name that would start with
+// a digit gains a leading '_', and when two distinct registry names
+// collapse to the same exported name the later one (in document order:
+// counters, gauges, histograms, each name-ordered) gets a deterministic
+// "_2"/"_3"/... suffix, so no document ever carries two families with the
+// same name. Label values escape `\`, `"` and newline per the exposition
+// format.
+//
 // The document is deterministic: the registry is name-ordered and doubles
 // use shortest-round-trip formatting, so equal registries serialize
 // byte-identically — the same contract as sim::Report JSON.
@@ -17,6 +26,17 @@
 #include "src/metrics/metrics.h"
 
 namespace gemmini::metrics {
+
+/// `prefix + '_' + name` with every character outside `[a-zA-Z0-9_]`
+/// replaced by '_', and a leading '_' prepended if the result would start
+/// with a digit (OpenMetrics names cannot). An empty prefix drops the
+/// joining underscore.
+std::string sanitize_metric_name(const std::string& prefix,
+                                 const std::string& name);
+
+/// Escapes `\` -> `\\`, `"` -> `\"` and newline -> `\n` for use inside a
+/// quoted OpenMetrics label value.
+std::string escape_label_value(const std::string& value);
 
 /// The registry as one OpenMetrics text document.
 std::string to_openmetrics(const Registry& reg,

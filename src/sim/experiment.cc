@@ -1,9 +1,13 @@
 #include "src/sim/experiment.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 namespace gemmini::sim {
 
@@ -31,6 +35,7 @@ Session build_session(const SweepPoint& point, const SocConfig& cfg,
       .tiling(point.tiling)
       .trace(with_trace ? point.trace : trace::TraceConfig{})
       .metrics(point.metrics)
+      .energy(point.energy)
       .build();
 }
 
@@ -147,6 +152,7 @@ Report Sweep::run_point(const SweepPoint& point) {
                           .seed(point.seed)
                           .trace(point.trace)
                           .metrics(point.metrics)
+                          .energy(point.energy)
                           .build();
     Report rep = llm::run_decode(session, *point.llm);
     rep.point = point.name;
@@ -176,6 +182,7 @@ Report Sweep::run_point(const SweepPoint& point) {
                         .tiling(point.tiling)
                         .trace(point.trace)
                         .metrics(point.metrics)
+                        .energy(point.energy)
                         .build();
   Report rep = point.multicore ? session.run_multicore(point.model)
                                : session.run(point.model);
@@ -407,6 +414,11 @@ Experiment& Experiment::trace_point(std::string point_name,
 Experiment& Experiment::metrics(metrics::MetricsConfig cfg) {
   metrics_cfg_ = std::move(cfg);
   metrics_cfg_.enabled = true;
+  return *this;
+}
+Experiment& Experiment::energy(energy::EnergyConfig cfg) {
+  energy_cfg_ = std::move(cfg);
+  energy_cfg_.enabled = true;
   return *this;
 }
 
@@ -675,6 +687,7 @@ Sweep Experiment::sweep() const {
                          /*trace=*/{}, /*campaign_runs=*/0};
             p.llm = w.llm;
             p.metrics = metrics_cfg_;
+            p.energy = energy_cfg_;
             if (!trace_point_name_.empty() && p.name == trace_point_name_) {
               p.trace = trace_cfg_;
             }
@@ -711,6 +724,170 @@ std::vector<Report> Experiment::run(const SweepOptions& opts) const {
   SweepOptions o = opts;
   o.strict = o.strict || strict_;
   return sweep().run(o);
+}
+
+// ---- Successive-halving search ---------------------------------------------
+
+namespace {
+
+/// Layer-prefix proxy at fraction `f`: the first max(1, ceil(L * f))
+/// layers. Valid for any prefix length because layer inputs only ever
+/// reference earlier layers (the graph IR is producer-before-consumer).
+Model prefix_model(const Model& m, double fraction) {
+  const std::vector<LayerSpec>& ls = m.layers();
+  const std::size_t total = ls.size();
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(total) * fraction));
+  if (k < 1) k = 1;
+  if (k > total) k = total;
+  return Model(m.name(), {ls.begin(), ls.begin() + static_cast<long>(k)});
+}
+
+double search_objective(const Report& rep, SearchSpec::Objective obj) {
+  switch (obj) {
+    case SearchSpec::Objective::kCycles:
+      return static_cast<double>(rep.cycles);
+    case SearchSpec::Objective::kEnergy:
+      return static_cast<double>(rep.energy.total_fj);
+    case SearchSpec::Objective::kEdp:
+      return rep.energy.edp_joule_seconds;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SearchResult Experiment::search(const SearchSpec& spec) const {
+  GEMMINI_CONFIG_REQUIRE(spec.eta >= 2,
+                         "sim::Experiment::search: eta must be >= 2 (got "
+                             << spec.eta << ")");
+  GEMMINI_CONFIG_REQUIRE(spec.min_rung_points >= 1,
+                         "sim::Experiment::search: min_rung_points must be "
+                         ">= 1");
+  GEMMINI_CONFIG_REQUIRE(
+      spec.min_fraction > 0 && spec.min_fraction <= 1,
+      "sim::Experiment::search: min_fraction must be in (0, 1] (got "
+          << spec.min_fraction << ")");
+  const bool needs_energy = spec.objective != SearchSpec::Objective::kCycles ||
+                            spec.power_budget_watts > 0;
+  GEMMINI_CONFIG_REQUIRE(
+      !needs_energy || energy_cfg_.active(),
+      "sim::Experiment::search: an energy/EDP objective or a power budget "
+      "needs the energy meter; call .energy() with nonzero prices first");
+
+  const Sweep grid = sweep();
+  for (const SweepPoint& p : grid.points()) {
+    GEMMINI_CONFIG_REQUIRE(
+        !p.serve.enabled && p.campaign_runs == 0 && !p.llm.has_value(),
+        "sim::Experiment::search: point '" +
+            p.name +
+            "': search races layer-prefix proxies, so it needs plain "
+            "inference points (no serve()/fault_campaign()/llm())");
+  }
+
+  SearchResult result;
+  std::vector<std::size_t> survivors(grid.size());
+  for (std::size_t i = 0; i < survivors.size(); ++i) survivors[i] = i;
+
+  SweepOptions opts;
+  opts.threads = spec.threads;
+
+  // Low-fidelity rungs: race the survivors on a model prefix, drop the
+  // worst 1 - 1/eta each time. Error points rank last (+inf objective);
+  // ties break on grid index, so the ranking is deterministic at any
+  // thread count (Sweep::run returns reports in point order).
+  double fraction = std::min(spec.min_fraction, 1.0);
+  while (survivors.size() > spec.min_rung_points && fraction < 1.0) {
+    Sweep rung_sweep;
+    SearchRung rung;
+    rung.fraction = fraction;
+    for (const std::size_t idx : survivors) {
+      SweepPoint p = grid.points()[idx];
+      p.model = prefix_model(p.model, fraction);
+      rung.points.push_back(p.name);
+      rung_sweep.add(std::move(p));
+    }
+    const std::vector<Report> reps = rung_sweep.run(opts);
+    result.evaluations += reps.size();
+
+    std::vector<std::pair<double, std::size_t>> ranked;
+    ranked.reserve(reps.size());
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      const double obj = reps[j].status == "error"
+                             ? std::numeric_limits<double>::infinity()
+                             : search_objective(reps[j], spec.objective);
+      ranked.push_back({obj, survivors[j]});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    const std::size_t keep = std::max<std::size_t>(
+        1, (ranked.size() + spec.eta - 1) / spec.eta);
+    survivors.clear();
+    for (std::size_t j = 0; j < keep; ++j) survivors.push_back(ranked[j].second);
+    std::sort(survivors.begin(), survivors.end());
+    result.rungs.push_back(std::move(rung));
+    fraction = std::min(1.0, fraction * static_cast<double>(spec.eta));
+  }
+
+  // Full-fidelity final rung: exact reports for every survivor, then the
+  // power-feasibility cut and the final ranking.
+  Sweep final_sweep;
+  SearchRung final_rung;
+  final_rung.fraction = 1.0;
+  for (const std::size_t idx : survivors) {
+    final_sweep.add(grid.points()[idx]);
+    final_rung.points.push_back(grid.points()[idx].name);
+  }
+  const std::vector<Report> reps = final_sweep.run(opts);
+  result.evaluations += reps.size();
+  result.rungs.push_back(std::move(final_rung));
+
+  std::vector<std::size_t> order(reps.size());
+  std::vector<SearchCandidate> cands(reps.size());
+  for (std::size_t j = 0; j < reps.size(); ++j) {
+    const Report& rep = reps[j];
+    SearchCandidate& c = cands[j];
+    c.point = rep.point;
+    c.grid_index = survivors[j];
+    if (rep.status == "error") {
+      c.status = "error";
+      c.error = rep.error;
+      c.feasible = false;
+      c.objective = std::numeric_limits<double>::infinity();
+    } else {
+      c.status = "ok";
+      c.cycles = rep.cycles;
+      c.energy_j = rep.energy.total_j;
+      c.avg_power_watts = rep.energy.avg_power_watts;
+      c.edp_joule_seconds = rep.energy.edp_joule_seconds;
+      c.objective = search_objective(rep, spec.objective);
+      c.feasible = spec.power_budget_watts <= 0 ||
+                   c.avg_power_watts <= spec.power_budget_watts;
+    }
+    order[j] = j;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const SearchCandidate& ca = cands[a];
+    const SearchCandidate& cb = cands[b];
+    const int cla = ca.status == "error" ? 2 : (ca.feasible ? 0 : 1);
+    const int clb = cb.status == "error" ? 2 : (cb.feasible ? 0 : 1);
+    return std::tie(cla, ca.objective, ca.grid_index) <
+           std::tie(clb, cb.objective, cb.grid_index);
+  });
+  for (const std::size_t j : order) {
+    result.finalists.push_back(cands[j]);
+  }
+  if (!result.finalists.empty() && result.finalists.front().status == "ok" &&
+      result.finalists.front().feasible) {
+    result.found = true;
+    result.best_point = result.finalists.front().point;
+    for (std::size_t j = 0; j < reps.size(); ++j) {
+      if (survivors[j] == result.finalists.front().grid_index) {
+        result.best = reps[j];
+        break;
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace gemmini::sim

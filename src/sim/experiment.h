@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/energy/energy.h"
 #include "src/llm/decode.h"
 #include "src/model/graph.h"
 #include "src/model/lowering/policy.h"
@@ -83,6 +84,14 @@ struct SweepPoint {
   /// point's Report::metrics. Observational only; cheap enough to leave on
   /// for a whole grid (merge with sim::merge_metrics afterwards).
   metrics::MetricsConfig metrics{};
+  /// Energy metering for this point (src/energy/): when active, the
+  /// Session run paths (single inference, multicore, llm decode) carry the
+  /// command-level DRAM/SRAM/MAC energy meter and the point's
+  /// Report::energy section is filled. Observational only — golden cycles
+  /// are bit-identical with the meter attached. The serve and
+  /// fault-campaign paths ignore this field (their reports aggregate many
+  /// runs; energy accounting there is out of scope).
+  energy::EnergyConfig energy{};
 };
 
 struct SweepOptions {
@@ -122,6 +131,75 @@ class Sweep {
 
  private:
   std::vector<SweepPoint> points_;
+};
+
+/// Configuration for Experiment::search() — a successive-halving driver
+/// over the experiment's grid. Candidates are first raced on cheap
+/// low-fidelity proxies (a prefix of each model's layer list), the worst
+/// `1 - 1/eta` fraction is dropped each rung, and only the survivors pay
+/// for a full-fidelity evaluation. The final rung always runs the complete
+/// model, so the winner's Report is exact; with `power_budget_watts > 0`
+/// candidates whose full-fidelity average power exceeds the budget are
+/// ranked infeasible (after every feasible candidate) regardless of their
+/// objective value.
+struct SearchSpec {
+  enum class Objective {
+    kCycles,  ///< minimize end-to-end cycles
+    kEnergy,  ///< minimize total energy (requires Experiment::energy())
+    kEdp,     ///< minimize energy-delay product (requires energy())
+  };
+  Objective objective = Objective::kCycles;
+  /// Power-feasibility constraint on the *full-fidelity* run; 0 disables.
+  /// Requires Experiment::energy() so average power is meterable.
+  double power_budget_watts = 0;
+  /// Halving factor: each rung keeps ceil(n / eta) candidates. Must be >= 2.
+  unsigned eta = 2;
+  /// Stop halving once this few candidates survive; they go straight to
+  /// the full-fidelity rung. Must be >= 1.
+  unsigned min_rung_points = 2;
+  /// Layer-prefix fraction of the first (cheapest) rung, in (0, 1]. Each
+  /// rung multiplies it by eta until it reaches 1. A fraction f evaluates
+  /// the first max(1, ceil(layers * f)) layers of every model.
+  double min_fraction = 0.25;
+  /// Worker threads for each rung's sweep (see SweepOptions::threads).
+  /// Results are byte-identical at any thread count.
+  unsigned threads = 0;
+};
+
+/// One candidate's final-rung outcome, in rank order (best first).
+struct SearchCandidate {
+  std::string point;         ///< sweep-point label
+  std::size_t grid_index = 0;  ///< position in the exhaustive grid
+  Cycle cycles = 0;
+  double energy_j = 0;
+  double avg_power_watts = 0;
+  double edp_joule_seconds = 0;
+  double objective = 0;    ///< the value ranked on
+  bool feasible = true;    ///< met the power budget (always true when 0)
+  std::string status;      ///< "ok" or "error"
+  std::string error;
+};
+
+/// One successive-halving rung: which points ran at which fidelity.
+struct SearchRung {
+  double fraction = 0;  ///< layer-prefix fraction (1 = full fidelity)
+  std::vector<std::string> points;
+};
+
+struct SearchResult {
+  /// True when at least one finalist completed and met the power budget.
+  bool found = false;
+  /// Winner's label and full-fidelity report (valid when `found`).
+  std::string best_point;
+  Report best;
+  /// Every final-rung candidate, ranked: feasible before infeasible,
+  /// errors last, objective ascending within each class.
+  std::vector<SearchCandidate> finalists;
+  /// The halving schedule actually executed, first (cheapest) rung first.
+  std::vector<SearchRung> rungs;
+  /// Total points simulated across all rungs (the cost the halving paid;
+  /// compare against grid size x rung count for the exhaustive cost).
+  std::size_t evaluations = 0;
 };
 
 /// Cartesian-product grid builder over the template's main design axes.
@@ -212,10 +290,24 @@ class Experiment {
   Experiment& metrics(metrics::MetricsConfig cfg =
                           metrics::MetricsConfig::enabled_default());
 
+  /// Energy metering for *every* sweep point; see SweepPoint::energy.
+  /// Required by search() when the objective or the power budget needs
+  /// energy numbers.
+  Experiment& energy(energy::EnergyConfig cfg =
+                         energy::EnergyConfig::enabled_default());
+
   /// Expands the grid into a Sweep (configs x models, in axis order).
   Sweep sweep() const;
   /// sweep().run(opts).
   std::vector<Report> run(const SweepOptions& opts = {}) const;
+
+  /// Successive-halving design-space search over this experiment's grid
+  /// (see SearchSpec). Works on plain inference grids only — serve(),
+  /// fault_campaign() and llm() points have no layer-prefix proxy and are
+  /// rejected. Deterministic: byte-identical SearchResult at any
+  /// `spec.threads`, and the final rung's winner matches what an exhaustive
+  /// full-fidelity sweep would pick under the same objective + budget.
+  SearchResult search(const SearchSpec& spec = {}) const;
 
  private:
   SocConfig base_;
@@ -248,6 +340,7 @@ class Experiment {
   std::string trace_point_name_;
   trace::TraceConfig trace_cfg_{};
   metrics::MetricsConfig metrics_cfg_{};
+  energy::EnergyConfig energy_cfg_{};
 };
 
 }  // namespace gemmini::sim

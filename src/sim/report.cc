@@ -446,6 +446,65 @@ void write_reliability(JsonWriter& w, const ReliabilityReport& rel) {
   w.end_object();
 }
 
+void write_energy(JsonWriter& w, const EnergyReport& e) {
+  w.begin_object();
+  w.key("enabled");
+  w.value(e.enabled);
+  w.key("dram_act_fj");
+  w.value(e.dram_act_fj);
+  w.key("dram_pre_fj");
+  w.value(e.dram_pre_fj);
+  w.key("dram_rd_fj");
+  w.value(e.dram_rd_fj);
+  w.key("dram_wr_fj");
+  w.value(e.dram_wr_fj);
+  w.key("dram_ref_fj");
+  w.value(e.dram_ref_fj);
+  w.key("dram_io_fj");
+  w.value(e.dram_io_fj);
+  w.key("dram_fj");
+  w.value(e.dram_fj);
+  w.key("dram_channel_fj");
+  w.begin_array();
+  for (std::uint64_t v : e.dram_channel_fj) w.value(v);
+  w.end_array();
+  w.key("exec_fj");
+  w.value(e.exec_fj);
+  w.key("dma_fj");
+  w.value(e.dma_fj);
+  w.key("sp_fj");
+  w.value(e.sp_fj);
+  w.key("acc_fj");
+  w.value(e.acc_fj);
+  w.key("core_fj");
+  w.begin_array();
+  for (std::uint64_t v : e.core_fj) w.value(v);
+  w.end_array();
+  w.key("static_fj");
+  w.value(e.static_fj);
+  w.key("total_fj");
+  w.value(e.total_fj);
+  w.key("total_j");
+  w.value(e.total_j);
+  w.key("avg_power_watts");
+  w.value(e.avg_power_watts);
+  w.key("edp_joule_seconds");
+  w.value(e.edp_joule_seconds);
+  w.key("energy_per_token_pj");
+  w.value(e.energy_per_token_pj);
+  w.key("sample_interval");
+  w.value(e.sample_interval);
+  w.key("window_fj");
+  w.begin_array();
+  for (std::uint64_t v : e.window_fj) w.value(v);
+  w.end_array();
+  w.key("window_watts");
+  w.begin_array();
+  for (double v : e.window_watts) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
 void write_report(JsonWriter& w, const Report& r) {
   w.begin_object();
   w.key("point");
@@ -523,6 +582,8 @@ void write_report(JsonWriter& w, const Report& r) {
   write_server(w, r.server);
   w.key("metrics");
   write_metrics(w, r.metrics);
+  w.key("energy");
+  write_energy(w, r.energy);
   w.key("estimates");
   w.begin_object();
   w.key("area_um2");

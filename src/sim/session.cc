@@ -41,14 +41,15 @@ Session Session::Builder::build() const {
                       "': invalid configuration: " + e.what());
   }
   return Session(cfg_, functional_, seed_, placement_, tiling_, trace_,
-                 metrics_);
+                 metrics_, energy_);
 }
 
 Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
                  std::shared_ptr<const lowering::PlacementPolicy> placement,
                  std::shared_ptr<const lowering::TilingPolicy> tiling,
                  const trace::TraceConfig& trace_cfg,
-                 const metrics::MetricsConfig& metrics_cfg)
+                 const metrics::MetricsConfig& metrics_cfg,
+                 const energy::EnergyConfig& energy_cfg)
     : functional_(functional),
       seed_(seed),
       placement_(placement
@@ -64,8 +65,29 @@ Session::Session(const SocConfig& cfg, bool functional, std::uint64_t seed,
   }
   if (metrics_cfg.enabled) {
     metrics_ = std::make_unique<metrics::Metrics>(metrics_cfg);
+    metrics_visible_ = true;
   }
-  soc_ = std::make_unique<Soc>(cfg, tracer_.get(), metrics_.get());
+  if (energy_cfg.active()) {
+    if (!metrics_) {
+      // The meter accumulates into a metrics registry; when the user did
+      // not ask for metrics, back it with a hidden one (no sampling, no
+      // export, invisible in Report::metrics).
+      metrics::MetricsConfig hidden;
+      hidden.enabled = true;
+      hidden.sample_interval_cycles = 0;
+      metrics_ = std::make_unique<metrics::Metrics>(hidden);
+    }
+    const energy::EnergyPrices& p = energy_cfg.prices;
+    const double static_mw =
+        p.static_mw > 0
+            ? p.static_mw
+            : (p.static_from_model ? PowerModel{}.accelerator_mw(cfg.accel)
+                                   : 0.0);
+    meter_ = std::make_unique<energy::EnergyMeter>(
+        energy_cfg, static_mw, cfg.accel.clock_ghz, metrics_->registry());
+  }
+  soc_ = std::make_unique<Soc>(cfg, tracer_.get(), metrics_.get(),
+                               meter_.get());
   soc_->set_functional(functional_);
 }
 
@@ -99,6 +121,18 @@ trace::PerfettoOptions Session::perfetto_options(int indent) const {
       ct.interval = s.interval();
       ct.values = gs;
       opts.counters.push_back(std::move(ct));
+    }
+    // Derived power-over-time track: the same per-window watts the Report
+    // carries, visible next to the raw energy counters.
+    if (meter_ && last_finish_ > 0) {
+      const EnergyReport e = derive_energy(last_finish_);
+      if (!e.window_watts.empty()) {
+        trace::CounterTrack ct;
+        ct.name = "energy.power_watts";
+        ct.interval = s.interval();
+        ct.values = e.window_watts;
+        opts.counters.push_back(std::move(ct));
+      }
     }
   }
   return opts;
@@ -173,13 +207,13 @@ std::string Session::params_header() const {
 }
 
 Report Session::make_report(const Model& model,
-                            const std::vector<CoreResult>& results) const {
+                            const std::vector<CoreResult>& results) {
   return make_report(model.name(), cpu_baseline_cycles(model, config().cpu),
                      results);
 }
 
 Report Session::make_report(const std::string& model_name, Cycle cpu_baseline,
-                            const std::vector<CoreResult>& results) const {
+                            const std::vector<CoreResult>& results) {
   Report rep;
   rep.config = config().name;
   rep.model = model_name;
@@ -298,7 +332,16 @@ Report Session::make_report(const std::string& model_name, Cycle cpu_baseline,
     rep.reliability.injection = inj->stats();
   }
 
-  if (metrics_) {
+  if (meter_) {
+    rep.energy = derive_energy(rep.cycles);
+    last_finish_ = rep.cycles;
+    // Surface the headline figure through the registry so OpenMetrics
+    // exports carry it without a Report in hand.
+    metrics_->registry().gauge("energy.avg_power_watts")
+        .set(rep.energy.avg_power_watts);
+  }
+
+  if (metrics_ && metrics_visible_) {
     rep.metrics = snapshot_metrics(*metrics_);
     if (!metrics_->config().export_path.empty()) {
       metrics::write_openmetrics(metrics_->registry(),
@@ -308,6 +351,96 @@ Report Session::make_report(const std::string& model_name, Cycle cpu_baseline,
 
   rep.estimates = estimates();
   return rep;
+}
+
+namespace {
+
+// Registry lookup that treats "never created" as zero: a price of zero
+// means the meter skipped the counter entirely.
+std::uint64_t counter_or_zero(const metrics::Registry& reg,
+                              const std::string& name) {
+  const auto& all = reg.counters();
+  auto it = all.find(name);
+  return it == all.end() ? 0 : it->second.value();
+}
+
+bool is_energy_dynamic_series(const std::string& name) {
+  // Per-channel DRAM totals plus per-core totals partition the dynamic
+  // energy exactly once; the per-kind "energy.dram.*_fj" counters record
+  // the same commands a second time and must stay out of the window sum.
+  return name.rfind("energy.dram.ch", 0) == 0 ||
+         name.rfind("energy.core", 0) == 0;
+}
+
+}  // namespace
+
+EnergyReport Session::derive_energy(Cycle cycles) const {
+  EnergyReport e;
+  e.enabled = true;
+  const metrics::Registry& reg = metrics_->registry();
+
+  e.dram_act_fj = counter_or_zero(reg, "energy.dram.act_fj");
+  e.dram_pre_fj = counter_or_zero(reg, "energy.dram.pre_fj");
+  e.dram_rd_fj = counter_or_zero(reg, "energy.dram.rd_fj");
+  e.dram_wr_fj = counter_or_zero(reg, "energy.dram.wr_fj");
+  e.dram_ref_fj = counter_or_zero(reg, "energy.dram.ref_fj");
+  e.dram_io_fj = counter_or_zero(reg, "energy.dram.io_fj");
+  e.dram_fj = e.dram_act_fj + e.dram_pre_fj + e.dram_rd_fj + e.dram_wr_fj +
+              e.dram_ref_fj + e.dram_io_fj;
+
+  for (unsigned ch = 0; ch < config().mem.dram.channels; ++ch) {
+    e.dram_channel_fj.push_back(
+        counter_or_zero(reg, "energy.dram.ch" + std::to_string(ch) + ".fj"));
+  }
+
+  for (unsigned core = 0; core < config().cores; ++core) {
+    const std::string base = "energy.core" + std::to_string(core) + ".";
+    const std::uint64_t exec = counter_or_zero(reg, base + "exec_fj");
+    const std::uint64_t dma = counter_or_zero(reg, base + "dma_fj");
+    const std::uint64_t sp = counter_or_zero(reg, base + "sp_fj");
+    const std::uint64_t acc = counter_or_zero(reg, base + "acc_fj");
+    e.exec_fj += exec;
+    e.dma_fj += dma;
+    e.sp_fj += sp;
+    e.acc_fj += acc;
+    e.core_fj.push_back(exec + dma + sp + acc);
+  }
+
+  e.static_fj = cycles * meter_->static_fj_per_cycle();
+  e.total_fj = e.dram_fj + e.exec_fj + e.dma_fj + e.sp_fj + e.acc_fj +
+               e.static_fj;
+  e.total_j = static_cast<double>(e.total_fj) * 1e-15;
+  e.avg_power_watts = meter_->watts(e.total_fj, cycles);
+  const double seconds =
+      static_cast<double>(cycles) / (config().accel.clock_ghz * 1e9);
+  e.edp_joule_seconds = e.total_j * seconds;
+
+  if (metrics_->sampling()) {
+    const metrics::TimeSeriesSampler& s = metrics_->sampler();
+    const Cycle interval = s.interval();
+    const std::size_t windows = s.windows();
+    e.sample_interval = interval;
+    std::vector<std::uint64_t> dyn(windows, 0);
+    for (const auto& [name, cs] : s.counter_series()) {
+      if (!is_energy_dynamic_series(name)) continue;
+      for (std::size_t w = 0; w < windows && w < cs.deltas.size(); ++w) {
+        dyn[w] += cs.deltas[w];
+      }
+    }
+    for (std::size_t w = 0; w < windows; ++w) {
+      // Every window but the last spans a full interval; the tail spans
+      // whatever remained at finish (possibly zero cycles).
+      const Cycle span = w + 1 < windows
+                             ? interval
+                             : cycles - static_cast<Cycle>(windows - 1) *
+                                            interval;
+      const std::uint64_t fj =
+          dyn[w] + span * meter_->static_fj_per_cycle();
+      e.window_fj.push_back(fj);
+      e.window_watts.push_back(meter_->watts(fj, span));
+    }
+  }
+  return e;
 }
 
 Plan Session::build_plan(const Model& model, unsigned core) {

@@ -38,6 +38,7 @@
 #include <optional>
 #include <string>
 
+#include "src/energy/energy.h"
 #include "src/estimate/area_model.h"
 #include "src/estimate/power_model.h"
 #include "src/estimate/timing_model.h"
@@ -133,6 +134,19 @@ class Session {
       metrics_ = std::move(cfg);
       return *this;
     }
+    /// Attaches the command-level energy meter (src/energy/): DRAM
+    /// ACT/PRE/RD/WR/REF + IO prices on the controller's issue path, exec
+    /// MAC / DMA byte / SRAM row prices on the accelerator, static power
+    /// from the estimate-layer power model (or an explicit override), all
+    /// folded into Report::energy. Observational only — cycle counts are
+    /// bit-identical on and off, and an all-zero price table produces a
+    /// Report byte-identical to a session built without energy. Rides the
+    /// metrics registry: when `.metrics()` was not also configured, a
+    /// hidden registry is created that never surfaces in Report::metrics.
+    Builder& energy(energy::EnergyConfig cfg) {
+      energy_ = std::move(cfg);
+      return *this;
+    }
 
     const SocConfig& config() const { return cfg_; }
 
@@ -149,6 +163,7 @@ class Session {
     std::shared_ptr<const lowering::TilingPolicy> tiling_;
     trace::TraceConfig trace_{};
     metrics::MetricsConfig metrics_{};
+    energy::EnergyConfig energy_{};
   };
 
   static Builder builder() { return Builder{}; }
@@ -252,7 +267,9 @@ class Session {
   // ---- Metrics -------------------------------------------------------------
   /// True iff the session was built with `.metrics(...)` and an enabled
   /// config. The registry holds the most recent run (runs reset it first).
-  bool metering() const { return metrics_ != nullptr; }
+  /// A hidden registry created only to back the energy meter does not
+  /// count: metrics the user never asked for stay invisible.
+  bool metering() const { return metrics_ != nullptr && metrics_visible_; }
   /// The live metrics collector. GEMMINI_CHECKs that metering is on.
   metrics::Metrics& metrics() const;
   /// The most recent run's registry rendered as OpenMetrics/Prometheus
@@ -260,6 +277,13 @@ class Session {
   std::string openmetrics() const;
   /// Writes openmetrics() to `path`; returns false on I/O failure.
   bool write_openmetrics(const std::string& path) const;
+
+  // ---- Energy --------------------------------------------------------------
+  /// True iff the session was built with `.energy(...)` and an active
+  /// config (enabled + at least one non-zero price).
+  bool energy_metering() const { return meter_ != nullptr; }
+  /// The attached meter; nullptr when energy is off.
+  const energy::EnergyMeter* energy_meter() const { return meter_.get(); }
 
   // ---- Low-level access (the session still owns everything) ---------------
   Soc& soc() { return *soc_; }
@@ -276,13 +300,17 @@ class Session {
           std::shared_ptr<const lowering::PlacementPolicy> placement,
           std::shared_ptr<const lowering::TilingPolicy> tiling,
           const trace::TraceConfig& trace_cfg,
-          const metrics::MetricsConfig& metrics_cfg);
+          const metrics::MetricsConfig& metrics_cfg,
+          const energy::EnergyConfig& energy_cfg);
 
   Plan build_plan(const Model& model, unsigned core);
   Report make_report(const Model& model,
-                     const std::vector<CoreResult>& results) const;
+                     const std::vector<CoreResult>& results);
   Report make_report(const std::string& model_name, Cycle cpu_baseline,
-                     const std::vector<CoreResult>& results) const;
+                     const std::vector<CoreResult>& results);
+  /// Derives the energy section bit-exactly from the registry's "energy.*"
+  /// counters (plus the static rate x `cycles`); meter_ must be non-null.
+  EnergyReport derive_energy(Cycle cycles) const;
   trace::PerfettoOptions perfetto_options(int indent) const;
 
   bool functional_ = false;
@@ -297,6 +325,14 @@ class Session {
   // Heap-allocated for the same reason as the Tracer: components cache
   // Counter*/Gauge* handles into the registry, which must survive moves.
   std::unique_ptr<metrics::Metrics> metrics_;
+  /// False when metrics_ exists only as the energy meter's hidden backing
+  /// registry (user never called .metrics()): Report::metrics stays
+  /// disabled and metering() reports false.
+  bool metrics_visible_ = false;
+  std::unique_ptr<energy::EnergyMeter> meter_;
+  /// SoC finish of the most recent run (drives the Perfetto power track's
+  /// final partial window).
+  Cycle last_finish_ = 0;
   /// The plan behind the events currently in the ring (snapshotted at run
   /// time; only kept while tracing). last_plan_ is NOT used for
   /// attribution — plan() overwrites it without touching the buffer.

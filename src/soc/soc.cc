@@ -29,14 +29,14 @@ SocConfig SocConfig::big_l2() {
 }
 
 Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer,
-         metrics::Metrics* metrics)
+         metrics::Metrics* metrics, energy::EnergyMeter* energy)
     : cfg_(cfg),
       tracer_(tracer),
       metrics_(metrics),
       injector_(cfg.faults.enabled
                     ? std::make_unique<fault::Injector>(cfg.faults, tracer)
                     : nullptr),
-      mem_(cfg.mem, tracer, injector_.get(), metrics),
+      mem_(cfg.mem, tracer, injector_.get(), metrics, energy),
       frames_(0x8000'0000ull),
       ptw_(cfg.accel.translation.ptw, mem_, RequestorId{kPtwRequestor}) {
   cfg_.validate();
@@ -47,7 +47,7 @@ Soc::Soc(const SocConfig& cfg, trace::Tracer* tracer,
         /*va_base=*/0x1'0000'0000ull + c * 0x10'0000'0000ull));
     accels_.push_back(std::make_unique<Accelerator>(
         cfg_.accel, mem_, ptw_, RequestorId{static_cast<int>(c)}, tracer,
-        injector_.get(), metrics));
+        injector_.get(), metrics, energy));
   }
 }
 
